@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the algorithm kernels across engines — the
+//! timing-shaped core of Figs. 2-4 as statistically-sound criterion
+//! measurements (complementing the one-shot regenerator binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epg::prelude::*;
+use std::hint::black_box;
+
+fn dataset() -> Dataset {
+    Dataset::from_spec(
+        &GraphSpec::Kronecker { scale: 11, edge_factor: 16, weighted: true },
+        7,
+    )
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let ds = dataset();
+    let pool = ThreadPool::new(2);
+    let root = ds.roots[0];
+    let mut g = c.benchmark_group("bfs");
+    g.throughput(Throughput::Elements(ds.symmetric.num_edges() as u64));
+    for kind in [EngineKind::Gap, EngineKind::Graph500, EngineKind::GraphBig, EngineKind::GraphMat]
+    {
+        let mut e = kind.create();
+        e.load_edge_list(ds.edges_for(kind));
+        e.construct(&pool);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &root, |b, &r| {
+            b.iter(|| black_box(e.run(Algorithm::Bfs, &RunParams::new(&pool, Some(r)))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sssp(c: &mut Criterion) {
+    let ds = dataset();
+    let pool = ThreadPool::new(2);
+    let root = ds.roots[0];
+    let mut g = c.benchmark_group("sssp");
+    g.throughput(Throughput::Elements(ds.symmetric.num_edges() as u64));
+    for kind in
+        [EngineKind::Gap, EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph]
+    {
+        let mut e = kind.create();
+        e.load_edge_list(ds.edges_for(kind));
+        e.construct(&pool);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &root, |b, &r| {
+            b.iter(|| black_box(e.run(Algorithm::Sssp, &RunParams::new(&pool, Some(r)))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let ds = dataset();
+    let pool = ThreadPool::new(2);
+    let mut g = c.benchmark_group("pagerank");
+    g.sample_size(10);
+    for kind in
+        [EngineKind::Gap, EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph]
+    {
+        let mut e = kind.create();
+        e.load_edge_list(ds.edges_for(kind));
+        e.construct(&pool);
+        g.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                let mut p = RunParams::new(&pool, None);
+                p.stopping = Some(StoppingCriterion::paper_default());
+                black_box(e.run(Algorithm::PageRank, &p))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bfs, bench_sssp, bench_pagerank
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the substrates: generation, construction,
+//! the parallel runtime's dispatch overhead, SpMV iterations, and
+//! vertex-cut partitioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epg::graphmat::{program::GraphProgram, spmv};
+use epg::powergraph::partition::PartitionedGraph;
+use epg::prelude::*;
+use std::hint::black_box;
+
+fn kron(scale: u32) -> EdgeList {
+    epg::generator::kronecker::generate(
+        &epg::generator::kronecker::KroneckerConfig { scale, edge_factor: 16, ..Default::default() },
+        7,
+    )
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate");
+    for scale in [10u32, 12] {
+        let edges = (1u64 << scale) * 16;
+        g.throughput(Throughput::Elements(edges));
+        g.bench_with_input(BenchmarkId::new("kronecker", scale), &scale, |b, &s| {
+            b.iter(|| black_box(kron(s)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let el = kron(12).symmetrized().deduplicated();
+    let mut g = c.benchmark_group("construct");
+    g.throughput(Throughput::Elements(el.num_edges() as u64));
+    g.bench_function("csr", |b| b.iter(|| black_box(Csr::from_edge_list(&el))));
+    g.bench_function("dcsc", |b| b.iter(|| black_box(epg::graph::Dcsc::from_edge_list(&el))));
+    g.bench_function("property_graph", |b| {
+        b.iter(|| black_box(epg::graph::adjacency::PropertyGraph::from_edge_list(&el)))
+    });
+    g.bench_function("vertex_cut_8", |b| {
+        b.iter(|| black_box(PartitionedGraph::build(&el, 8)))
+    });
+    g.finish();
+}
+
+fn bench_parallel_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_runtime");
+    for threads in [1usize, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        g.bench_with_input(BenchmarkId::new("region_dispatch", threads), &threads, |b, _| {
+            b.iter(|| pool.region(|tid| { black_box(tid); }))
+        });
+        g.bench_with_input(BenchmarkId::new("parallel_for_1e5", threads), &threads, |b, _| {
+            b.iter(|| {
+                pool.parallel_for_ranges(100_000, Schedule::Guided { min_chunk: 64 }, |_t, lo, hi| {
+                    let mut s = 0u64;
+                    for i in lo..hi {
+                        s = s.wrapping_add(i as u64);
+                    }
+                    black_box(s);
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+struct MinPlus;
+impl GraphProgram for MinPlus {
+    type VertexValue = f32;
+    type Message = f32;
+    type Accum = f32;
+    fn send(&self, _v: VertexId, value: &f32) -> f32 {
+        *value
+    }
+    fn process(&self, msg: &f32, w: f32, _dst: VertexId) -> f32 {
+        msg + w
+    }
+    fn reduce(&self, a: f32, b: f32) -> f32 {
+        a.min(b)
+    }
+    fn apply(&self, acc: f32, _v: VertexId, value: &mut f32) -> bool {
+        if acc < *value {
+            *value = acc;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let el = kron(11).symmetrized().deduplicated();
+    let m = epg::graph::Dcsc::from_edge_list(&el);
+    let pool = ThreadPool::new(2);
+    let active: Vec<VertexId> = (0..el.num_vertices as VertexId).collect();
+    let mut g = c.benchmark_group("spmv");
+    g.throughput(Throughput::Elements(m.nnz() as u64));
+    g.bench_function("all_active_iteration", |b| {
+        b.iter(|| {
+            let mut vals = vec![1.0f32; el.num_vertices];
+            black_box(spmv::run_iteration(&MinPlus, &[&m], &active, &mut vals, &pool))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generation, bench_construction, bench_parallel_runtime, bench_spmv
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: OpenMP scheduling policy (static / dynamic / guided).
+//!
+//! The engines differ in their worksharing choices (GAP-style guided vs
+//! GraphBIG-style dynamic); this ablation measures a skew-sensitive kernel
+//! (per-vertex degree-weighted work on a Kronecker graph) under each
+//! schedule and chunk size, on a real pool.
+
+use epg::prelude::*;
+use epg_bench::{kron_dataset, BenchArgs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.kron_scale(20, 12);
+    let threads = args.threads.max(2);
+    eprintln!("ablation: schedules on skewed work, Kronecker scale {scale}, {threads} threads");
+    let ds = kron_dataset(scale, false, args.seed);
+    let g = Csr::from_edge_list(&ds.symmetric);
+    let pool = ThreadPool::new(threads);
+    let n = g.num_vertices();
+
+    let schedules: [(&str, Schedule); 6] = [
+        ("static", Schedule::Static { chunk: None }),
+        ("static,64", Schedule::Static { chunk: Some(64) }),
+        ("dynamic,16", Schedule::Dynamic { chunk: 16 }),
+        ("dynamic,256", Schedule::Dynamic { chunk: 256 }),
+        ("guided,16", Schedule::Guided { min_chunk: 16 }),
+        ("guided,256", Schedule::Guided { min_chunk: 256 }),
+    ];
+
+    println!("{:<14}{:>12}  {:>18}{:>10}", "schedule", "time (s)", "checksum", "chunks");
+    for (name, sched) in schedules {
+        let before = pool.stats().chunks;
+        let sum = AtomicU64::new(0);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            // Degree-weighted per-vertex work: highly skewed on Kronecker.
+            pool.parallel_for_ranges(n, sched, |_tid, lo, hi| {
+                let mut local = 0u64;
+                for v in lo..hi {
+                    for &t in g.neighbors(v as VertexId) {
+                        local = local.wrapping_add(t as u64).rotate_left(1);
+                    }
+                }
+                sum.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        let secs = t0.elapsed().as_secs_f64() / 3.0;
+        println!(
+            "{name:<14}{secs:>12.5}  {:>18x}{:>10}",
+            sum.load(Ordering::Relaxed),
+            (pool.stats().chunks - before) / 3
+        );
+    }
+    println!(
+        "\nstatic splits leave the thread owning the hub range as a straggler;\n\
+         dynamic/guided rebalance at the cost of queue traffic — the tradeoff\n\
+         behind GAP's guided vs GraphBIG's dynamic defaults."
+    );
+}

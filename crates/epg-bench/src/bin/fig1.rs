@@ -1,0 +1,96 @@
+//! Fig. 1 regenerator: the framework-overview diagram. Each cyan box of
+//! the paper's figure is one shell script of the original (one `epg`
+//! subcommand / pipeline method here); the green ellipses are generated
+//! files. Rendered as SVG from the live pipeline structure.
+
+use epg_bench::BenchArgs;
+use std::fmt::Write as _;
+
+struct Box_ {
+    x: f64,
+    y: f64,
+    label: &'static str,
+    sub: &'static str,
+}
+
+struct File_ {
+    x: f64,
+    y: f64,
+    label: &'static str,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let boxes = [
+        Box_ { x: 40.0, y: 60.0, label: "1. setup", sub: "engine registry" },
+        Box_ { x: 240.0, y: 60.0, label: "2. gen", sub: "dataset homogenizer" },
+        Box_ { x: 440.0, y: 60.0, label: "3. run", sub: "experiment runner" },
+        Box_ { x: 440.0, y: 220.0, label: "4. parse", sub: "log -> CSV" },
+        Box_ { x: 240.0, y: 220.0, label: "5. analyze", sub: "stats + SVG plots" },
+    ];
+    let files = [
+        File_ { x: 340.0, y: 150.0, label: "*.snap / *.bin" },
+        File_ { x: 560.0, y: 150.0, label: "engine logs" },
+        File_ { x: 560.0, y: 300.0, label: "results.csv" },
+        File_ { x: 240.0, y: 320.0, label: "plots/*.svg" },
+        File_ { x: 80.0, y: 300.0, label: "summary.txt" },
+    ];
+    let mut svg = String::from(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"720\" height=\"400\" \
+         font-family=\"sans-serif\" font-size=\"13\">\n\
+         <rect width=\"720\" height=\"400\" fill=\"white\"/>\n\
+         <text x=\"360\" y=\"28\" text-anchor=\"middle\" font-size=\"17\">\
+         easy-parallel-graph-rs pipeline (paper Fig. 1)</text>\n",
+    );
+    for b in &boxes {
+        let _ = write!(
+            svg,
+            "<rect x=\"{}\" y=\"{}\" width=\"150\" height=\"56\" rx=\"6\" \
+             fill=\"paleturquoise\" stroke=\"black\"/>\n\
+             <text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-weight=\"bold\">{}</text>\n\
+             <text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"11\">{}</text>\n",
+            b.x,
+            b.y,
+            b.x + 75.0,
+            b.y + 24.0,
+            b.label,
+            b.x + 75.0,
+            b.y + 42.0,
+            b.sub
+        );
+    }
+    for f in &files {
+        let _ = write!(
+            svg,
+            "<ellipse cx=\"{}\" cy=\"{}\" rx=\"70\" ry=\"20\" fill=\"palegreen\" \
+             stroke=\"black\"/>\n\
+             <text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"11\">{}</text>\n",
+            f.x, f.y, f.x, f.y + 4.0, f.label
+        );
+    }
+    // Flow arrows between consecutive phases.
+    let arrows = [
+        (190.0, 88.0, 240.0, 88.0),
+        (390.0, 88.0, 440.0, 88.0),
+        (515.0, 116.0, 515.0, 220.0),
+        (440.0, 248.0, 390.0, 248.0),
+    ];
+    svg.push_str(
+        "<defs><marker id=\"a\" markerWidth=\"8\" markerHeight=\"8\" refX=\"6\" refY=\"3\" \
+         orient=\"auto\"><path d=\"M0,0 L6,3 L0,6 z\"/></marker></defs>\n",
+    );
+    for (x1, y1, x2, y2) in arrows {
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{x1}\" y1=\"{y1}\" x2=\"{x2}\" y2=\"{y2}\" stroke=\"black\" \
+             stroke-width=\"1.5\" marker-end=\"url(#a)\"/>"
+        );
+    }
+    svg.push_str("</svg>\n");
+    args.write_artifact("fig1_pipeline.svg", &svg);
+    println!(
+        "Fig. 1 (pipeline overview) written. Each cyan box = one `epg` \
+         subcommand;\ngreen ellipses = generated files. See README \
+         'Architecture' for the crate map."
+    );
+}

@@ -1,0 +1,90 @@
+//! Fig. 2 regenerator: BFS kernel-time box plots over 32 roots (GAP,
+//! Graph500, GraphBIG, GraphMat) and data-structure construction times
+//! (GAP, Graph500, GraphMat; GraphBIG is fused and therefore omitted —
+//! exactly as in the paper).
+//!
+//! Paper setting: Kronecker scale 22, 32 threads, 32 roots.
+//! Default here: scale 13, 8 roots, measured locally and also projected
+//! onto the paper's 72-thread Haswell at 32 threads.
+
+use epg::harness::plot::{boxplot, Scale};
+use epg::harness::stats::Summary;
+use epg::prelude::*;
+use epg_bench::{kron_dataset, paper_ref, shape_row, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.kron_scale(22, 13);
+    eprintln!("fig2: BFS times + construction, Kronecker scale {scale}");
+    let ds = kron_dataset(scale, false, args.seed);
+    let cfg = ExperimentConfig {
+        algorithms: vec![Algorithm::Bfs],
+        threads: args.threads,
+        max_roots: Some(args.roots),
+        ..ExperimentConfig::new()
+    };
+    let result = run_experiment(&cfg, &ds);
+    let model = MachineModel::paper_machine();
+
+    println!("== Fig. 2 (left): BFS time over {} roots ==", args.roots);
+    let mut groups = Vec::new();
+    for kind in [EngineKind::Gap, EngineKind::Graph500, EngineKind::GraphBig, EngineKind::GraphMat]
+    {
+        let times = result.run_times(kind, Algorithm::Bfs);
+        let s = Summary::of(&times);
+        // Project each root's trace onto the paper machine at 32 threads.
+        let projected: Vec<f64> = result
+            .runs
+            .iter()
+            .filter(|r| r.engine == kind)
+            .map(|r| {
+                let rate = model.calibrate_rate(&r.output.trace, r.seconds.max(1e-9));
+                model.project(&r.output.trace, rate, 32).total_s
+            })
+            .collect();
+        let paper = paper_ref::TABLE3.iter().find(|(n, ..)| *n == kind.name()).map(|r| r.1);
+        println!("{}", shape_row(kind.name(), paper, epg_bench::mean(&projected), "s/root"));
+        println!(
+            "    local measurement: median {:.5}s  [{:.5}, {:.5}]  n={}",
+            s.median, s.min, s.max, s.n
+        );
+        groups.push((kind.name().to_string(), Summary::of(&projected)));
+    }
+    args.write_artifact(
+        "fig2_bfs_time.svg",
+        &boxplot("BFS Time (projected, 32 threads)", "Time (seconds)", &groups, Scale::Log),
+    );
+
+    // Graph500's own headline statistic for these runs.
+    let g500_times = result.run_times(EngineKind::Graph500, Algorithm::Bfs);
+    let teps = epg::graph500::teps::TepsStats::from_times(
+        ds.raw.num_edges() as u64,
+        &g500_times,
+    );
+    println!(
+        "\nGraph500 TEPS (local): harmonic mean {:.3e} (min {:.3e}, max {:.3e}, {} runs)",
+        teps.harmonic_mean, teps.min, teps.max, teps.runs
+    );
+
+    println!("\n== Fig. 2 (right): data structure construction ==");
+    let mut groups = Vec::new();
+    for kind in [EngineKind::Gap, EngineKind::Graph500, EngineKind::GraphMat] {
+        let times = result.construct_times(kind);
+        let paper = paper_ref::FIG2_CONSTRUCT.iter().find(|(n, _)| *n == kind.name()).map(|r| r.1);
+        println!("{}", shape_row(kind.name(), paper, epg_bench::mean(&times), "s"));
+        groups.push((kind.name().to_string(), Summary::of(&times)));
+    }
+    println!("GraphBIG: omitted — reads the file and builds simultaneously (§III-B)");
+    assert!(result.construct_times(EngineKind::GraphBig).is_empty());
+    args.write_artifact(
+        "fig2_construction.svg",
+        &boxplot("BFS Data Structure Construction", "Time (seconds)", &groups, Scale::Log),
+    );
+
+    println!("\nshape check: GAP traverses fewest edges thanks to direction optimization:");
+    for kind in [EngineKind::Gap, EngineKind::Graph500, EngineKind::GraphBig, EngineKind::GraphMat]
+    {
+        let run = result.runs.iter().find(|r| r.engine == kind).unwrap();
+        println!("  {:<10} {:>12} edges traversed", kind.name(), run.output.counters.edges_traversed);
+    }
+}

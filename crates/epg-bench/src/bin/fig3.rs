@@ -1,0 +1,82 @@
+//! Fig. 3 regenerator: SSSP kernel-time box plots from the same 32 roots
+//! as Fig. 2 (GAP, GraphBIG, GraphMat, PowerGraph) and construction times
+//! (GAP, GraphMat only — "Both PowerGraph and GraphBIG construct their
+//! data structures at the same time as they read the file").
+//!
+//! Paper setting: weighted Kronecker scale 22, 32 threads.
+
+use epg::harness::plot::{boxplot, Scale};
+use epg::harness::stats::Summary;
+use epg::prelude::*;
+use epg_bench::{kron_dataset, shape_row, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.kron_scale(22, 13);
+    eprintln!("fig3: SSSP times + construction, weighted Kronecker scale {scale}");
+    let ds = kron_dataset(scale, true, args.seed);
+    let cfg = ExperimentConfig {
+        algorithms: vec![Algorithm::Sssp],
+        threads: args.threads,
+        max_roots: Some(args.roots),
+        ..ExperimentConfig::new()
+    };
+    let result = run_experiment(&cfg, &ds);
+    let model = MachineModel::paper_machine();
+
+    println!("== Fig. 3 (left): SSSP time over {} roots ==", args.roots);
+    let mut groups = Vec::new();
+    for kind in
+        [EngineKind::Gap, EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph]
+    {
+        let times = result.run_times(kind, Algorithm::Sssp);
+        let s = Summary::of(&times);
+        let projected: Vec<f64> = result
+            .runs
+            .iter()
+            .filter(|r| r.engine == kind)
+            .map(|r| {
+                let rate = model.calibrate_rate(&r.output.trace, r.seconds.max(1e-9));
+                model.project(&r.output.trace, rate, 32).total_s
+            })
+            .collect();
+        println!("{}", shape_row(kind.name(), None, epg_bench::mean(&projected), "s/root"));
+        println!(
+            "    local measurement: median {:.5}s  [{:.5}, {:.5}]  n={}",
+            s.median, s.min, s.max, s.n
+        );
+        groups.push((kind.name().to_string(), Summary::of(&projected)));
+    }
+    // Graph500 has no SSSP — it must be absent.
+    assert!(result.run_times(EngineKind::Graph500, Algorithm::Sssp).is_empty());
+    args.write_artifact(
+        "fig3_sssp_time.svg",
+        &boxplot("SSSP Time (projected, 32 threads)", "Time (seconds)", &groups, Scale::Log),
+    );
+
+    println!("\n== Fig. 3 (right): SSSP data structure construction ==");
+    let mut groups = Vec::new();
+    for kind in [EngineKind::Gap, EngineKind::GraphMat] {
+        let times = result.construct_times(kind);
+        println!("{}", shape_row(kind.name(), None, epg_bench::mean(&times), "s"));
+        groups.push((kind.name().to_string(), Summary::of(&times)));
+    }
+    println!("GraphBIG, PowerGraph: omitted — construction fused with file read");
+    args.write_artifact(
+        "fig3_construction.svg",
+        &boxplot("SSSP Data Structure Construction", "Time (seconds)", &groups, Scale::Log),
+    );
+
+    // Paper shape: "GAP is the clear winner" — lowest median kernel time.
+    let gap_med = Summary::of(&result.run_times(EngineKind::Gap, Algorithm::Sssp)).median;
+    for kind in [EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph] {
+        let med = Summary::of(&result.run_times(kind, Algorithm::Sssp)).median;
+        println!(
+            "shape: GAP median {:.5}s vs {} {:.5}s -> GAP {}",
+            gap_med,
+            kind.name(),
+            med,
+            if gap_med <= med { "wins" } else { "LOSES (shape deviation)" }
+        );
+    }
+}

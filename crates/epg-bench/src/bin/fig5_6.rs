@@ -1,0 +1,123 @@
+//! Figs. 5-6 regenerator: BFS strong-scaling speedup (T1/Tn) and parallel
+//! efficiency (T1/(n·Tn)) for GraphBIG, Graph500, GraphMat and GAP over
+//! threads 1, 2, 4, 8, 16, 32, 64, 72.
+//!
+//! Paper setting: Kronecker scale 23, 4 trials ("Because of timing
+//! considerations, only four trials were run"). Default here: scale 14.
+//! Each engine runs once locally (single-threaded measurement); the
+//! measured execution trace is projected onto the paper's Haswell by the
+//! machine model (see DESIGN.md's substitution table — we do not own a
+//! 72-thread machine).
+
+use epg::harness::plot::{line_chart, Scale};
+use epg::prelude::*;
+use epg_bench::{kron_dataset, BenchArgs};
+
+const THREADS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 72];
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.kron_scale(23, 14);
+    eprintln!("fig5/6: BFS scaling, Kronecker scale {scale} ({} trials)", 4);
+    let ds = kron_dataset(scale, false, args.seed);
+    println!("edges = {}", ds.symmetric.num_edges());
+    let cfg = ExperimentConfig {
+        algorithms: vec![Algorithm::Bfs],
+        threads: args.threads,
+        max_roots: Some(1),
+        trials: 4,
+        ..ExperimentConfig::new()
+    };
+    let result = run_experiment(&cfg, &ds);
+    let model = MachineModel::paper_machine();
+
+    let x_labels: Vec<String> = THREADS.iter().map(|n| n.to_string()).collect();
+    let mut speedup_series = vec![(
+        "Linear".to_string(),
+        THREADS.iter().map(|&n| n as f64).collect::<Vec<f64>>(),
+    )];
+    let mut eff_series = vec![("Ideal".to_string(), vec![1.0; THREADS.len()])];
+
+    println!("\n== Fig. 5: speedup T1/Tn ==");
+    print!("{:<12}", "engine");
+    for n in THREADS {
+        print!("{n:>8}");
+    }
+    println!();
+    for kind in [EngineKind::GraphBig, EngineKind::Graph500, EngineKind::GraphMat, EngineKind::Gap]
+    {
+        // Average the 4 trials' traces by averaging their projections.
+        let runs: Vec<_> = result.runs.iter().filter(|r| r.engine == kind).collect();
+        assert_eq!(runs.len(), 4);
+        let mut speedups = vec![0.0f64; THREADS.len()];
+        let mut effs = vec![0.0f64; THREADS.len()];
+        for run in &runs {
+            let rate = model.calibrate_rate(&run.output.trace, run.seconds.max(1e-9));
+            for (i, (n, s)) in
+                model.speedup_curve(&run.output.trace, rate, &THREADS).into_iter().enumerate()
+            {
+                speedups[i] += s / runs.len() as f64;
+                effs[i] += s / (n as f64 * runs.len() as f64);
+            }
+        }
+        print!("{:<12}", kind.name());
+        for s in &speedups {
+            print!("{s:>8.2}");
+        }
+        println!();
+        speedup_series.push((kind.name().to_string(), speedups));
+        eff_series.push((kind.name().to_string(), effs));
+    }
+    args.write_artifact(
+        "fig5_bfs_speedup.svg",
+        &line_chart("BFS Speedup", "Speedup", &x_labels, &speedup_series, Scale::Log),
+    );
+
+    println!("\n== Fig. 6: parallel efficiency T1/(n*Tn) ==");
+    print!("{:<12}", "engine");
+    for n in THREADS {
+        print!("{n:>8}");
+    }
+    println!();
+    for (name, effs) in eff_series.iter().skip(1) {
+        print!("{name:<12}");
+        for e in effs {
+            print!("{e:>8.3}");
+        }
+        println!();
+    }
+    args.write_artifact(
+        "fig6_bfs_efficiency.svg",
+        &line_chart("BFS Parallel Efficiency", "T1/(n*Tn)", &x_labels, &eff_series, Scale::Linear),
+    );
+
+    // Absolute projected times: normalization hides that GAP does far less
+    // work; in absolute terms it stays fastest at every thread count.
+    println!("\n== projected absolute BFS time (seconds) ==");
+    print!("{:<12}", "engine");
+    for n in THREADS {
+        print!("{n:>11}");
+    }
+    println!();
+    for kind in [EngineKind::GraphBig, EngineKind::Graph500, EngineKind::GraphMat, EngineKind::Gap]
+    {
+        let run = result.runs.iter().find(|r| r.engine == kind).unwrap();
+        let rate = model.calibrate_rate(&run.output.trace, run.seconds.max(1e-9));
+        print!("{:<12}", kind.name());
+        for &n in &THREADS {
+            print!("{:>11.6}", model.project(&run.output.trace, rate, n).total_s);
+        }
+        println!();
+    }
+
+    println!(
+        "\npaper shapes: generally poor scaling at this size (all curves far\n\
+         below linear). Note on normalized speedup: our deterministic model\n\
+         ranks work-heavy engines (Graph500) higher than the paper measured,\n\
+         because T1/Tn normalizes away GAP's direction-optimization work\n\
+         savings while fixed per-level costs dominate its short kernel; the\n\
+         paper's Graph500 2-thread dip was CPU-spike noise it is explicitly\n\
+         'more sensitive' to (§IV-B). GAP remains fastest in absolute time\n\
+         at every thread count. See EXPERIMENTS.md."
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig. 7 regenerator: the Graphalytics per-system HTML report pages
+//! ("Graphalytics outputs one HTML page per software package") for
+//! real-world and synthetic experiments on GraphBIG.
+
+use epg::harness::graphalytics::{self, GRAPHALYTICS_ENGINES, TABLE1_ALGOS};
+use epg::prelude::*;
+use epg_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let div = args.dataset_div(512);
+    eprintln!("fig7: Graphalytics HTML reports (dataset divisor {div})");
+    let datasets = [
+        Dataset::from_spec(&GraphSpec::CitPatents { scale_div: div }, args.seed),
+        Dataset::from_spec(
+            &GraphSpec::DotaLeague {
+                num_vertices: (61_670 / div as usize).max(512),
+                avg_degree: (824 / (div / 8).max(1)).clamp(48, 824),
+            },
+            args.seed,
+        ),
+        Dataset::from_spec(
+            &GraphSpec::Kronecker { scale: args.kron_scale(22, 11), edge_factor: 16, weighted: false },
+            args.seed,
+        ),
+    ];
+
+    let mut cells = Vec::new();
+    for ds in &datasets {
+        cells.extend(graphalytics::run_graphalytics(
+            &GRAPHALYTICS_ENGINES,
+            &TABLE1_ALGOS,
+            ds,
+            args.threads,
+        ));
+    }
+
+    for system in GRAPHALYTICS_ENGINES {
+        let html = graphalytics::html_report(system, &cells);
+        args.write_artifact(&format!("fig7_graphalytics_{}.html", system.name()), &html);
+    }
+    println!(
+        "wrote one HTML page per system (Fig. 7 shows GraphBIG's), covering\n\
+         {} datasets x {} algorithms, one run per cell.",
+        datasets.len(),
+        TABLE1_ALGOS.len()
+    );
+}

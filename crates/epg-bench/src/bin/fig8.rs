@@ -1,0 +1,113 @@
+//! Fig. 8 regenerator: easy-parallel-graph-* on the real-world stand-ins —
+//! mean kernel times for {BFS, PageRank, SSSP} × {dota, Patents} ×
+//! {GAP, GraphBIG, GraphMat, PowerGraph}. "The leftmost plot is missing
+//! PowerGraph because PowerGraph does not provide BFS."
+//!
+//! Paper setting: the real datasets, 32 threads, 32 roots.
+
+use epg::harness::plot::bar_chart;
+use epg::prelude::*;
+use epg_bench::{mean, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let div = args.dataset_div(256);
+    eprintln!("fig8: real-world experiments (dataset divisor {div})");
+    let patents = Dataset::from_spec(&GraphSpec::CitPatents { scale_div: div }, args.seed);
+    let dota = Dataset::from_spec(
+        &GraphSpec::DotaLeague {
+            num_vertices: (61_670 / div as usize).max(512),
+            avg_degree: (824 / (div / 8).max(1)).clamp(48, 824),
+        },
+        args.seed,
+    );
+
+    let engines =
+        vec![EngineKind::Gap, EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph];
+    let mut all: Vec<(String, Algorithm, EngineKind, f64)> = Vec::new();
+    for ds in [&dota, &patents] {
+        let cfg = ExperimentConfig {
+            engines: engines.clone(),
+            algorithms: vec![Algorithm::Bfs, Algorithm::PageRank, Algorithm::Sssp],
+            threads: args.threads,
+            max_roots: Some(args.roots),
+            ..ExperimentConfig::new()
+        };
+        let result = run_experiment(&cfg, ds);
+        for &e in &engines {
+            for a in [Algorithm::Bfs, Algorithm::PageRank, Algorithm::Sssp] {
+                let times = result.run_times(e, a);
+                if !times.is_empty() {
+                    all.push((ds.name.clone(), a, e, mean(&times)));
+                }
+            }
+        }
+    }
+
+    for algo in [Algorithm::Bfs, Algorithm::PageRank, Algorithm::Sssp] {
+        println!("== Fig. 8 panel: {} (mean seconds) ==", algo.name());
+        println!("{:<12}{:>14}{:>14}", "system", "dota", "Patents");
+        let mut bars = Vec::new();
+        for &e in &engines {
+            print!("{:<12}", e.name());
+            for ds in [&dota, &patents] {
+                let v = all
+                    .iter()
+                    .find(|(d, a, k, _)| d == &ds.name && *a == algo && *k == e)
+                    .map(|r| r.3);
+                match v {
+                    Some(x) => {
+                        print!("{x:>14.5}");
+                        bars.push((format!("{}/{}", e.name(), short(&ds.name)), x));
+                    }
+                    None => print!("{:>14}", "absent"),
+                }
+            }
+            println!();
+        }
+        args.write_artifact(
+            &format!("fig8_{}.svg", algo.abbrev().to_lowercase()),
+            &bar_chart(&format!("{} (real-world stand-ins)", algo.abbrev()), "Time (s)", &bars),
+        );
+        println!();
+    }
+
+    // Structural checks from the paper's discussion of Fig. 8:
+    let get = |ds: &Dataset, a: Algorithm, e: EngineKind| {
+        all.iter().find(|(d, x, k, _)| d == &ds.name && *x == a && *k == e).map(|r| r.3)
+    };
+    // (1) PowerGraph has no BFS bar.
+    assert!(get(&dota, Algorithm::Bfs, EngineKind::PowerGraph).is_none());
+    println!("shape: BFS panel has no PowerGraph bar (no BFS toolkit) — as in paper");
+    // (2) PowerGraph is relatively better on the dense dota graph for SSSP:
+    //     its slowdown factor vs GAP shrinks from Patents to dota.
+    let ratio = |ds: &Dataset| {
+        get(ds, Algorithm::Sssp, EngineKind::PowerGraph).unwrap()
+            / get(ds, Algorithm::Sssp, EngineKind::Gap).unwrap()
+    };
+    let (rd, rp) = (ratio(&dota), ratio(&patents));
+    println!(
+        "shape: PowerGraph/GAP SSSP ratio: dota {rd:.2}x vs Patents {rp:.2}x -> {}",
+        if rd < rp { "dense graph flatters PowerGraph (as in paper)" } else { "DEVIATION" }
+    );
+    // (3) GraphMat performs relatively better on the denser dota dataset.
+    let gm_ratio = |ds: &Dataset| {
+        get(ds, Algorithm::PageRank, EngineKind::GraphMat).unwrap()
+            / get(ds, Algorithm::PageRank, EngineKind::GraphBig).unwrap()
+    };
+    let (gd, gp) = (gm_ratio(&dota), gm_ratio(&patents));
+    println!(
+        "shape: GraphMat/GraphBIG PR ratio: dota {gd:.2}x vs Patents {gp:.2}x -> {}",
+        if gd < gp { "SpMV pays off on the dense graph (as in paper)" } else { "DEVIATION" }
+    );
+}
+
+fn short(name: &str) -> &str {
+    if name.starts_with("dota") {
+        "dota"
+    } else if name.starts_with("cit") {
+        "Patents"
+    } else {
+        name
+    }
+}

@@ -1,0 +1,136 @@
+//! Fig. 9 + Table III regenerator: power and energy during BFS.
+//!
+//! Runs BFS per engine per root, calibrates the machine model from each
+//! measured run, and integrates the RAPL simulator at 32 target threads:
+//! per-root CPU/RAM average power (Fig. 9 box plots) and the Table III
+//! energy accounting (time, power, energy, sleeping energy, increase over
+//! sleep).
+//!
+//! Paper setting: Kronecker scale 22, 32 threads, 32 roots, real RAPL MSRs
+//! via PAPI. Ours: the simulated Haswell (see DESIGN.md substitutions).
+
+use epg::harness::plot::{boxplot, Scale};
+use epg::harness::stats::Summary;
+use epg::machine::rapl::PowerRapl;
+use epg::prelude::*;
+use epg_bench::{kron_dataset, mean, paper_ref, shape_row, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.kron_scale(22, 13);
+    eprintln!("fig9/table3: power + energy during BFS, Kronecker scale {scale}");
+    let ds = kron_dataset(scale, false, args.seed);
+    let cfg = ExperimentConfig {
+        algorithms: vec![Algorithm::Bfs],
+        threads: args.threads,
+        max_roots: Some(args.roots),
+        ..ExperimentConfig::new()
+    };
+    let result = run_experiment(&cfg, &ds);
+    let model = MachineModel::paper_machine();
+    let engines = [EngineKind::Gap, EngineKind::Graph500, EngineKind::GraphBig, EngineKind::GraphMat];
+
+    let mut cpu_groups = Vec::new();
+    let mut ram_groups = Vec::new();
+    println!("== Table III (ours): per-root averages at 32 projected threads ==");
+    println!(
+        "{:<12}{:>12}{:>12}{:>14}{:>16}{:>12}",
+        "engine", "time (s)", "power (W)", "energy (J)", "sleep energy(J)", "vs sleep"
+    );
+    for kind in engines {
+        let mut times = Vec::new();
+        let mut cpu_w = Vec::new();
+        let mut ram_w = Vec::new();
+        let mut energy = Vec::new();
+        let mut sleep_j = Vec::new();
+        for run in result.runs.iter().filter(|r| r.engine == kind) {
+            let rate = model.calibrate_rate(&run.output.trace, run.seconds.max(1e-9));
+            let mut rapl = PowerRapl::init(&model, rate, 32);
+            rapl.start();
+            rapl.record(&run.output.trace);
+            let rep = rapl.end();
+            times.push(rep.duration_s);
+            cpu_w.push(rep.avg_cpu_w);
+            ram_w.push(rep.avg_ram_w);
+            energy.push(rep.total_j());
+            sleep_j.push(model.sleep_baseline(rep.duration_s).total_j());
+        }
+        println!(
+            "{:<12}{:>12.5}{:>12.2}{:>14.4}{:>16.4}{:>12.3}",
+            kind.name(),
+            mean(&times),
+            mean(&cpu_w),
+            mean(&energy),
+            mean(&sleep_j),
+            mean(&energy) / mean(&sleep_j)
+        );
+        cpu_groups.push((kind.name().to_string(), Summary::of(&cpu_w)));
+        ram_groups.push((kind.name().to_string(), Summary::of(&ram_w)));
+    }
+
+    println!("\n== Table III (paper) ==");
+    println!(
+        "{:<12}{:>12}{:>12}{:>14}{:>16}{:>12}",
+        "engine", "time (s)", "power (W)", "energy (J)", "sleep energy(J)", "vs sleep"
+    );
+    for (name, t, w, j, sj, inc) in paper_ref::TABLE3 {
+        println!("{name:<12}{t:>12.5}{w:>12.2}{j:>14.3}{sj:>16.4}{inc:>12.3}");
+    }
+
+    println!("\n== Fig. 9: average power per root (simulated RAPL) ==");
+    for (groups, refvals, label) in [
+        (&cpu_groups, &paper_ref::FIG9_CPU_W[..], "CPU"),
+        (&ram_groups, &paper_ref::FIG9_RAM_W[..], "RAM"),
+    ] {
+        println!("{label} power:");
+        for (name, s) in groups.iter() {
+            let paper = refvals.iter().find(|(n, _)| n == name).map(|r| r.1);
+            println!("  {}", shape_row(name, paper, s.median, "W"));
+        }
+    }
+    let sleep = model.sleep_baseline(10.0);
+    println!(
+        "sleep baseline: CPU {:.1} W, RAM {:.1} W (paper baseline: unistd sleep(10))",
+        sleep.avg_cpu_w, sleep.avg_ram_w
+    );
+    args.write_artifact(
+        "fig9_cpu_power.svg",
+        &boxplot("CPU Average Power During BFS", "Average Power (Watts)", &cpu_groups, Scale::Linear),
+    );
+    args.write_artifact(
+        "fig9_ram_power.svg",
+        &boxplot("RAM Power During BFS", "Average Power (Watts)", &ram_groups, Scale::Linear),
+    );
+
+    // The paper's headline: the fastest code is also the most energy
+    // efficient (Table III discussion).
+    println!("\nshape: ranking engines by projected time and by energy:");
+    let mut by_time: Vec<(&str, f64, f64)> = engines
+        .iter()
+        .map(|&k| {
+            let runs: Vec<_> = result.runs.iter().filter(|r| r.engine == k).collect();
+            let reps: Vec<_> = runs
+                .iter()
+                .map(|r| {
+                    let rate = model.calibrate_rate(&r.output.trace, r.seconds.max(1e-9));
+                    model.energy(&r.output.trace, rate, 32)
+                })
+                .collect();
+            (
+                k.name(),
+                mean(&reps.iter().map(|x| x.duration_s).collect::<Vec<_>>()),
+                mean(&reps.iter().map(|x| x.total_j()).collect::<Vec<_>>()),
+            )
+        })
+        .collect();
+    by_time.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let mut energy_sorted = by_time.clone();
+    energy_sorted.sort_by(|a, b| a.2.total_cmp(&b.2));
+    let same_order = by_time.iter().map(|x| x.0).eq(energy_sorted.iter().map(|x| x.0));
+    println!(
+        "  time order:   {:?}\n  energy order: {:?}\n  -> {}",
+        by_time.iter().map(|x| x.0).collect::<Vec<_>>(),
+        energy_sorted.iter().map(|x| x.0).collect::<Vec<_>>(),
+        if same_order { "fastest is most energy efficient (as in paper)" } else { "orders differ" }
+    );
+}

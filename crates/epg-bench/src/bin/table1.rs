@@ -1,0 +1,135 @@
+//! Table I regenerator: Graphalytics-style single-run times for
+//! {GraphBIG, PowerGraph, GraphMat} × {BFS, CDLP, LCC, PR, SSSP, WCC} on
+//! the cit-Patents and dota-league stand-ins, including the GraphMat
+//! phase-log excerpt that exposes the phase-confounding pitfall.
+//!
+//! Paper setting: the real datasets, 32 threads, ONE run per cell.
+//! Default here: stand-ins at 1/256 (cit-Patents) and n=1024/deg=96
+//! (dota-league); `--full` uses the original sizes.
+
+use epg::harness::graphalytics::{self, GRAPHALYTICS_ENGINES, TABLE1_ALGOS};
+use epg::harness::logs;
+use epg::prelude::*;
+use epg_bench::{paper_ref, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let div = args.dataset_div(256);
+    eprintln!("table1: Graphalytics methodology on the real-world stand-ins (div {div})");
+
+    let cit = Dataset::from_spec(&GraphSpec::CitPatents { scale_div: div }, args.seed);
+    // dota-league's defining trait is density: scale vertices faster than
+    // degree so the stand-in stays dense (deg ~ n/10, as in the original).
+    let dota = Dataset::from_spec(
+        &GraphSpec::DotaLeague {
+            num_vertices: (61_670 / div as usize).max(512),
+            avg_degree: (824 / (div / 8).max(1)).clamp(48, 824),
+        },
+        args.seed,
+    );
+    for ds in [&cit, &dota] {
+        eprintln!("  {}: {} vertices, {} edges", ds.name, ds.raw.num_vertices, ds.raw.num_edges());
+    }
+
+    let mut cells =
+        graphalytics::run_graphalytics(&GRAPHALYTICS_ENGINES, &TABLE1_ALGOS, &cit, args.threads);
+    cells.extend(graphalytics::run_graphalytics(
+        &GRAPHALYTICS_ENGINES,
+        &TABLE1_ALGOS,
+        &dota,
+        args.threads,
+    ));
+
+    println!("== Table I (ours): Graphalytics single-run times, seconds ==");
+    let table = graphalytics::format_table(
+        &cells,
+        &GRAPHALYTICS_ENGINES,
+        &[cit.name.clone(), dota.name.clone()],
+    );
+    println!("{table}");
+
+    println!("== Table I (paper, full-size datasets on 72T Haswell) ==");
+    println!("{:<12}{:<14}{:>8}{:>8}{:>9}{:>7}{:>7}{:>7}", "system", "dataset", "BFS", "CDLP", "LCC", "PR", "SSSP", "WCC");
+    for (sys, ds, vals) in paper_ref::TABLE1 {
+        print!("{sys:<12}{ds:<14}");
+        for v in vals {
+            match v {
+                Some(x) => print!("{x:>8.1}"),
+                None => print!("{:>8}", "N/A"),
+            }
+        }
+        println!();
+    }
+
+    // The excerpt under Table I: GraphMat's own log for PR on dota-league.
+    let gm_pr = cells
+        .iter()
+        .find(|c| {
+            c.engine == EngineKind::GraphMat
+                && c.algorithm == Algorithm::PageRank
+                && c.dataset == dota.name
+        })
+        .expect("GraphMat PR cell");
+    let p = gm_pr.true_phases.unwrap();
+    println!("\n== GraphMat log excerpt (ours), as below Table I ==");
+    let entries = [
+        logs::LogEntry { phase: Phase::ReadFile, seconds: p.read_s },
+        logs::LogEntry { phase: Phase::Construct, seconds: p.construct_s },
+        logs::LogEntry { phase: Phase::Run, seconds: p.run_s },
+        logs::LogEntry { phase: Phase::Output, seconds: p.output_s },
+    ];
+    print!(
+        "{}",
+        logs::render_log(
+            epg::engine_api::logfmt::LogStyle::GraphMat,
+            &format!("PageRank on {}", dota.name),
+            &entries
+        )
+    );
+    println!(
+        "\nreported {:.4}s but {:.4}s of that is the file read: ignore it and\n\
+         GraphMat completes {:.1}x faster — the paper's fairness complaint.",
+        gm_pr.reported_seconds.unwrap(),
+        p.read_s,
+        gm_pr.reported_seconds.unwrap() / (gm_pr.reported_seconds.unwrap() - p.read_s).max(1e-9)
+    );
+
+    // Structural shape checks (the claims Table I supports).
+    for c in &cells {
+        let expect_na = (c.engine == EngineKind::PowerGraph && c.algorithm == Algorithm::Bfs)
+            || (c.algorithm == Algorithm::Sssp && c.dataset == cit.name);
+        assert_eq!(c.reported_seconds.is_none(), expect_na, "N/A structure broke: {c:?}");
+    }
+    // LCC is the most expensive column on the dense graph for every system
+    // (dota's 1073.7 / 458.1 / 239.7 in the paper).
+    for &engine in &GRAPHALYTICS_ENGINES {
+        let lcc = cell_time(&cells, engine, Algorithm::Lcc, &dota.name);
+        for a in [Algorithm::Bfs, Algorithm::PageRank, Algorithm::Wcc] {
+            if engine == EngineKind::PowerGraph && a == Algorithm::Bfs {
+                continue; // no BFS toolkit: nothing to compare
+            }
+            let t = cell_time(&cells, engine, a, &dota.name);
+            println!(
+                "shape: {} dota LCC {:.3}s vs {} {:.3}s -> {}",
+                engine.name(),
+                lcc,
+                a.abbrev(),
+                t,
+                if lcc > t { "LCC dominates (as in paper)" } else { "DEVIATION" }
+            );
+        }
+    }
+}
+
+fn cell_time(
+    cells: &[graphalytics::Cell],
+    engine: EngineKind,
+    algo: Algorithm,
+    ds: &str,
+) -> f64 {
+    cells
+        .iter()
+        .find(|c| c.engine == engine && c.algorithm == algo && c.dataset == ds)
+        .and_then(|c| c.reported_seconds)
+        .unwrap_or(f64::NAN)
+}

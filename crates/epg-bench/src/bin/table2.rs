@@ -1,0 +1,93 @@
+//! Table II regenerator: Graphalytics on the same Kronecker graph used by
+//! the other experiments — {GraphMat, GraphBIG, PowerGraph} ×
+//! {CDLP, PR, LCC, WCC, BFS}, single run, 32 threads.
+//!
+//! Paper setting: scale 22. Default here: scale 12.
+
+use epg::harness::graphalytics::{self, GRAPHALYTICS_ENGINES};
+use epg::prelude::*;
+use epg_bench::{kron_dataset, paper_ref, BenchArgs};
+
+const ROWS: [Algorithm; 5] =
+    [Algorithm::Cdlp, Algorithm::PageRank, Algorithm::Lcc, Algorithm::Wcc, Algorithm::Bfs];
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.kron_scale(22, 12);
+    eprintln!("table2: Graphalytics on Kronecker scale {scale}");
+    let ds = kron_dataset(scale, false, args.seed);
+    let cells = graphalytics::run_graphalytics(&GRAPHALYTICS_ENGINES, &ROWS, &ds, args.threads);
+
+    println!("== Table II (ours): Kronecker scale {scale}, seconds, one run ==");
+    println!("{:<28}{:>10}{:>10}{:>11}", "Graphalytics", "GraphMat", "GraphBIG", "PowerGraph");
+    for algo in ROWS {
+        print!("{:<28}", algo.name());
+        for engine in [EngineKind::GraphMat, EngineKind::GraphBig, EngineKind::PowerGraph] {
+            let t = cells
+                .iter()
+                .find(|c| c.engine == engine && c.algorithm == algo)
+                .and_then(|c| c.reported_seconds);
+            match t {
+                Some(x) => print!("{x:>10.3}"),
+                None => print!("{:>10}", "N/A"),
+            }
+        }
+        println!();
+    }
+
+    println!("\n== Table II (paper, scale 22 on 72T Haswell) ==");
+    println!("{:<28}{:>10}{:>10}{:>11}", "Graphalytics", "GraphMat", "GraphBIG", "PowerGraph");
+    for (name, gm, gb, pg) in paper_ref::TABLE2 {
+        println!("{name:<28}{gm:>10.1}{gb:>10.1}{pg:>11.1}");
+    }
+
+    // Paper shapes worth checking at any scale:
+    // (1) PowerGraph is the slowest on BFS-like cheap kernels (WCC, BFS is
+    //     N/A for PowerGraph in our faithful toolkit, so use WCC/PR);
+    let t = |e: EngineKind, a: Algorithm| {
+        cells
+            .iter()
+            .find(|c| c.engine == e && c.algorithm == a)
+            .and_then(|c| c.reported_seconds)
+            .unwrap_or(f64::NAN)
+    };
+    for a in [Algorithm::Wcc, Algorithm::PageRank] {
+        let pg = t(EngineKind::PowerGraph, a);
+        let others = [t(EngineKind::GraphMat, a), t(EngineKind::GraphBig, a)];
+        println!(
+            "shape: PowerGraph {} {:.3}s vs others {:?} -> {}",
+            a.abbrev(),
+            pg,
+            others,
+            if others.iter().all(|&o| pg > o) {
+                "PowerGraph slowest (as in paper)"
+            } else {
+                "DEVIATION"
+            }
+        );
+    }
+    // (2) LCC is every system's most expensive kernel.
+    for e in GRAPHALYTICS_ENGINES {
+        let lcc = t(e, Algorithm::Lcc);
+        let max_other = ROWS
+            .iter()
+            .filter(|&&a| a != Algorithm::Lcc)
+            .map(|&a| t(e, a))
+            .filter(|x| x.is_finite())
+            .fold(0.0f64, f64::max);
+        println!(
+            "shape: {} LCC {:.3}s vs max(other) {:.3}s -> {}",
+            e.name(),
+            lcc,
+            max_other,
+            if lcc >= max_other { "LCC dominates (as in paper)" } else { "DEVIATION" }
+        );
+    }
+    // Note: the paper's Table II reports a BFS time for PowerGraph because
+    // Graphalytics ships its own PowerGraph BFS driver; our engine models
+    // the stock toolkits (no BFS), so that cell is N/A here.
+    println!(
+        "\nnote: PowerGraph BFS is N/A here: the stock toolkits provide no BFS\n\
+         (§III-D); Graphalytics bundles its own driver for Table II."
+    );
+}

@@ -1,0 +1,202 @@
+//! Shared plumbing for the table/figure regenerators.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). They accept:
+//!
+//! ```text
+//! --full        run at the paper's original sizes (hours of CPU)
+//! --scale N     override the Kronecker scale / dataset divisor
+//! --threads N   local thread-pool size (default 1)
+//! --roots N     roots / repetitions per experiment (default 8; paper: 32)
+//! --out DIR     artifact directory (default target/epg-out)
+//! ```
+//!
+//! Outputs print three things per cell where applicable: the paper's
+//! published value (their C/C++ systems on a 72-thread Haswell), our local
+//! measurement, and the machine-model projection onto the paper's machine.
+//! Absolute numbers are not expected to match; shapes are (EXPERIMENTS.md
+//! records both).
+
+use epg::prelude::*;
+use std::path::PathBuf;
+
+/// Parsed common flags.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Run at paper-original sizes.
+    pub full: bool,
+    /// Explicit scale override.
+    pub scale: Option<u32>,
+    /// Local pool size.
+    pub threads: usize,
+    /// Roots / repetitions.
+    pub roots: usize,
+    /// Artifact directory.
+    pub out_dir: PathBuf,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`; exits with a message on bad flags.
+    pub fn parse() -> BenchArgs {
+        let mut a = BenchArgs {
+            full: false,
+            scale: None,
+            threads: 1,
+            roots: 8,
+            out_dir: PathBuf::from("target/epg-out"),
+            seed: 42,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut val = |name: &str| {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--full" => a.full = true,
+                "--scale" => a.scale = Some(val("--scale").parse().expect("--scale")),
+                "--threads" => a.threads = val("--threads").parse().expect("--threads"),
+                "--roots" => a.roots = val("--roots").parse().expect("--roots"),
+                "--out" => a.out_dir = PathBuf::from(val("--out")),
+                "--seed" => a.seed = val("--seed").parse().expect("--seed"),
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        a
+    }
+
+    /// Picks the Kronecker scale: explicit > full(paper) > default.
+    pub fn kron_scale(&self, paper: u32, default: u32) -> u32 {
+        self.scale.unwrap_or(if self.full { paper } else { default })
+    }
+
+    /// Dataset divisor for the real-world stand-ins: explicit `--scale`
+    /// wins, then `--full` means 1 (original size), then the default.
+    pub fn dataset_div(&self, default: u32) -> u32 {
+        self.scale.unwrap_or(if self.full { 1 } else { default })
+    }
+
+    /// Writes an artifact under `out_dir/figures`, returning its path.
+    pub fn write_artifact(&self, name: &str, content: &str) -> PathBuf {
+        let dir = self.out_dir.join("figures");
+        std::fs::create_dir_all(&dir).expect("create artifact dir");
+        let path = dir.join(name);
+        std::fs::write(&path, content).expect("write artifact");
+        eprintln!("wrote {}", path.display());
+        path
+    }
+}
+
+/// A labeled (paper value, our value) pair for shape comparison output.
+pub fn shape_row(label: &str, paper: Option<f64>, ours: f64, unit: &str) -> String {
+    match paper {
+        Some(p) => format!("{label:<24} paper: {p:>10.4} {unit}   ours: {ours:>10.4} {unit}"),
+        None => format!("{label:<24} paper: {:>10} {unit}   ours: {ours:>10.4} {unit}", "n/a"),
+    }
+}
+
+/// Mean of a slice (samples are never empty in the regenerators).
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// The paper's published reference numbers, used purely for side-by-side
+/// printing (never for calibration of results).
+pub mod paper_ref {
+    /// Table III (Kronecker scale 22, 32 threads, per root):
+    /// (engine, time s, avg power W, energy J, sleeping energy J, increase).
+    pub const TABLE3: [(&str, f64, f64, f64, f64, f64); 4] = [
+        ("GAP", 0.01636, 72.38, 1.184, 0.4046, 2.926),
+        ("Graph500", 0.01884, 97.17, 1.830, 0.4660, 3.928),
+        ("GraphBIG", 1.600, 78.01, 112.213, 39.591, 2.834),
+        ("GraphMat", 1.424, 70.12, 111.104, 35.234, 3.153),
+    ];
+
+    /// Table I (Graphalytics, 32 threads, seconds): (system, dataset,
+    /// [BFS, CDLP, LCC, PR, SSSP, WCC]), None = N/A.
+    pub const TABLE1: [(&str, &str, [Option<f64>; 6]); 6] = [
+        ("GraphBIG", "cit-Patents", [Some(0.8), Some(11.8), Some(15.5), Some(4.5), None, Some(1.3)]),
+        ("GraphBIG", "dota-league", [Some(1.1), Some(3.9), Some(1073.7), Some(2.6), Some(3.0), Some(1.0)]),
+        ("PowerGraph", "cit-Patents", [Some(13.8), Some(30.1), Some(23.9), Some(18.8), None, Some(22.1)]),
+        ("PowerGraph", "dota-league", [Some(25.6), Some(31.2), Some(458.1), Some(26.7), Some(28.9), Some(22.9)]),
+        ("GraphMat", "cit-Patents", [Some(7.5), Some(20.1), Some(9.8), Some(8.1), None, Some(6.6)]),
+        ("GraphMat", "dota-league", [Some(2.7), Some(21.2), Some(239.7), Some(6.3), Some(9.4), Some(6.9)]),
+    ];
+
+    /// Table II (Graphalytics on Kronecker scale 22, seconds):
+    /// (algorithm, GraphMat, GraphBIG, PowerGraph).
+    pub const TABLE2: [(&str, f64, f64, f64); 5] = [
+        ("CDLP", 45.8, 7.4, 55.6),
+        ("PR", 8.9, 4.7, 46.4),
+        ("LCC", 401.0, 1802.7, 299.8),
+        ("WCC", 7.4, 2.4, 40.5),
+        ("BFS", 10.3, 1.8, 43.0),
+    ];
+
+    /// Fig. 9 (approximate medians read off the plot): CPU / RAM average
+    /// power during BFS, watts.
+    pub const FIG9_CPU_W: [(&str, f64); 4] =
+        [("GAP", 72.4), ("Graph500", 97.2), ("GraphBIG", 78.0), ("GraphMat", 70.1)];
+    /// DRAM power medians.
+    pub const FIG9_RAM_W: [(&str, f64); 4] =
+        [("GAP", 13.0), ("Graph500", 19.0), ("GraphBIG", 15.0), ("GraphMat", 11.0)];
+
+    /// Fig. 2 construction-time medians (seconds, scale 22, approximate).
+    pub const FIG2_CONSTRUCT: [(&str, f64); 3] =
+        [("GAP", 1.1), ("Graph500", 3.4), ("GraphMat", 2.4)];
+
+    /// Fig. 4 PageRank iteration counts (approximate bar heights).
+    pub const FIG4_ITERS: [(&str, f64); 4] =
+        [("GAP", 25.0), ("PowerGraph", 48.0), ("GraphBIG", 48.0), ("GraphMat", 140.0)];
+}
+
+/// Builds a Kronecker dataset for regenerators.
+pub fn kron_dataset(scale: u32, weighted: bool, seed: u64) -> Dataset {
+    Dataset::from_spec(&GraphSpec::Kronecker { scale, edge_factor: 16, weighted }, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_selection() {
+        let mut a = BenchArgs {
+            full: false,
+            scale: None,
+            threads: 1,
+            roots: 8,
+            out_dir: PathBuf::from("x"),
+            seed: 1,
+        };
+        assert_eq!(a.kron_scale(22, 14), 14);
+        a.full = true;
+        assert_eq!(a.kron_scale(22, 14), 22);
+        a.scale = Some(10);
+        assert_eq!(a.kron_scale(22, 14), 10);
+        assert_eq!(a.dataset_div(64), 10);
+    }
+
+    #[test]
+    fn shape_row_formats() {
+        assert!(shape_row("BFS", Some(0.016), 0.02, "s").contains("0.0160"));
+        assert!(shape_row("BFS", None, 0.02, "s").contains("n/a"));
+    }
+
+    #[test]
+    fn paper_reference_is_self_consistent() {
+        // Table III: energy ≈ power x time (the paper's averages of
+        // per-root products differ from the product of averages by ~10%).
+        for (name, t, w, j, _, inc) in paper_ref::TABLE3 {
+            assert!((w * t - j).abs() / j < 0.15, "{name}: {w}*{t} != {j}");
+            assert!(inc > 1.0);
+        }
+    }
+}

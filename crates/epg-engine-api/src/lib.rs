@@ -1,0 +1,261 @@
+//! The common engine protocol.
+//!
+//! §III-A of the paper: experiments run "author-provided implementations
+//! with modifications only to insert performance analysis hooks or to
+//! ensure homogeneous stopping criteria". This crate is those hooks: a
+//! phase-separated run protocol every engine implements, shared work
+//! counters, the execution traces the machine model consumes, homogenized
+//! stopping criteria, and the per-engine log formats the harness's parser
+//! phase handles.
+//!
+//! The phase protocol mirrors the two Graph500 kernels plus the I/O the
+//! paper insists on separating (Table I's GraphMat example):
+//!
+//! 1. [`Engine::load_file`] — file bytes → unstructured data in RAM;
+//! 2. [`Engine::construct`] — RAM edge list → the engine's structure
+//!    (not separable for GraphBIG/PowerGraph, which is itself a finding
+//!    the paper reports — see [`Engine::separable_construction`]);
+//! 3. [`Engine::run`] — the algorithm kernel, timed per root.
+
+#![warn(missing_docs)]
+pub mod counters;
+pub mod logfmt;
+pub mod result;
+pub mod stopping;
+
+pub use counters::{Counters, RegionRecord, Trace};
+pub use result::{AlgorithmResult, RunOutput};
+pub use stopping::StoppingCriterion;
+
+use epg_graph::{EdgeList, VertexId};
+use epg_parallel::ThreadPool;
+use std::path::Path;
+
+/// The algorithms the paper measures. BFS/SSSP/PR are the framework's core
+/// trio (§III-D); CDLP/LCC/WCC appear in the Graphalytics comparisons
+/// (Tables I and II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Breadth-first search (rooted).
+    Bfs,
+    /// Single-source shortest paths (rooted, needs weights).
+    Sssp,
+    /// PageRank.
+    PageRank,
+    /// Community detection by label propagation.
+    Cdlp,
+    /// Local clustering coefficient.
+    Lcc,
+    /// Weakly connected components.
+    Wcc,
+    /// Betweenness centrality (§V extension: "algorithms like triangle
+    /// counting and betweenness centrality are widely implemented but not
+    /// supported by either Graphalytics nor easy-parallel-graph-*" — we
+    /// support them).
+    Bc,
+    /// Global triangle count (§V extension).
+    TriangleCount,
+}
+
+impl Algorithm {
+    /// Every algorithm the framework knows, Table I columns first.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::Bfs,
+        Algorithm::Cdlp,
+        Algorithm::Lcc,
+        Algorithm::PageRank,
+        Algorithm::Sssp,
+        Algorithm::Wcc,
+        Algorithm::Bc,
+        Algorithm::TriangleCount,
+    ];
+
+    /// The framework's core trio (§III-D).
+    pub const CORE: [Algorithm; 3] = [Algorithm::Bfs, Algorithm::Sssp, Algorithm::PageRank];
+
+    /// The §V future-work extensions implemented by this reproduction.
+    pub const EXTENSIONS: [Algorithm; 2] = [Algorithm::Bc, Algorithm::TriangleCount];
+
+    /// Table-header abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Algorithm::Bfs => "BFS",
+            Algorithm::Sssp => "SSSP",
+            Algorithm::PageRank => "PR",
+            Algorithm::Cdlp => "CDLP",
+            Algorithm::Lcc => "LCC",
+            Algorithm::Wcc => "WCC",
+            Algorithm::Bc => "BC",
+            Algorithm::TriangleCount => "TC",
+        }
+    }
+
+    /// Full name for prose output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Bfs => "Breadth First Search",
+            Algorithm::Sssp => "Single Source Shortest Paths",
+            Algorithm::PageRank => "PageRank",
+            Algorithm::Cdlp => "Community Detection (Label Propagation)",
+            Algorithm::Lcc => "Local Clustering Coefficient",
+            Algorithm::Wcc => "Weakly Connected Components",
+            Algorithm::Bc => "Betweenness Centrality",
+            Algorithm::TriangleCount => "Triangle Counting",
+        }
+    }
+
+    /// Rooted algorithms take one of the 32 sampled roots per run.
+    pub fn is_rooted(self) -> bool {
+        matches!(self, Algorithm::Bfs | Algorithm::Sssp)
+    }
+
+    /// SSSP requires weights; Graphalytics skips it on unweighted graphs
+    /// (the N/A cells of Table I).
+    pub fn needs_weights(self) -> bool {
+        matches!(self, Algorithm::Sssp)
+    }
+
+    /// Parses an abbreviation (case-insensitive).
+    pub fn from_abbrev(s: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.abbrev().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Execution phases, in pipeline order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Reading the input file from disk into RAM.
+    ReadFile,
+    /// Building the engine's graph data structure.
+    Construct,
+    /// Running the algorithm kernel.
+    Run,
+    /// Writing results (Graphalytics counts this; we report it separately).
+    Output,
+}
+
+impl Phase {
+    /// All phases in order.
+    pub const ALL: [Phase; 4] = [Phase::ReadFile, Phase::Construct, Phase::Run, Phase::Output];
+
+    /// CSV column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::ReadFile => "read_file",
+            Phase::Construct => "construct",
+            Phase::Run => "run",
+            Phase::Output => "output",
+        }
+    }
+}
+
+/// Per-run parameters handed to [`Engine::run`].
+pub struct RunParams<'a> {
+    /// Root vertex for rooted algorithms; ignored otherwise.
+    pub root: Option<VertexId>,
+    /// Thread pool to run on (its size is the experiment's thread count).
+    pub pool: &'a ThreadPool,
+    /// PageRank stopping criterion. Engines default to their native
+    /// behavior when `None` (GraphMat: run until no vertex changes; the
+    /// rest: L1 < 6e-8) — the homogenization §IV-A describes.
+    pub stopping: Option<StoppingCriterion>,
+    /// Iteration cap for iterative kernels.
+    pub max_iterations: u32,
+    /// Betweenness-centrality source count: `None` runs exact Brandes from
+    /// every vertex; `Some(k)` samples `k` sources and scales (GAP-style
+    /// approximate BC).
+    pub bc_sources: Option<usize>,
+}
+
+impl<'a> RunParams<'a> {
+    /// Standard parameters: paper defaults, given a pool and optional root.
+    pub fn new(pool: &'a ThreadPool, root: Option<VertexId>) -> RunParams<'a> {
+        RunParams { root, pool, stopping: None, max_iterations: 300, bc_sources: None }
+    }
+}
+
+/// Static description of an engine (the §III-C inventory row).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineInfo {
+    /// Display name ("GAP", "Graph500", ...).
+    pub name: &'static str,
+    /// Graph representation ("CSR", "DCSC", "vertex-cut CSR", ...).
+    pub representation: &'static str,
+    /// Parallelism mechanism description.
+    pub parallelism: &'static str,
+    /// Whether the engine is distributed-capable (PowerGraph) — the paper
+    /// runs it on a single node but notes the overhead it carries.
+    pub distributed_capable: bool,
+    /// Whether the reference build requires a proprietary compiler
+    /// (GraphMat needs ICC; a §VI cost/portability consideration).
+    pub requires_proprietary_compiler: bool,
+}
+
+/// The engine protocol. One instance holds one loaded graph and can run
+/// many algorithm invocations against it (32 roots per experiment).
+pub trait Engine {
+    /// Static metadata.
+    fn info(&self) -> EngineInfo;
+
+    /// Whether this engine implements `algo`. PowerGraph famously ships no
+    /// BFS toolkit; Graph500 is BFS-only.
+    fn supports(&self, algo: Algorithm) -> bool;
+
+    /// Whether file reading and structure construction are separate phases.
+    /// False for GraphBIG and PowerGraph, which "read in the input file and
+    /// build a graph simultaneously" (§III-B).
+    fn separable_construction(&self) -> bool {
+        true
+    }
+
+    /// Phase 1: read a homogenized input file into RAM (an edge list for
+    /// most engines; GraphBIG/PowerGraph also construct here).
+    fn load_file(&mut self, path: &Path) -> std::io::Result<()>;
+
+    /// In-memory variant of phase 1 for tests and benches.
+    fn load_edge_list(&mut self, el: &EdgeList);
+
+    /// Phase 2: build the engine's graph structure from the loaded data.
+    /// No-op when `separable_construction()` is false and the file path was
+    /// used. Engines may use the pool to parallelize construction.
+    fn construct(&mut self, pool: &ThreadPool);
+
+    /// Phase 3: run an algorithm kernel. Panics if `supports(algo)` is
+    /// false or the graph is not constructed.
+    fn run(&mut self, algo: Algorithm, params: &RunParams<'_>) -> RunOutput;
+
+    /// Log-file dialect for the harness's writer/parser phase.
+    fn log_style(&self) -> logfmt::LogStyle {
+        logfmt::LogStyle::Generic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbrevs_roundtrip() {
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::from_abbrev(a.abbrev()), Some(a));
+            assert_eq!(Algorithm::from_abbrev(&a.abbrev().to_lowercase()), Some(a));
+        }
+        assert_eq!(Algorithm::from_abbrev("nope"), None);
+    }
+
+    #[test]
+    fn rooted_and_weighted_sets() {
+        assert!(Algorithm::Bfs.is_rooted());
+        assert!(Algorithm::Sssp.is_rooted());
+        assert!(!Algorithm::PageRank.is_rooted());
+        assert!(Algorithm::Sssp.needs_weights());
+        assert!(!Algorithm::Bfs.needs_weights());
+    }
+
+    #[test]
+    fn phase_labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), Phase::ALL.len());
+    }
+}

@@ -1,0 +1,104 @@
+//! Algorithm outputs.
+
+use crate::counters::{Counters, Trace};
+use epg_graph::{VertexId, Weight};
+
+/// The value computed by a kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AlgorithmResult {
+    /// BFS: parent tree plus levels.
+    BfsTree {
+        /// Per-vertex parent (`NO_VERTEX` when unreached / for the root).
+        parent: Vec<VertexId>,
+        /// Per-vertex hop count (`u32::MAX` when unreached).
+        level: Vec<u32>,
+    },
+    /// SSSP: per-vertex distance (`INF_DIST` when unreached).
+    Distances(Vec<Weight>),
+    /// PageRank: per-vertex rank and the iteration count the paper plots in
+    /// Fig. 4's right panel.
+    Ranks {
+        /// Per-vertex rank (sums to ~1).
+        ranks: Vec<f64>,
+        /// Iterations until the stopping criterion held.
+        iterations: u32,
+    },
+    /// CDLP: per-vertex community label.
+    Labels(Vec<u64>),
+    /// LCC: per-vertex clustering coefficient.
+    Coefficients(Vec<f64>),
+    /// WCC: per-vertex component id (smallest member vertex id).
+    Components(Vec<VertexId>),
+    /// Betweenness centrality: per-vertex score (§V extension). When
+    /// computed from sampled sources the scores are scaled estimates.
+    Centrality(Vec<f64>),
+    /// Global triangle count (§V extension).
+    Triangles(u64),
+}
+
+impl AlgorithmResult {
+    /// PageRank iteration count, if this is a PageRank result.
+    pub fn iterations(&self) -> Option<u32> {
+        match self {
+            AlgorithmResult::Ranks { iterations, .. } => Some(*iterations),
+            _ => None,
+        }
+    }
+
+    /// Number of vertices the result covers.
+    pub fn len(&self) -> usize {
+        match self {
+            AlgorithmResult::BfsTree { parent, .. } => parent.len(),
+            AlgorithmResult::Distances(d) => d.len(),
+            AlgorithmResult::Ranks { ranks, .. } => ranks.len(),
+            AlgorithmResult::Labels(l) => l.len(),
+            AlgorithmResult::Coefficients(c) => c.len(),
+            AlgorithmResult::Components(c) => c.len(),
+            AlgorithmResult::Centrality(c) => c.len(),
+            AlgorithmResult::Triangles(_) => 1,
+        }
+    }
+
+    /// True when the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Everything an engine returns from one kernel invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOutput {
+    /// The computed result.
+    pub result: AlgorithmResult,
+    /// Aggregate work counters.
+    pub counters: Counters,
+    /// Region-level execution trace for the machine model.
+    pub trace: Trace,
+}
+
+impl RunOutput {
+    /// Convenience constructor.
+    pub fn new(result: AlgorithmResult, counters: Counters, trace: Trace) -> RunOutput {
+        RunOutput { result, counters, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_extraction() {
+        let r = AlgorithmResult::Ranks { ranks: vec![1.0], iterations: 42 };
+        assert_eq!(r.iterations(), Some(42));
+        assert_eq!(AlgorithmResult::Distances(vec![0.0]).iterations(), None);
+    }
+
+    #[test]
+    fn lengths() {
+        assert_eq!(AlgorithmResult::Labels(vec![1, 2, 3]).len(), 3);
+        assert!(AlgorithmResult::Coefficients(vec![]).is_empty());
+        let b = AlgorithmResult::BfsTree { parent: vec![0, 0], level: vec![0, 1] };
+        assert_eq!(b.len(), 2);
+    }
+}

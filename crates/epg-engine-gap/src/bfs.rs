@@ -1,0 +1,257 @@
+//! Direction-optimizing BFS (Beamer, Asanović, Patterson, SC'12).
+//!
+//! The hybrid algorithm the paper credits for GAP's BFS lead (§IV-C):
+//! top-down steps expand a sliding-queue frontier; once the frontier's
+//! outgoing edge count exceeds `edges_unexplored / α` the search flips to
+//! bottom-up steps, where every unvisited vertex scans its in-neighbors for
+//! a frontier member; it flips back once the frontier shrinks below
+//! `n / β`. Defaults α = 15, β = 18 (§IV-C).
+
+use crate::structures::{Bitmap, SlidingQueue};
+use crate::GapConfig;
+use epg_engine_api::{AlgorithmResult, Counters, RunOutput, Trace};
+use epg_graph::{Csr, VertexId, NO_VERTEX};
+use epg_parallel::{Schedule, ThreadPool};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Runs direction-optimizing BFS from `root`. `g` holds out-edges, `gt`
+/// in-edges (identical for symmetric graphs).
+pub fn direction_optimizing_bfs(
+    g: &Csr,
+    gt: &Csr,
+    root: VertexId,
+    pool: &ThreadPool,
+    cfg: &GapConfig,
+) -> RunOutput {
+    let n = g.num_vertices();
+    let m = g.num_edges() as u64;
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect();
+    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    parent[root as usize].store(root, Ordering::Relaxed);
+    level[root as usize].store(0, Ordering::Relaxed);
+
+    let mut queue = SlidingQueue::new();
+    queue.push(root);
+    queue.slide_window();
+
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    let mut depth = 0u32;
+    let mut edges_to_check = m;
+    let mut scout = g.out_degree(root) as u64;
+
+    while !queue.window_is_empty() {
+        if cfg.direction_optimizing && scout > edges_to_check / cfg.alpha.max(1) {
+            // ---- bottom-up phase ----
+            let mut front = Bitmap::new(n);
+            for &v in queue.window() {
+                front.set(v as usize);
+            }
+            let mut awake = queue.window_len() as u64;
+            loop {
+                depth += 1;
+                let old_awake = awake;
+                let next = Bitmap::new(n);
+                let (new_awake, scanned, max_scan) =
+                    bottom_up_step(gt, &parent, &level, &front, &next, depth, pool);
+                awake = new_awake;
+                counters.edges_traversed += scanned;
+                counters.vertices_touched += awake;
+                // Span is the largest *actual* per-vertex scan: bottom-up
+                // stops at the first frontier neighbor, so hubs rarely pay
+                // their full in-degree — the reason direction-optimized BFS
+                // keeps scaling (Fig. 5).
+                trace.parallel(scanned.max(1), max_scan.max(1), scanned * 8 + awake * 8);
+                front = next;
+                if awake == 0 {
+                    break;
+                }
+                // GAP keeps going bottom-up while the frontier still grows
+                // or remains above n / β.
+                if !(awake >= old_awake || awake > n as u64 / cfg.beta.max(1)) {
+                    break;
+                }
+            }
+            // Convert the bitmap frontier back into the sliding queue.
+            queue.refill_pending(front.iter_ones().map(|v| v as VertexId));
+            queue.slide_window();
+            scout = 1;
+        } else {
+            // ---- top-down step ----
+            depth += 1;
+            let (checked, new_scout, max_deg, discovered) =
+                top_down_step(g, &parent, &level, &mut queue, depth, pool);
+            counters.edges_traversed += checked;
+            counters.vertices_touched += discovered;
+            edges_to_check = edges_to_check.saturating_sub(checked);
+            scout = new_scout;
+            trace.parallel(checked.max(1), max_deg.max(1), checked * 8 + discovered * 12);
+            queue.slide_window();
+        }
+        counters.iterations += 1;
+    }
+
+    counters.bytes_read = counters.edges_traversed * 8;
+    counters.bytes_written = counters.vertices_touched * 12;
+    parent[root as usize].store(NO_VERTEX, Ordering::Relaxed);
+    let parent: Vec<VertexId> = parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
+    let level: Vec<u32> = level.iter().map(|l| l.load(Ordering::Relaxed)).collect();
+    RunOutput::new(AlgorithmResult::BfsTree { parent, level }, counters, trace)
+}
+
+/// One top-down step. Returns (edges checked, scout count = out-degrees of
+/// newly discovered vertices, max frontier degree, vertices discovered).
+fn top_down_step(
+    g: &Csr,
+    parent: &[AtomicU32],
+    level: &[AtomicU32],
+    queue: &mut SlidingQueue,
+    depth: u32,
+    pool: &ThreadPool,
+) -> (u64, u64, u64, u64) {
+    let window = queue.window().to_vec();
+    let checked = AtomicU64::new(0);
+    let scout = AtomicU64::new(0);
+    let max_deg = AtomicU64::new(0);
+    let discovered: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+    pool.parallel_for_ranges(window.len(), Schedule::Guided { min_chunk: 16 }, |_tid, lo, hi| {
+        let mut local: Vec<VertexId> = Vec::new();
+        let mut local_checked = 0u64;
+        let mut local_scout = 0u64;
+        let mut local_max = 0u64;
+        for &u in &window[lo..hi] {
+            local_max = local_max.max(g.out_degree(u) as u64);
+            for &v in g.neighbors(u) {
+                local_checked += 1;
+                if parent[v as usize].load(Ordering::Relaxed) == NO_VERTEX
+                    && parent[v as usize]
+                        .compare_exchange(NO_VERTEX, u, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    level[v as usize].store(depth, Ordering::Relaxed);
+                    local_scout += g.out_degree(v) as u64;
+                    local.push(v);
+                }
+            }
+        }
+        checked.fetch_add(local_checked, Ordering::Relaxed);
+        scout.fetch_add(local_scout, Ordering::Relaxed);
+        max_deg.fetch_max(local_max, Ordering::Relaxed);
+        if !local.is_empty() {
+            discovered.lock().append(&mut local);
+        }
+    });
+    let discovered = discovered.into_inner();
+    let count = discovered.len() as u64;
+    queue.push_all(&discovered);
+    (
+        checked.load(Ordering::Relaxed),
+        scout.load(Ordering::Relaxed),
+        max_deg.load(Ordering::Relaxed),
+        count,
+    )
+}
+
+/// One bottom-up step. Returns (vertices awakened, edges scanned, largest
+/// single-vertex scan).
+fn bottom_up_step(
+    gt: &Csr,
+    parent: &[AtomicU32],
+    level: &[AtomicU32],
+    front: &Bitmap,
+    next: &Bitmap,
+    depth: u32,
+    pool: &ThreadPool,
+) -> (u64, u64, u64) {
+    let n = gt.num_vertices();
+    let awake = AtomicU64::new(0);
+    let scanned = AtomicU64::new(0);
+    let max_scan = AtomicU64::new(0);
+    pool.parallel_for_ranges(n, Schedule::Guided { min_chunk: 64 }, |_tid, lo, hi| {
+        let mut local_awake = 0u64;
+        let mut local_scanned = 0u64;
+        let mut local_max = 0u64;
+        for v in lo..hi {
+            if parent[v].load(Ordering::Relaxed) != NO_VERTEX {
+                continue;
+            }
+            let mut this_scan = 0u64;
+            for &u in gt.neighbors(v as VertexId) {
+                this_scan += 1;
+                if front.get(u as usize) {
+                    // Single writer per v: no CAS needed bottom-up.
+                    parent[v].store(u, Ordering::Relaxed);
+                    level[v].store(depth, Ordering::Relaxed);
+                    next.set(v);
+                    local_awake += 1;
+                    break;
+                }
+            }
+            local_scanned += this_scan;
+            local_max = local_max.max(this_scan);
+        }
+        awake.fetch_add(local_awake, Ordering::Relaxed);
+        scanned.fetch_add(local_scanned, Ordering::Relaxed);
+        max_scan.fetch_max(local_max, Ordering::Relaxed);
+    });
+    (
+        awake.load(Ordering::Relaxed),
+        scanned.load(Ordering::Relaxed),
+        max_scan.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_graph::{oracle, EdgeList};
+
+    fn run_both_ways(el: &EdgeList, root: VertexId) {
+        let g = Csr::from_edge_list(el);
+        let gt = g.transpose();
+        let pool = ThreadPool::new(4);
+        let want = oracle::bfs(&g, root);
+        for dir_opt in [false, true] {
+            let cfg = GapConfig { direction_optimizing: dir_opt, ..Default::default() };
+            let out = direction_optimizing_bfs(&g, &gt, root, &pool, &cfg);
+            let AlgorithmResult::BfsTree { parent, level } = out.result else { panic!() };
+            assert_eq!(level, want.level, "dir_opt={dir_opt}");
+            epg_graph::validate::validate_bfs_tree(&g, root, &parent).unwrap();
+        }
+    }
+
+    #[test]
+    fn correct_on_dense_graph_forcing_bottom_up() {
+        // Dense random graph: the α heuristic flips to bottom-up quickly.
+        let el = epg_generator::uniform::generate(256, 12_000, false, 3).symmetrized();
+        run_both_ways(&el, 0);
+    }
+
+    #[test]
+    fn correct_on_long_path_staying_top_down() {
+        let edges: Vec<_> = (0..999).map(|i| (i as VertexId, i as VertexId + 1)).collect();
+        let el = EdgeList::new(1000, edges).symmetrized();
+        run_both_ways(&el, 17);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        // A root with a single self-loop and no other edges.
+        let el = EdgeList::new(2, vec![(0, 1), (1, 0)]);
+        run_both_ways(&el, 0);
+    }
+
+    #[test]
+    fn trace_records_steps() {
+        let el = epg_generator::uniform::generate(128, 1024, false, 5).symmetrized();
+        let g = Csr::from_edge_list(&el);
+        let gt = g.transpose();
+        let pool = ThreadPool::new(2);
+        let out = direction_optimizing_bfs(&g, &gt, 0, &pool, &GapConfig::default());
+        // Each BFS step records one region; a bottom-up phase may record
+        // several steps under a single outer iteration.
+        assert!(out.trace.records.len() as u32 >= out.counters.iterations);
+        assert!(out.trace.records.iter().all(|r| r.parallel));
+    }
+}

@@ -1,0 +1,209 @@
+//! Δ-stepping SSSP (Meyer & Sanders), GAP-style.
+//!
+//! Distances advance bucket by bucket (bucket width Δ). Within a bucket,
+//! *light* edges (weight ≤ Δ) are relaxed repeatedly until the bucket
+//! settles; *heavy* edges are relaxed once afterwards. Relaxation uses an
+//! atomic fetch-min on the distance array, exactly as GAP's OpenMP code
+//! does. Δ is a tunable (§V); the `ablation_delta` bench sweeps it.
+
+use epg_engine_api::{AlgorithmResult, Counters, RunOutput, Trace};
+use epg_graph::{Csr, VertexId, Weight, INF_DIST};
+use epg_parallel::{AtomicF32, Schedule, ThreadPool};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Runs Δ-stepping from `root`. Unweighted graphs behave as unit weights.
+pub fn delta_stepping(g: &Csr, root: VertexId, pool: &ThreadPool, delta: f32) -> RunOutput {
+    assert!(delta > 0.0, "delta must be positive");
+    let n = g.num_vertices();
+    let dist: Vec<AtomicF32> = (0..n).map(|_| AtomicF32::new(INF_DIST)).collect();
+    dist[root as usize].store(0.0, Ordering::Relaxed);
+
+    let bucket_of = |d: f32| (d / delta) as usize;
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); 64];
+    buckets[0].push(root);
+
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    let mut settled_total = 0u64;
+
+    let mut bi = 0usize;
+    while bi < buckets.len() {
+        if buckets[bi].is_empty() {
+            bi += 1;
+            continue;
+        }
+        // Vertices settled in this bucket (for the heavy pass).
+        let mut settled: Vec<VertexId> = Vec::new();
+        // ---- light-edge phase: iterate until the bucket stops refilling.
+        while !buckets[bi].is_empty() {
+            let frontier = std::mem::take(&mut buckets[bi]);
+            settled.extend_from_slice(&frontier);
+            let inserts = relax_edges(g, &dist, &frontier, pool, delta, true, bi, bucket_of, &mut counters, &mut trace);
+            distribute(&mut buckets, inserts, bi);
+        }
+        // ---- heavy-edge phase over everything settled in this bucket.
+        settled.sort_unstable();
+        settled.dedup();
+        // Drop stale entries whose distance migrated to a later bucket.
+        settled.retain(|&v| bucket_of(dist[v as usize].load(Ordering::Relaxed)) == bi);
+        settled_total += settled.len() as u64;
+        let inserts = relax_edges(g, &dist, &settled, pool, delta, false, bi, bucket_of, &mut counters, &mut trace);
+        distribute(&mut buckets, inserts, bi);
+        counters.iterations += 1;
+        bi += 1;
+    }
+
+    counters.vertices_touched = settled_total;
+    counters.bytes_read = counters.edges_traversed * 12;
+    counters.bytes_written = settled_total * 8;
+    let out: Vec<Weight> = dist.iter().map(|d| d.load(Ordering::Relaxed)).collect();
+    RunOutput::new(AlgorithmResult::Distances(out), counters, trace)
+}
+
+/// Relaxes the light (`light == true`, w ≤ Δ) or heavy (w > Δ) edges of
+/// `frontier`, skipping stale frontier entries. Returns the (vertex,
+/// bucket) insertions discovered.
+#[allow(clippy::too_many_arguments)]
+fn relax_edges(
+    g: &Csr,
+    dist: &[AtomicF32],
+    frontier: &[VertexId],
+    pool: &ThreadPool,
+    delta: f32,
+    light: bool,
+    current_bucket: usize,
+    bucket_of: impl Fn(f32) -> usize + Sync,
+    counters: &mut Counters,
+    trace: &mut Trace,
+) -> Vec<(VertexId, usize)> {
+    if frontier.is_empty() {
+        return Vec::new();
+    }
+    let relaxed = AtomicU64::new(0);
+    let max_deg = AtomicU64::new(0);
+    let inserts: Mutex<Vec<(VertexId, usize)>> = Mutex::new(Vec::new());
+    pool.parallel_for_ranges(frontier.len(), Schedule::Dynamic { chunk: 32 }, |_tid, lo, hi| {
+        let mut local: Vec<(VertexId, usize)> = Vec::new();
+        let mut local_relaxed = 0u64;
+        let mut local_max = 0u64;
+        for &u in &frontier[lo..hi] {
+            let du = dist[u as usize].load(Ordering::Relaxed);
+            // Stale check: u may have been re-queued for an earlier bucket.
+            if bucket_of(du) != current_bucket {
+                continue;
+            }
+            local_max = local_max.max(g.out_degree(u) as u64);
+            for (v, w) in g.neighbors_weighted(u) {
+                if (w <= delta) != light {
+                    continue;
+                }
+                local_relaxed += 1;
+                let nd = du + w;
+                if dist[v as usize].fetch_min(nd, Ordering::Relaxed) {
+                    local.push((v, bucket_of(nd)));
+                }
+            }
+        }
+        relaxed.fetch_add(local_relaxed, Ordering::Relaxed);
+        max_deg.fetch_max(local_max, Ordering::Relaxed);
+        if !local.is_empty() {
+            inserts.lock().append(&mut local);
+        }
+    });
+    let relaxed = relaxed.load(Ordering::Relaxed);
+    counters.edges_traversed += relaxed;
+    trace.parallel(
+        relaxed.max(frontier.len() as u64),
+        max_deg.load(Ordering::Relaxed).max(1),
+        relaxed * 12 + frontier.len() as u64 * 8,
+    );
+    inserts.into_inner()
+}
+
+/// Routes insertions into their buckets, growing the bucket array as
+/// needed; entries for already-passed buckets go to the current bucket
+/// (they are deduplicated by the stale check).
+fn distribute(buckets: &mut Vec<Vec<VertexId>>, inserts: Vec<(VertexId, usize)>, current: usize) {
+    for (v, b) in inserts {
+        let b = b.max(current);
+        if b >= buckets.len() {
+            buckets.resize(b + 1, Vec::new());
+        }
+        buckets[b].push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_graph::{oracle, EdgeList};
+
+    fn check_against_dijkstra(el: &EdgeList, root: VertexId, delta: f32) {
+        let g = Csr::from_edge_list(el);
+        let pool = ThreadPool::new(4);
+        let out = delta_stepping(&g, root, &pool, delta);
+        let AlgorithmResult::Distances(d) = out.result else { panic!() };
+        let want = oracle::dijkstra(&g, root);
+        for v in 0..want.len() {
+            if want[v].is_infinite() {
+                assert!(d[v].is_infinite(), "vertex {v} should be unreachable");
+            } else {
+                assert!((d[v] - want[v]).abs() < 1e-3, "vertex {v}: {} vs {}", d[v], want[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_across_delta_values() {
+        let el = epg_generator::uniform::generate(400, 4000, true, 11).symmetrized();
+        for delta in [0.05, 0.5, 2.0, 100.0] {
+            check_against_dijkstra(&el, 5, delta);
+        }
+    }
+
+    #[test]
+    fn handles_heavy_only_paths() {
+        // All weights > delta: pure heavy-edge propagation.
+        let el = EdgeList::weighted(
+            4,
+            vec![(0, 1), (1, 2), (2, 3)],
+            vec![5.0, 6.0, 7.0],
+        )
+        .symmetrized();
+        check_against_dijkstra(&el, 0, 1.0);
+    }
+
+    #[test]
+    fn handles_reinsertion_within_bucket() {
+        // Light edges that improve distances repeatedly inside one bucket.
+        let el = EdgeList::weighted(
+            5,
+            vec![(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)],
+            vec![0.1, 0.1, 0.1, 0.4, 0.1],
+        )
+        .symmetrized();
+        check_against_dijkstra(&el, 0, 1.0);
+    }
+
+    #[test]
+    fn unweighted_graph_counts_hops() {
+        let el = EdgeList::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]).symmetrized();
+        let g = Csr::from_edge_list(&el);
+        let pool = ThreadPool::new(2);
+        let out = delta_stepping(&g, 0, &pool, 0.5);
+        let AlgorithmResult::Distances(d) = out.result else { panic!() };
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn counters_populated() {
+        let el = epg_generator::uniform::generate(100, 800, true, 2).symmetrized();
+        let g = Csr::from_edge_list(&el);
+        let pool = ThreadPool::new(2);
+        let out = delta_stepping(&g, 0, &pool, 0.5);
+        assert!(out.counters.edges_traversed > 0);
+        assert!(out.counters.iterations > 0);
+        assert!(out.trace.total_work() > 0);
+    }
+}

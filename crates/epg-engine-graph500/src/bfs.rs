@@ -1,0 +1,131 @@
+//! Kernel 2: level-synchronous top-down BFS.
+//!
+//! The reference code keeps a shared output queue per level and claims
+//! vertices with compare-and-swap on the parent array. Scheduling is plain
+//! static worksharing, as in the reference's `#pragma omp parallel for`.
+
+use epg_engine_api::{AlgorithmResult, Counters, RunOutput, Trace};
+use epg_graph::{Csr, VertexId, NO_VERTEX};
+use epg_parallel::{Schedule, ThreadPool};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Runs top-down BFS from `root`.
+pub fn top_down_bfs(g: &Csr, root: VertexId, pool: &ThreadPool) -> RunOutput {
+    let n = g.num_vertices();
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect();
+    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    parent[root as usize].store(root, Ordering::Relaxed);
+    level[root as usize].store(0, Ordering::Relaxed);
+
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    let mut frontier = vec![root];
+    let mut depth = 0u32;
+
+    while !frontier.is_empty() {
+        depth += 1;
+        let checked = AtomicU64::new(0);
+        let max_deg = AtomicU64::new(0);
+        let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+        pool.parallel_for_ranges(
+            frontier.len(),
+            Schedule::Static { chunk: None },
+            |_tid, lo, hi| {
+                let mut local: Vec<VertexId> = Vec::new();
+                let mut local_checked = 0u64;
+                let mut local_max = 0u64;
+                for &u in &frontier[lo..hi] {
+                    local_max = local_max.max(g.out_degree(u) as u64);
+                    for &v in g.neighbors(u) {
+                        local_checked += 1;
+                        if parent[v as usize].load(Ordering::Relaxed) == NO_VERTEX
+                            && parent[v as usize]
+                                .compare_exchange(
+                                    NO_VERTEX,
+                                    u,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                        {
+                            level[v as usize].store(depth, Ordering::Relaxed);
+                            local.push(v);
+                        }
+                    }
+                }
+                checked.fetch_add(local_checked, Ordering::Relaxed);
+                max_deg.fetch_max(local_max, Ordering::Relaxed);
+                if !local.is_empty() {
+                    next.lock().append(&mut local);
+                }
+            },
+        );
+        let checked = checked.load(Ordering::Relaxed);
+        let next = next.into_inner();
+        counters.edges_traversed += checked;
+        counters.vertices_touched += next.len() as u64;
+        counters.iterations += 1;
+        trace.parallel(
+            checked.max(1),
+            max_deg.load(Ordering::Relaxed).max(1),
+            checked * 8 + next.len() as u64 * 12,
+        );
+        frontier = next;
+    }
+
+    counters.bytes_read = counters.edges_traversed * 8;
+    counters.bytes_written = counters.vertices_touched * 12;
+    parent[root as usize].store(NO_VERTEX, Ordering::Relaxed);
+    RunOutput::new(
+        AlgorithmResult::BfsTree {
+            parent: parent.iter().map(|p| p.load(Ordering::Relaxed)).collect(),
+            level: level.iter().map(|l| l.load(Ordering::Relaxed)).collect(),
+        },
+        counters,
+        trace,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_graph::{oracle, EdgeList};
+
+    #[test]
+    fn matches_oracle_on_random_graph() {
+        let el = epg_generator::uniform::generate(500, 3000, false, 13).symmetrized();
+        let g = Csr::from_edge_list(&el);
+        let pool = ThreadPool::new(4);
+        let out = top_down_bfs(&g, 3, &pool);
+        let AlgorithmResult::BfsTree { parent, level } = out.result else { panic!() };
+        assert_eq!(level, oracle::bfs(&g, 3).level);
+        epg_graph::validate::validate_bfs_tree(&g, 3, &parent).unwrap();
+    }
+
+    #[test]
+    fn iterations_equal_eccentricity() {
+        // Path 0-1-2-3: four nonempty frontiers ([0],[1],[2],[3]); the last
+        // discovers nothing but still scans its edges.
+        let el = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3)]).symmetrized();
+        let g = Csr::from_edge_list(&el);
+        let pool = ThreadPool::new(1);
+        let out = top_down_bfs(&g, 0, &pool);
+        assert_eq!(out.counters.iterations, 4);
+    }
+
+    #[test]
+    fn edge_traversal_count_is_sum_of_reached_degrees() {
+        // Every edge out of a reached vertex is checked exactly once.
+        let el = epg_generator::uniform::generate(64, 512, false, 7).symmetrized();
+        let g = Csr::from_edge_list(&el);
+        let pool = ThreadPool::new(2);
+        let out = top_down_bfs(&g, 0, &pool);
+        let AlgorithmResult::BfsTree { level, .. } = out.result else { panic!() };
+        let expect: u64 = (0..g.num_vertices())
+            .filter(|&v| level[v] != u32::MAX)
+            .map(|v| g.out_degree(v as VertexId) as u64)
+            .sum();
+        assert_eq!(out.counters.edges_traversed, expect);
+    }
+}

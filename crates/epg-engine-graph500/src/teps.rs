@@ -1,0 +1,165 @@
+//! TEPS (traversed edges per second) statistics.
+//!
+//! The Graph500 reports its headline number as the **harmonic mean** of
+//! per-root TEPS, with the standard deviation computed on the reciprocals
+//! (the spec's prescribed estimator). The harness uses these for the
+//! Graph500 rows of its reports.
+
+/// Summary statistics over a set of per-root BFS runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TepsStats {
+    /// Number of BFS runs.
+    pub runs: usize,
+    /// Input-scale edge count used as the numerator.
+    pub edges: u64,
+    /// Minimum per-root TEPS.
+    pub min: f64,
+    /// Maximum per-root TEPS.
+    pub max: f64,
+    /// Harmonic mean of TEPS (the official statistic).
+    pub harmonic_mean: f64,
+    /// Harmonic standard deviation (from the reciprocal-space stddev).
+    pub harmonic_stddev: f64,
+}
+
+impl TepsStats {
+    /// Computes TEPS statistics from per-root kernel times (seconds) on a
+    /// graph with `edges` undirected input edges. Panics on empty input or
+    /// non-positive times.
+    pub fn from_times(edges: u64, times: &[f64]) -> TepsStats {
+        assert!(!times.is_empty(), "need at least one run");
+        assert!(times.iter().all(|&t| t > 0.0), "times must be positive");
+        let teps: Vec<f64> = times.iter().map(|&t| edges as f64 / t).collect();
+        // Harmonic mean via the mean of reciprocals = mean of times / edges.
+        let recip_mean = teps.iter().map(|x| 1.0 / x).sum::<f64>() / teps.len() as f64;
+        let hmean = 1.0 / recip_mean;
+        let recip_var = teps
+            .iter()
+            .map(|x| (1.0 / x - recip_mean).powi(2))
+            .sum::<f64>()
+            / (teps.len().max(2) - 1) as f64;
+        // Delta-method propagation back to TEPS space, as the spec's
+        // reference statistics code does.
+        let hstd = recip_var.sqrt() * hmean * hmean;
+        TepsStats {
+            runs: times.len(),
+            edges,
+            min: teps.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: teps.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            harmonic_mean: hmean,
+            harmonic_stddev: hstd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_times_give_exact_teps() {
+        let s = TepsStats::from_times(1_000_000, &[0.5, 0.5, 0.5]);
+        assert_eq!(s.runs, 3);
+        assert!((s.harmonic_mean - 2_000_000.0).abs() < 1e-6);
+        assert!((s.min - s.max).abs() < 1e-6);
+        assert!(s.harmonic_stddev.abs() < 1e-3);
+    }
+
+    #[test]
+    fn harmonic_mean_below_arithmetic_for_spread_times() {
+        let s = TepsStats::from_times(100, &[0.1, 0.4]);
+        let arith = (100.0 / 0.1 + 100.0 / 0.4) / 2.0;
+        assert!(s.harmonic_mean < arith);
+        // Harmonic mean of TEPS = edges / mean time = 100 / 0.25 = 400.
+        assert!((s.harmonic_mean - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_ordering() {
+        let s = TepsStats::from_times(10, &[1.0, 2.0, 5.0]);
+        assert!(s.min <= s.harmonic_mean && s.harmonic_mean <= s.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_rejected() {
+        let _ = TepsStats::from_times(10, &[0.0]);
+    }
+}
+
+impl TepsStats {
+    /// Renders the official Graph500 results block (the `output_results`
+    /// format of the reference code): scale/edgefactor, construction time,
+    /// and the per-root time/TEPS statistics.
+    pub fn official_output(
+        &self,
+        scale: u32,
+        edge_factor: u32,
+        construction_s: f64,
+        times: &[f64],
+    ) -> String {
+        let mut sorted = times.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let q = |p: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let h = (sorted.len() - 1) as f64 * p;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+        };
+        let mean = sorted.iter().sum::<f64>() / sorted.len().max(1) as f64;
+        format!(
+            "SCALE:                          {scale}\n\
+             edgefactor:                     {edge_factor}\n\
+             NBFS:                           {}\n\
+             construction_time:              {construction_s:.8}\n\
+             min_time:                       {:.8}\n\
+             firstquartile_time:             {:.8}\n\
+             median_time:                    {:.8}\n\
+             thirdquartile_time:             {:.8}\n\
+             max_time:                       {:.8}\n\
+             mean_time:                      {mean:.8}\n\
+             min_TEPS:                       {:.6e}\n\
+             harmonic_mean_TEPS:             {:.6e}\n\
+             harmonic_stddev_TEPS:           {:.6e}\n\
+             max_TEPS:                       {:.6e}\n",
+            self.runs,
+            sorted.first().copied().unwrap_or(0.0),
+            q(0.25),
+            q(0.5),
+            q(0.75),
+            sorted.last().copied().unwrap_or(0.0),
+            self.min,
+            self.harmonic_mean,
+            self.harmonic_stddev,
+            self.max,
+        )
+    }
+}
+
+#[cfg(test)]
+mod official_tests {
+    use super::*;
+
+    #[test]
+    fn official_block_has_spec_fields() {
+        let times = [0.5, 0.25, 1.0, 0.75];
+        let s = TepsStats::from_times(1_000_000, &times);
+        let block = s.official_output(22, 16, 3.4, &times);
+        for field in [
+            "SCALE:",
+            "edgefactor:",
+            "NBFS:",
+            "construction_time:",
+            "median_time:",
+            "harmonic_mean_TEPS:",
+        ] {
+            assert!(block.contains(field), "missing {field}");
+        }
+        assert!(block.contains("NBFS:                           4"));
+        // Median of {0.25,0.5,0.75,1.0} = 0.625.
+        assert!(block.contains("median_time:                    0.62500000"));
+    }
+}

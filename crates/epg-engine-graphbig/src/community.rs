@@ -1,0 +1,169 @@
+//! Community-structure kernels: CDLP and WCC.
+
+use epg_engine_api::{AlgorithmResult, Counters, RunOutput, Trace};
+use epg_graph::adjacency::PropertyGraph;
+use epg_graph::VertexId;
+use epg_parallel::{Schedule, ThreadPool};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Synchronous label propagation for `iterations` rounds, Graphalytics
+/// semantics: each vertex adopts the smallest among the most frequent
+/// labels of its in- and out-neighbors.
+pub fn cdlp(g: &PropertyGraph, pool: &ThreadPool, iterations: u32) -> RunOutput {
+    let n = g.num_vertices();
+    let mut label: Vec<u64> = (0..n as u64).collect();
+    let mut next: Vec<u64> = label.clone();
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    let m2 = (0..n as VertexId)
+        .map(|v| (g.out_degree(v) + g.in_degree(v)) as u64)
+        .sum::<u64>();
+    for _ in 0..iterations {
+        {
+            let writer = SliceWriter(next.as_mut_ptr());
+            let label_ref = &label;
+            pool.parallel_for_ranges(n, Schedule::graphbig_default(), |_tid, lo, hi| {
+                let mut freq: HashMap<u64, u32> = HashMap::new();
+                for v in lo..hi {
+                    freq.clear();
+                    let vid = v as VertexId;
+                    for (u, _) in g.neighbors(vid) {
+                        *freq.entry(label_ref[u as usize]).or_insert(0) += 1;
+                    }
+                    for u in g.in_neighbors(vid) {
+                        *freq.entry(label_ref[u as usize]).or_insert(0) += 1;
+                    }
+                    let new = freq
+                        .iter()
+                        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                        .map(|(&l, _)| l)
+                        .unwrap_or(label_ref[v]);
+                    // SAFETY: one writer per index per region.
+                    unsafe { writer.write(v, new) };
+                }
+            });
+        }
+        std::mem::swap(&mut label, &mut next);
+        counters.iterations += 1;
+        counters.edges_traversed += m2;
+        counters.vertices_touched += n as u64;
+        trace.parallel(m2.max(1), 1, m2 * 16 + n as u64 * 16);
+    }
+    counters.bytes_read = counters.edges_traversed * 16;
+    counters.bytes_written = counters.vertices_touched * 8;
+    RunOutput::new(AlgorithmResult::Labels(label), counters, trace)
+}
+
+/// Weakly connected components by min-label propagation until fixpoint;
+/// converges to the smallest vertex id per component (both edge directions
+/// propagate).
+pub fn wcc(g: &PropertyGraph, pool: &ThreadPool) -> RunOutput {
+    let n = g.num_vertices();
+    let comp: Vec<AtomicU64> = (0..n as u64).map(AtomicU64::new).collect();
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    let m2 = (0..n as VertexId)
+        .map(|v| (g.out_degree(v) + g.in_degree(v)) as u64)
+        .sum::<u64>();
+    loop {
+        let changed = AtomicUsize::new(0);
+        pool.parallel_for_ranges(n, Schedule::graphbig_default(), |_tid, lo, hi| {
+            let mut local_changed = 0usize;
+            for v in lo..hi {
+                let vid = v as VertexId;
+                let mut best = comp[v].load(Ordering::Relaxed);
+                for (u, _) in g.neighbors(vid) {
+                    best = best.min(comp[u as usize].load(Ordering::Relaxed));
+                }
+                for u in g.in_neighbors(vid) {
+                    best = best.min(comp[u as usize].load(Ordering::Relaxed));
+                }
+                // Monotone decrease: lock-free min store.
+                let mut cur = comp[v].load(Ordering::Relaxed);
+                while best < cur {
+                    match comp[v].compare_exchange_weak(
+                        cur,
+                        best,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            local_changed += 1;
+                            break;
+                        }
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+            if local_changed > 0 {
+                changed.fetch_add(local_changed, Ordering::Relaxed);
+            }
+        });
+        counters.iterations += 1;
+        counters.edges_traversed += m2;
+        counters.vertices_touched += n as u64;
+        trace.parallel(m2.max(1), 1, m2 * 16 + n as u64 * 8);
+        if changed.load(Ordering::Relaxed) == 0 {
+            break;
+        }
+    }
+    counters.bytes_read = counters.edges_traversed * 16;
+    counters.bytes_written = counters.vertices_touched * 8;
+    RunOutput::new(
+        AlgorithmResult::Components(
+            comp.iter().map(|c| c.load(Ordering::Relaxed) as VertexId).collect(),
+        ),
+        counters,
+        trace,
+    )
+}
+
+struct SliceWriter(*mut u64);
+unsafe impl Sync for SliceWriter {}
+impl SliceWriter {
+    /// # Safety
+    /// `i` in-bounds, single writer per index per region.
+    unsafe fn write(&self, i: usize, v: u64) {
+        unsafe { *self.0.add(i) = v };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_graph::{oracle, Csr, EdgeList};
+
+    #[test]
+    fn cdlp_two_triangles() {
+        let el = EdgeList::new(6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .symmetrized();
+        let g = PropertyGraph::from_edge_list(&el);
+        let pool = ThreadPool::new(2);
+        let out = cdlp(&g, &pool, 10);
+        let AlgorithmResult::Labels(l) = out.result else { panic!() };
+        assert_eq!(l, oracle::cdlp(&Csr::from_edge_list(&el), 10));
+    }
+
+    #[test]
+    fn wcc_direction_blind() {
+        let el = EdgeList::new(7, vec![(0, 1), (2, 1), (4, 3), (5, 6), (6, 5)]);
+        let g = PropertyGraph::from_edge_list(&el);
+        let pool = ThreadPool::new(3);
+        let out = wcc(&g, &pool);
+        let AlgorithmResult::Components(c) = out.result else { panic!() };
+        assert_eq!(c, oracle::wcc(&Csr::from_edge_list(&el)));
+    }
+
+    #[test]
+    fn wcc_long_chain_needs_many_rounds() {
+        let edges: Vec<_> = (0..100).map(|i| (i as VertexId + 1, i as VertexId)).collect();
+        let el = EdgeList::new(101, edges);
+        let g = PropertyGraph::from_edge_list(&el);
+        let pool = ThreadPool::new(2);
+        let out = wcc(&g, &pool);
+        let AlgorithmResult::Components(c) = out.result else { panic!() };
+        assert!(c.iter().all(|&x| x == 0));
+        assert!(out.counters.iterations > 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! GraphMat's vertex-program abstraction.
+//!
+//! A `GraphProgram` is GraphMat's four-callback model: active vertices
+//! SEND a message along their out-edges; each edge PROCESSes the message;
+//! per-destination results are REDUCEd; APPLY folds the reduced value into
+//! the destination's state and decides whether it activates. The backend
+//! (`spmv`) executes one iteration as a masked sparse matrix-vector product.
+
+use epg_graph::{VertexId, Weight};
+
+/// A GraphMat-style vertex program.
+pub trait GraphProgram: Sync {
+    /// Per-vertex state.
+    type VertexValue: Clone + Send + Sync;
+    /// Message sent by active vertices.
+    type Message: Clone + Send + Sync;
+    /// Reduced per-destination accumulator.
+    type Accum: Clone + Send + Sync;
+
+    /// SEND: produce the message an active vertex emits this iteration.
+    fn send(&self, v: VertexId, value: &Self::VertexValue) -> Self::Message;
+
+    /// PROCESS: combine a message with the edge it crosses.
+    fn process(&self, msg: &Self::Message, edge_weight: Weight, dst: VertexId) -> Self::Accum;
+
+    /// REDUCE: merge two accumulators for the same destination
+    /// (associative and commutative).
+    fn reduce(&self, a: Self::Accum, b: Self::Accum) -> Self::Accum;
+
+    /// APPLY: fold the reduced accumulator into the destination's value;
+    /// return `true` if the destination becomes active next iteration.
+    fn apply(&self, acc: Self::Accum, v: VertexId, value: &mut Self::VertexValue) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal "min-plus" program used to sanity-check the trait shape.
+    struct MinPlus;
+    impl GraphProgram for MinPlus {
+        type VertexValue = f32;
+        type Message = f32;
+        type Accum = f32;
+        fn send(&self, _v: VertexId, value: &f32) -> f32 {
+            *value
+        }
+        fn process(&self, msg: &f32, w: Weight, _dst: VertexId) -> f32 {
+            msg + w
+        }
+        fn reduce(&self, a: f32, b: f32) -> f32 {
+            a.min(b)
+        }
+        fn apply(&self, acc: f32, _v: VertexId, value: &mut f32) -> bool {
+            if acc < *value {
+                *value = acc;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn callbacks_compose() {
+        let p = MinPlus;
+        let msg = p.send(0, &3.0);
+        let a = p.process(&msg, 2.0, 1);
+        let b = p.process(&msg, 1.0, 1);
+        let red = p.reduce(a, b);
+        let mut val = 10.0;
+        assert!(p.apply(red, 1, &mut val));
+        assert_eq!(val, 4.0);
+        assert!(!p.apply(9.0, 1, &mut val));
+    }
+}

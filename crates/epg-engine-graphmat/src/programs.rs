@@ -1,0 +1,388 @@
+//! The standard algorithms written as GraphMat vertex programs.
+
+use crate::program::GraphProgram;
+use crate::spmv::{run_iteration, SpmvStats};
+use epg_engine_api::{AlgorithmResult, Counters, RunOutput, RunParams, StoppingCriterion, Trace};
+use epg_graph::{Dcsc, VertexId, Weight, INF_DIST, NO_VERTEX};
+use epg_parallel::{DisjointWriter, Schedule, ThreadPool};
+
+fn charge(counters: &mut Counters, trace: &mut Trace, stats: &SpmvStats) {
+    counters.edges_traversed += stats.edges;
+    counters.vertices_touched += stats.touched;
+    trace.parallel(stats.edges.max(1), stats.max_column.max(1), stats.edges * 12);
+    // The accumulator merge is the serial portion of GraphMat's backend —
+    // the constant overhead the paper attributes to "the sparse matrix
+    // operations" on small inputs.
+    trace.serial(stats.touched.max(1), stats.touched * 16);
+}
+
+// ---------------------------------------------------------------- BFS ----
+
+#[derive(Clone, Copy)]
+struct BfsValue {
+    parent: VertexId,
+    level: u32,
+}
+
+struct BfsProgram {
+    depth: u32,
+}
+
+impl GraphProgram for BfsProgram {
+    type VertexValue = BfsValue;
+    type Message = VertexId;
+    type Accum = VertexId;
+    fn send(&self, v: VertexId, _value: &BfsValue) -> VertexId {
+        v
+    }
+    fn process(&self, msg: &VertexId, _w: Weight, _dst: VertexId) -> VertexId {
+        *msg
+    }
+    fn reduce(&self, a: VertexId, b: VertexId) -> VertexId {
+        a.min(b) // deterministic parent choice
+    }
+    fn apply(&self, acc: VertexId, _v: VertexId, value: &mut BfsValue) -> bool {
+        if value.level == u32::MAX {
+            value.level = self.depth;
+            value.parent = acc;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// BFS as iterated sparse matrix-vector products.
+pub fn bfs(a: &Dcsc, n: usize, root: VertexId, pool: &ThreadPool) -> RunOutput {
+    let mut values = vec![BfsValue { parent: NO_VERTEX, level: u32::MAX }; n];
+    values[root as usize].level = 0;
+    let mut active = vec![root];
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    let mut depth = 0;
+    while !active.is_empty() {
+        depth += 1;
+        let prog = BfsProgram { depth };
+        let (next, stats) = run_iteration(&prog, &[a], &active, &mut values, pool);
+        charge(&mut counters, &mut trace, &stats);
+        counters.iterations += 1;
+        active = next;
+    }
+    counters.bytes_read = counters.edges_traversed * 12;
+    counters.bytes_written = counters.vertices_touched * 8;
+    RunOutput::new(
+        AlgorithmResult::BfsTree {
+            parent: values.iter().map(|v| v.parent).collect(),
+            level: values.iter().map(|v| v.level).collect(),
+        },
+        counters,
+        trace,
+    )
+}
+
+// --------------------------------------------------------------- SSSP ----
+
+struct SsspProgram;
+
+impl GraphProgram for SsspProgram {
+    type VertexValue = Weight;
+    type Message = Weight;
+    type Accum = Weight;
+    fn send(&self, _v: VertexId, value: &Weight) -> Weight {
+        *value
+    }
+    fn process(&self, msg: &Weight, w: Weight, _dst: VertexId) -> Weight {
+        msg + w
+    }
+    fn reduce(&self, a: Weight, b: Weight) -> Weight {
+        a.min(b)
+    }
+    fn apply(&self, acc: Weight, _v: VertexId, value: &mut Weight) -> bool {
+        if acc < *value {
+            *value = acc;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// SSSP as iterated min-plus SpMSpV (Bellman-Ford over the semiring).
+pub fn sssp(a: &Dcsc, n: usize, root: VertexId, pool: &ThreadPool) -> RunOutput {
+    let mut dist = vec![INF_DIST; n];
+    dist[root as usize] = 0.0;
+    let mut active = vec![root];
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    while !active.is_empty() {
+        let (next, stats) = run_iteration(&SsspProgram, &[a], &active, &mut dist, pool);
+        charge(&mut counters, &mut trace, &stats);
+        counters.iterations += 1;
+        active = next;
+    }
+    counters.bytes_read = counters.edges_traversed * 12;
+    counters.bytes_written = counters.vertices_touched * 4;
+    RunOutput::new(AlgorithmResult::Distances(dist), counters, trace)
+}
+
+// ----------------------------------------------------------- PageRank ----
+
+const DAMPING: f64 = 0.85;
+
+/// PageRank as dense SpMV over the pull matrix. GraphMat's native stopping
+/// criterion is "no vertex's rank changes" (§IV-A); pass an explicit
+/// criterion through [`RunParams::stopping`] to homogenize.
+///
+/// The first pass counts out-degrees — the "run algorithm 1 (count degree)"
+/// phase in the paper's GraphMat log excerpt.
+pub fn pagerank(a: &Dcsc, at: &Dcsc, n: usize, params: &RunParams<'_>) -> RunOutput {
+    let pool = params.pool;
+    // GraphMat's native criterion is NoChange (∞-norm at f32 granularity).
+    let stopping = params.stopping.unwrap_or(StoppingCriterion::NoChange);
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    if n == 0 {
+        return RunOutput::new(
+            AlgorithmResult::Ranks { ranks: Vec::new(), iterations: 0 },
+            counters,
+            trace,
+        );
+    }
+
+    // Algorithm 1: count degree (an SpMV over columns of A).
+    let mut out_deg = vec![0u32; n];
+    for (i, &c) in a.col_ids.iter().enumerate() {
+        out_deg[c as usize] = (a.col_ptr[i + 1] - a.col_ptr[i]) as u32;
+    }
+    trace.serial(a.num_nonempty_cols() as u64, a.num_nonempty_cols() as u64 * 8);
+
+    // Algorithm 2: compute PageRank.
+    let base = (1.0 - DAMPING) / n as f64;
+    let m = a.nnz() as u64;
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    let mut contrib = vec![0.0f64; n];
+    let max_col = (0..at.num_nonempty_cols())
+        .map(|i| at.col_ptr[i + 1] - at.col_ptr[i])
+        .max()
+        .unwrap_or(0) as u64;
+    let mut iterations = 0u32;
+    loop {
+        iterations += 1;
+        let sink_mass = {
+            let (rank_ref, deg_ref) = (&rank, &out_deg);
+            pool.parallel_sum_f64(n, Schedule::Static { chunk: None }, |v| {
+                if deg_ref[v] == 0 {
+                    rank_ref[v]
+                } else {
+                    0.0
+                }
+            }) / n as f64
+        };
+        {
+            let w = DisjointWriter::new(&mut contrib);
+            let (rank_ref, deg_ref) = (&rank, &out_deg);
+            pool.parallel_for(n, Schedule::Static { chunk: None }, |v| unsafe {
+                w.write(v, if deg_ref[v] > 0 { rank_ref[v] / deg_ref[v] as f64 } else { 0.0 });
+            });
+        }
+        let fill = base + DAMPING * sink_mass;
+        {
+            let w = DisjointWriter::new(&mut next);
+            pool.parallel_for(n, Schedule::Static { chunk: None }, |v| unsafe {
+                w.write(v, fill);
+            });
+        }
+        {
+            // Dense SpMV over the materialized in-edge columns; each column
+            // id is unique, so writes are disjoint.
+            let w = DisjointWriter::new(&mut next);
+            let contrib_ref = &contrib;
+            pool.parallel_for_ranges(
+                at.num_nonempty_cols(),
+                Schedule::Guided { min_chunk: 16 },
+                |_tid, lo, hi| {
+                    for ci in lo..hi {
+                        let sum: f64 = at
+                            .col_entries(ci)
+                            .map(|(u, _)| contrib_ref[u as usize])
+                            .sum();
+                        // SAFETY: one write per distinct column id.
+                        unsafe {
+                            w.write(at.col_ids[ci] as usize, fill + DAMPING * sum);
+                        }
+                    }
+                },
+            );
+        }
+        let (rank_ref, next_ref) = (&rank, &next);
+        let l1 = pool.parallel_sum_f64(n, Schedule::Static { chunk: None }, |v| {
+            (rank_ref[v] - next_ref[v]).abs()
+        });
+        let changed = pool.parallel_reduce(
+            n,
+            Schedule::Static { chunk: None },
+            || 0u64,
+            |acc, v| *acc += ((rank_ref[v] as f32) != (next_ref[v] as f32)) as u64,
+            |x, y| x + y,
+        );
+        std::mem::swap(&mut rank, &mut next);
+        counters.edges_traversed += m;
+        counters.vertices_touched += n as u64;
+        trace.parallel(m.max(1), max_col.max(1), m * 12 + n as u64 * 24);
+        trace.parallel(n as u64, 1, n as u64 * 16);
+        if stopping.is_converged(l1, changed) || iterations >= params.max_iterations {
+            break;
+        }
+    }
+    counters.iterations = iterations;
+    counters.bytes_read = counters.edges_traversed * 12;
+    counters.bytes_written = counters.vertices_touched * 8;
+    RunOutput::new(AlgorithmResult::Ranks { ranks: rank, iterations }, counters, trace)
+}
+
+// --------------------------------------------------------------- CDLP ----
+
+struct CdlpProgram;
+
+impl GraphProgram for CdlpProgram {
+    type VertexValue = u64;
+    type Message = u64;
+    type Accum = Vec<u64>;
+    fn send(&self, _v: VertexId, value: &u64) -> u64 {
+        *value
+    }
+    fn process(&self, msg: &u64, _w: Weight, _dst: VertexId) -> Vec<u64> {
+        vec![*msg]
+    }
+    fn reduce(&self, mut a: Vec<u64>, mut b: Vec<u64>) -> Vec<u64> {
+        a.append(&mut b);
+        a
+    }
+    fn apply(&self, acc: Vec<u64>, _v: VertexId, value: &mut u64) -> bool {
+        // Most frequent label; ties broken toward the smallest label.
+        let mut freq: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for l in acc {
+            *freq.entry(l).or_insert(0) += 1;
+        }
+        if let Some((&l, _)) = freq.iter().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0))) {
+            *value = l;
+        }
+        true
+    }
+}
+
+/// CDLP: synchronous label propagation over both edge orientations for a
+/// fixed number of rounds (Graphalytics semantics).
+pub fn cdlp(a: &Dcsc, at: &Dcsc, n: usize, pool: &ThreadPool, iterations: u32) -> RunOutput {
+    let mut labels: Vec<u64> = (0..n as u64).collect();
+    let all: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    for _ in 0..iterations {
+        let (_, stats) = run_iteration(&CdlpProgram, &[a, at], &all, &mut labels, pool);
+        charge(&mut counters, &mut trace, &stats);
+        counters.iterations += 1;
+    }
+    counters.bytes_read = counters.edges_traversed * 16;
+    counters.bytes_written = counters.vertices_touched * 8;
+    RunOutput::new(AlgorithmResult::Labels(labels), counters, trace)
+}
+
+// ---------------------------------------------------------------- WCC ----
+
+struct WccProgram;
+
+impl GraphProgram for WccProgram {
+    type VertexValue = u64;
+    type Message = u64;
+    type Accum = u64;
+    fn send(&self, _v: VertexId, value: &u64) -> u64 {
+        *value
+    }
+    fn process(&self, msg: &u64, _w: Weight, _dst: VertexId) -> u64 {
+        *msg
+    }
+    fn reduce(&self, a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+    fn apply(&self, acc: u64, _v: VertexId, value: &mut u64) -> bool {
+        if acc < *value {
+            *value = acc;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// WCC: min-label propagation over both orientations until fixpoint.
+pub fn wcc(a: &Dcsc, at: &Dcsc, n: usize, pool: &ThreadPool) -> RunOutput {
+    let mut comp: Vec<u64> = (0..n as u64).collect();
+    let mut active: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    while !active.is_empty() {
+        let (next, stats) = run_iteration(&WccProgram, &[a, at], &active, &mut comp, pool);
+        charge(&mut counters, &mut trace, &stats);
+        counters.iterations += 1;
+        active = next;
+    }
+    counters.bytes_read = counters.edges_traversed * 16;
+    counters.bytes_written = counters.vertices_touched * 8;
+    RunOutput::new(
+        AlgorithmResult::Components(comp.into_iter().map(|c| c as VertexId).collect()),
+        counters,
+        trace,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_graph::EdgeList;
+
+    #[test]
+    fn bfs_parent_choice_is_min_sender() {
+        // Both 0 and 1 discover 2 in the same step: parent must be 0.
+        let el = EdgeList::new(4, vec![(3, 0), (3, 1), (0, 2), (1, 2)]);
+        let m = Dcsc::from_edge_list(&el);
+        let pool = ThreadPool::new(4);
+        let out = bfs(&m, 4, 3, &pool);
+        let AlgorithmResult::BfsTree { parent, level } = out.result else { panic!() };
+        assert_eq!(level, vec![1, 1, 2, 0]);
+        assert_eq!(parent[2], 0);
+    }
+
+    #[test]
+    fn wcc_active_set_shrinks_monotonically_to_empty() {
+        let el = EdgeList::new(6, vec![(0, 1), (1, 2), (3, 4)]);
+        let m = Dcsc::from_edge_list(&el);
+        let mt = m.transpose();
+        let pool = ThreadPool::new(2);
+        let out = wcc(&m, &mt, 6, &pool);
+        let AlgorithmResult::Components(c) = out.result else { panic!() };
+        assert_eq!(c, vec![0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn pagerank_trace_includes_degree_pass() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 2), (2, 0)]);
+        let m = Dcsc::from_edge_list(&el);
+        let mt = m.transpose();
+        let pool = ThreadPool::new(1);
+        let out = pagerank(&m, &mt, 3, &RunParams::new(&pool, None));
+        // First trace record is the serial degree-count pass.
+        assert!(!out.trace.records[0].parallel);
+    }
+
+    #[test]
+    fn cdlp_runs_fixed_iterations() {
+        let el = EdgeList::new(4, vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let m = Dcsc::from_edge_list(&el);
+        let mt = m.transpose();
+        let pool = ThreadPool::new(2);
+        let out = cdlp(&m, &mt, 4, &pool, 7);
+        assert_eq!(out.counters.iterations, 7);
+    }
+}

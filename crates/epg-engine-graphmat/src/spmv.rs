@@ -1,0 +1,229 @@
+//! The SpMSpV backend: one `GraphProgram` iteration as a masked sparse
+//! matrix-vector product over the DCSC matrix.
+//!
+//! Active vertices form the sparse input vector; their matrix columns are
+//! streamed in parallel, PROCESS/REDUCE results land in per-thread sparse
+//! accumulators, accumulators merge, and APPLY runs once per touched
+//! destination. The per-iteration bin/merge machinery is GraphMat's real
+//! constant overhead — visible in the paper's small-graph results (§IV-C).
+
+use crate::program::GraphProgram;
+use epg_graph::{Dcsc, VertexId};
+use epg_parallel::{Schedule, ThreadPool};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Work accounting for one iteration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpmvStats {
+    /// Matrix entries processed.
+    pub edges: u64,
+    /// Longest single column streamed (span bound).
+    pub max_column: u64,
+    /// Destinations touched (accumulator size).
+    pub touched: u64,
+}
+
+/// Runs one program iteration.
+///
+/// `matrices` lists the orientations to push along — `[A]` for pure
+/// out-edge propagation, `[A, Aᵀ]` for programs whose semantics cover both
+/// neighborhoods (CDLP, WCC). Returns the next active set (sorted,
+/// deduplicated) and the iteration's work stats. `values` is updated in
+/// place by APPLY; all SENDs observe pre-iteration values (synchronous
+/// semantics).
+pub fn run_iteration<P: GraphProgram>(
+    prog: &P,
+    matrices: &[&Dcsc],
+    active: &[VertexId],
+    values: &mut [P::VertexValue],
+    pool: &ThreadPool,
+) -> (Vec<VertexId>, SpmvStats) {
+    // --- SEND + PROCESS + per-thread REDUCE ---
+    let partials: Mutex<Vec<(HashMap<VertexId, P::Accum>, u64, u64)>> = Mutex::new(Vec::new());
+    let values_ref: &[P::VertexValue] = values;
+    pool.parallel_for_ranges(active.len(), Schedule::Guided { min_chunk: 8 }, |_tid, lo, hi| {
+        let mut acc: HashMap<VertexId, P::Accum> = HashMap::new();
+        let mut edges = 0u64;
+        let mut max_col = 0u64;
+        for &u in &active[lo..hi] {
+            let msg = prog.send(u, &values_ref[u as usize]);
+            for m in matrices {
+                let Ok(ci) = m.col_ids.binary_search(&u) else { continue };
+                let len = (m.col_ptr[ci + 1] - m.col_ptr[ci]) as u64;
+                edges += len;
+                max_col = max_col.max(len);
+                for (dst, w) in m.col_entries(ci) {
+                    let contrib = prog.process(&msg, w, dst);
+                    match acc.remove(&dst) {
+                        Some(prev) => {
+                            acc.insert(dst, prog.reduce(prev, contrib));
+                        }
+                        None => {
+                            acc.insert(dst, contrib);
+                        }
+                    }
+                }
+            }
+        }
+        partials.lock().push((acc, edges, max_col));
+    });
+
+    // --- merge per-thread accumulators ---
+    let mut stats = SpmvStats::default();
+    let mut merged: HashMap<VertexId, P::Accum> = HashMap::new();
+    for (acc, edges, max_col) in partials.into_inner() {
+        stats.edges += edges;
+        stats.max_column = stats.max_column.max(max_col);
+        for (dst, contrib) in acc {
+            match merged.remove(&dst) {
+                Some(prev) => {
+                    merged.insert(dst, prog.reduce(prev, contrib));
+                }
+                None => {
+                    merged.insert(dst, contrib);
+                }
+            }
+        }
+    }
+    stats.touched = merged.len() as u64;
+
+    // --- APPLY, parallel over touched destinations (unique per key) ---
+    let entries: Vec<(VertexId, P::Accum)> = merged.into_iter().collect();
+    let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+    {
+        let cell = ValueCell(values.as_mut_ptr());
+        pool.parallel_for_ranges(entries.len(), Schedule::Static { chunk: None }, |_tid, lo, hi| {
+            let mut local = Vec::new();
+            for (v, acc) in &entries[lo..hi] {
+                // SAFETY: keys are unique after the merge, so each index is
+                // mutated by exactly one thread.
+                let val = unsafe { cell.get_mut(*v as usize) };
+                if prog.apply(acc.clone(), *v, val) {
+                    local.push(*v);
+                }
+            }
+            if !local.is_empty() {
+                next.lock().append(&mut local);
+            }
+        });
+    }
+    let mut next = next.into_inner();
+    next.sort_unstable();
+    next.dedup();
+    (next, stats)
+}
+
+struct ValueCell<T>(*mut T);
+unsafe impl<T: Send> Sync for ValueCell<T> {}
+impl<T> ValueCell<T> {
+    /// # Safety
+    /// `i` in bounds; at most one thread may touch index `i` per region.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, i: usize) -> &mut T {
+        unsafe { &mut *self.0.add(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_graph::EdgeList;
+
+    /// Min-plus program = Bellman-Ford step.
+    struct MinPlus;
+    impl GraphProgram for MinPlus {
+        type VertexValue = f32;
+        type Message = f32;
+        type Accum = f32;
+        fn send(&self, _v: VertexId, value: &f32) -> f32 {
+            *value
+        }
+        fn process(&self, msg: &f32, w: f32, _dst: VertexId) -> f32 {
+            msg + w
+        }
+        fn reduce(&self, a: f32, b: f32) -> f32 {
+            a.min(b)
+        }
+        fn apply(&self, acc: f32, _v: VertexId, value: &mut f32) -> bool {
+            if acc < *value {
+                *value = acc;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn one_iteration_relaxes_root_edges() {
+        let el = EdgeList::weighted(4, vec![(0, 1), (0, 2), (2, 3)], vec![1.0, 4.0, 1.0]);
+        let m = Dcsc::from_edge_list(&el);
+        let pool = ThreadPool::new(2);
+        let mut dist = vec![f32::INFINITY; 4];
+        dist[0] = 0.0;
+        let (next, stats) = run_iteration(&MinPlus, &[&m], &[0], &mut dist, &pool);
+        assert_eq!(next, vec![1, 2]);
+        assert_eq!(dist, vec![0.0, 1.0, 4.0, f32::INFINITY]);
+        assert_eq!(stats.edges, 2);
+        assert_eq!(stats.touched, 2);
+    }
+
+    #[test]
+    fn iterating_to_fixpoint_gives_shortest_paths() {
+        let el = EdgeList::weighted(
+            4,
+            vec![(0, 1), (1, 2), (0, 2), (2, 3)],
+            vec![1.0, 1.0, 5.0, 1.0],
+        );
+        let m = Dcsc::from_edge_list(&el);
+        let pool = ThreadPool::new(3);
+        let mut dist = vec![f32::INFINITY; 4];
+        dist[0] = 0.0;
+        let mut active = vec![0];
+        while !active.is_empty() {
+            let (next, _) = run_iteration(&MinPlus, &[&m], &active, &mut dist, &pool);
+            active = next;
+        }
+        assert_eq!(dist, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reduce_merges_parallel_contributions() {
+        // Two sources reach the same destination in one iteration; the
+        // smaller must win regardless of thread interleaving.
+        let el = EdgeList::weighted(3, vec![(0, 2), (1, 2)], vec![5.0, 3.0]);
+        let m = Dcsc::from_edge_list(&el);
+        let pool = ThreadPool::new(4);
+        let mut dist = vec![0.0, 0.0, f32::INFINITY];
+        let (next, stats) = run_iteration(&MinPlus, &[&m], &[0, 1], &mut dist, &pool);
+        assert_eq!(next, vec![2]);
+        assert_eq!(dist[2], 3.0);
+        assert_eq!(stats.touched, 1);
+    }
+
+    #[test]
+    fn dual_matrix_pushes_both_directions() {
+        let el = EdgeList::weighted(3, vec![(1, 0), (1, 2)], vec![1.0, 1.0]);
+        let m = Dcsc::from_edge_list(&el);
+        let mt = m.transpose();
+        let pool = ThreadPool::new(2);
+        // Activate vertex 0; pushing along A alone reaches nothing (0 has
+        // no out-edges), along [A, Aᵀ] it reaches 1.
+        let mut dist = vec![0.0, f32::INFINITY, f32::INFINITY];
+        let (next, _) = run_iteration(&MinPlus, &[&m, &mt], &[0], &mut dist, &pool);
+        assert_eq!(next, vec![1]);
+    }
+
+    #[test]
+    fn empty_active_set_is_noop() {
+        let el = EdgeList::new(2, vec![(0, 1)]);
+        let m = Dcsc::from_edge_list(&el);
+        let pool = ThreadPool::new(1);
+        let mut vals = vec![1.0f32, 2.0];
+        let (next, stats) = run_iteration(&MinPlus, &[&m], &[], &mut vals, &pool);
+        assert!(next.is_empty());
+        assert_eq!(stats, SpmvStats::default());
+        assert_eq!(vals, vec![1.0, 2.0]);
+    }
+}

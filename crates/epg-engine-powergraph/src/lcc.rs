@@ -1,0 +1,264 @@
+//! LCC over the vertex-cut partitioning.
+//!
+//! PowerGraph's clustering-coefficient toolkit runs two passes: gather each
+//! vertex's neighbor-id set (merged across partitions — the replication
+//! cost again), then count closures by set intersection.
+
+use crate::partition::PartitionedGraph;
+use epg_engine_api::{AlgorithmResult, Counters, RunOutput, Trace};
+use epg_graph::VertexId;
+use epg_parallel::{DisjointWriter, Schedule, ThreadPool};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Computes per-vertex local clustering coefficients.
+pub fn lcc(g: &PartitionedGraph, pool: &ThreadPool) -> RunOutput {
+    let n = g.num_vertices;
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+
+    // Pass 1: per-partition neighbor sets, merged per vertex at masters.
+    let partials: Mutex<Vec<(HashMap<VertexId, (Vec<VertexId>, Vec<VertexId>)>, u64)>> =
+        Mutex::new(Vec::new());
+    pool.parallel_for_ranges(g.partitions.len(), Schedule::Dynamic { chunk: 1 }, |_t, lo, hi| {
+        for pi in lo..hi {
+            let part = &g.partitions[pi];
+            // (undirected neighborhood, out-neighbors) per local vertex.
+            let mut local: HashMap<VertexId, (Vec<VertexId>, Vec<VertexId>)> = HashMap::new();
+            let mut work = 0u64;
+            for (&u, outs) in &part.out_edges {
+                work += outs.len() as u64;
+                let e = local.entry(u).or_default();
+                for &(v, _) in outs {
+                    e.0.push(v);
+                    e.1.push(v);
+                }
+            }
+            for (&v, ins) in &part.in_edges {
+                work += ins.len() as u64;
+                let e = local.entry(v).or_default();
+                for &(u, _) in ins {
+                    e.0.push(u);
+                }
+            }
+            partials.lock().push((local, work));
+        }
+    });
+    let mut nbrs: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut outs: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut gather_work = 0u64;
+    for (local, work) in partials.into_inner() {
+        gather_work += work;
+        for (v, (nb, ob)) in local {
+            nbrs[v as usize].extend(nb);
+            outs[v as usize].extend(ob);
+        }
+    }
+    // Finalize sets (sort/dedup/exclude self) in parallel; each index is
+    // owned by exactly one thread, so in-place mutation through the writer
+    // is race-free.
+    {
+        let nw = DisjointWriter::new(&mut nbrs);
+        let ow = DisjointWriter::new(&mut outs);
+        pool.parallel_for_ranges(n, Schedule::Guided { min_chunk: 64 }, |_t, lo, hi| {
+            for v in lo..hi {
+                let vid = v as VertexId;
+                let finalize = |mut set: Vec<VertexId>| {
+                    set.retain(|&u| u != vid);
+                    set.sort_unstable();
+                    set.dedup();
+                    set
+                };
+                // SAFETY: one writer per index per region; the values being
+                // replaced were populated before the region started.
+                unsafe {
+                    nw.write(v, finalize(std::mem::take(nw.get_raw(v))));
+                    ow.write(v, finalize(std::mem::take(ow.get_raw(v))));
+                }
+            }
+        });
+    }
+    trace.parallel(gather_work.max(1), 1, gather_work * 16);
+    trace.serial(n as u64, n as u64 * 8);
+
+    // Pass 2: closure counting by intersection, parallel over vertices.
+    let mut out = vec![0.0f64; n];
+    let work = AtomicU64::new(0);
+    let max_cost = AtomicU64::new(0);
+    {
+        let w = DisjointWriter::new(&mut out);
+        let (nbrs, outs) = (&nbrs, &outs);
+        pool.parallel_for_ranges(n, Schedule::Dynamic { chunk: 16 }, |_t, lo, hi| {
+            let mut lw = 0u64;
+            let mut lm = 0u64;
+            for v in lo..hi {
+                let nb = &nbrs[v];
+                let d = nb.len();
+                if d < 2 {
+                    continue;
+                }
+                let mut tri = 0u64;
+                let mut cost = 0u64;
+                for &u in nb {
+                    cost += (outs[u as usize].len() + d) as u64;
+                    tri += intersect(&outs[u as usize], nb);
+                }
+                lw += cost;
+                lm = lm.max(cost);
+                // SAFETY: one writer per index.
+                unsafe { w.write(v, tri as f64 / (d as f64 * (d - 1) as f64)) };
+            }
+            work.fetch_add(lw, Ordering::Relaxed);
+            max_cost.fetch_max(lm, Ordering::Relaxed);
+        });
+    }
+    let work = work.load(Ordering::Relaxed);
+    counters.edges_traversed = gather_work + work;
+    counters.vertices_touched = n as u64;
+    counters.iterations = 2; // two supersteps
+    counters.bytes_read = work * 8;
+    counters.bytes_written = n as u64 * 8;
+    trace.parallel(work.max(1), max_cost.load(Ordering::Relaxed).max(1), work * 8);
+    RunOutput::new(AlgorithmResult::Coefficients(out), counters, trace)
+}
+
+fn intersect(a: &[VertexId], b: &[VertexId]) -> u64 {
+    let (mut i, mut j, mut c) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_graph::{oracle, Csr, EdgeList};
+
+    #[test]
+    fn matches_oracle_on_random_directed_graph() {
+        let el = epg_generator::uniform::generate(70, 500, false, 17).deduplicated();
+        let g = PartitionedGraph::build(&el, 4);
+        let pool = ThreadPool::new(3);
+        let out = lcc(&g, &pool);
+        let AlgorithmResult::Coefficients(c) = out.result else { panic!() };
+        let want = oracle::lcc(&Csr::from_edge_list(&el));
+        for v in 0..want.len() {
+            assert!((c[v] - want[v]).abs() < 1e-12, "vertex {v}: {} vs {}", c[v], want[v]);
+        }
+    }
+
+    #[test]
+    fn triangle_is_one_across_partitions() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 2), (2, 0)]).symmetrized();
+        let g = PartitionedGraph::build(&el, 3);
+        let pool = ThreadPool::new(2);
+        let out = lcc(&g, &pool);
+        let AlgorithmResult::Coefficients(c) = out.result else { panic!() };
+        assert!(c.iter().all(|&x| (x - 1.0).abs() < 1e-12), "{c:?}");
+    }
+}
+
+/// Global triangle count (§V extension): the PowerGraph
+/// `undirected_triangle_count` toolkit — gather per-partition neighbor
+/// sets, merge at masters, then count by ordered intersection.
+pub fn triangle_count(g: &PartitionedGraph, pool: &ThreadPool) -> RunOutput {
+    let n = g.num_vertices;
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    // Phase 1: merged undirected neighbor sets (replication cost charged).
+    let partials: Mutex<Vec<(HashMap<VertexId, Vec<VertexId>>, u64)>> = Mutex::new(Vec::new());
+    pool.parallel_for_ranges(g.partitions.len(), Schedule::Dynamic { chunk: 1 }, |_t, lo, hi| {
+        for pi in lo..hi {
+            let part = &g.partitions[pi];
+            let mut local: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+            let mut work = 0u64;
+            for (&u, outs) in &part.out_edges {
+                work += outs.len() as u64;
+                local.entry(u).or_default().extend(outs.iter().map(|&(v, _)| v));
+            }
+            for (&v, ins) in &part.in_edges {
+                work += ins.len() as u64;
+                local.entry(v).or_default().extend(ins.iter().map(|&(u, _)| u));
+            }
+            partials.lock().push((local, work));
+        }
+    });
+    let mut higher: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut gather_work = 0u64;
+    for (local, work) in partials.into_inner() {
+        gather_work += work;
+        for (v, nb) in local {
+            higher[v as usize].extend(nb);
+        }
+    }
+    {
+        let w = DisjointWriter::new(&mut higher);
+        pool.parallel_for_ranges(n, Schedule::Guided { min_chunk: 64 }, |_t, lo, hi| {
+            for v in lo..hi {
+                let vid = v as VertexId;
+                // SAFETY: one writer per index.
+                unsafe {
+                    let set = w.get_raw(v);
+                    set.retain(|&u| u > vid);
+                    set.sort_unstable();
+                    set.dedup();
+                }
+            }
+        });
+    }
+    trace.parallel(gather_work.max(1), 1, gather_work * 16);
+    trace.serial(n as u64, n as u64 * 8);
+
+    // Phase 2: count.
+    let total = AtomicU64::new(0);
+    let work = AtomicU64::new(0);
+    {
+        let higher = &higher;
+        pool.parallel_for_ranges(n, Schedule::Dynamic { chunk: 32 }, |_t, lo, hi| {
+            let mut local = 0u64;
+            let mut lw = 0u64;
+            for u in lo..hi {
+                let hu = &higher[u];
+                for &v in hu {
+                    lw += (hu.len() + higher[v as usize].len()) as u64;
+                    local += intersect(hu, &higher[v as usize]);
+                }
+            }
+            total.fetch_add(local, Ordering::Relaxed);
+            work.fetch_add(lw, Ordering::Relaxed);
+        });
+    }
+    let work = work.load(Ordering::Relaxed);
+    counters.edges_traversed = gather_work + work;
+    counters.vertices_touched = n as u64;
+    counters.iterations = 2;
+    counters.bytes_read = work * 8;
+    trace.parallel(work.max(1), 1, work * 8);
+    RunOutput::new(AlgorithmResult::Triangles(total.load(Ordering::Relaxed)), counters, trace)
+}
+
+#[cfg(test)]
+mod tc_tests {
+    use super::*;
+    use epg_graph::{oracle, Csr};
+
+    #[test]
+    fn tc_matches_oracle_across_partitions() {
+        let el = epg_generator::uniform::generate(140, 1800, false, 15);
+        let g = PartitionedGraph::build(&el, 6);
+        let pool = ThreadPool::new(3);
+        let out = triangle_count(&g, &pool);
+        let AlgorithmResult::Triangles(t) = out.result else { panic!() };
+        assert_eq!(t, oracle::triangle_count(&Csr::from_edge_list(&el)));
+    }
+}

@@ -1,0 +1,330 @@
+//! The PowerGraph toolkit algorithms as vertex programs.
+//!
+//! Note the deliberate omission: **no BFS**. "PowerGraph ... doesn't
+//! provide an reference implementation of BFS in its toolkits" (§III-D),
+//! which is why PowerGraph is absent from Figs. 2, 5, 6 and the BFS panel
+//! of Fig. 8.
+
+use crate::gas::{superstep, EdgeDir, VertexProgram};
+use crate::partition::PartitionedGraph;
+use epg_engine_api::{AlgorithmResult, Counters, RunOutput, RunParams, StoppingCriterion, Trace};
+use epg_graph::{VertexId, Weight, INF_DIST};
+use epg_parallel::ThreadPool;
+
+// --------------------------------------------------------------- SSSP ----
+
+struct SsspProgram;
+
+impl VertexProgram for SsspProgram {
+    type Data = f32;
+    type Gather = f32;
+    fn gather_dir(&self) -> EdgeDir {
+        EdgeDir::In
+    }
+    fn gather(&self, _v: VertexId, other: &f32, w: Weight) -> f32 {
+        other + w
+    }
+    fn merge(&self, a: f32, b: f32) -> f32 {
+        a.min(b)
+    }
+    fn apply(&self, _v: VertexId, data: &mut f32, acc: Option<f32>) -> bool {
+        match acc {
+            Some(a) if a < *data => {
+                *data = a;
+                true
+            }
+            _ => false,
+        }
+    }
+    fn scatter_dir(&self) -> EdgeDir {
+        EdgeDir::Out
+    }
+}
+
+/// SSSP: gather-min over in-edges, scatter-activate over out-edges, until
+/// no vertex changes.
+pub fn sssp(g: &PartitionedGraph, root: VertexId, pool: &ThreadPool) -> RunOutput {
+    let n = g.num_vertices;
+    let mut dist = vec![INF_DIST; n];
+    dist[root as usize] = 0.0;
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    // Signal the root's out-neighbors, as the toolkit's init scatter does.
+    let mut active: Vec<VertexId> = g
+        .partitions
+        .iter()
+        .flat_map(|p| p.out_edges.get(&root).into_iter().flatten().map(|&(d, _)| d))
+        .collect();
+    active.sort_unstable();
+    active.dedup();
+    while !active.is_empty() {
+        let (next, _) = superstep(&SsspProgram, g, &active, &mut dist, pool, &mut counters, &mut trace);
+        active = next;
+    }
+    counters.bytes_read = counters.edges_traversed * 16;
+    RunOutput::new(AlgorithmResult::Distances(dist), counters, trace)
+}
+
+// ----------------------------------------------------------- PageRank ----
+
+const DAMPING: f64 = 0.85;
+
+/// Vertex data for PageRank: rank plus out-degree (mirrors need both).
+#[derive(Clone, Copy)]
+struct PrData {
+    rank: f64,
+    out_deg: u32,
+}
+
+struct PrProgram {
+    base: f64,
+    sink_mass: f64,
+}
+
+impl VertexProgram for PrProgram {
+    type Data = PrData;
+    type Gather = f64;
+    fn gather_dir(&self) -> EdgeDir {
+        EdgeDir::In
+    }
+    fn gather(&self, _v: VertexId, other: &PrData, _w: Weight) -> f64 {
+        other.rank / other.out_deg.max(1) as f64
+    }
+    fn merge(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn apply(&self, _v: VertexId, data: &mut PrData, acc: Option<f64>) -> bool {
+        let new = self.base + DAMPING * (acc.unwrap_or(0.0) + self.sink_mass);
+        let changed = (data.rank as f32) != (new as f32);
+        data.rank = new;
+        changed
+    }
+    fn scatter_dir(&self) -> EdgeDir {
+        EdgeDir::None // the engine drives all-active synchronous rounds
+    }
+}
+
+/// PageRank: synchronous all-active rounds with the homogenized L1
+/// criterion by default.
+pub fn pagerank(g: &PartitionedGraph, params: &RunParams<'_>) -> RunOutput {
+    let n = g.num_vertices;
+    let pool = params.pool;
+    let stopping = params.stopping.unwrap_or(StoppingCriterion::paper_default());
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    if n == 0 {
+        return RunOutput::new(
+            AlgorithmResult::Ranks { ranks: Vec::new(), iterations: 0 },
+            counters,
+            trace,
+        );
+    }
+    let mut out_deg = vec![0u32; n];
+    for p in &g.partitions {
+        for (&u, outs) in &p.out_edges {
+            out_deg[u as usize] += outs.len() as u32;
+        }
+    }
+    let mut data: Vec<PrData> = (0..n)
+        .map(|v| PrData { rank: 1.0 / n as f64, out_deg: out_deg[v] })
+        .collect();
+    let all: Vec<VertexId> = (0..n as VertexId).collect();
+    let base = (1.0 - DAMPING) / n as f64;
+    let mut iterations = 0u32;
+    loop {
+        iterations += 1;
+        let sink_mass: f64 = data
+            .iter()
+            .filter(|d| d.out_deg == 0)
+            .map(|d| d.rank)
+            .sum::<f64>()
+            / n as f64;
+        let prev: Vec<f64> = data.iter().map(|d| d.rank).collect();
+        let prog = PrProgram { base, sink_mass };
+        let (_, stats) = superstep(&prog, g, &all, &mut data, pool, &mut counters, &mut trace);
+        let l1: f64 = data.iter().zip(&prev).map(|(d, &p)| (d.rank - p).abs()).sum();
+        if stopping.is_converged(l1, stats.changed.len() as u64)
+            || iterations >= params.max_iterations
+        {
+            break;
+        }
+    }
+    counters.bytes_read = counters.edges_traversed * 16;
+    RunOutput::new(
+        AlgorithmResult::Ranks { ranks: data.iter().map(|d| d.rank).collect(), iterations },
+        counters,
+        trace,
+    )
+}
+
+// --------------------------------------------------------------- CDLP ----
+
+struct CdlpProgram;
+
+impl VertexProgram for CdlpProgram {
+    type Data = u64;
+    type Gather = Vec<u64>;
+    fn gather_dir(&self) -> EdgeDir {
+        EdgeDir::Both
+    }
+    fn gather(&self, _v: VertexId, other: &u64, _w: Weight) -> Vec<u64> {
+        vec![*other]
+    }
+    fn merge(&self, mut a: Vec<u64>, mut b: Vec<u64>) -> Vec<u64> {
+        a.append(&mut b);
+        a
+    }
+    fn apply(&self, _v: VertexId, data: &mut u64, acc: Option<Vec<u64>>) -> bool {
+        let Some(labels) = acc else { return false };
+        let mut freq: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for l in labels {
+            *freq.entry(l).or_insert(0) += 1;
+        }
+        if let Some((&l, _)) = freq.iter().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0))) {
+            let changed = *data != l;
+            *data = l;
+            changed
+        } else {
+            false
+        }
+    }
+    fn scatter_dir(&self) -> EdgeDir {
+        EdgeDir::None
+    }
+}
+
+/// CDLP: fixed-round synchronous label propagation (Graphalytics
+/// semantics, both edge directions).
+pub fn cdlp(g: &PartitionedGraph, pool: &ThreadPool, iterations: u32) -> RunOutput {
+    let n = g.num_vertices;
+    let mut labels: Vec<u64> = (0..n as u64).collect();
+    let all: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    for _ in 0..iterations {
+        let _ = superstep(&CdlpProgram, g, &all, &mut labels, pool, &mut counters, &mut trace);
+    }
+    counters.bytes_read = counters.edges_traversed * 16;
+    RunOutput::new(AlgorithmResult::Labels(labels), counters, trace)
+}
+
+// ---------------------------------------------------------------- WCC ----
+
+struct WccProgram;
+
+impl VertexProgram for WccProgram {
+    type Data = u64;
+    type Gather = u64;
+    fn gather_dir(&self) -> EdgeDir {
+        EdgeDir::Both
+    }
+    fn gather(&self, _v: VertexId, other: &u64, _w: Weight) -> u64 {
+        *other
+    }
+    fn merge(&self, a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+    fn apply(&self, _v: VertexId, data: &mut u64, acc: Option<u64>) -> bool {
+        match acc {
+            Some(a) if a < *data => {
+                *data = a;
+                true
+            }
+            _ => false,
+        }
+    }
+    fn scatter_dir(&self) -> EdgeDir {
+        EdgeDir::Both
+    }
+}
+
+/// WCC: min-label GAS until fixpoint.
+pub fn wcc(g: &PartitionedGraph, pool: &ThreadPool) -> RunOutput {
+    let n = g.num_vertices;
+    let mut comp: Vec<u64> = (0..n as u64).collect();
+    let mut active: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut counters = Counters::default();
+    let mut trace = Trace::default();
+    while !active.is_empty() {
+        let (next, _) = superstep(&WccProgram, g, &active, &mut comp, pool, &mut counters, &mut trace);
+        active = next;
+    }
+    counters.bytes_read = counters.edges_traversed * 16;
+    RunOutput::new(
+        AlgorithmResult::Components(comp.into_iter().map(|c| c as VertexId).collect()),
+        counters,
+        trace,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_graph::{oracle, Csr, EdgeList};
+
+    fn graph(seed: u64) -> EdgeList {
+        epg_generator::uniform::generate(150, 1000, true, seed).symmetrized().deduplicated()
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra() {
+        let el = graph(1);
+        let g = PartitionedGraph::build(&el, 4);
+        let pool = ThreadPool::new(3);
+        let out = sssp(&g, 2, &pool);
+        let AlgorithmResult::Distances(d) = out.result else { panic!() };
+        let want = oracle::dijkstra(&Csr::from_edge_list(&el), 2);
+        for v in 0..want.len() {
+            if want[v].is_infinite() {
+                assert!(d[v].is_infinite());
+            } else {
+                assert!((d[v] - want[v]).abs() < 1e-3, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_matches_oracle() {
+        let el = graph(2);
+        let g = PartitionedGraph::build(&el, 4);
+        let pool = ThreadPool::new(2);
+        let out = pagerank(&g, &RunParams::new(&pool, None));
+        let AlgorithmResult::Ranks { ranks, iterations } = out.result else { panic!() };
+        assert!(iterations > 1);
+        let (want, _) = oracle::pagerank(&Csr::from_edge_list(&el), 6e-8, 300);
+        for v in 0..want.len() {
+            assert!((ranks[v] - want[v]).abs() < 1e-5, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn cdlp_matches_oracle() {
+        let el = graph(3);
+        let g = PartitionedGraph::build(&el, 4);
+        let pool = ThreadPool::new(2);
+        let out = cdlp(&g, &pool, 10);
+        let AlgorithmResult::Labels(l) = out.result else { panic!() };
+        assert_eq!(l, oracle::cdlp(&Csr::from_edge_list(&el), 10));
+    }
+
+    #[test]
+    fn wcc_matches_oracle() {
+        let el = epg_generator::uniform::generate(200, 260, false, 4);
+        let g = PartitionedGraph::build(&el, 4);
+        let pool = ThreadPool::new(3);
+        let out = wcc(&g, &pool);
+        let AlgorithmResult::Components(c) = out.result else { panic!() };
+        assert_eq!(c, oracle::wcc(&Csr::from_edge_list(&el)));
+    }
+
+    #[test]
+    fn sssp_from_isolated_root_terminates() {
+        let el = EdgeList::weighted(3, vec![(1, 2)], vec![1.0]);
+        let g = PartitionedGraph::build(&el, 2);
+        let pool = ThreadPool::new(1);
+        let out = sssp(&g, 0, &pool);
+        let AlgorithmResult::Distances(d) = out.result else { panic!() };
+        assert_eq!(d[0], 0.0);
+        assert!(d[1].is_infinite() && d[2].is_infinite());
+    }
+}

@@ -1,0 +1,192 @@
+//! The Graph500 Kronecker generator.
+//!
+//! Implements the Graph500 specification's synthetic graph: each edge is
+//! placed by descending `scale` levels of a 2x2 initiator matrix with
+//! probabilities `A=0.57, B=0.19, C=0.19, D=0.05` (a Kronecker graph, the
+//! generalization of R-MAT the paper cites), after which vertex labels are
+//! scrambled by a pseudorandom permutation so that vertex id gives no hint
+//! of degree. Weighted variants draw uniform (0,1] weights, as the SSSP
+//! extension of Graph500 does.
+
+use epg_graph::{EdgeList, VertexId, Weight};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Kronecker generator parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KroneckerConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Average directed edges per vertex (Graph500: 16).
+    pub edge_factor: u32,
+    /// Initiator probabilities; must be positive and sum to 1.
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+    /// Draw uniform (0,1] edge weights.
+    pub weighted: bool,
+}
+
+impl Default for KroneckerConfig {
+    fn default() -> Self {
+        // The paper's parameters (§III-B): A=0.57, B=0.19, C=0.19, D=0.05.
+        KroneckerConfig { scale: 16, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19, weighted: false }
+    }
+}
+
+impl KroneckerConfig {
+    /// D = 1 - (A + B + C).
+    pub fn d(&self) -> f64 {
+        1.0 - (self.a + self.b + self.c)
+    }
+
+    /// Number of vertices, `2^scale`.
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Number of directed edges, `edge_factor * 2^scale`.
+    pub fn num_edges(&self) -> usize {
+        self.edge_factor as usize * self.num_vertices()
+    }
+}
+
+/// Feistel-style invertible scramble of vertex labels within `0..2^scale`.
+/// The Graph500 permutes vertex labels after generation; a bijective bit
+/// mixer gives the same effect without materializing a permutation array.
+fn scramble(v: u64, scale: u32, key: u64) -> u64 {
+    let mask = (1u64 << scale) - 1;
+    let mut x = v & mask;
+    // Additive offset first so 0 is not a fixed point (multiplication and
+    // xor-shift both map 0 to 0); addition is bijective mod 2^scale.
+    x = x.wrapping_add(key | 1) & mask;
+    // Three rounds of multiply-xor-shift, each reduced back into range.
+    for round in 0..3u64 {
+        let k = key.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(round);
+        // Odd multiplier: bijective mod 2^scale.
+        x = x.wrapping_mul(k.wrapping_mul(2).wrapping_add(1)) & mask;
+        x ^= x >> (scale / 2).max(1);
+        x &= mask;
+        // xor-shift above is not bijective on its own for all widths; undoing
+        // is unnecessary — we only need *a* permutation, so re-mix with an
+        // odd multiply keeps the map bijective: multiply is bijective, the
+        // xor-shift is bijective for shifts >= 1 over `scale` bits.
+    }
+    x & mask
+}
+
+/// Generates a Kronecker edge list. Deterministic in `seed`.
+pub fn generate(cfg: &KroneckerConfig, seed: u64) -> EdgeList {
+    assert!(cfg.scale >= 1 && cfg.scale <= 32, "scale out of range");
+    let (a, b, c, d) = (cfg.a, cfg.b, cfg.c, cfg.d());
+    // D is defined as 1-(A+B+C), so positivity of all four is the whole
+    // well-formedness condition.
+    assert!(a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0, "initiator must be positive");
+
+    let m = cfg.num_edges();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    let mut weights = cfg.weighted.then(|| Vec::with_capacity(m));
+    let ab = a + b;
+    let a_norm = a / ab;
+    let c_norm = c / (c + d);
+    for _ in 0..m {
+        let (mut u, mut v) = (0u64, 0u64);
+        for bit in 0..cfg.scale {
+            // The Graph500 v2 recursion with per-level noise-free quadrant
+            // choice: pick row bit then column bit conditionally.
+            let row = rng.gen::<f64>() > ab;
+            let col = rng.gen::<f64>() > if row { c_norm } else { a_norm };
+            u |= (row as u64) << bit;
+            v |= (col as u64) << bit;
+        }
+        let u = scramble(u, cfg.scale, seed ^ 0xA5A5_5A5A) as VertexId;
+        let v = scramble(v, cfg.scale, seed ^ 0xA5A5_5A5A) as VertexId;
+        edges.push((u, v));
+        if let Some(ws) = weights.as_mut() {
+            // Uniform (0,1]: avoid zero-weight edges (paper §IV-A notes the
+            // hazards of weights rounding to 0).
+            ws.push((1.0 - rng.gen::<f32>()).max(f32::MIN_POSITIVE) as Weight);
+        }
+    }
+    EdgeList { num_vertices: cfg.num_vertices(), edges, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_graph::degree::degree_stats;
+
+    #[test]
+    fn sizes_match_spec() {
+        let cfg = KroneckerConfig { scale: 10, edge_factor: 16, ..Default::default() };
+        let el = generate(&cfg, 1);
+        assert_eq!(el.num_vertices, 1024);
+        assert_eq!(el.num_edges(), 16 * 1024);
+        assert!(!el.is_weighted());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = KroneckerConfig { scale: 8, ..Default::default() };
+        assert_eq!(generate(&cfg, 5), generate(&cfg, 5));
+        assert_ne!(generate(&cfg, 5), generate(&cfg, 6));
+    }
+
+    #[test]
+    fn weighted_weights_in_unit_interval() {
+        let cfg = KroneckerConfig { scale: 8, edge_factor: 4, weighted: true, ..Default::default() };
+        let el = generate(&cfg, 3);
+        let ws = el.weights.as_ref().unwrap();
+        assert!(ws.iter().all(|&w| w > 0.0 && w <= 1.0));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Kronecker graphs are heavy-tailed: the top 1% of vertices should
+        // own far more than 1% of the edges, unlike a uniform graph.
+        let cfg = KroneckerConfig { scale: 12, edge_factor: 16, ..Default::default() };
+        let el = generate(&cfg, 7);
+        let stats = degree_stats(&el);
+        assert!(
+            stats.top1pct_edge_share > 0.10,
+            "expected heavy tail, got share {}",
+            stats.top1pct_edge_share
+        );
+        assert!(stats.max_degree as f64 > 20.0 * stats.mean_degree);
+    }
+
+    #[test]
+    fn scramble_is_a_permutation() {
+        for scale in [1u32, 2, 5, 10] {
+            let n = 1u64 << scale;
+            let mut seen = vec![false; n as usize];
+            for v in 0..n {
+                let s = scramble(v, scale, 42);
+                assert!(s < n);
+                assert!(!seen[s as usize], "collision at {v} (scale {scale})");
+                seen[s as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn scrambling_spreads_hubs_across_id_space() {
+        // Without scrambling, low vertex ids get the highest degrees. After
+        // scrambling, the max-degree vertex should usually not be vertex 0.
+        let cfg = KroneckerConfig { scale: 10, edge_factor: 16, ..Default::default() };
+        let el = generate(&cfg, 9);
+        let deg = el.out_degrees();
+        let argmax = deg.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0;
+        assert_ne!(argmax, 0, "hub sat at vertex 0; labels look unscrambled");
+    }
+
+    #[test]
+    #[should_panic(expected = "initiator must be positive")]
+    fn bad_initiator_rejected() {
+        let cfg = KroneckerConfig { a: 0.9, b: 0.3, c: 0.3, ..Default::default() };
+        let _ = generate(&cfg, 0);
+    }
+}

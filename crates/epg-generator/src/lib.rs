@@ -1,0 +1,138 @@
+//! Graph generators for `easy-parallel-graph-rs`.
+//!
+//! Three families (§III-B and the substitution table in DESIGN.md):
+//!
+//! - [`kronecker`]: the Graph500 synthetic generator — a Kronecker/R-MAT
+//!   recursion with initiator `A=0.57, B=0.19, C=0.19, D=0.05`, edge factor
+//!   16, and scrambled vertex labels. "A graph with scale S has 2^S
+//!   vertices and approximately 16 * 2^S edges."
+//! - [`citations`]: a stand-in for SNAP `cit-Patents` (3,774,768 vertices /
+//!   16,518,948 edges): a time-ordered preferential-attachment citation DAG,
+//!   sparse and **unweighted** — the unweightedness is what produces the
+//!   SSSP "N/A" cells in Table I.
+//! - [`dota_league`]: a stand-in for the Game Trace Archive `dota-league`
+//!   graph (61,670 vertices / 50,870,313 edges, average out-degree 824):
+//!   a *dense*, **weighted** co-play multigraph collapsed to weighted edges
+//!   with Zipf-popular players.
+//!
+//! Everything is deterministic in a `u64` seed.
+
+#![warn(missing_docs)]
+pub mod citations;
+pub mod dota_league;
+pub mod kronecker;
+pub mod uniform;
+
+use epg_graph::EdgeList;
+
+/// A named, parameterized workload, the unit the harness's homogenizer
+/// materializes into per-engine files.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphSpec {
+    /// Graph500 Kronecker graph.
+    Kronecker {
+        /// log2 of the vertex count.
+        scale: u32,
+        /// Average (directed) edges per vertex; the Graph500 uses 16.
+        edge_factor: u32,
+        /// Attach uniform (0,1] weights (for SSSP runs).
+        weighted: bool,
+    },
+    /// cit-Patents stand-in. `scale_div` divides both vertex and edge
+    /// counts (1 = full size).
+    CitPatents {
+        /// Divisor applied to the real dataset's size (power of two).
+        scale_div: u32,
+    },
+    /// dota-league stand-in at explicit size.
+    DotaLeague {
+        /// Number of players (vertices). Full dataset: 61,670.
+        num_vertices: usize,
+        /// Average out-degree. Full dataset: ~824.
+        avg_degree: u32,
+    },
+    /// Erdős–Rényi style uniform G(n, m), mostly for tests.
+    Uniform {
+        /// Vertices.
+        num_vertices: usize,
+        /// Directed edges.
+        num_edges: usize,
+        /// Attach uniform (0,1] weights.
+        weighted: bool,
+    },
+}
+
+impl GraphSpec {
+    /// Short identifier used in log and output file names.
+    pub fn name(&self) -> String {
+        match self {
+            GraphSpec::Kronecker { scale, weighted, .. } => {
+                format!("kron{scale}{}", if *weighted { "w" } else { "" })
+            }
+            GraphSpec::CitPatents { scale_div } => format!("cit-Patents_div{scale_div}"),
+            GraphSpec::DotaLeague { num_vertices, .. } => format!("dota-league_n{num_vertices}"),
+            GraphSpec::Uniform { num_vertices, num_edges, .. } => {
+                format!("uniform_{num_vertices}x{num_edges}")
+            }
+        }
+    }
+
+    /// True when edges carry weights (drives SSSP eligibility, as in
+    /// Graphalytics: "does not perform SSSP on unweighted graphs").
+    pub fn is_weighted(&self) -> bool {
+        match self {
+            GraphSpec::Kronecker { weighted, .. } => *weighted,
+            GraphSpec::CitPatents { .. } => false,
+            GraphSpec::DotaLeague { .. } => true,
+            GraphSpec::Uniform { weighted, .. } => *weighted,
+        }
+    }
+
+    /// Materializes the edge list.
+    pub fn generate(&self, seed: u64) -> EdgeList {
+        match *self {
+            GraphSpec::Kronecker { scale, edge_factor, weighted } => kronecker::generate(
+                &kronecker::KroneckerConfig { scale, edge_factor, weighted, ..Default::default() },
+                seed,
+            ),
+            GraphSpec::CitPatents { scale_div } => citations::generate(
+                &citations::CitationsConfig::cit_patents_scaled(scale_div),
+                seed,
+            ),
+            GraphSpec::DotaLeague { num_vertices, avg_degree } => dota_league::generate(
+                &dota_league::DotaLeagueConfig { num_vertices, avg_degree, ..Default::default() },
+                seed,
+            ),
+            GraphSpec::Uniform { num_vertices, num_edges, weighted } => {
+                uniform::generate(num_vertices, num_edges, weighted, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_and_stable() {
+        let a = GraphSpec::Kronecker { scale: 10, edge_factor: 16, weighted: false };
+        let b = GraphSpec::Kronecker { scale: 10, edge_factor: 16, weighted: true };
+        assert_eq!(a.name(), "kron10");
+        assert_eq!(b.name(), "kron10w");
+        assert_ne!(GraphSpec::CitPatents { scale_div: 64 }.name(), a.name());
+    }
+
+    #[test]
+    fn weightedness_matches_dataset_semantics() {
+        assert!(!GraphSpec::CitPatents { scale_div: 64 }.is_weighted());
+        assert!(GraphSpec::DotaLeague { num_vertices: 100, avg_degree: 10 }.is_weighted());
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let spec = GraphSpec::Kronecker { scale: 8, edge_factor: 8, weighted: true };
+        assert_eq!(spec.generate(11), spec.generate(11));
+        assert_ne!(spec.generate(11), spec.generate(12));
+    }
+}

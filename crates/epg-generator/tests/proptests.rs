@@ -1,0 +1,102 @@
+//! Property tests for the generators: determinism, size contracts, and the
+//! structural traits each stand-in exists to preserve.
+
+use epg_generator::{citations, dota_league, kronecker, uniform, GraphSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kronecker_size_contract(scale in 4u32..12, ef in 1u32..20, seed in 0u64..500) {
+        let cfg = kronecker::KroneckerConfig {
+            scale,
+            edge_factor: ef,
+            ..Default::default()
+        };
+        let el = kronecker::generate(&cfg, seed);
+        prop_assert_eq!(el.num_vertices, 1usize << scale);
+        prop_assert_eq!(el.num_edges(), (ef as usize) << scale);
+        let in_range = el
+            .edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < el.num_vertices && (v as usize) < el.num_vertices);
+        prop_assert!(in_range);
+    }
+
+    #[test]
+    fn kronecker_weighted_weights_in_unit_interval(scale in 4u32..10, seed in 0u64..100) {
+        let cfg = kronecker::KroneckerConfig {
+            scale,
+            edge_factor: 4,
+            weighted: true,
+            ..Default::default()
+        };
+        let el = kronecker::generate(&cfg, seed);
+        let ws = el.weights.as_ref().unwrap();
+        prop_assert!(ws.iter().all(|&w| w > 0.0 && w <= 1.0));
+    }
+
+    #[test]
+    fn generators_are_deterministic(seed in 0u64..200) {
+        let spec = GraphSpec::Kronecker { scale: 7, edge_factor: 4, weighted: true };
+        prop_assert_eq!(spec.generate(seed), spec.generate(seed));
+        let c = citations::CitationsConfig { num_vertices: 300, ..Default::default() };
+        prop_assert_eq!(citations::generate(&c, seed), citations::generate(&c, seed));
+        let d = dota_league::DotaLeagueConfig {
+            num_vertices: 200, avg_degree: 20, ..Default::default()
+        };
+        prop_assert_eq!(dota_league::generate(&d, seed), dota_league::generate(&d, seed));
+    }
+
+    #[test]
+    fn citations_always_acyclic(n in 10usize..500, seed in 0u64..200) {
+        let cfg = citations::CitationsConfig { num_vertices: n, ..Default::default() };
+        let el = citations::generate(&cfg, seed);
+        // Time-ordered: every edge points strictly backward, so acyclic.
+        prop_assert!(el.edges.iter().all(|&(u, v)| v < u));
+        prop_assert!(!el.is_weighted());
+    }
+
+    #[test]
+    fn dota_always_symmetric_weighted_loopfree(
+        n in 50usize..300,
+        deg in 8u32..40,
+        seed in 0u64..200,
+    ) {
+        let cfg = dota_league::DotaLeagueConfig {
+            num_vertices: n,
+            avg_degree: deg,
+            ..Default::default()
+        };
+        let el = dota_league::generate(&cfg, seed);
+        prop_assert!(el.is_weighted());
+        prop_assert!(el.edges.iter().all(|&(u, v)| u != v));
+        let set: std::collections::HashMap<_, _> =
+            el.iter().map(|(u, v, w)| ((u, v), w)).collect();
+        for (&(u, v), &w) in &set {
+            prop_assert_eq!(set.get(&(v, u)), Some(&w), "asymmetry at ({}, {})", u, v);
+        }
+    }
+
+    #[test]
+    fn uniform_exact_sizes(n in 1usize..500, m in 0usize..2000, seed in 0u64..100) {
+        let el = uniform::generate(n, m, false, seed);
+        prop_assert_eq!(el.num_vertices, n);
+        prop_assert_eq!(el.num_edges(), m);
+    }
+
+    #[test]
+    fn spec_names_are_filesystem_safe(scale in 1u32..20) {
+        for spec in [
+            GraphSpec::Kronecker { scale, edge_factor: 16, weighted: true },
+            GraphSpec::CitPatents { scale_div: scale },
+            GraphSpec::DotaLeague { num_vertices: scale as usize + 10, avg_degree: 2 },
+        ] {
+            let name = spec.name();
+            prop_assert!(!name.is_empty());
+            prop_assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || "-_".contains(c)),
+                "unsafe name {:?}", name);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! openG-style property graph storage.
+//!
+//! GraphBIG is built on IBM System G's `openG` framework, which — unlike
+//! the flat CSR of GAP/Graph500 — stores a vector of vertex objects whose
+//! adjacency lives in **linked lists** (`std::list` in openG) so that the
+//! graph can mutate dynamically. The pointer-chasing this causes is a real
+//! architectural property the paper's comparison exposes (GraphBIG's wide
+//! performance variation and its slow kernels at scale, §IV-C), so we
+//! reproduce it with arena-backed linked lists rather than aliasing CSR:
+//! per-vertex edge chains thread through shared arenas in global insertion
+//! order, so traversing one vertex's list hops around memory exactly the
+//! way a node-based `std::list` does.
+
+use crate::{EdgeList, VertexId, Weight};
+
+/// Arena index sentinel for "end of list".
+const NIL: u32 = u32::MAX;
+
+/// Mutable per-vertex algorithm properties, mirroring openG's pattern of
+/// attaching a property record to every vertex.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VertexProperty {
+    /// BFS/SSSP parent.
+    pub parent: VertexId,
+    /// BFS level or SSSP distance.
+    pub distance: Weight,
+    /// PageRank value / CDLP label / WCC component, depending on kernel.
+    pub value: f64,
+    /// Scratch value for the next iteration.
+    pub next_value: f64,
+    /// Visited/active flag.
+    pub active: bool,
+}
+
+/// One out-edge list node.
+#[derive(Clone, Debug, PartialEq)]
+struct EdgeCell {
+    target: VertexId,
+    weight: Weight,
+    next: u32,
+}
+
+/// One in-edge list node.
+#[derive(Clone, Debug, PartialEq)]
+struct InCell {
+    source: VertexId,
+    next: u32,
+}
+
+/// One vertex record: properties plus linked-list heads/tails.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VertexRecord {
+    out_head: u32,
+    out_tail: u32,
+    out_degree: u32,
+    in_head: u32,
+    in_tail: u32,
+    in_degree: u32,
+    /// Algorithm property record.
+    pub prop: VertexProperty,
+}
+
+impl Default for VertexRecord {
+    fn default() -> Self {
+        VertexRecord {
+            out_head: NIL,
+            out_tail: NIL,
+            out_degree: 0,
+            in_head: NIL,
+            in_tail: NIL,
+            in_degree: 0,
+            prop: VertexProperty::default(),
+        }
+    }
+}
+
+/// The property graph: a vector of vertex objects over edge arenas.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PropertyGraph {
+    /// All vertex records, indexed by `VertexId`.
+    pub vertices: Vec<VertexRecord>,
+    out_arena: Vec<EdgeCell>,
+    in_arena: Vec<InCell>,
+}
+
+impl PropertyGraph {
+    /// Creates an empty graph with `n` isolated vertices.
+    pub fn with_vertices(n: usize) -> PropertyGraph {
+        PropertyGraph {
+            vertices: vec![VertexRecord::default(); n],
+            out_arena: Vec::new(),
+            in_arena: Vec::new(),
+        }
+    }
+
+    /// Inserts one directed edge. openG ingests edges one at a time while
+    /// streaming the input file — which is exactly why GraphBIG's file-read
+    /// and construction phases cannot be separated (§III-B). Insertion
+    /// order is preserved per vertex (appended at the list tail).
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, w: Weight) {
+        let cell = self.out_arena.len() as u32;
+        self.out_arena.push(EdgeCell { target: dst, weight: w, next: NIL });
+        let rec = &mut self.vertices[src as usize];
+        if rec.out_tail == NIL {
+            rec.out_head = cell;
+        } else {
+            self.out_arena[rec.out_tail as usize].next = cell;
+        }
+        rec.out_tail = cell;
+        rec.out_degree += 1;
+
+        let cell = self.in_arena.len() as u32;
+        self.in_arena.push(InCell { source: src, next: NIL });
+        let rec = &mut self.vertices[dst as usize];
+        if rec.in_tail == NIL {
+            rec.in_head = cell;
+        } else {
+            self.in_arena[rec.in_tail as usize].next = cell;
+        }
+        rec.in_tail = cell;
+        rec.in_degree += 1;
+    }
+
+    /// Builds from an edge list (used by tests and oracles; the GraphBIG
+    /// engine itself streams from its homogenized file).
+    pub fn from_edge_list(el: &EdgeList) -> PropertyGraph {
+        let mut g = PropertyGraph::with_vertices(el.num_vertices);
+        for (u, v, w) in el.iter() {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.out_arena.len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.vertices[v as usize].out_degree as usize
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.vertices[v as usize].in_degree as usize
+    }
+
+    /// Out-neighbors of `v` with weights, walked through the linked list.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let mut cur = self.vertices[v as usize].out_head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let cell = &self.out_arena[cur as usize];
+                cur = cell.next;
+                Some((cell.target, cell.weight))
+            }
+        })
+    }
+
+    /// In-neighbor sources of `v`, walked through the linked list.
+    pub fn in_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        let mut cur = self.vertices[v as usize].in_head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let cell = &self.in_arena[cur as usize];
+                cur = cell.next;
+                Some(cell.source)
+            }
+        })
+    }
+
+    /// Resets every property record (each kernel run starts clean).
+    pub fn reset_properties(&mut self) {
+        for rec in &mut self.vertices {
+            rec.prop = VertexProperty::default();
+        }
+    }
+
+    /// Approximate resident size in bytes; noticeably larger than CSR for
+    /// the same graph (list nodes carry link fields), which feeds the
+    /// machine model's memory-traffic term.
+    pub fn size_bytes(&self) -> usize {
+        self.vertices.len() * std::mem::size_of::<VertexRecord>()
+            + self.out_arena.len() * std::mem::size_of::<EdgeCell>()
+            + self.in_arena.len() * std::mem::size_of::<InCell>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let el = EdgeList::weighted(4, vec![(0, 1), (1, 2), (1, 3)], vec![0.5, 1.0, 2.0]);
+        let g = PropertyGraph::from_edge_list(&el);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(1), 2);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![(1, 0.5)]);
+        assert_eq!(g.in_neighbors(2).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(g.in_neighbors(0).count(), 0);
+    }
+
+    #[test]
+    fn insertion_order_preserved_per_vertex() {
+        let mut g = PropertyGraph::with_vertices(4);
+        g.add_edge(0, 3, 1.0);
+        g.add_edge(1, 2, 2.0); // interleaved: arenas are globally ordered
+        g.add_edge(0, 1, 3.0);
+        g.add_edge(0, 2, 4.0);
+        assert_eq!(
+            g.neighbors(0).collect::<Vec<_>>(),
+            vec![(3, 1.0), (1, 3.0), (2, 4.0)]
+        );
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![(2, 2.0)]);
+    }
+
+    #[test]
+    fn incremental_insertion_matches_bulk() {
+        let el = EdgeList::new(3, vec![(0, 1), (2, 0)]);
+        let bulk = PropertyGraph::from_edge_list(&el);
+        let mut inc = PropertyGraph::with_vertices(3);
+        inc.add_edge(0, 1, 1.0);
+        inc.add_edge(2, 0, 1.0);
+        assert_eq!(bulk, inc);
+    }
+
+    #[test]
+    fn degrees_track_insertions() {
+        let el = EdgeList::new(5, vec![(0, 1), (0, 2), (3, 0), (4, 0), (1, 0)]);
+        let g = PropertyGraph::from_edge_list(&el);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 3);
+        assert_eq!(g.in_neighbors(0).collect::<Vec<_>>(), vec![3, 4, 1]);
+    }
+
+    #[test]
+    fn reset_clears_properties() {
+        let mut g = PropertyGraph::from_edge_list(&EdgeList::new(2, vec![(0, 1)]));
+        g.vertices[0].prop.value = 42.0;
+        g.vertices[1].prop.active = true;
+        g.reset_properties();
+        assert_eq!(g.vertices[0].prop, VertexProperty::default());
+        assert_eq!(g.vertices[1].prop, VertexProperty::default());
+    }
+
+    #[test]
+    fn property_graph_is_bigger_than_flat() {
+        let edges: Vec<_> =
+            (0..100).map(|i| (i as VertexId, ((i + 1) % 100) as VertexId)).collect();
+        let el = EdgeList::new(100, edges);
+        let pg = PropertyGraph::from_edge_list(&el);
+        let csr = crate::Csr::from_edge_list(&el);
+        assert!(pg.size_bytes() > csr.size_bytes());
+    }
+
+    #[test]
+    fn self_loops_count_in_both_directions() {
+        let mut g = PropertyGraph::with_vertices(2);
+        g.add_edge(1, 1, 0.5);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.in_degree(1), 1);
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![(1, 0.5)]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Compressed sparse row adjacency.
+//!
+//! CSR is the representation shared (with implementation differences the
+//! paper notes in §V) by Graph500, GAP, and GraphBIG. Construction uses the
+//! counting-sort scheme of the Graph500 reference code so that the engines'
+//! "data structure construction" phase does real, representative work.
+
+use crate::{EdgeList, VertexId, Weight};
+
+/// Compressed-sparse-row graph. Always stores out-edges; build the transpose
+/// for in-edges (pull-direction algorithms such as direction-optimizing BFS
+/// and pull PageRank need both).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` (and `weights`).
+    pub offsets: Vec<usize>,
+    /// Concatenated adjacency lists.
+    pub targets: Vec<VertexId>,
+    /// Optional weights parallel to `targets`.
+    pub weights: Option<Vec<Weight>>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list via counting sort. `O(V + E)`.
+    pub fn from_edge_list(el: &EdgeList) -> Csr {
+        let n = el.num_vertices;
+        let mut counts = vec![0usize; n + 1];
+        for &(u, _) in &el.edges {
+            counts[u as usize + 1] += 1;
+        }
+        for v in 0..n {
+            counts[v + 1] += counts[v];
+        }
+        let offsets = counts.clone();
+        let mut targets = vec![0 as VertexId; el.edges.len()];
+        let mut weights = el.weights.as_ref().map(|_| vec![0.0 as Weight; el.edges.len()]);
+        let mut cursor = counts;
+        for (i, &(u, v)) in el.edges.iter().enumerate() {
+            let slot = cursor[u as usize];
+            cursor[u as usize] += 1;
+            targets[slot] = v;
+            if let Some(ws) = weights.as_mut() {
+                ws[slot] = el.weight(i);
+            }
+        }
+        Csr { offsets, targets, weights }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True if edges carry weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Neighbors of `v` with weights (1.0 when unweighted).
+    pub fn neighbors_weighted(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let range = self.offsets[v as usize]..self.offsets[v as usize + 1];
+        let ws = self.weights.as_deref();
+        range.map(move |i| (self.targets[i], ws.map_or(1.0, |w| w[i])))
+    }
+
+    /// Builds the transposed graph (in-edges become out-edges). `O(V + E)`.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut counts = vec![0usize; n + 1];
+        for &t in &self.targets {
+            counts[t as usize + 1] += 1;
+        }
+        for v in 0..n {
+            counts[v + 1] += counts[v];
+        }
+        let offsets = counts.clone();
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        let mut weights = self.weights.as_ref().map(|_| vec![0.0 as Weight; self.targets.len()]);
+        let mut cursor = counts;
+        for u in 0..n as VertexId {
+            for i in self.offsets[u as usize]..self.offsets[u as usize + 1] {
+                let t = self.targets[i] as usize;
+                let slot = cursor[t];
+                cursor[t] += 1;
+                targets[slot] = u;
+                if let (Some(dst), Some(src)) = (weights.as_mut(), self.weights.as_ref()) {
+                    dst[slot] = src[i];
+                }
+            }
+        }
+        Csr { offsets, targets, weights }
+    }
+
+    /// Sorts each adjacency list (weights permuted alongside). Sorted lists
+    /// are required by the LCC intersection kernels.
+    pub fn sort_adjacency(&mut self) {
+        let n = self.num_vertices();
+        for v in 0..n {
+            let lo = self.offsets[v];
+            let hi = self.offsets[v + 1];
+            if let Some(ws) = self.weights.as_mut() {
+                let mut pairs: Vec<(VertexId, Weight)> =
+                    self.targets[lo..hi].iter().copied().zip(ws[lo..hi].iter().copied()).collect();
+                pairs.sort_unstable_by_key(|&(t, w)| (t, w.to_bits()));
+                for (k, (t, w)) in pairs.into_iter().enumerate() {
+                    self.targets[lo + k] = t;
+                    ws[lo + k] = w;
+                }
+            } else {
+                self.targets[lo..hi].sort_unstable();
+            }
+        }
+    }
+
+    /// Converts back to an edge list (in adjacency order).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        let mut weights = self.weights.as_ref().map(|_| Vec::with_capacity(self.num_edges()));
+        for u in 0..self.num_vertices() as VertexId {
+            for (v, w) in self.neighbors_weighted(u) {
+                edges.push((u, v));
+                if let Some(ws) = weights.as_mut() {
+                    ws.push(w);
+                }
+            }
+        }
+        EdgeList { num_vertices: self.num_vertices(), edges, weights }
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self.weights.as_ref().map_or(0, |w| w.len() * std::mem::size_of::<Weight>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::weighted(
+            5,
+            vec![(0, 1), (0, 2), (1, 3), (3, 0), (3, 4), (2, 2)],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+    }
+
+    #[test]
+    fn build_and_degrees() {
+        let g = Csr::from_edge_list(&sample());
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 2);
+        assert_eq!(g.out_degree(4), 0);
+        assert_eq!(g.neighbors(1), &[3]);
+    }
+
+    #[test]
+    fn weights_follow_edges() {
+        let g = Csr::from_edge_list(&sample());
+        let nbrs: Vec<_> = g.neighbors_weighted(3).collect();
+        assert_eq!(nbrs, vec![(0, 4.0), (4, 5.0)]);
+    }
+
+    #[test]
+    fn transpose_reverses() {
+        let g = Csr::from_edge_list(&sample());
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), g.num_edges());
+        // In-neighbors of 0 = {3}; of 2 = {0, 2}.
+        assert_eq!(t.neighbors(0), &[3]);
+        let mut in2 = t.neighbors(2).to_vec();
+        in2.sort_unstable();
+        assert_eq!(in2, vec![0, 2]);
+        // Transposing twice restores the original edges (as sets per vertex).
+        let mut tt = t.transpose();
+        let mut orig = g.clone();
+        tt.sort_adjacency();
+        orig.sort_adjacency();
+        assert_eq!(tt, orig);
+    }
+
+    #[test]
+    fn sort_adjacency_keeps_weight_pairing() {
+        let el = EdgeList::weighted(3, vec![(0, 2), (0, 1)], vec![9.0, 7.0]);
+        let mut g = Csr::from_edge_list(&el);
+        g.sort_adjacency();
+        let nbrs: Vec<_> = g.neighbors_weighted(0).collect();
+        assert_eq!(nbrs, vec![(1, 7.0), (2, 9.0)]);
+    }
+
+    #[test]
+    fn edge_list_roundtrip_preserves_multiset() {
+        let el = sample();
+        let g = Csr::from_edge_list(&el);
+        let back = g.to_edge_list();
+        let mut a: Vec<_> = el.iter().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        let mut b: Vec<_> = back.iter().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edge_list(&EdgeList::new(0, vec![]));
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = Csr::from_edge_list(&EdgeList::new(4, vec![(1, 2)]));
+        assert_eq!(g.out_degree(0), 0);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.neighbors(1), &[2]);
+    }
+}
+
+impl Csr {
+    /// Parallel CSR construction: histogram → parallel exclusive scan →
+    /// scatter with atomic cursors. This is the Graph500 construction
+    /// kernel's parallel structure; adjacency order within a vertex is
+    /// unspecified (call [`Csr::sort_adjacency`] for a canonical form).
+    pub fn from_edge_list_parallel(el: &EdgeList, pool: &epg_parallel::ThreadPool) -> Csr {
+        use epg_parallel::{DisjointWriter, Schedule};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        if pool.num_threads() == 1 {
+            // Serial fast path: the atomic histogram/cursor protocol only
+            // pays off once threads can share it.
+            return Csr::from_edge_list(el);
+        }
+        let n = el.num_vertices;
+        let m = el.edges.len();
+        // Histogram of out-degrees.
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        {
+            let edges = &el.edges;
+            pool.parallel_for_ranges(m, Schedule::Static { chunk: None }, |_t, lo, hi| {
+                for &(u, _) in &edges[lo..hi] {
+                    counts[u as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Exclusive scan over the histogram.
+        let mut scanned: Vec<u64> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total = pool.exclusive_scan(&mut scanned);
+        debug_assert_eq!(total as usize, m);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.extend(scanned.iter().map(|&x| x as usize));
+        offsets.push(m);
+        // Scatter: atomic cursor per vertex hands out slots.
+        let cursor: Vec<AtomicU64> = scanned.iter().map(|&x| AtomicU64::new(x)).collect();
+        let mut targets = vec![0 as VertexId; m];
+        let mut weights = el.weights.as_ref().map(|_| vec![0.0 as Weight; m]);
+        {
+            let tw = DisjointWriter::new(&mut targets);
+            let ww = weights.as_mut().map(|w| DisjointWriter::new(w.as_mut_slice()));
+            pool.parallel_for_ranges(m, Schedule::Static { chunk: None }, |_t, lo, hi| {
+                for i in lo..hi {
+                    let (u, v) = el.edges[i];
+                    let slot = cursor[u as usize].fetch_add(1, Ordering::Relaxed) as usize;
+                    // SAFETY: cursors hand out each slot exactly once.
+                    unsafe {
+                        tw.write(slot, v);
+                        if let Some(ww) = &ww {
+                            ww.write(slot, el.weight(i));
+                        }
+                    }
+                }
+            });
+        }
+        Csr { offsets, targets, weights }
+    }
+}
+
+#[cfg(test)]
+mod parallel_build_tests {
+    use super::*;
+    use epg_parallel::ThreadPool;
+
+    #[test]
+    fn parallel_build_equals_serial_after_sorting() {
+        for nthreads in [1, 2, 4] {
+            let pool = ThreadPool::new(nthreads);
+            let el = crate::EdgeList::weighted(
+                200,
+                (0..3000u32).map(|i| (i % 200, (i * 7 + 3) % 200)).collect(),
+                (0..3000).map(|i| i as f32 * 0.5).collect(),
+            );
+            let mut par = Csr::from_edge_list_parallel(&el, &pool);
+            let mut ser = Csr::from_edge_list(&el);
+            par.sort_adjacency();
+            ser.sort_adjacency();
+            assert_eq!(par, ser, "nthreads={nthreads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_empty_and_isolated() {
+        let pool = ThreadPool::new(2);
+        let g = Csr::from_edge_list_parallel(&crate::EdgeList::new(5, vec![(2, 3)]), &pool);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_degree(0), 0);
+        assert_eq!(g.neighbors(2), &[3]);
+        let g = Csr::from_edge_list_parallel(&crate::EdgeList::new(0, vec![]), &pool);
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

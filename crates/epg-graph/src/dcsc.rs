@@ -1,0 +1,201 @@
+//! Doubly-compressed sparse column matrices.
+//!
+//! GraphMat stores the graph as a sparse matrix in DCSC (doubly-compressed
+//! sparse column) form — only columns that actually contain nonzeros are
+//! materialized — and expresses every algorithm as generalized sparse
+//! matrix-vector products (§III-C item 4). This module is the storage half
+//! of our mini-GraphBLAS; the semiring/SpMV half lives in
+//! `epg-engine-graphmat`.
+
+use crate::{Csr, EdgeList, VertexId, Weight};
+
+/// A doubly-compressed sparse column matrix over `Weight`.
+///
+/// Semantics: entry `(r, c)` is an edge `c -> r`, so a column holds the
+/// out-edges of one vertex and SpMV `y = A * x` propagates values along
+/// edge direction (GraphMat's convention for push-style iteration is the
+/// transpose; the engine builds both orientations).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dcsc {
+    /// Matrix dimension (square: num_vertices).
+    pub dim: usize,
+    /// Ids of the non-empty columns, ascending.
+    pub col_ids: Vec<VertexId>,
+    /// `col_ptr[i]..col_ptr[i+1]` indexes `row_ids`/`values` for `col_ids[i]`.
+    pub col_ptr: Vec<usize>,
+    /// Row indices within each column, ascending within a column.
+    pub row_ids: Vec<VertexId>,
+    /// Nonzero values.
+    pub values: Vec<Weight>,
+}
+
+impl Dcsc {
+    /// Builds a DCSC matrix whose entry `(dst, src)` holds each edge's
+    /// weight (1.0 when unweighted). Duplicate edges keep the last value.
+    pub fn from_edge_list(el: &EdgeList) -> Dcsc {
+        // Sort (src, dst) pairs: groups columns, orders rows within columns.
+        let mut triples: Vec<(VertexId, VertexId, Weight)> =
+            el.iter().collect();
+        triples.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        triples.dedup_by_key(|&mut (u, v, _)| (u, v));
+
+        let mut col_ids = Vec::new();
+        let mut col_ptr = vec![0usize];
+        let mut row_ids = Vec::with_capacity(triples.len());
+        let mut values = Vec::with_capacity(triples.len());
+        for (u, v, w) in triples {
+            if col_ids.last() != Some(&u) {
+                if !col_ids.is_empty() {
+                    col_ptr.push(row_ids.len());
+                }
+                col_ids.push(u);
+            }
+            row_ids.push(v);
+            values.push(w);
+        }
+        if !col_ids.is_empty() {
+            col_ptr.push(row_ids.len());
+        }
+        Dcsc { dim: el.num_vertices, col_ids, col_ptr, row_ids, values }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// Number of materialized (non-empty) columns.
+    pub fn num_nonempty_cols(&self) -> usize {
+        self.col_ids.len()
+    }
+
+    /// Iterates the nonzeros of the column for vertex `src`, if materialized.
+    pub fn column(&self, src: VertexId) -> &[VertexId] {
+        match self.col_ids.binary_search(&src) {
+            Ok(i) => &self.row_ids[self.col_ptr[i]..self.col_ptr[i + 1]],
+            Err(_) => &[],
+        }
+    }
+
+    /// Iterates `(row, value)` for materialized column index `i`
+    /// (0-based over non-empty columns).
+    pub fn col_entries(&self, i: usize) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        (self.col_ptr[i]..self.col_ptr[i + 1]).map(move |k| (self.row_ids[k], self.values[k]))
+    }
+
+    /// Iterates all nonzeros as `(row, col, value)`.
+    pub fn triples(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.col_ids.iter().enumerate().flat_map(move |(i, &c)| {
+            self.col_entries(i).map(move |(r, v)| (r, c, v))
+        })
+    }
+
+    /// Builds the transpose (edges reversed).
+    pub fn transpose(&self) -> Dcsc {
+        let mut el = EdgeList {
+            num_vertices: self.dim,
+            edges: Vec::with_capacity(self.nnz()),
+            weights: Some(Vec::with_capacity(self.nnz())),
+        };
+        for (r, c, v) in self.triples() {
+            el.edges.push((r, c));
+            el.weights.as_mut().unwrap().push(v);
+        }
+        Dcsc::from_edge_list(&el)
+    }
+
+    /// Converts to CSR over out-edges (column-major becomes row adjacency of
+    /// the *source*), for cross-representation tests.
+    pub fn to_csr(&self) -> Csr {
+        let mut el = EdgeList {
+            num_vertices: self.dim,
+            edges: Vec::with_capacity(self.nnz()),
+            weights: Some(Vec::with_capacity(self.nnz())),
+        };
+        for (r, c, v) in self.triples() {
+            el.edges.push((c, r));
+            el.weights.as_mut().unwrap().push(v);
+        }
+        Csr::from_edge_list(&el)
+    }
+
+    /// Approximate resident size in bytes. DCSC's advantage over CSR — no
+    /// O(V) offsets array when few columns are populated — is visible here.
+    pub fn size_bytes(&self) -> usize {
+        self.col_ids.len() * std::mem::size_of::<VertexId>()
+            + self.col_ptr.len() * std::mem::size_of::<usize>()
+            + self.row_ids.len() * std::mem::size_of::<VertexId>()
+            + self.values.len() * std::mem::size_of::<Weight>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::weighted(
+            6,
+            vec![(0, 1), (0, 3), (4, 2), (4, 5), (4, 0)],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+    }
+
+    #[test]
+    fn compresses_empty_columns() {
+        let m = Dcsc::from_edge_list(&sample());
+        assert_eq!(m.dim, 6);
+        assert_eq!(m.nnz(), 5);
+        // Only vertices 0 and 4 have out-edges.
+        assert_eq!(m.num_nonempty_cols(), 2);
+        assert_eq!(m.col_ids, vec![0, 4]);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let m = Dcsc::from_edge_list(&sample());
+        assert_eq!(m.column(0), &[1, 3]);
+        assert_eq!(m.column(4), &[0, 2, 5]);
+        assert_eq!(m.column(1), &[] as &[VertexId]);
+        assert_eq!(m.column(5), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn triples_roundtrip_via_csr() {
+        let el = sample();
+        let m = Dcsc::from_edge_list(&el);
+        let csr = m.to_csr();
+        let mut a: Vec<_> = el.iter().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        let mut b: Vec<_> = csr.to_edge_list().iter().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Dcsc::from_edge_list(&sample());
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn duplicate_edges_deduplicate() {
+        let el = EdgeList::weighted(3, vec![(0, 1), (0, 1)], vec![1.0, 2.0]);
+        let m = Dcsc::from_edge_list(&el);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Dcsc::from_edge_list(&EdgeList::new(4, vec![]));
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.num_nonempty_cols(), 0);
+        assert_eq!(m.column(2), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn unweighted_values_are_one() {
+        let m = Dcsc::from_edge_list(&EdgeList::new(3, vec![(1, 2)]));
+        assert_eq!(m.values, vec![1.0]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Unsorted edge lists (COO format).
+//!
+//! The Graph500 specification hands its construction kernel "an unsorted
+//! edge list stored in RAM"; this type is that list. It is also the common
+//! interchange format of the dataset homogenizer: generators produce an
+//! `EdgeList`, each engine constructs its own structure from it.
+
+use crate::{VertexId, Weight};
+
+/// An edge list with optional per-edge weights.
+///
+/// Invariant: if `weights` is `Some`, `weights.len() == edges.len()`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EdgeList {
+    /// Number of vertices (vertex ids are `0..num_vertices`).
+    pub num_vertices: usize,
+    /// Directed edges `(src, dst)`.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Optional weights, parallel to `edges`.
+    pub weights: Option<Vec<Weight>>,
+}
+
+impl EdgeList {
+    /// Creates an unweighted edge list.
+    pub fn new(num_vertices: usize, edges: Vec<(VertexId, VertexId)>) -> Self {
+        debug_assert!(edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < num_vertices && (v as usize) < num_vertices));
+        EdgeList { num_vertices, edges, weights: None }
+    }
+
+    /// Creates a weighted edge list. Panics if lengths differ.
+    pub fn weighted(
+        num_vertices: usize,
+        edges: Vec<(VertexId, VertexId)>,
+        weights: Vec<Weight>,
+    ) -> Self {
+        assert_eq!(edges.len(), weights.len(), "weights must parallel edges");
+        EdgeList { num_vertices, edges, weights: Some(weights) }
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the list carries weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Weight of edge `i`, defaulting to 1.0 for unweighted lists.
+    pub fn weight(&self, i: usize) -> Weight {
+        self.weights.as_ref().map_or(1.0, |w| w[i])
+    }
+
+    /// Iterates `(src, dst, weight)` with weight 1.0 when unweighted.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(move |(i, &(u, v))| (u, v, self.weight(i)))
+    }
+
+    /// Returns a copy with every edge also present reversed, making the
+    /// graph symmetric (undirected). Self-loops are not duplicated.
+    pub fn symmetrized(&self) -> EdgeList {
+        let extra = self.iter().filter(|&(u, v, _)| u != v).count();
+        let mut edges = Vec::with_capacity(self.edges.len() + extra);
+        let mut weights = self.weights.as_ref().map(|_| Vec::with_capacity(self.edges.len() + extra));
+        for (u, v, w) in self.iter() {
+            edges.push((u, v));
+            if let Some(ws) = weights.as_mut() {
+                ws.push(w);
+            }
+            if u != v {
+                edges.push((v, u));
+                if let Some(ws) = weights.as_mut() {
+                    ws.push(w);
+                }
+            }
+        }
+        EdgeList { num_vertices: self.num_vertices, edges, weights }
+    }
+
+    /// Removes duplicate edges and self-loops (keeping the first weight seen
+    /// for a duplicate). Used by homogenization for engines that require
+    /// simple graphs.
+    pub fn deduplicated(&self) -> EdgeList {
+        let mut order: Vec<u32> = (0..self.edges.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| self.edges[i as usize]);
+        let mut edges = Vec::new();
+        let mut weights = self.weights.as_ref().map(|_| Vec::new());
+        let mut last: Option<(VertexId, VertexId)> = None;
+        for &i in &order {
+            let e = self.edges[i as usize];
+            if e.0 == e.1 || last == Some(e) {
+                continue;
+            }
+            last = Some(e);
+            edges.push(e);
+            if let Some(ws) = weights.as_mut() {
+                ws.push(self.weight(i as usize));
+            }
+        }
+        EdgeList { num_vertices: self.num_vertices, edges, weights }
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_vertices];
+        for &(u, _) in &self.edges {
+            deg[u as usize] += 1;
+        }
+        deg
+    }
+
+    /// Total degree (in + out) of every vertex; self-loops count twice.
+    pub fn total_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_vertices];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Strips weights, if any.
+    pub fn unweighted(&self) -> EdgeList {
+        EdgeList { num_vertices: self.num_vertices, edges: self.edges.clone(), weights: None }
+    }
+
+    /// Approximate resident size in bytes (the Graph500 input-kernel sizing).
+    pub fn size_bytes(&self) -> usize {
+        self.edges.len() * std::mem::size_of::<(VertexId, VertexId)>()
+            + self.weights.as_ref().map_or(0, |w| w.len() * std::mem::size_of::<Weight>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::weighted(
+            4,
+            vec![(0, 1), (1, 2), (2, 3), (0, 1), (3, 3)],
+            vec![0.5, 1.5, 2.5, 9.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let el = sample();
+        assert_eq!(el.num_edges(), 5);
+        assert!(el.is_weighted());
+        assert_eq!(el.weight(2), 2.5);
+        let unw = el.unweighted();
+        assert!(!unw.is_weighted());
+        assert_eq!(unw.weight(2), 1.0);
+    }
+
+    #[test]
+    fn symmetrize_doubles_non_loops() {
+        let el = sample();
+        let sym = el.symmetrized();
+        // 4 non-loop edges doubled + 1 self loop kept once = 9.
+        assert_eq!(sym.num_edges(), 9);
+        assert!(sym.edges.contains(&(1, 0)));
+        assert!(sym.edges.contains(&(3, 2)));
+        // Weights follow their edge.
+        let idx = sym.edges.iter().position(|&e| e == (2, 1)).unwrap();
+        assert_eq!(sym.weight(idx), 1.5);
+    }
+
+    #[test]
+    fn dedup_removes_loops_and_duplicates() {
+        let el = sample();
+        let d = el.deduplicated();
+        assert_eq!(d.num_edges(), 3);
+        assert!(!d.edges.contains(&(3, 3)));
+        // The (0,1) duplicate keeps the first weight in sorted-index order.
+        let idx = d.edges.iter().position(|&e| e == (0, 1)).unwrap();
+        assert_eq!(d.weight(idx), 0.5);
+    }
+
+    #[test]
+    fn degrees() {
+        let el = sample();
+        assert_eq!(el.out_degrees(), vec![2, 1, 1, 1]);
+        assert_eq!(el.total_degrees(), vec![2, 3, 2, 3]);
+    }
+
+    #[test]
+    fn iter_yields_unit_weights_when_unweighted() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 2)]);
+        let ws: Vec<Weight> = el.iter().map(|(_, _, w)| w).collect();
+        assert_eq!(ws, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must parallel edges")]
+    fn weighted_length_mismatch_panics() {
+        let _ = EdgeList::weighted(2, vec![(0, 1)], vec![]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Graph substrate for `easy-parallel-graph-rs`.
+//!
+//! This crate provides every graph representation used by the five engine
+//! crates, the SNAP text format the paper standardizes on (§III-B), the
+//! per-engine binary formats written by the dataset homogenizer, sequential
+//! oracle algorithms used for correctness checking, and BFS-tree validation
+//! in the style of the Graph500 specification.
+//!
+//! Representations:
+//! - [`EdgeList`]: unsorted COO edge list, the Graph500 "edge list in RAM".
+//! - [`Csr`]: compressed sparse row, used by GAP, Graph500, and GraphBIG.
+//! - [`Dcsc`]: doubly-compressed sparse column, used by the GraphMat engine.
+//! - [`adjacency::PropertyGraph`]: openG-style vertex/edge property store
+//!   used by the GraphBIG engine.
+
+#![allow(clippy::needless_range_loop)] // index-centric kernels mirror the C reference loops
+#![warn(missing_docs)]
+pub mod adjacency;
+pub mod analysis;
+pub mod csr;
+pub mod dcsc;
+pub mod degree;
+pub mod edge_list;
+pub mod oracle;
+pub mod snap;
+pub mod validate;
+
+pub use csr::Csr;
+pub use dcsc::Dcsc;
+pub use edge_list::EdgeList;
+
+/// Vertex identifier. `u32` comfortably covers the paper's largest graph
+/// (scale 23 = 2^23 vertices) while halving memory traffic versus `u64`.
+pub type VertexId = u32;
+
+/// Edge weight. The paper's systems store weights as single-precision floats
+/// (GAP can be recompiled for integer weights; see the `ablation_weights`
+/// bench for that comparison).
+pub type Weight = f32;
+
+/// Sentinel for "no vertex" (roots' parents, unreached vertices).
+pub const NO_VERTEX: VertexId = VertexId::MAX;
+
+/// Sentinel distance for unreachable vertices in SSSP results.
+pub const INF_DIST: Weight = Weight::INFINITY;

@@ -1,0 +1,275 @@
+//! Result validation in the style of the Graph500 specification.
+//!
+//! Graph500 Benchmark 1 requires every BFS run to be validated against five
+//! structural properties of the returned parent tree. The Graph500 engine
+//! runs these after every root; integration tests run them against every
+//! engine's BFS output.
+
+use crate::{Csr, EdgeList, VertexId, Weight, INF_DIST, NO_VERTEX};
+
+/// A validation failure, identifying which spec rule was violated.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidationError {
+    /// Rule 1: the BFS tree contains a cycle or a vertex claims an
+    /// out-of-range parent.
+    BrokenTree {
+        /// Vertex at which the walk to the root failed.
+        vertex: VertexId,
+    },
+    /// Rule 2: tree edge (parent(v), v) does not exist in the graph.
+    PhantomEdge {
+        /// Child vertex of the phantom tree edge.
+        vertex: VertexId,
+        /// Claimed parent.
+        parent: VertexId,
+    },
+    /// Rule 3: levels of tree neighbors differ by more than one, or a
+    /// vertex's level is not parent's level + 1.
+    LevelSkew {
+        /// Vertex whose level is inconsistent with its parent's.
+        vertex: VertexId,
+    },
+    /// Rule 4: a graph edge spans more than one BFS level.
+    EdgeSpansLevels {
+        /// Edge source.
+        src: VertexId,
+        /// Edge destination.
+        dst: VertexId,
+    },
+    /// Rule 5: a vertex in the root's component was not reached.
+    Unreached {
+        /// The unreached vertex.
+        vertex: VertexId,
+    },
+    /// The root's own entry is malformed.
+    BadRoot,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::BrokenTree { vertex } => write!(f, "cycle/invalid parent at {vertex}"),
+            ValidationError::PhantomEdge { vertex, parent } => {
+                write!(f, "tree edge ({parent},{vertex}) not in graph")
+            }
+            ValidationError::LevelSkew { vertex } => write!(f, "level skew at {vertex}"),
+            ValidationError::EdgeSpansLevels { src, dst } => {
+                write!(f, "edge ({src},{dst}) spans >1 level")
+            }
+            ValidationError::Unreached { vertex } => write!(f, "vertex {vertex} unreached"),
+            ValidationError::BadRoot => write!(f, "root entry malformed"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a BFS parent array against the (assumed symmetric) graph,
+/// per the Graph500 Benchmark 1 validation rules. `parent[root]` must be
+/// `root` or `NO_VERTEX`.
+pub fn validate_bfs_tree(
+    g: &Csr,
+    root: VertexId,
+    parent: &[VertexId],
+) -> Result<(), ValidationError> {
+    let n = g.num_vertices();
+    assert_eq!(parent.len(), n, "parent array length mismatch");
+    if parent[root as usize] != root && parent[root as usize] != NO_VERTEX {
+        return Err(ValidationError::BadRoot);
+    }
+
+    // Derive levels by walking up parents, with path lengths bounded by n
+    // (cycle detection). Memoized via level array.
+    let mut level = vec![u32::MAX; n];
+    level[root as usize] = 0;
+    for v0 in 0..n as VertexId {
+        if parent[v0 as usize] == NO_VERTEX || level[v0 as usize] != u32::MAX {
+            continue;
+        }
+        // Walk up to a vertex with a known level.
+        let mut path = vec![v0];
+        let mut v = v0;
+        loop {
+            let p = parent[v as usize];
+            if p == NO_VERTEX || p as usize >= n {
+                return Err(ValidationError::BrokenTree { vertex: v });
+            }
+            if level[p as usize] != u32::MAX {
+                break;
+            }
+            if path.len() > n {
+                return Err(ValidationError::BrokenTree { vertex: v0 });
+            }
+            path.push(p);
+            v = p;
+        }
+        let mut l = level[parent[v as usize] as usize];
+        for &u in path.iter().rev() {
+            l += 1;
+            level[u as usize] = l;
+        }
+    }
+
+    // Rule 2 + 3: every tree edge exists and connects consecutive levels.
+    for v in 0..n as VertexId {
+        let p = parent[v as usize];
+        if p == NO_VERTEX || v == root {
+            continue;
+        }
+        if !g.neighbors(p).contains(&v) {
+            return Err(ValidationError::PhantomEdge { vertex: v, parent: p });
+        }
+        if level[v as usize] != level[p as usize] + 1 {
+            return Err(ValidationError::LevelSkew { vertex: v });
+        }
+    }
+
+    // Rule 4: graph edges connect vertices whose levels differ by <= 1,
+    // and never connect reached with unreached.
+    for u in 0..n as VertexId {
+        for &v in g.neighbors(u) {
+            let (lu, lv) = (level[u as usize], level[v as usize]);
+            match (lu == u32::MAX, lv == u32::MAX) {
+                (true, true) => {}
+                (false, false) => {
+                    if lu.abs_diff(lv) > 1 {
+                        return Err(ValidationError::EdgeSpansLevels { src: u, dst: v });
+                    }
+                }
+                _ => return Err(ValidationError::Unreached { vertex: if lu == u32::MAX { u } else { v } }),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates SSSP distances against relaxation optimality: `dist[root] == 0`
+/// and no edge can further relax any distance; reached/unreached must agree
+/// with graph connectivity from the root.
+pub fn validate_sssp_distances(
+    g: &Csr,
+    root: VertexId,
+    dist: &[Weight],
+) -> Result<(), String> {
+    if dist[root as usize] != 0.0 {
+        return Err(format!("dist[root] = {} != 0", dist[root as usize]));
+    }
+    for u in 0..g.num_vertices() as VertexId {
+        if dist[u as usize] == INF_DIST {
+            continue;
+        }
+        for (v, w) in g.neighbors_weighted(u) {
+            // Tolerance for differing f32 summation orders across engines.
+            if dist[v as usize] > dist[u as usize] + w + 1e-4 {
+                return Err(format!(
+                    "edge ({u},{v},{w}) relaxes dist[{v}]: {} > {} + {w}",
+                    dist[v as usize], dist[u as usize]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Converts a parent array into the edge list of the BFS tree; useful for
+/// diagnostics and tested as part of the validation module.
+pub fn tree_edges(parent: &[VertexId], root: VertexId) -> EdgeList {
+    let edges: Vec<(VertexId, VertexId)> = parent
+        .iter()
+        .enumerate()
+        .filter(|&(v, &p)| p != NO_VERTEX && v as VertexId != root)
+        .map(|(v, &p)| (p, v as VertexId))
+        .collect();
+    EdgeList::new(parent.len(), edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+
+    fn ring(n: usize) -> Csr {
+        let edges: Vec<_> =
+            (0..n as VertexId).map(|v| (v, (v + 1) % n as VertexId)).collect();
+        Csr::from_edge_list(&EdgeList::new(n, edges).symmetrized())
+    }
+
+    #[test]
+    fn oracle_bfs_tree_validates() {
+        let g = ring(16);
+        let r = oracle::bfs(&g, 3);
+        validate_bfs_tree(&g, 3, &r.parent).unwrap();
+    }
+
+    #[test]
+    fn detects_cycle_in_tree() {
+        let g = ring(4);
+        // 1 and 2 point at each other: cycle not reaching the root.
+        let parent = vec![NO_VERTEX, 2, 1, 0];
+        let err = validate_bfs_tree(&g, 0, &parent).unwrap_err();
+        assert!(matches!(err, ValidationError::BrokenTree { .. }));
+    }
+
+    #[test]
+    fn detects_phantom_edge() {
+        let g = ring(6);
+        let mut r = oracle::bfs(&g, 0);
+        r.parent[3] = 0; // (0,3) is not an edge of a 6-ring
+        let err = validate_bfs_tree(&g, 0, &r.parent).unwrap_err();
+        assert!(matches!(err, ValidationError::PhantomEdge { .. }));
+    }
+
+    #[test]
+    fn detects_unreached_vertex_in_component() {
+        let g = ring(5);
+        let mut r = oracle::bfs(&g, 0);
+        r.parent[2] = NO_VERTEX; // pretend 2 was never reached
+        let err = validate_bfs_tree(&g, 0, &r.parent).unwrap_err();
+        assert!(matches!(err, ValidationError::Unreached { .. }));
+    }
+
+    #[test]
+    fn detects_level_skew() {
+        // Ring of 8 rooted at 0; claim parent[4] = 3 but make 4's level wrong
+        // by attaching 3 to the root directly... simplest: corrupt parent of 2
+        // to be 0's neighbor 7 creating level mismatch on a valid edge.
+        let g = ring(8);
+        let mut r = oracle::bfs(&g, 0);
+        // Path 0-1-2; set parent[2]=3 where 3 has level 3: edge (3,2) exists,
+        // but level(2) must then be 4 while edge (1,2) spans levels 1..4.
+        r.parent[2] = 3;
+        assert!(validate_bfs_tree(&g, 0, &r.parent).is_err());
+    }
+
+    #[test]
+    fn unreachable_component_is_fine() {
+        let el = EdgeList::new(5, vec![(0, 1), (2, 3)]).symmetrized();
+        let g = Csr::from_edge_list(&el);
+        let r = oracle::bfs(&g, 0);
+        validate_bfs_tree(&g, 0, &r.parent).unwrap();
+    }
+
+    #[test]
+    fn sssp_validation_accepts_dijkstra_rejects_garbage() {
+        let el = EdgeList::weighted(
+            4,
+            vec![(0, 1), (1, 2), (0, 2), (2, 3)],
+            vec![1.0, 1.0, 5.0, 2.0],
+        )
+        .symmetrized();
+        let g = Csr::from_edge_list(&el);
+        let d = oracle::dijkstra(&g, 0);
+        validate_sssp_distances(&g, 0, &d).unwrap();
+        let mut bad = d.clone();
+        bad[3] = 100.0;
+        assert!(validate_sssp_distances(&g, 0, &bad).is_err());
+    }
+
+    #[test]
+    fn tree_edges_extraction() {
+        let g = ring(4);
+        let r = oracle::bfs(&g, 0);
+        let te = tree_edges(&r.parent, 0);
+        assert_eq!(te.num_edges(), 3); // spanning tree of 4 reached vertices
+    }
+}

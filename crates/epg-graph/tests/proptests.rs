@@ -1,0 +1,229 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Property-based tests for the graph substrate.
+
+use epg_graph::{csr::Csr, dcsc::Dcsc, degree, oracle, snap, validate, EdgeList, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary directed graph as (n, edges) with n in 1..=40.
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (1usize..=40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..200)
+            .prop_map(move |edges| EdgeList::new(n, edges))
+    })
+}
+
+/// Strategy: weighted graph with positive finite weights.
+fn arb_weighted_graph() -> impl Strategy<Value = EdgeList> {
+    (1usize..=30).prop_flat_map(|n| {
+        proptest::collection::vec(
+            ((0..n as VertexId, 0..n as VertexId), 0.01f32..10.0),
+            0..150,
+        )
+        .prop_map(move |ews| {
+            let (edges, weights): (Vec<_>, Vec<_>) = ews.into_iter().unzip();
+            EdgeList::weighted(n, edges, weights)
+        })
+    })
+}
+
+fn edge_multiset(el: &EdgeList) -> Vec<(VertexId, VertexId, u32)> {
+    let mut v: Vec<_> = el.iter().map(|(u, w, x)| (u, w, x.to_bits())).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #[test]
+    fn csr_roundtrip_preserves_edges(el in arb_weighted_graph()) {
+        let g = Csr::from_edge_list(&el);
+        prop_assert_eq!(edge_multiset(&g.to_edge_list()), edge_multiset(&el));
+    }
+
+    #[test]
+    fn csr_degrees_sum_to_edge_count(el in arb_graph()) {
+        let g = Csr::from_edge_list(&el);
+        let total: usize = (0..g.num_vertices() as VertexId).map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(total, el.num_edges());
+    }
+
+    #[test]
+    fn transpose_is_involution(el in arb_weighted_graph()) {
+        let g = Csr::from_edge_list(&el);
+        let mut tt = g.transpose().transpose();
+        let mut gg = g.clone();
+        tt.sort_adjacency();
+        gg.sort_adjacency();
+        prop_assert_eq!(tt, gg);
+    }
+
+    #[test]
+    fn dcsc_matches_csr_after_dedup(el in arb_weighted_graph()) {
+        let m = Dcsc::from_edge_list(&el);
+        // DCSC dedups (r,c); compare against deduped set of (src,dst).
+        let mut expect: Vec<(VertexId, VertexId)> = el.edges.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        let mut got: Vec<(VertexId, VertexId)> =
+            m.triples().map(|(r, c, _)| (c, r)).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn symmetrized_total_degree_even_without_loops(el in arb_graph()) {
+        let sym = el.deduplicated().symmetrized();
+        let g = Csr::from_edge_list(&sym);
+        // In a symmetric loop-free graph, in-degree == out-degree everywhere.
+        let t = g.transpose();
+        for v in 0..g.num_vertices() as VertexId {
+            prop_assert_eq!(g.out_degree(v), t.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn snap_text_roundtrip(el in arb_weighted_graph()) {
+        let mut buf = Vec::new();
+        snap::write_snap(&el, "prop", &mut buf).unwrap();
+        let back = snap::parse_snap(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.edges.clone(), el.edges.clone());
+        // Weights survive text round-trip exactly (Rust prints the shortest
+        // representation that reparses to the same f32). An empty file has
+        // no data lines, so weightedness cannot be recovered.
+        if el.num_edges() == 0 {
+            prop_assert_eq!(back.weights, None);
+        } else {
+            prop_assert_eq!(back.weights, el.weights);
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip(el in arb_weighted_graph()) {
+        let mut buf = Vec::new();
+        snap::write_binary(&el, &mut buf).unwrap();
+        let back = snap::read_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, el);
+    }
+
+    #[test]
+    fn oracle_bfs_tree_always_validates(el in arb_graph()) {
+        let sym = el.deduplicated().symmetrized();
+        if sym.num_edges() == 0 { return Ok(()); }
+        let g = Csr::from_edge_list(&sym);
+        let root = sym.edges[0].0;
+        let r = oracle::bfs(&g, root);
+        prop_assert!(validate::validate_bfs_tree(&g, root, &r.parent).is_ok());
+    }
+
+    #[test]
+    fn oracle_dijkstra_always_validates(el in arb_weighted_graph()) {
+        let sym = el.symmetrized();
+        if sym.num_edges() == 0 { return Ok(()); }
+        let g = Csr::from_edge_list(&sym);
+        let root = sym.edges[0].0;
+        let d = oracle::dijkstra(&g, root);
+        prop_assert!(validate::validate_sssp_distances(&g, root, &d).is_ok());
+    }
+
+    #[test]
+    fn bfs_levels_lower_bound_dijkstra_hops(el in arb_graph()) {
+        // On unit weights, dijkstra == bfs levels.
+        let sym = el.deduplicated().symmetrized();
+        if sym.num_edges() == 0 { return Ok(()); }
+        let g = Csr::from_edge_list(&sym);
+        let root = sym.edges[0].0;
+        let b = oracle::bfs(&g, root);
+        let d = oracle::dijkstra(&g, root);
+        for v in 0..g.num_vertices() {
+            if b.level[v] != u32::MAX {
+                prop_assert!((d[v] - b.level[v] as f32).abs() < 1e-3);
+            } else {
+                prop_assert!(d[v].is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn wcc_is_a_partition_refinable_by_edges(el in arb_graph()) {
+        let g = Csr::from_edge_list(&el);
+        let comp = oracle::wcc(&g);
+        for &(u, v) in &el.edges {
+            prop_assert_eq!(comp[u as usize], comp[v as usize]);
+        }
+        // Component id is min member.
+        for (v, &c) in comp.iter().enumerate() {
+            prop_assert!(c as usize <= v);
+        }
+    }
+
+    #[test]
+    fn pagerank_is_a_distribution(el in arb_graph()) {
+        let g = Csr::from_edge_list(&el);
+        let (pr, _) = oracle::pagerank(&g, 1e-9, 300);
+        let sum: f64 = pr.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+        prop_assert!(pr.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn lcc_in_unit_interval(el in arb_graph()) {
+        let g = Csr::from_edge_list(&el.deduplicated());
+        for c in oracle::lcc(&g) {
+            prop_assert!((0.0..=1.0).contains(&c), "lcc = {}", c);
+        }
+    }
+
+    #[test]
+    fn sampled_roots_qualify(el in arb_graph(), seed in 0u64..1000) {
+        let roots = degree::sample_roots(&el, 8, seed);
+        let deg = el.total_degrees();
+        for r in roots {
+            prop_assert!(deg[r as usize] > 1);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn betweenness_is_nonnegative_and_zero_on_leaves(el in arb_graph()) {
+        let sym = el.deduplicated().symmetrized();
+        let g = Csr::from_edge_list(&sym);
+        let bc = oracle::betweenness(&g);
+        let deg = sym.total_degrees();
+        for (v, &score) in bc.iter().enumerate() {
+            prop_assert!(score >= 0.0);
+            // A vertex of (symmetric) degree <= 1 lies on no shortest path
+            // between two *other* vertices.
+            if deg[v] <= 2 && g.out_degree(v as VertexId) <= 1 {
+                prop_assert_eq!(score, 0.0, "leaf {} has bc {}", v, score);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_count_invariant_under_edge_permutation(el in arb_graph(), seed in 0u64..100) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let base = oracle::triangle_count(&Csr::from_edge_list(&el));
+        let mut shuffled = el.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        shuffled.edges.shuffle(&mut rng);
+        prop_assert_eq!(base, oracle::triangle_count(&Csr::from_edge_list(&shuffled)));
+        // Symmetrizing (no new undirected edges) keeps the count too.
+        prop_assert_eq!(
+            base,
+            oracle::triangle_count(&Csr::from_edge_list(&el.symmetrized()))
+        );
+    }
+
+    #[test]
+    fn triangle_count_monotone_in_edges(el in arb_graph()) {
+        // Removing edges can only remove triangles.
+        if el.num_edges() < 2 { return Ok(()); }
+        let full = oracle::triangle_count(&Csr::from_edge_list(&el));
+        let mut half = el.clone();
+        half.edges.truncate(el.num_edges() / 2);
+        let fewer = oracle::triangle_count(&Csr::from_edge_list(&half));
+        prop_assert!(fewer <= full, "{} > {}", fewer, full);
+    }
+}

@@ -1,0 +1,189 @@
+//! The `epg` command-line interface: "each of which requires no more than
+//! a single shell command" (§III).
+//!
+//! ```text
+//! epg setup                         # phase 1: list the homogenized engines
+//! epg gen   --scale 14 [--weighted] # phase 2: generate + homogenize
+//! epg run   --scale 14 --threads 2  # phase 3 (also runs 2 if needed)
+//! epg all   --scale 14              # phases 2-5
+//! epg graphalytics --scale 12       # the comparator + HTML report
+//! ```
+
+use epg_generator::GraphSpec;
+use epg_harness::dataset::Dataset;
+use epg_harness::graphalytics;
+use epg_harness::pipeline::Pipeline;
+use epg_harness::runner::ExperimentConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    cmd: String,
+    scale: u32,
+    weighted: bool,
+    threads: usize,
+    roots: Option<usize>,
+    seed: u64,
+    out: PathBuf,
+    snap_file: Option<PathBuf>,
+}
+
+fn parse_args(argv: std::env::Args) -> Result<Args, String> {
+    let mut argv = argv;
+    let _bin = argv.next();
+    let cmd = argv.next().ok_or_else(usage)?;
+    let mut a = Args {
+        cmd,
+        scale: 12,
+        weighted: true,
+        threads: 1,
+        roots: Some(8),
+        seed: 42,
+        out: PathBuf::from("target/epg-out"),
+        snap_file: None,
+    };
+    let mut it = argv.peekable();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().ok_or(format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--scale" => a.scale = val("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--threads" => {
+                a.threads = val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--roots" => {
+                a.roots = Some(val("--roots")?.parse().map_err(|e| format!("--roots: {e}"))?)
+            }
+            "--all-roots" => a.roots = None,
+            "--seed" => a.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => a.out = PathBuf::from(val("--out")?),
+            "--weighted" => a.weighted = true,
+            "--unweighted" => a.weighted = false,
+            "--snap" => a.snap_file = Some(PathBuf::from(val("--snap")?)),
+            other => return Err(format!("unknown flag: {other}\n{}", usage())),
+        }
+    }
+    Ok(a)
+}
+
+fn usage() -> String {
+    "usage: epg <setup|gen|run|all|graphalytics|granula> \
+     [--scale N] [--weighted|--unweighted] [--threads N] [--roots N|--all-roots] \
+     [--seed N] [--out DIR] [--snap FILE]"
+        .to_string()
+}
+
+fn dataset_for(args: &Args, pipeline: &Pipeline) -> Result<Dataset, String> {
+    if let Some(path) = &args.snap_file {
+        let ds = Dataset::from_snap_file(path, args.seed).map_err(|e| e.to_string())?;
+        ds.write_files(&pipeline.out_dir.join("datasets")).map_err(|e| e.to_string())?;
+        Ok(ds)
+    } else {
+        let spec = GraphSpec::Kronecker {
+            scale: args.scale,
+            edge_factor: 16,
+            weighted: args.weighted,
+        };
+        pipeline.homogenize(&spec, args.seed).map_err(|e| e.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("epg: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = parse_args(std::env::args())?;
+    let pipeline = Pipeline::new(args.out.clone()).map_err(|e| e.to_string())?;
+    match args.cmd.as_str() {
+        "setup" => {
+            print!("{}", pipeline.setup_report());
+        }
+        "gen" => {
+            let ds = dataset_for(&args, &pipeline)?;
+            println!(
+                "homogenized '{}': {} vertices, {} edges (weighted: {}), 32 roots sampled",
+                ds.name,
+                ds.raw.num_vertices,
+                ds.raw.num_edges(),
+                ds.weighted
+            );
+            println!("files in {}", pipeline.out_dir.join("datasets").display());
+            print!("{}", epg_graph::analysis::GraphProfile::of(&ds.raw).to_text());
+        }
+        "run" | "all" => {
+            let ds = dataset_for(&args, &pipeline)?;
+            let cfg = ExperimentConfig {
+                threads: args.threads,
+                max_roots: args.roots,
+                ..ExperimentConfig::new()
+            };
+            eprintln!(
+                "running {} engines x {} algorithms on '{}' ({} threads)...",
+                cfg.engines.len(),
+                cfg.algorithms.len(),
+                ds.name,
+                cfg.threads
+            );
+            let result = pipeline.run(cfg, &ds);
+            let csv = pipeline.parse(&result).map_err(|e| e.to_string())?;
+            println!("wrote {}", csv.display());
+            if args.cmd == "all" {
+                for p in pipeline.analyze(&result, &ds).map_err(|e| e.to_string())? {
+                    println!("wrote {}", p.display());
+                }
+            }
+        }
+        "granula" => {
+            // Granula-style operation charts for every engine on one BFS run.
+            let ds = dataset_for(&args, &pipeline)?;
+            let cfg = ExperimentConfig {
+                threads: args.threads,
+                max_roots: Some(1),
+                ..ExperimentConfig::new()
+            };
+            let result = pipeline.run(cfg, &ds);
+            for p in pipeline.analyze(&result, &ds).map_err(|e| e.to_string())? {
+                if p.to_string_lossy().contains("granula") {
+                    println!("--- {} ---", p.display());
+                    print!("{}", std::fs::read_to_string(&p).map_err(|e| e.to_string())?);
+                }
+            }
+        }
+        "graphalytics" => {
+            let ds = dataset_for(&args, &pipeline)?;
+            let cells = graphalytics::run_graphalytics(
+                &graphalytics::GRAPHALYTICS_ENGINES,
+                &graphalytics::TABLE1_ALGOS,
+                &ds,
+                args.threads,
+            );
+            print!(
+                "{}",
+                graphalytics::format_table(
+                    &cells,
+                    &graphalytics::GRAPHALYTICS_ENGINES,
+                    std::slice::from_ref(&ds.name)
+                )
+            );
+            let html_dir = pipeline.out_dir.join("graphalytics");
+            std::fs::create_dir_all(&html_dir).map_err(|e| e.to_string())?;
+            for k in graphalytics::GRAPHALYTICS_ENGINES {
+                let path = html_dir.join(format!("{}.html", k.name()));
+                std::fs::write(&path, graphalytics::html_report(k, &cells))
+                    .map_err(|e| e.to_string())?;
+                println!("wrote {}", path.display());
+            }
+        }
+        "--help" | "help" => println!("{}", usage()),
+        other => return Err(format!("unknown command: {other}\n{}", usage())),
+    }
+    Ok(())
+}

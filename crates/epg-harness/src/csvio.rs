@@ -1,0 +1,90 @@
+//! Phase 4 output: a small CSV layer (RFC 4180-style quoting).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Writes one CSV row, quoting fields that need it.
+pub fn write_row<W: Write>(out: &mut W, fields: &[&str]) -> io::Result<()> {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.write_all(b",")?;
+        }
+        if f.contains([',', '"', '\n']) {
+            out.write_all(b"\"")?;
+            out.write_all(f.replace('"', "\"\"").as_bytes())?;
+            out.write_all(b"\"")?;
+        } else {
+            out.write_all(f.as_bytes())?;
+        }
+    }
+    out.write_all(b"\n")
+}
+
+/// Parses a single CSV line into fields.
+pub fn parse_row(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() && !in_quotes => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Reads an entire CSV document into rows of fields.
+pub fn read_all<R: Read>(reader: R) -> io::Result<Vec<Vec<String>>> {
+    BufReader::new(reader)
+        .lines()
+        .map(|l| l.map(|line| parse_row(&line)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_roundtrip() {
+        let mut buf = Vec::new();
+        write_row(&mut buf, &["a", "b", "3.14"]).unwrap();
+        let rows = read_all(buf.as_slice()).unwrap();
+        assert_eq!(rows, vec![vec!["a", "b", "3.14"]]);
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        let mut buf = Vec::new();
+        write_row(&mut buf, &["with,comma", "with\"quote", "plain"]).unwrap();
+        let rows = read_all(buf.as_slice()).unwrap();
+        assert_eq!(rows[0], vec!["with,comma", "with\"quote", "plain"]);
+    }
+
+    #[test]
+    fn empty_fields_survive() {
+        let mut buf = Vec::new();
+        write_row(&mut buf, &["", "x", ""]).unwrap();
+        let rows = read_all(buf.as_slice()).unwrap();
+        assert_eq!(rows[0], vec!["", "x", ""]);
+    }
+
+    #[test]
+    fn parse_handles_quoted_commas() {
+        assert_eq!(parse_row(r#"a,"b,c",d"#), vec!["a", "b,c", "d"]);
+        assert_eq!(parse_row(r#""x""y",z"#), vec![r#"x"y"#, "z"]);
+    }
+}

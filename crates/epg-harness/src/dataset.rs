@@ -1,0 +1,240 @@
+//! Phase 2: the dataset homogenizer.
+//!
+//! "Homogenizing the datasets creates copies of the graph files and
+//! auxiliary files in various formats ... to ensure they are correctly
+//! formatted for each system and to speed up file I/O whenever possible by
+//! using the library designer's serialized data structure file formats"
+//! (§III-B). Concretely:
+//!
+//! - duplicate edges and self-loops are removed (the systems disagree on
+//!   multigraph semantics — GraphMat's matrix cannot represent parallel
+//!   edges — so fairness requires a simple graph);
+//! - a **symmetrized** copy serves the shared-memory engines (the paper's
+//!   experiments treat graphs as undirected); Graph500 receives the raw
+//!   directed list because its construction kernel symmetrizes itself;
+//! - both SNAP text (GraphBIG streams text) and the compact binary format
+//!   (everything else) are written.
+
+use crate::registry::EngineKind;
+use epg_generator::GraphSpec;
+use epg_graph::{degree, snap, EdgeList, VertexId};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A fully-materialized workload: the in-memory edge lists plus the
+/// on-disk homogenized files.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Short name used in reports and file names.
+    pub name: String,
+    /// The raw directed, deduplicated edge list.
+    pub raw: EdgeList,
+    /// The symmetrized, deduplicated edge list most engines consume.
+    pub symmetric: EdgeList,
+    /// Whether edges carry weights (drives SSSP eligibility).
+    pub weighted: bool,
+    /// The 32 sampled roots (degree > 1), as in the Graph500 spec.
+    pub roots: Vec<VertexId>,
+}
+
+/// Number of roots per graph (§III-B: "Each experiment uses 32 roots").
+pub const NUM_ROOTS: usize = 32;
+
+impl Dataset {
+    /// Generates and homogenizes a synthetic workload.
+    pub fn from_spec(spec: &GraphSpec, seed: u64) -> Dataset {
+        let raw = spec.generate(seed).deduplicated();
+        Dataset::from_edge_list(spec.name(), raw, seed)
+    }
+
+    /// Homogenizes an existing edge list (e.g. parsed from a SNAP file —
+    /// "any network in the SNAP data format can be used", §III-B).
+    pub fn from_edge_list(name: String, raw: EdgeList, seed: u64) -> Dataset {
+        let raw = raw.deduplicated();
+        let symmetric = raw.symmetrized().deduplicated();
+        let weighted = raw.is_weighted();
+        let roots = degree::sample_roots(&symmetric, NUM_ROOTS, seed ^ 0x9e3779b97f4a7c15);
+        Dataset { name, raw, symmetric, weighted, roots }
+    }
+
+    /// Loads and homogenizes a SNAP text file from disk.
+    pub fn from_snap_file(path: &Path, seed: u64) -> Result<Dataset, snap::ParseError> {
+        let raw = snap::read_snap_file(path)?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "dataset".into());
+        Ok(Dataset::from_edge_list(name, raw, seed))
+    }
+
+    /// The edge list an engine should consume.
+    pub fn edges_for(&self, kind: EngineKind) -> &EdgeList {
+        if kind.wants_raw_edges() {
+            &self.raw
+        } else {
+            &self.symmetric
+        }
+    }
+
+    /// Writes the homogenized files: SNAP text (for the streaming readers)
+    /// and binary (serialized fast path), both raw and symmetrized.
+    /// Returns the file paths written.
+    pub fn write_files(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        let base = dir.join(&self.name);
+        let paths = [
+            (format!("{}.snap", base.display()), Format::SnapText, false),
+            (format!("{}.sym.snap", base.display()), Format::SnapText, true),
+            (format!("{}.bin", base.display()), Format::Binary, false),
+            (format!("{}.sym.bin", base.display()), Format::Binary, true),
+        ];
+        for (path, fmt, sym) in paths {
+            let el = if sym { &self.symmetric } else { &self.raw };
+            let path = PathBuf::from(path);
+            match fmt {
+                Format::SnapText => snap::write_snap_file(el, &self.name, &path)?,
+                Format::Binary => snap::write_binary_file(el, &path)?,
+            }
+            written.push(path);
+        }
+        Ok(written)
+    }
+
+    /// The homogenized file an engine loads in file-based runs: GraphBIG
+    /// streams SNAP text (openG parses text while building); everything
+    /// else uses the serialized binary fast path the homogenizer exists to
+    /// provide (§III-B).
+    pub fn input_path_for(&self, dir: &Path, kind: EngineKind) -> PathBuf {
+        let (sym, ext) = match kind {
+            EngineKind::Graph500 => (false, "bin"),
+            EngineKind::GraphBig => (true, "snap"),
+            _ => (true, "bin"),
+        };
+        if sym {
+            dir.join(format!("{}.sym.{ext}", self.name))
+        } else {
+            dir.join(format!("{}.{ext}", self.name))
+        }
+    }
+}
+
+enum Format {
+    SnapText,
+    Binary,
+}
+
+/// The paper's standard workloads at a given scale divisor. `div = 1`
+/// reproduces the full paper sizes; the default regenerators use a divisor
+/// that fits CI-class machines (see DESIGN.md §4).
+pub struct PaperDatasets;
+
+impl PaperDatasets {
+    /// Kronecker graph of the given scale (Figs. 2-4, Table II: scale 22;
+    /// Figs. 5-6: scale 23).
+    pub fn kronecker(scale: u32, weighted: bool) -> GraphSpec {
+        GraphSpec::Kronecker { scale, edge_factor: 16, weighted }
+    }
+
+    /// The cit-Patents stand-in (Table I, Fig. 8).
+    pub fn cit_patents(scale_div: u32) -> GraphSpec {
+        GraphSpec::CitPatents { scale_div }
+    }
+
+    /// The dota-league stand-in (Table I, Fig. 8).
+    pub fn dota_league(scale_div: u32) -> GraphSpec {
+        let full_v = 61_670usize;
+        let full_d = 824u32;
+        GraphSpec::DotaLeague {
+            num_vertices: (full_v / scale_div as usize).max(64),
+            avg_degree: (full_d / scale_div).max(16),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> GraphSpec {
+        GraphSpec::Kronecker { scale: 8, edge_factor: 8, weighted: true }
+    }
+
+    #[test]
+    fn homogenization_dedups_and_symmetrizes() {
+        let ds = Dataset::from_spec(&small_spec(), 3);
+        // No self loops or duplicates in either copy.
+        for el in [&ds.raw, &ds.symmetric] {
+            let mut seen = el.edges.clone();
+            seen.sort_unstable();
+            let n = seen.len();
+            seen.dedup();
+            assert_eq!(seen.len(), n, "duplicates survived");
+            assert!(el.edges.iter().all(|&(u, v)| u != v), "self loop survived");
+        }
+        // Symmetric copy contains each raw edge both ways.
+        let set: std::collections::HashSet<_> = ds.symmetric.edges.iter().copied().collect();
+        for &(u, v) in &ds.raw.edges {
+            assert!(set.contains(&(u, v)) && set.contains(&(v, u)));
+        }
+        assert!(ds.weighted);
+    }
+
+    #[test]
+    fn roots_are_32_distinct_high_degree() {
+        let ds = Dataset::from_spec(&small_spec(), 4);
+        assert_eq!(ds.roots.len(), NUM_ROOTS);
+        let deg = ds.symmetric.total_degrees();
+        for &r in &ds.roots {
+            assert!(deg[r as usize] > 1);
+        }
+    }
+
+    #[test]
+    fn engine_input_selection() {
+        let ds = Dataset::from_spec(&small_spec(), 5);
+        assert_eq!(ds.edges_for(EngineKind::Graph500) as *const _, &ds.raw as *const _);
+        assert_eq!(ds.edges_for(EngineKind::Gap) as *const _, &ds.symmetric as *const _);
+    }
+
+    #[test]
+    fn files_roundtrip() {
+        let ds = Dataset::from_spec(&small_spec(), 6);
+        let dir = std::env::temp_dir().join("epg_dataset_test");
+        let written = ds.write_files(&dir).unwrap();
+        assert_eq!(written.len(), 4);
+        let back = snap::read_binary_file(&ds.input_path_for(&dir, EngineKind::Gap)).unwrap();
+        assert_eq!(back, ds.symmetric);
+        let raw_back = snap::read_binary_file(&ds.input_path_for(&dir, EngineKind::Graph500)).unwrap();
+        assert_eq!(raw_back, ds.raw);
+        // GraphBIG streams text.
+        assert!(ds.input_path_for(&dir, EngineKind::GraphBig).extension().unwrap() == "snap");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snap_file_ingestion() {
+        let dir = std::env::temp_dir().join("epg_dataset_snap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("toy.snap");
+        std::fs::write(&p, "# toy\n0 1\n1 2\n2 0\n0 1\n").unwrap();
+        let ds = Dataset::from_snap_file(&p, 1).unwrap();
+        assert_eq!(ds.name, "toy");
+        assert_eq!(ds.raw.num_edges(), 3); // duplicate dropped
+        assert!(!ds.weighted);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paper_dataset_shapes() {
+        let dota = PaperDatasets::dota_league(1);
+        if let GraphSpec::DotaLeague { num_vertices, avg_degree } = dota {
+            assert_eq!(num_vertices, 61_670);
+            assert_eq!(avg_degree, 824);
+        } else {
+            panic!("wrong spec");
+        }
+        assert!(!PaperDatasets::cit_patents(64).is_weighted());
+        assert!(PaperDatasets::kronecker(22, true).is_weighted());
+    }
+}

@@ -1,0 +1,162 @@
+//! Granula-style fine-grained performance modeling.
+//!
+//! §II: "With a plugin to Graphalytics called Granula, one can explicitly
+//! specify a performance model to analyze specific execution behavior such
+//! as the amount of communication or runtime of particular kernels of
+//! execution." Our equivalent builds an *operation chart* from the
+//! harness's phase timings plus the engine's execution trace: a hierarchy
+//! of phases, and within the kernel phase a region-level breakdown
+//! (parallel/serial, work, memory traffic, binding constraint under the
+//! machine model) — without requiring any knowledge of engine source code,
+//! which is the advantage the paper claims over Granula.
+
+use epg_engine_api::{Phase, Trace};
+use epg_machine::MachineModel;
+use std::fmt::Write as _;
+
+/// One row of the operation chart.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OperationRow {
+    /// Nesting depth (0 = phase, 1 = region group).
+    pub depth: usize,
+    /// Row label.
+    pub label: String,
+    /// Seconds attributed to this operation.
+    pub seconds: f64,
+    /// Fraction of the total run.
+    pub fraction: f64,
+}
+
+/// The chart: rows in execution order.
+#[derive(Clone, Debug, Default)]
+pub struct OperationChart {
+    /// Rows, phases first.
+    pub rows: Vec<OperationRow>,
+}
+
+impl OperationChart {
+    /// Builds a chart from measured phase times plus the kernel's trace.
+    /// The kernel phase is decomposed by the machine model at `threads`
+    /// target threads using the calibrated `rate`.
+    pub fn build(
+        phases: &[(Phase, f64)],
+        trace: &Trace,
+        model: &MachineModel,
+        rate: f64,
+        threads: usize,
+    ) -> OperationChart {
+        let total: f64 = phases.iter().map(|&(_, s)| s).sum();
+        let mut rows = Vec::new();
+        for &(phase, secs) in phases {
+            rows.push(OperationRow {
+                depth: 0,
+                label: phase.label().to_string(),
+                seconds: secs,
+                fraction: if total > 0.0 { secs / total } else { 0.0 },
+            });
+            if phase != Phase::Run {
+                continue;
+            }
+            // Decompose the kernel by its trace under the machine model.
+            let proj = model.project(trace, rate, threads);
+            let breakdown = [
+                ("compute-bound regions", proj.compute_s),
+                ("memory-bound regions", proj.memory_s),
+                ("span-bound regions (stragglers)", proj.span_s),
+                ("synchronization (barriers/joins)", proj.sync_s),
+            ];
+            for (label, s) in breakdown {
+                rows.push(OperationRow {
+                    depth: 1,
+                    label: label.to_string(),
+                    seconds: s,
+                    fraction: if proj.total_s > 0.0 { s / proj.total_s } else { 0.0 },
+                });
+            }
+            rows.push(OperationRow {
+                depth: 1,
+                label: format!(
+                    "serial fraction of work (Amdahl): {:.2}%",
+                    trace.serial_fraction() * 100.0
+                ),
+                seconds: 0.0,
+                fraction: trace.serial_fraction(),
+            });
+        }
+        OperationChart { rows }
+    }
+
+    /// Renders the chart as aligned text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<44}{:>12}{:>8}", "operation", "seconds", "%");
+        for r in &self.rows {
+            let indent = "  ".repeat(r.depth);
+            let _ = writeln!(
+                out,
+                "{:<44}{:>12.6}{:>7.1}%",
+                format!("{indent}{}", r.label),
+                r.seconds,
+                r.fraction * 100.0
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> OperationChart {
+        let mut trace = Trace::default();
+        trace.parallel(1_000_000, 100, 2_000);
+        trace.serial(50_000, 100);
+        let phases = [
+            (Phase::ReadFile, 0.5),
+            (Phase::Construct, 1.0),
+            (Phase::Run, 0.25),
+            (Phase::Output, 0.05),
+        ];
+        OperationChart::build(&phases, &trace, &MachineModel::paper_machine(), 1e8, 32)
+    }
+
+    #[test]
+    fn phases_plus_kernel_breakdown() {
+        let chart = sample_chart();
+        let phase_rows: Vec<_> = chart.rows.iter().filter(|r| r.depth == 0).collect();
+        assert_eq!(phase_rows.len(), 4);
+        // Kernel breakdown nested under Run.
+        let nested: Vec<_> = chart.rows.iter().filter(|r| r.depth == 1).collect();
+        assert!(nested.len() >= 4);
+        // Fractions of phases sum to 1.
+        let sum: f64 = phase_rows.iter().map(|r| r.fraction).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_breakdown_sums_to_projection() {
+        let chart = sample_chart();
+        let nested_time: f64 = chart
+            .rows
+            .iter()
+            .filter(|r| r.depth == 1)
+            .map(|r| r.seconds)
+            .sum();
+        let mut trace = Trace::default();
+        trace.parallel(1_000_000, 100, 2_000);
+        trace.serial(50_000, 100);
+        let proj = MachineModel::paper_machine().project(&trace, 1e8, 32);
+        assert!((nested_time - proj.total_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_rendering_contains_all_rows() {
+        let chart = sample_chart();
+        let text = chart.to_text();
+        assert!(text.contains("read_file"));
+        assert!(text.contains("construct"));
+        assert!(text.contains("compute-bound"));
+        assert!(text.contains("Amdahl"));
+    }
+}

@@ -1,0 +1,341 @@
+//! The Graphalytics v0.3 comparator.
+//!
+//! Graphalytics is the prior framework the paper measures itself against
+//! (§II, Tables I-II, Fig. 7). Two methodological properties matter and
+//! are reproduced deliberately:
+//!
+//! 1. **Single trial**: "Just one run per experiment is performed"
+//!    (Table I caption) — no box plots, no variance.
+//! 2. **Phase confounding**: what counts as "runtime" differs per system.
+//!    GraphMat's reported time *includes* reading the input file from
+//!    disk, while GraphBIG's does not — the paper's centerpiece example:
+//!    "If the time to read in the text file was ignored then GraphMat
+//!    would complete nearly twice as quickly. To call this a fair
+//!    comparison is dubious at best."
+//!
+//! The [`html_report`] function renders the per-system HTML page
+//! Graphalytics outputs (Fig. 7).
+
+use crate::dataset::Dataset;
+use crate::registry::EngineKind;
+use epg_engine_api::{Algorithm, RunParams};
+use epg_parallel::ThreadPool;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The systems Graphalytics drives in the paper's tables.
+pub const GRAPHALYTICS_ENGINES: [EngineKind; 3] =
+    [EngineKind::GraphBig, EngineKind::PowerGraph, EngineKind::GraphMat];
+
+/// The algorithm columns of Table I, in order.
+pub const TABLE1_ALGOS: [Algorithm; 6] = [
+    Algorithm::Bfs,
+    Algorithm::Cdlp,
+    Algorithm::Lcc,
+    Algorithm::PageRank,
+    Algorithm::Sssp,
+    Algorithm::Wcc,
+];
+
+/// One cell of a Graphalytics report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    /// System under test.
+    pub engine: EngineKind,
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Dataset name.
+    pub dataset: String,
+    /// The single-run time Graphalytics would report (None = N/A).
+    pub reported_seconds: Option<f64>,
+    /// What actually happened, phase by phase (read, construct, run,
+    /// output) — the information Graphalytics's report discards.
+    pub true_phases: Option<PhaseBreakdown>,
+}
+
+/// Honest phase breakdown behind a reported number.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// File read seconds (fused engines: read+construct).
+    pub read_s: f64,
+    /// Structure construction seconds (0 when fused into read).
+    pub construct_s: f64,
+    /// Kernel seconds.
+    pub run_s: f64,
+    /// Result output seconds.
+    pub output_s: f64,
+}
+
+impl PhaseBreakdown {
+    /// The number Graphalytics reports for this system — per-system phase
+    /// inclusion, reproducing the Table I inconsistency.
+    pub fn graphalytics_reported(&self, engine: EngineKind) -> f64 {
+        match engine {
+            // GraphMat's harness wraps the whole binary: file read included.
+            EngineKind::GraphMat => self.read_s + self.run_s + self.output_s,
+            // GraphBIG's plugin times only the kernel + output.
+            EngineKind::GraphBig => self.run_s + self.output_s,
+            // PowerGraph reports the engine's own "Finished Running" time.
+            EngineKind::PowerGraph => self.run_s,
+            // Not driven by Graphalytics in the paper, but defined for
+            // completeness: kernel time.
+            _ => self.run_s,
+        }
+    }
+}
+
+/// Runs the Graphalytics methodology over one dataset: one trial per
+/// (system, algorithm), reported with per-system phase confounding.
+pub fn run_graphalytics(
+    engines: &[EngineKind],
+    algorithms: &[Algorithm],
+    ds: &Dataset,
+    threads: usize,
+) -> Vec<Cell> {
+    let pool = ThreadPool::new(threads.max(1));
+    let dir = std::env::temp_dir().join("epg-graphalytics");
+    ds.write_files(&dir).expect("failed to write homogenized files");
+    let mut cells = Vec::new();
+    for &kind in engines {
+        let mut engine = kind.create();
+        let t0 = Instant::now();
+        engine
+            .load_file(&ds.input_path_for(&dir, kind))
+            .expect("engine failed to load input");
+        let read_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        engine.construct(&pool);
+        let construct_s = t0.elapsed().as_secs_f64();
+        for &algo in algorithms {
+            if !engine.supports(algo) {
+                cells.push(Cell {
+                    engine: kind,
+                    algorithm: algo,
+                    dataset: ds.name.clone(),
+                    reported_seconds: None,
+                    true_phases: None,
+                });
+                continue;
+            }
+            if algo.needs_weights() && !ds.weighted {
+                // "Graphalytics by default does not perform SSSP on
+                // unweighted, undirected graphs" (§IV-A) — the N/A cells.
+                cells.push(Cell {
+                    engine: kind,
+                    algorithm: algo,
+                    dataset: ds.name.clone(),
+                    reported_seconds: None,
+                    true_phases: None,
+                });
+                continue;
+            }
+            let root = algo.is_rooted().then(|| ds.roots[0]);
+            let params = RunParams::new(&pool, root);
+            let t0 = Instant::now();
+            let output = engine.run(algo, &params);
+            let run_s = t0.elapsed().as_secs_f64();
+            // Graphalytics requires each system to write its results out.
+            let t0 = Instant::now();
+            let rendered = render_output_like_system(&output.result);
+            let output_s = t0.elapsed().as_secs_f64();
+            std::hint::black_box(rendered);
+            let phases = PhaseBreakdown { read_s, construct_s, run_s, output_s };
+            cells.push(Cell {
+                engine: kind,
+                algorithm: algo,
+                dataset: ds.name.clone(),
+                reported_seconds: Some(phases.graphalytics_reported(kind)),
+                true_phases: Some(phases),
+            });
+        }
+    }
+    cells
+}
+
+fn render_output_like_system(result: &epg_engine_api::AlgorithmResult) -> String {
+    use epg_engine_api::AlgorithmResult as R;
+    let mut s = String::new();
+    match result {
+        R::BfsTree { level, .. } => {
+            for (v, l) in level.iter().enumerate() {
+                let _ = writeln!(s, "{v} {l}");
+            }
+        }
+        R::Distances(d) => {
+            for (v, x) in d.iter().enumerate() {
+                let _ = writeln!(s, "{v} {x}");
+            }
+        }
+        R::Ranks { ranks, .. } => {
+            for (v, x) in ranks.iter().enumerate() {
+                let _ = writeln!(s, "{v} {x:.6e}");
+            }
+        }
+        R::Labels(l) => {
+            for (v, x) in l.iter().enumerate() {
+                let _ = writeln!(s, "{v} {x}");
+            }
+        }
+        R::Coefficients(c) => {
+            for (v, x) in c.iter().enumerate() {
+                let _ = writeln!(s, "{v} {x:.6}");
+            }
+        }
+        R::Components(c) => {
+            for (v, x) in c.iter().enumerate() {
+                let _ = writeln!(s, "{v} {x}");
+            }
+        }
+        R::Centrality(c) => {
+            for (v, x) in c.iter().enumerate() {
+                let _ = writeln!(s, "{v} {x:.6}");
+            }
+        }
+        R::Triangles(t) => {
+            let _ = writeln!(s, "triangles: {t}");
+        }
+    }
+    s
+}
+
+/// Formats cells as the paper's Table I layout: one block per system, one
+/// column per algorithm, one row per dataset. `N/A` for missing cells.
+pub fn format_table(cells: &[Cell], engines: &[EngineKind], datasets: &[String]) -> String {
+    let mut out = String::new();
+    for &engine in engines {
+        let _ = write!(out, "{:<12}", engine.name());
+        for a in TABLE1_ALGOS {
+            let _ = write!(out, "{:>9}", a.abbrev());
+        }
+        out.push('\n');
+        for dsname in datasets {
+            let _ = write!(out, "{dsname:<12}");
+            for a in TABLE1_ALGOS {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.engine == engine && c.algorithm == a && &c.dataset == dsname);
+                match cell.and_then(|c| c.reported_seconds) {
+                    Some(s) => {
+                        let _ = write!(out, "{s:>9.3}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>9}", "N/A");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the per-system HTML report page Graphalytics produces (Fig. 7).
+pub fn html_report(system: EngineKind, cells: &[Cell]) -> String {
+    let mut rows = String::new();
+    let mut datasets: Vec<&str> = cells
+        .iter()
+        .filter(|c| c.engine == system)
+        .map(|c| c.dataset.as_str())
+        .collect();
+    datasets.sort_unstable();
+    datasets.dedup();
+    for ds in &datasets {
+        let _ = write!(rows, "<tr><td>{ds}</td>");
+        for a in TABLE1_ALGOS {
+            let cell = cells
+                .iter()
+                .find(|c| c.engine == system && c.algorithm == a && c.dataset == *ds);
+            match cell.and_then(|c| c.reported_seconds) {
+                Some(s) => {
+                    let _ = write!(rows, "<td>{s:.3} s</td>");
+                }
+                None => {
+                    let _ = write!(rows, "<td class=\"na\">N/A</td>");
+                }
+            }
+        }
+        let _ = writeln!(rows, "</tr>");
+    }
+    format!(
+        "<!DOCTYPE html>\n<html><head><title>Graphalytics report: {name}</title>\n\
+         <style>body{{font-family:sans-serif}}table{{border-collapse:collapse}}\
+         td,th{{border:1px solid #999;padding:4px 10px}}.na{{color:#999}}</style></head>\n\
+         <body><h1>Graphalytics benchmark report</h1><h2>System: {name}</h2>\n\
+         <p>One run per experiment. Runtimes as reported by the platform driver\n\
+         (phase inclusion varies per platform; see the easy-parallel-graph-*\n\
+         report for phase-separated numbers).</p>\n\
+         <table><tr><th>dataset</th>{heads}</tr>\n{rows}</table></body></html>\n",
+        name = system.name(),
+        heads = TABLE1_ALGOS
+            .iter()
+            .map(|a| format!("<th>{}</th>", a.abbrev()))
+            .collect::<String>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_generator::GraphSpec;
+
+    fn tiny_weighted() -> Dataset {
+        Dataset::from_spec(&GraphSpec::Kronecker { scale: 6, edge_factor: 8, weighted: true }, 5)
+    }
+
+    fn tiny_unweighted() -> Dataset {
+        Dataset::from_spec(&GraphSpec::Kronecker { scale: 6, edge_factor: 8, weighted: false }, 5)
+    }
+
+    #[test]
+    fn graphmat_report_includes_file_read_graphbig_does_not() {
+        let p = PhaseBreakdown { read_s: 2.7, construct_s: 3.0, run_s: 0.2, output_s: 0.1 };
+        let gm = p.graphalytics_reported(EngineKind::GraphMat);
+        let gb = p.graphalytics_reported(EngineKind::GraphBig);
+        assert!((gm - 3.0).abs() < 1e-12);
+        assert!((gb - 0.3).abs() < 1e-12);
+        // The Table I complaint: drop the file read and GraphMat is much
+        // faster than its reported number suggests.
+        assert!(gm > 2.0 * (p.run_s + p.output_s));
+    }
+
+    #[test]
+    fn sssp_is_na_on_unweighted_dataset() {
+        let ds = tiny_unweighted();
+        let cells = run_graphalytics(&[EngineKind::GraphMat], &[Algorithm::Sssp], &ds, 1);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].reported_seconds, None);
+    }
+
+    #[test]
+    fn powergraph_bfs_is_na() {
+        let ds = tiny_weighted();
+        let cells = run_graphalytics(&[EngineKind::PowerGraph], &[Algorithm::Bfs], &ds, 1);
+        assert_eq!(cells[0].reported_seconds, None);
+    }
+
+    #[test]
+    fn full_run_produces_all_cells() {
+        let ds = tiny_weighted();
+        let cells =
+            run_graphalytics(&GRAPHALYTICS_ENGINES, &TABLE1_ALGOS, &ds, 2);
+        assert_eq!(cells.len(), 3 * 6);
+        // Everything except PowerGraph BFS has a number on a weighted graph.
+        for c in &cells {
+            let expect_na = c.engine == EngineKind::PowerGraph && c.algorithm == Algorithm::Bfs;
+            assert_eq!(c.reported_seconds.is_none(), expect_na, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn table_and_html_render() {
+        let ds = tiny_weighted();
+        let cells = run_graphalytics(&[EngineKind::GraphMat], &TABLE1_ALGOS, &ds, 1);
+        let table = format_table(&cells, &[EngineKind::GraphMat], std::slice::from_ref(&ds.name));
+        assert!(table.contains("GraphMat"));
+        assert!(table.contains("BFS"));
+        let html = html_report(EngineKind::GraphMat, &cells);
+        assert!(html.contains("<table>"));
+        assert!(html.contains("Graphalytics benchmark report"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Phase 1: the engine registry.
+//!
+//! The original framework installs "modified, stable forks of each software
+//! package to ensure homogeneity" (§III, item 1). Our engines are crates,
+//! so "installation" is instantiation — but the homogeneity contract is the
+//! same: every engine is constructed with the exact configuration used
+//! throughout the paper.
+
+use epg_engine_api::{Algorithm, Engine};
+
+/// The five systems of §III-C.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// GAP Benchmark Suite.
+    Gap,
+    /// Graph500 reference (OpenMP).
+    Graph500,
+    /// GraphBIG.
+    GraphBig,
+    /// GraphMat.
+    GraphMat,
+    /// PowerGraph.
+    PowerGraph,
+}
+
+impl EngineKind {
+    /// All engines, in the paper's listing order.
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Graph500,
+        EngineKind::Gap,
+        EngineKind::GraphBig,
+        EngineKind::GraphMat,
+        EngineKind::PowerGraph,
+    ];
+
+    /// Display name (matches the paper's tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Gap => "GAP",
+            EngineKind::Graph500 => "Graph500",
+            EngineKind::GraphBig => "GraphBIG",
+            EngineKind::GraphMat => "GraphMat",
+            EngineKind::PowerGraph => "PowerGraph",
+        }
+    }
+
+    /// Parses a display name (case-insensitive).
+    pub fn from_name(s: &str) -> Option<EngineKind> {
+        EngineKind::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Instantiates the engine with its paper-default configuration.
+    pub fn create(self) -> Box<dyn Engine> {
+        match self {
+            EngineKind::Gap => Box::new(epg_engine_gap::GapEngine::new()),
+            EngineKind::Graph500 => Box::new(epg_engine_graph500::Graph500Engine::new()),
+            EngineKind::GraphBig => Box::new(epg_engine_graphbig::GraphBigEngine::new()),
+            EngineKind::GraphMat => Box::new(epg_engine_graphmat::GraphMatEngine::new()),
+            EngineKind::PowerGraph => Box::new(epg_engine_powergraph::PowerGraphEngine::new()),
+        }
+    }
+
+    /// True when the engine wants the raw (directed) edge list rather than
+    /// the pre-symmetrized one — Graph500 symmetrizes internally as part of
+    /// its construction kernel.
+    pub fn wants_raw_edges(self) -> bool {
+        self == EngineKind::Graph500
+    }
+}
+
+/// Engines supporting `algo`, in listing order.
+pub fn engines_supporting(algo: Algorithm) -> Vec<EngineKind> {
+    EngineKind::ALL
+        .into_iter()
+        .filter(|k| k.create().supports(algo))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for k in EngineKind::ALL {
+            assert_eq!(EngineKind::from_name(k.name()), Some(k));
+            assert_eq!(EngineKind::from_name(&k.name().to_lowercase()), Some(k));
+        }
+        assert_eq!(EngineKind::from_name("Ligra"), None);
+    }
+
+    #[test]
+    fn creation_matches_metadata() {
+        for k in EngineKind::ALL {
+            let e = k.create();
+            assert_eq!(e.info().name, k.name());
+        }
+    }
+
+    #[test]
+    fn support_matrix_matches_paper() {
+        // Fig. 2: BFS on GAP, Graph500, GraphBIG, GraphMat (no PowerGraph).
+        let bfs = engines_supporting(Algorithm::Bfs);
+        assert!(!bfs.contains(&EngineKind::PowerGraph));
+        assert_eq!(bfs.len(), 4);
+        // Fig. 3: SSSP on GAP, GraphBIG, GraphMat, PowerGraph (no Graph500).
+        let sssp = engines_supporting(Algorithm::Sssp);
+        assert!(!sssp.contains(&EngineKind::Graph500));
+        assert_eq!(sssp.len(), 4);
+        // Table I columns exist on GraphBIG / GraphMat / PowerGraph.
+        for a in [Algorithm::Cdlp, Algorithm::Lcc, Algorithm::Wcc] {
+            let s = engines_supporting(a);
+            for k in [EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph] {
+                assert!(s.contains(&k), "{a:?} missing on {k:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Markdown experiment report — the human-readable artifact of phase 5,
+//! combining the dataset profile, phase-separated timing tables, PageRank
+//! iteration counts, and the machine model's projected energy accounting
+//! into one document (the equivalent of the paper's results section for a
+//! user's own run).
+
+use crate::dataset::Dataset;
+use crate::registry::EngineKind;
+use crate::runner::ExperimentResult;
+use crate::stats::Summary;
+use epg_engine_api::{Algorithm, Phase};
+use epg_graph::analysis::GraphProfile;
+use epg_machine::MachineModel;
+use std::fmt::Write as _;
+
+/// Renders the full markdown report for one experiment.
+pub fn render(result: &ExperimentResult, ds: &Dataset, projected_threads: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# easy-parallel-graph report: {}\n", ds.name);
+
+    // ---- dataset characterization ----
+    let profile = GraphProfile::of(&ds.raw);
+    let _ = writeln!(out, "## Dataset\n\n```\n{}```\n", profile.to_text());
+
+    // ---- kernel times ----
+    let algos: Vec<Algorithm> = {
+        let mut seen = Vec::new();
+        for r in &result.records {
+            if let Some(a) = r.algorithm {
+                if r.phase == Phase::Run && !seen.contains(&a) {
+                    seen.push(a);
+                }
+            }
+        }
+        seen
+    };
+    let _ = writeln!(out, "## Kernel times (seconds, measured locally)\n");
+    let _ = writeln!(out, "| engine | {} |", algos.iter().map(|a| a.abbrev()).collect::<Vec<_>>().join(" | "));
+    let _ = writeln!(out, "|---|{}|", algos.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for kind in EngineKind::ALL {
+        let mut row = format!("| {} ", kind.name());
+        let mut any = false;
+        for &a in &algos {
+            let times = result.run_times(kind, a);
+            if times.is_empty() {
+                row.push_str("| N/A ");
+            } else {
+                any = true;
+                let s = Summary::of(&times);
+                let _ = write!(row, "| {:.5} (n={}) ", s.median, s.n);
+            }
+        }
+        if any {
+            let _ = writeln!(out, "{row}|");
+        }
+    }
+
+    // ---- construction ----
+    let _ = writeln!(out, "\n## Data structure construction\n");
+    for kind in EngineKind::ALL {
+        let times = result.construct_times(kind);
+        match times.first() {
+            Some(&t) => {
+                let _ = writeln!(out, "- {}: {t:.5} s", kind.name());
+            }
+            None => {
+                if result.records.iter().any(|r| r.engine == kind) {
+                    let _ = writeln!(
+                        out,
+                        "- {}: fused with file read (not separable, §III-B)",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- PageRank iterations ----
+    let pr_rows: Vec<(EngineKind, f64)> = EngineKind::ALL
+        .into_iter()
+        .filter_map(|k| {
+            let it = result.pr_iterations(k);
+            (!it.is_empty())
+                .then(|| (k, it.iter().map(|&x| x as f64).sum::<f64>() / it.len() as f64))
+        })
+        .collect();
+    if !pr_rows.is_empty() {
+        let _ = writeln!(out, "\n## PageRank iterations (native stopping criteria)\n");
+        for (k, iters) in pr_rows {
+            let note = if k == EngineKind::GraphMat {
+                " — iterates until no vertex's rank changes (∞-norm)"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "- {}: {iters:.0}{note}", k.name());
+        }
+    }
+
+    // ---- projected energy ----
+    let model = MachineModel::paper_machine();
+    let _ = writeln!(
+        out,
+        "\n## Projected energy on {} ({projected_threads} threads)\n",
+        model.spec.name
+    );
+    let _ = writeln!(out, "| engine | algo | time (s) | avg CPU (W) | energy (J) | vs sleep |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for kind in EngineKind::ALL {
+        let Some(run) = result.runs.iter().find(|r| r.engine == kind) else { continue };
+        let rate = model.calibrate_rate(&run.output.trace, run.seconds.max(1e-9));
+        let rep = model.energy(&run.output.trace, rate, projected_threads);
+        let sleep = model.sleep_baseline(rep.duration_s).total_j();
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.6} | {:.1} | {:.5} | {:.2}x |",
+            kind.name(),
+            run.algorithm.abbrev(),
+            rep.duration_s,
+            rep.avg_cpu_w,
+            rep.total_j(),
+            rep.total_j() / sleep.max(1e-12)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n*(Energy from the RAPL simulator over measured execution traces; \
+         see DESIGN.md substitutions.)*"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_experiment, ExperimentConfig};
+    use epg_generator::GraphSpec;
+
+    #[test]
+    fn report_covers_all_sections() {
+        let ds = Dataset::from_spec(
+            &GraphSpec::Kronecker { scale: 7, edge_factor: 8, weighted: true },
+            3,
+        );
+        let cfg = ExperimentConfig { max_roots: Some(2), ..ExperimentConfig::new() };
+        let result = run_experiment(&cfg, &ds);
+        let md = render(&result, &ds, 32);
+        for section in [
+            "# easy-parallel-graph report",
+            "## Dataset",
+            "## Kernel times",
+            "## Data structure construction",
+            "## PageRank iterations",
+            "## Projected energy",
+        ] {
+            assert!(md.contains(section), "missing {section}");
+        }
+        // Fused engines flagged; GraphMat's criterion called out.
+        assert!(md.contains("fused with file read"));
+        assert!(md.contains("∞-norm"));
+        // All five engines appear.
+        for k in EngineKind::ALL {
+            assert!(md.contains(k.name()), "missing {}", k.name());
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! Phase 3: the experiment runner.
+//!
+//! "Given a graph and the number of threads, run each algorithm using each
+//! software package multiple times" (§III, item 3). The runner owns every
+//! wall clock: engines only report phase boundaries, so all systems are
+//! timed identically — the fairness property Table I shows Graphalytics
+//! lacking. Rooted algorithms run once per sampled root (32 by default);
+//! PageRank "is simply run 32 times" (§III-B); the Graphalytics-only
+//! kernels run once.
+
+use crate::dataset::Dataset;
+use crate::registry::EngineKind;
+use crate::{csvio, logs};
+use epg_engine_api::{Algorithm, Phase, RunOutput, RunParams};
+use epg_graph::VertexId;
+use epg_parallel::ThreadPool;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Engines to run (engines that don't support an algorithm are
+    /// skipped, as in the paper's figures).
+    pub engines: Vec<EngineKind>,
+    /// Algorithms to run.
+    pub algorithms: Vec<Algorithm>,
+    /// Thread-pool size for real execution.
+    pub threads: usize,
+    /// Trials per root (Figs. 5-6 use 4 trials; everything else 1).
+    pub trials: u32,
+    /// Cap on roots / PageRank repetitions (None = the dataset's 32).
+    pub max_roots: Option<usize>,
+    /// Load inputs through the homogenized files in `work_dir` (the real
+    /// phase-1 path) instead of in-memory edge lists.
+    pub use_files: bool,
+    /// Where homogenized files and logs go.
+    pub work_dir: Option<PathBuf>,
+}
+
+impl ExperimentConfig {
+    /// A small default: every engine, the core trio, one thread.
+    pub fn new() -> ExperimentConfig {
+        ExperimentConfig {
+            engines: EngineKind::ALL.to_vec(),
+            algorithms: Algorithm::CORE.to_vec(),
+            threads: 1,
+            trials: 1,
+            max_roots: None,
+            use_files: false,
+            work_dir: None,
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::new()
+    }
+}
+
+/// One timed observation — a row of the phase-4 CSV.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Engine.
+    pub engine: EngineKind,
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm (None for the load/construct phases, which are shared).
+    pub algorithm: Option<Algorithm>,
+    /// Thread count.
+    pub threads: usize,
+    /// Which phase this row times.
+    pub phase: Phase,
+    /// Root vertex for rooted runs.
+    pub root: Option<VertexId>,
+    /// Trial index.
+    pub trial: u32,
+    /// Measured seconds.
+    pub seconds: f64,
+    /// PageRank iterations, when applicable.
+    pub iterations: Option<u32>,
+}
+
+/// A kernel invocation's full output, kept for the machine model.
+pub struct RunInfo {
+    /// Engine.
+    pub engine: EngineKind,
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Root, for rooted algorithms.
+    pub root: Option<VertexId>,
+    /// Measured kernel seconds.
+    pub seconds: f64,
+    /// The engine's output (result + counters + trace).
+    pub output: RunOutput,
+}
+
+/// Everything an experiment produces.
+pub struct ExperimentResult {
+    /// Flat timing records (phase 4 rows).
+    pub records: Vec<RunRecord>,
+    /// Full outputs for trace-based analysis.
+    pub runs: Vec<RunInfo>,
+}
+
+impl ExperimentResult {
+    /// Kernel-time samples for one engine/algorithm pair.
+    pub fn run_times(&self, engine: EngineKind, algo: Algorithm) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| {
+                r.engine == engine && r.algorithm == Some(algo) && r.phase == Phase::Run
+            })
+            .map(|r| r.seconds)
+            .collect()
+    }
+
+    /// Construction-time samples for one engine (empty when fused).
+    pub fn construct_times(&self, engine: EngineKind) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.engine == engine && r.phase == Phase::Construct)
+            .map(|r| r.seconds)
+            .collect()
+    }
+
+    /// PageRank iteration counts per engine.
+    pub fn pr_iterations(&self, engine: EngineKind) -> Vec<u32> {
+        self.records
+            .iter()
+            .filter(|r| r.engine == engine && r.algorithm == Some(Algorithm::PageRank))
+            .filter_map(|r| r.iterations)
+            .collect()
+    }
+
+    /// Serializes all records as the phase-4 CSV.
+    pub fn to_csv(&self) -> String {
+        let mut buf = Vec::new();
+        csvio::write_row(
+            &mut buf,
+            &["engine", "dataset", "algorithm", "threads", "phase", "root", "trial", "seconds", "iterations"],
+        )
+        .unwrap();
+        for r in &self.records {
+            csvio::write_row(
+                &mut buf,
+                &[
+                    r.engine.name(),
+                    &r.dataset,
+                    r.algorithm.map_or("", |a| a.abbrev()),
+                    &r.threads.to_string(),
+                    r.phase.label(),
+                    &r.root.map_or(String::new(), |x| x.to_string()),
+                    &r.trial.to_string(),
+                    &format!("{:.9}", r.seconds),
+                    &r.iterations.map_or(String::new(), |x| x.to_string()),
+                ],
+            )
+            .unwrap();
+        }
+        String::from_utf8(buf).expect("CSV is UTF-8")
+    }
+}
+
+/// Runs a full experiment over one dataset.
+pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult {
+    let pool = ThreadPool::new(cfg.threads.max(1));
+    let mut records = Vec::new();
+    let mut runs = Vec::new();
+
+    // Homogenized files, if the file path is requested.
+    let file_dir = cfg.use_files.then(|| {
+        let dir = cfg
+            .work_dir
+            .clone()
+            .unwrap_or_else(|| std::env::temp_dir().join("epg-work"));
+        ds.write_files(&dir).expect("failed to write homogenized files");
+        dir
+    });
+
+    for &kind in &cfg.engines {
+        let mut engine = kind.create();
+        // ---- Phase 1: read input ----
+        let t0 = Instant::now();
+        if let Some(dir) = &file_dir {
+            engine
+                .load_file(&ds.input_path_for(dir, kind))
+                .expect("engine failed to load homogenized file");
+        } else {
+            engine.load_edge_list(ds.edges_for(kind));
+        }
+        let read_s = t0.elapsed().as_secs_f64();
+        records.push(RunRecord {
+            engine: kind,
+            dataset: ds.name.clone(),
+            algorithm: None,
+            threads: cfg.threads,
+            phase: Phase::ReadFile,
+            root: None,
+            trial: 0,
+            seconds: read_s,
+            iterations: None,
+        });
+
+        // ---- Phase 2: construct (recorded only when separable) ----
+        let t0 = Instant::now();
+        engine.construct(&pool);
+        let construct_s = t0.elapsed().as_secs_f64();
+        if engine.separable_construction() {
+            records.push(RunRecord {
+                engine: kind,
+                dataset: ds.name.clone(),
+                algorithm: None,
+                threads: cfg.threads,
+                phase: Phase::Construct,
+                root: None,
+                trial: 0,
+                seconds: construct_s,
+                iterations: None,
+            });
+        } else {
+            // Fused engines build during the read. In file-based runs that
+            // happens inside load_file; in in-memory runs the build work
+            // lands in construct(), so fold it into the ReadFile row to
+            // keep the fused semantics (one combined number, §III-B).
+            if let Some(read_row) = records
+                .iter_mut()
+                .rev()
+                .find(|r| r.engine == kind && r.phase == Phase::ReadFile)
+            {
+                read_row.seconds += construct_s;
+            }
+        }
+
+        // ---- Phase 3: run kernels ----
+        for &algo in &cfg.algorithms {
+            if !engine.supports(algo) {
+                continue;
+            }
+            // Unlike Graphalytics (which reports N/A for SSSP on unweighted
+            // graphs — Table I), the framework runs SSSP with unit weights:
+            // "we need not modify the graph and can use the same root
+            // vertices from BFS" (§III-D), and Fig. 8 shows SSSP bars for
+            // the unweighted cit-Patents dataset.
+            let reps: Vec<Option<VertexId>> = if algo.is_rooted() {
+                let mut roots: Vec<Option<VertexId>> =
+                    ds.roots.iter().map(|&r| Some(r)).collect();
+                if let Some(cap) = cfg.max_roots {
+                    roots.truncate(cap);
+                }
+                roots
+            } else if algo == Algorithm::PageRank {
+                let n = cfg.max_roots.unwrap_or(crate::dataset::NUM_ROOTS);
+                vec![None; n]
+            } else {
+                vec![None]
+            };
+            let mut log_text = String::new();
+            for (ri, &root) in reps.iter().enumerate() {
+                for trial in 0..cfg.trials {
+                    let params = RunParams::new(&pool, root);
+                    let t0 = Instant::now();
+                    let output = engine.run(algo, &params);
+                    let secs = t0.elapsed().as_secs_f64();
+                    let iterations = output.result.iterations();
+                    records.push(RunRecord {
+                        engine: kind,
+                        dataset: ds.name.clone(),
+                        algorithm: Some(algo),
+                        threads: cfg.threads,
+                        phase: Phase::Run,
+                        root,
+                        trial,
+                        seconds: secs,
+                        iterations,
+                    });
+                    if ri == 0 && trial == 0 {
+                        // Emit this engine's log dialect for the parse phase.
+                        let mut entries = vec![logs::LogEntry {
+                            phase: Phase::ReadFile,
+                            seconds: read_s,
+                        }];
+                        if engine.separable_construction() {
+                            entries.push(logs::LogEntry {
+                                phase: Phase::Construct,
+                                seconds: construct_s,
+                            });
+                        }
+                        entries.push(logs::LogEntry { phase: Phase::Run, seconds: secs });
+                        log_text = logs::render_log(
+                            engine.log_style(),
+                            &format!("{} on {}", algo.abbrev(), ds.name),
+                            &entries,
+                        );
+                    }
+                    runs.push(RunInfo { engine: kind, algorithm: algo, root, seconds: secs, output });
+                }
+            }
+            if let Some(dir) = &file_dir {
+                let log_dir = dir.join("logs");
+                std::fs::create_dir_all(&log_dir).ok();
+                let path =
+                    log_dir.join(format!("{}_{}_{}.log", kind.name(), algo.abbrev(), ds.name));
+                if let Ok(mut f) = std::fs::File::create(path) {
+                    let _ = f.write_all(log_text.as_bytes());
+                }
+            }
+        }
+    }
+    ExperimentResult { records, runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_generator::GraphSpec;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::from_spec(
+            &GraphSpec::Kronecker { scale: 7, edge_factor: 8, weighted: true },
+            11,
+        )
+    }
+
+    #[test]
+    fn runs_cover_support_matrix() {
+        let ds = tiny_dataset();
+        let mut cfg = ExperimentConfig::new();
+        cfg.max_roots = Some(2);
+        let res = run_experiment(&cfg, &ds);
+        // PowerGraph has no BFS rows; Graph500 has only BFS rows.
+        assert!(res.run_times(EngineKind::PowerGraph, Algorithm::Bfs).is_empty());
+        assert!(!res.run_times(EngineKind::PowerGraph, Algorithm::Sssp).is_empty());
+        assert!(res.run_times(EngineKind::Graph500, Algorithm::Sssp).is_empty());
+        assert_eq!(res.run_times(EngineKind::Gap, Algorithm::Bfs).len(), 2);
+        assert_eq!(res.run_times(EngineKind::Gap, Algorithm::PageRank).len(), 2);
+    }
+
+    #[test]
+    fn fused_engines_report_no_construct_time() {
+        let ds = tiny_dataset();
+        let mut cfg = ExperimentConfig::new();
+        cfg.max_roots = Some(1);
+        cfg.engines = vec![EngineKind::Gap, EngineKind::GraphBig, EngineKind::PowerGraph];
+        cfg.algorithms = vec![Algorithm::PageRank];
+        let res = run_experiment(&cfg, &ds);
+        assert_eq!(res.construct_times(EngineKind::Gap).len(), 1);
+        assert!(res.construct_times(EngineKind::GraphBig).is_empty());
+        assert!(res.construct_times(EngineKind::PowerGraph).is_empty());
+    }
+
+    #[test]
+    fn unweighted_dataset_still_runs_sssp_with_unit_weights() {
+        // Unlike Graphalytics's N/A rule, the framework runs SSSP on
+        // unweighted graphs (Fig. 8 shows cit-Patents SSSP bars).
+        let ds = Dataset::from_spec(
+            &GraphSpec::Kronecker { scale: 7, edge_factor: 8, weighted: false },
+            3,
+        );
+        let mut cfg = ExperimentConfig::new();
+        cfg.max_roots = Some(1);
+        cfg.algorithms = vec![Algorithm::Sssp];
+        let res = run_experiment(&cfg, &ds);
+        assert!(!res.run_times(EngineKind::Gap, Algorithm::Sssp).is_empty());
+        // Unit weights: SSSP distances equal BFS levels.
+        let run = res.runs.iter().find(|r| r.engine == EngineKind::Gap).unwrap();
+        let epg_engine_api::AlgorithmResult::Distances(d) = &run.output.result else {
+            panic!()
+        };
+        assert!(d.iter().all(|&x| x.is_infinite() || x.fract() == 0.0));
+    }
+
+    #[test]
+    fn pr_iteration_counts_recorded_and_graphmat_largest() {
+        let ds = tiny_dataset();
+        let mut cfg = ExperimentConfig::new();
+        cfg.max_roots = Some(1);
+        cfg.algorithms = vec![Algorithm::PageRank];
+        let res = run_experiment(&cfg, &ds);
+        let gap = res.pr_iterations(EngineKind::Gap);
+        let gm = res.pr_iterations(EngineKind::GraphMat);
+        assert!(!gap.is_empty() && !gm.is_empty());
+        // GraphMat's native NoChange criterion iterates at least as long
+        // (Fig. 4 right panel).
+        assert!(gm[0] >= gap[0], "GraphMat {} vs GAP {}", gm[0], gap[0]);
+    }
+
+    #[test]
+    fn file_based_pipeline_writes_logs_and_csv() {
+        let ds = tiny_dataset();
+        let dir = std::env::temp_dir().join("epg_runner_files_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cfg = ExperimentConfig::new();
+        cfg.max_roots = Some(1);
+        cfg.use_files = true;
+        cfg.work_dir = Some(dir.clone());
+        cfg.engines = vec![EngineKind::Gap, EngineKind::GraphMat];
+        cfg.algorithms = vec![Algorithm::Bfs];
+        let res = run_experiment(&cfg, &ds);
+        assert!(dir.join("logs").read_dir().unwrap().count() >= 2);
+        let csv = res.to_csv();
+        let rows = crate::csvio::read_all(csv.as_bytes()).unwrap();
+        assert!(rows.len() > 3);
+        assert_eq!(rows[0][0], "engine");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trials_multiply_run_rows() {
+        let ds = tiny_dataset();
+        let mut cfg = ExperimentConfig::new();
+        cfg.max_roots = Some(2);
+        cfg.trials = 3;
+        cfg.engines = vec![EngineKind::Gap];
+        cfg.algorithms = vec![Algorithm::Bfs];
+        let res = run_experiment(&cfg, &ds);
+        assert_eq!(res.run_times(EngineKind::Gap, Algorithm::Bfs).len(), 6);
+    }
+}
+
+/// Runs the experiment once per thread count, concatenating records — the
+/// §IV-B scalability protocol ("varying the number of threads from one to
+/// the total number of threads available"). On a machine with real cores
+/// this measures true strong scaling; the Figs. 5-6 regenerator uses it
+/// under `--measure` and otherwise projects through the machine model.
+pub fn run_thread_sweep(
+    base: &ExperimentConfig,
+    ds: &Dataset,
+    thread_counts: &[usize],
+) -> ExperimentResult {
+    let mut records = Vec::new();
+    let mut runs = Vec::new();
+    for &threads in thread_counts {
+        let cfg = ExperimentConfig { threads, ..base.clone() };
+        let mut result = run_experiment(&cfg, ds);
+        records.append(&mut result.records);
+        runs.append(&mut result.runs);
+    }
+    ExperimentResult { records, runs }
+}
+
+#[cfg(test)]
+mod sweep_tests {
+    use super::*;
+    use epg_generator::GraphSpec;
+
+    #[test]
+    fn sweep_produces_rows_per_thread_count() {
+        let ds = Dataset::from_spec(
+            &GraphSpec::Kronecker { scale: 7, edge_factor: 8, weighted: false },
+            2,
+        );
+        let cfg = ExperimentConfig {
+            engines: vec![EngineKind::Gap],
+            algorithms: vec![Algorithm::Bfs],
+            max_roots: Some(1),
+            ..ExperimentConfig::new()
+        };
+        let result = run_thread_sweep(&cfg, &ds, &[1, 2, 4]);
+        for &t in &[1usize, 2, 4] {
+            let rows = result
+                .records
+                .iter()
+                .filter(|r| r.threads == t && r.phase == Phase::Run)
+                .count();
+            assert_eq!(rows, 1, "threads={t}");
+        }
+        // Results identical across thread counts (determinism check).
+        let levels: Vec<_> = result
+            .runs
+            .iter()
+            .map(|r| match &r.output.result {
+                epg_engine_api::AlgorithmResult::BfsTree { level, .. } => level.clone(),
+                _ => panic!(),
+            })
+            .collect();
+        assert!(levels.windows(2).all(|w| w[0] == w[1]));
+    }
+}

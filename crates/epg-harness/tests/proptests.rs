@@ -1,0 +1,85 @@
+//! Property tests for the harness's parsing layers: the CSV reader/writer
+//! and the log-dialect parsers must survive arbitrary content (the phase-4
+//! AWK step of the original framework is notoriously fragile; ours must
+//! not be).
+
+use epg_engine_api::logfmt::LogStyle;
+use epg_engine_api::Phase;
+use epg_harness::{csvio, logs, stats::Summary};
+use proptest::prelude::*;
+
+const STYLES: [LogStyle; 6] = [
+    LogStyle::Gap,
+    LogStyle::Graph500,
+    LogStyle::GraphBig,
+    LogStyle::GraphMat,
+    LogStyle::PowerGraph,
+    LogStyle::Generic,
+];
+
+proptest! {
+    #[test]
+    fn csv_roundtrips_arbitrary_fields(
+        fields in proptest::collection::vec("[ -~]{0,24}", 1..8)
+    ) {
+        let refs: Vec<&str> = fields.iter().map(|s| s.as_str()).collect();
+        let mut buf = Vec::new();
+        csvio::write_row(&mut buf, &refs).unwrap();
+        let rows = csvio::read_all(buf.as_slice()).unwrap();
+        prop_assert_eq!(rows.len(), 1);
+        prop_assert_eq!(&rows[0], &fields);
+    }
+
+    #[test]
+    fn log_parsers_never_panic_on_junk(
+        junk in proptest::collection::vec("[ -~]{0,60}", 0..20),
+        style_idx in 0usize..6,
+    ) {
+        let style = STYLES[style_idx];
+        let text = junk.join("\n");
+        // Must not panic; any parses must carry finite values.
+        for e in logs::parse_log(style, &text) {
+            prop_assert!(e.seconds.is_finite());
+        }
+    }
+
+    #[test]
+    fn log_roundtrip_survives_surrounding_junk(
+        secs in 1e-6f64..1e4,
+        prefix in "[a-zA-Z ]{0,30}",
+        style_idx in 0usize..6,
+    ) {
+        let style = STYLES[style_idx];
+        let Some(line) = style.format_phase(Phase::Run, secs, "CTX") else { return Ok(()); };
+        let text = format!("{prefix}\n{line}\nmore trailing noise\n");
+        let parsed = logs::parse_log(style, &text);
+        let run = parsed.iter().find(|e| e.phase == Phase::Run);
+        prop_assert!(run.is_some(), "{style:?} lost its own line");
+        let got = run.unwrap().seconds;
+        prop_assert!((got - secs).abs() / secs < 1e-3, "{style:?}: {got} vs {secs}");
+    }
+
+    #[test]
+    fn summary_orders_hold(samples in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let s = Summary::of(&samples);
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.stddev >= 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_translation_equivariant(
+        samples in proptest::collection::vec(0.0f64..1e3, 2..100),
+        shift in -100.0f64..100.0,
+    ) {
+        let a = Summary::of(&samples);
+        let shifted: Vec<f64> = samples.iter().map(|x| x + shift).collect();
+        let b = Summary::of(&shifted);
+        prop_assert!((b.median - (a.median + shift)).abs() < 1e-6);
+        prop_assert!((b.q1 - (a.q1 + shift)).abs() < 1e-6);
+        prop_assert!((b.stddev - a.stddev).abs() < 1e-6);
+    }
+}

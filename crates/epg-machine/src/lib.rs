@@ -1,0 +1,289 @@
+//! Simulated target machine and RAPL power model.
+//!
+//! The paper's experiments ran on a 36-core / 72-thread dual-socket Intel
+//! Xeon E5-2699 v3 (Haswell) with 256 GB DDR4 (§III-F), with power and
+//! energy read from Intel RAPL through PAPI (§IV-D). Neither that machine
+//! nor RAPL MSRs are available here, so this crate substitutes both (see
+//! DESIGN.md):
+//!
+//! - [`MachineSpec`] describes the target (core/SMT topology, memory
+//!   bandwidth, power envelope);
+//! - [`MachineModel::project`] maps an engine's *measured* execution trace
+//!   ([`epg_engine_api::Trace`]) onto `n` threads of the target: per-region
+//!   `time = max(compute, span, memory) + barrier(n)`, with SMT yield and
+//!   a bandwidth ceiling. The single-thread rate is **calibrated from a
+//!   real measured run** ([`MachineModel::calibrate_rate`]), so absolute
+//!   scale comes from measurement and only the scaling *shape* comes from
+//!   the model;
+//! - [`rapl`] integrates CPU and DRAM power over projected regions,
+//!   exposing both an ergonomic API and a literal `power_rapl_t`-style
+//!   start/end/print interface mirroring the paper's Fig. 10 listing.
+
+#![warn(missing_docs)]
+pub mod rapl;
+pub mod sensor;
+
+use epg_engine_api::Trace;
+
+/// Description of the simulated machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: usize,
+    /// Hardware threads (SMT).
+    pub threads: usize,
+    /// Throughput contribution of a second hyperthread on a busy core,
+    /// relative to a full core (0..1).
+    pub smt_yield: f64,
+    /// Aggregate memory bandwidth, bytes/second.
+    pub mem_bandwidth: f64,
+    /// Bandwidth one thread can drive on its own, bytes/second.
+    pub per_thread_bandwidth: f64,
+    /// Barrier cost at `n` threads: `barrier_base_s * ln(n)` (zero at 1).
+    pub barrier_base_s: f64,
+    /// CPU package idle power (both sockets), watts. Matches the paper's
+    /// sleep(10) baseline of ~25 W package power.
+    pub cpu_idle_w: f64,
+    /// Maximum additional CPU power at full utilization, watts.
+    pub cpu_dyn_w: f64,
+    /// DRAM idle power, watts.
+    pub ram_idle_w: f64,
+    /// Additional DRAM power at full bandwidth, watts.
+    pub ram_dyn_w: f64,
+}
+
+impl MachineSpec {
+    /// The paper's machine: 2× Xeon E5-2699 v3, 256 GB DDR4 (§III-F).
+    pub fn haswell_e5_2699_v3() -> MachineSpec {
+        MachineSpec {
+            name: "2x Intel Xeon E5-2699 v3 (Haswell), 256 GB DDR4",
+            cores: 36,
+            threads: 72,
+            smt_yield: 0.28,
+            mem_bandwidth: 60e9,
+            per_thread_bandwidth: 9e9,
+            barrier_base_s: 4e-6,
+            cpu_idle_w: 24.7, // Table III: sleeping power ≈ 0.4046 J / 0.01636 s
+            cpu_dyn_w: 120.0,
+            ram_idle_w: 9.0,
+            ram_dyn_w: 16.0,
+        }
+    }
+
+    /// Effective compute throughput in "full cores" at `n` threads.
+    pub fn effective_threads(&self, n: usize) -> f64 {
+        let n = n.min(self.threads);
+        if n <= self.cores {
+            n as f64
+        } else {
+            self.cores as f64 + (n - self.cores) as f64 * self.smt_yield
+        }
+    }
+
+    /// Bandwidth available to `n` threads.
+    pub fn bandwidth_at(&self, n: usize) -> f64 {
+        (n as f64 * self.per_thread_bandwidth).min(self.mem_bandwidth)
+    }
+
+    /// Barrier latency at `n` threads.
+    pub fn barrier_s(&self, n: usize) -> f64 {
+        if n <= 1 {
+            0.0
+        } else {
+            self.barrier_base_s * (n as f64).ln()
+        }
+    }
+}
+
+/// Per-region projection breakdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Projection {
+    /// Total projected wall time, seconds.
+    pub total_s: f64,
+    /// Time attributable to compute throughput limits.
+    pub compute_s: f64,
+    /// Time attributable to the memory-bandwidth ceiling.
+    pub memory_s: f64,
+    /// Time attributable to barriers/joins.
+    pub sync_s: f64,
+    /// Time attributable to critical-path (span) floors.
+    pub span_s: f64,
+}
+
+/// The projection model.
+#[derive(Clone, Debug)]
+pub struct MachineModel {
+    /// The simulated machine.
+    pub spec: MachineSpec,
+}
+
+impl MachineModel {
+    /// Creates a model of the paper's machine.
+    pub fn paper_machine() -> MachineModel {
+        MachineModel { spec: MachineSpec::haswell_e5_2699_v3() }
+    }
+
+    /// Calibrates the per-thread work rate (work units/second) from a real
+    /// measured single-thread run of the same trace, so that
+    /// `project(trace, rate, 1) ≈ measured_seconds`.
+    pub fn calibrate_rate(&self, trace: &Trace, measured_seconds: f64) -> f64 {
+        assert!(measured_seconds > 0.0, "measured time must be positive");
+        let work = trace.total_work().max(1) as f64;
+        work / measured_seconds
+    }
+
+    /// Projects a trace onto `n` threads at the given per-thread rate.
+    pub fn project(&self, trace: &Trace, rate: f64, n: usize) -> Projection {
+        assert!(rate > 0.0, "rate must be positive");
+        assert!(n >= 1, "need at least one thread");
+        let spec = &self.spec;
+        let n = n.min(spec.threads);
+        let eff = spec.effective_threads(n);
+        let bw = spec.bandwidth_at(n);
+        let barrier = spec.barrier_s(n);
+        let mut p = Projection::default();
+        for r in &trace.records {
+            let (compute, span_t, sync) = if r.parallel {
+                (r.work as f64 / (rate * eff), r.span as f64 / rate, barrier)
+            } else {
+                (r.work as f64 / rate, r.work as f64 / rate, 0.0)
+            };
+            let mem = r.bytes as f64 / if r.parallel { bw } else { spec.bandwidth_at(1) };
+            let body = compute.max(span_t).max(mem);
+            p.total_s += body + sync;
+            p.sync_s += sync;
+            // Attribute the body to its binding constraint.
+            if body <= compute + f64::EPSILON && compute >= span_t && compute >= mem {
+                p.compute_s += body;
+            } else if mem >= span_t {
+                p.memory_s += body;
+            } else {
+                p.span_s += body;
+            }
+        }
+        p
+    }
+
+    /// Speedup curve T1/Tn for the given thread counts.
+    pub fn speedup_curve(&self, trace: &Trace, rate: f64, threads: &[usize]) -> Vec<(usize, f64)> {
+        let t1 = self.project(trace, rate, 1).total_s;
+        threads
+            .iter()
+            .map(|&n| (n, t1 / self.project(trace, rate, n).total_s))
+            .collect()
+    }
+
+    /// Parallel efficiency T1/(n·Tn) for the given thread counts.
+    pub fn efficiency_curve(
+        &self,
+        trace: &Trace,
+        rate: f64,
+        threads: &[usize],
+    ) -> Vec<(usize, f64)> {
+        self.speedup_curve(trace, rate, threads)
+            .into_iter()
+            .map(|(n, s)| (n, s / n as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trace(regions: usize, work: u64, span: u64, bytes: u64) -> Trace {
+        let mut t = Trace::default();
+        for _ in 0..regions {
+            t.parallel(work, span, bytes);
+        }
+        t
+    }
+
+    #[test]
+    fn calibration_roundtrips_at_one_thread() {
+        let m = MachineModel::paper_machine();
+        let t = toy_trace(10, 1_000_000, 100, 0);
+        let rate = m.calibrate_rate(&t, 2.5);
+        let p = m.project(&t, rate, 1);
+        assert!((p.total_s - 2.5).abs() < 1e-9, "{}", p.total_s);
+    }
+
+    #[test]
+    fn speedup_monotone_then_saturating() {
+        let m = MachineModel::paper_machine();
+        let t = toy_trace(20, 10_000_000, 1_000, 0);
+        let rate = 1e8;
+        let s = m.speedup_curve(&t, rate, &[1, 2, 4, 8, 16, 32, 64, 72]);
+        assert!((s[0].1 - 1.0).abs() < 1e-9);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1 * 0.99, "speedup regressed: {s:?}");
+        }
+        // Far from linear at 72 threads (the paper's "generally poor
+        // scaling" observation): SMT yield + barriers keep it well below.
+        let s72 = s.last().unwrap().1;
+        assert!(s72 < 60.0, "unrealistically linear: {s72}");
+        assert!(s72 > 4.0, "no scaling at all: {s72}");
+    }
+
+    #[test]
+    fn span_floors_scaling() {
+        // One hub vertex owning half the work bounds the speedup near 2.
+        let m = MachineModel::paper_machine();
+        let mut t = Trace::default();
+        t.parallel(1_000_000, 500_000, 0);
+        let s = m.speedup_curve(&t, 1e8, &[1, 72]);
+        assert!(s[1].1 <= 2.01, "span ignored: {:?}", s);
+    }
+
+    #[test]
+    fn serial_regions_obey_amdahl() {
+        let m = MachineModel::paper_machine();
+        let mut t = Trace::default();
+        t.parallel(900_000, 10, 0);
+        t.serial(100_000, 0); // 10% serial
+        let s = m.speedup_curve(&t, 1e8, &[1, 36]);
+        // Amdahl bound: 1 / (0.1 + 0.9/36) = 8.0.
+        assert!(s[1].1 < 8.1, "beats Amdahl: {:?}", s);
+        assert!(s[1].1 > 4.0);
+    }
+
+    #[test]
+    fn memory_bound_regions_stop_scaling_at_bw_ceiling() {
+        let m = MachineModel::paper_machine();
+        // Heavy bytes per unit of work.
+        let mut t = Trace::default();
+        t.parallel(1_000_000, 10, 120_000_000_000);
+        let s = m.speedup_curve(&t, 1e9, &[1, 72]);
+        // 1 thread: bw 9 GB/s; 72 threads: 60 GB/s -> at most ~6.7x.
+        assert!(s[1].1 < 7.0, "{s:?}");
+    }
+
+    #[test]
+    fn hyperthreads_help_less_than_cores() {
+        let spec = MachineSpec::haswell_e5_2699_v3();
+        let e36 = spec.effective_threads(36);
+        let e72 = spec.effective_threads(72);
+        assert_eq!(e36, 36.0);
+        assert!(e72 < 48.0 && e72 > 36.0);
+        assert_eq!(spec.effective_threads(100), e72); // clamped
+    }
+
+    #[test]
+    fn barrier_zero_at_one_thread() {
+        let spec = MachineSpec::haswell_e5_2699_v3();
+        assert_eq!(spec.barrier_s(1), 0.0);
+        assert!(spec.barrier_s(2) > 0.0);
+        assert!(spec.barrier_s(72) > spec.barrier_s(2));
+    }
+
+    #[test]
+    fn efficiency_is_speedup_over_n() {
+        let m = MachineModel::paper_machine();
+        let t = toy_trace(5, 1_000_000, 100, 0);
+        let s = m.speedup_curve(&t, 1e8, &[4]);
+        let e = m.efficiency_curve(&t, 1e8, &[4]);
+        assert!((e[0].1 - s[0].1 / 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! Atomic floating-point and min helpers.
+//!
+//! Graph kernels relax distances and accumulate ranks concurrently; C++
+//! engines use `compare_exchange` loops over bit-punned floats for this, and
+//! we provide the same primitives (cf. "Rust Atomics and Locks", ch. 2-3).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// An `f32` with atomic `load`/`store`/`fetch_add`/`fetch_min` built on a
+/// compare-exchange loop over the bit pattern.
+#[derive(Debug, Default)]
+pub struct AtomicF32 {
+    bits: AtomicU32,
+}
+
+impl AtomicF32 {
+    /// Creates a new atomic with the given value.
+    pub fn new(v: f32) -> Self {
+        AtomicF32 { bits: AtomicU32::new(v.to_bits()) }
+    }
+
+    /// Atomic load.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> f32 {
+        f32::from_bits(self.bits.load(order))
+    }
+
+    /// Atomic store.
+    #[inline]
+    pub fn store(&self, v: f32, order: Ordering) {
+        self.bits.store(v.to_bits(), order);
+    }
+
+    /// Atomically adds `v`, returning the previous value.
+    pub fn fetch_add(&self, v: f32, order: Ordering) -> f32 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f32::from_bits(cur) + v).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, order, Ordering::Relaxed) {
+                Ok(prev) => return f32::from_bits(prev),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomically lowers the value to `min(self, v)`, returning whether the
+    /// stored value decreased. This is the SSSP relaxation primitive.
+    pub fn fetch_min(&self, v: f32, order: Ordering) -> bool {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            if f32::from_bits(cur) <= v {
+                return false;
+            }
+            match self.bits.compare_exchange_weak(cur, v.to_bits(), order, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// An `f64` with atomic `fetch_add`, for rank accumulation.
+#[derive(Debug, Default)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// Creates a new atomic with the given value.
+    pub fn new(v: f64) -> Self {
+        AtomicF64 { bits: AtomicU64::new(v.to_bits()) }
+    }
+
+    /// Atomic load.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> f64 {
+        f64::from_bits(self.bits.load(order))
+    }
+
+    /// Atomic store.
+    #[inline]
+    pub fn store(&self, v: f64, order: Ordering) {
+        self.bits.store(v.to_bits(), order);
+    }
+
+    /// Atomically adds `v`, returning the previous value.
+    pub fn fetch_add(&self, v: f64, order: Ordering) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, order, Ordering::Relaxed) {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Atomically lowers `a` to `min(a, v)`, returning whether it decreased.
+/// Used for label propagation (CDLP/WCC take the minimum label).
+pub fn atomic_min_u32(a: &AtomicU32, v: u32, order: Ordering) -> bool {
+    let mut cur = a.load(Ordering::Relaxed);
+    loop {
+        if cur <= v {
+            return false;
+        }
+        match a.compare_exchange_weak(cur, v, order, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_add_and_min() {
+        let a = AtomicF32::new(1.0);
+        assert_eq!(a.fetch_add(2.5, Ordering::Relaxed), 1.0);
+        assert_eq!(a.load(Ordering::Relaxed), 3.5);
+        assert!(a.fetch_min(2.0, Ordering::Relaxed));
+        assert!(!a.fetch_min(2.0, Ordering::Relaxed));
+        assert!(!a.fetch_min(9.0, Ordering::Relaxed));
+        assert_eq!(a.load(Ordering::Relaxed), 2.0);
+    }
+
+    #[test]
+    fn f32_min_from_infinity() {
+        let a = AtomicF32::new(f32::INFINITY);
+        assert!(a.fetch_min(7.0, Ordering::Relaxed));
+        assert_eq!(a.load(Ordering::Relaxed), 7.0);
+    }
+
+    #[test]
+    fn f64_accumulates_under_contention() {
+        let a = AtomicF64::new(0.0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        a.fetch_add(0.5, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load(Ordering::Relaxed), 2000.0);
+    }
+
+    #[test]
+    fn u32_min_under_contention_settles_at_global_min() {
+        let a = AtomicU32::new(u32::MAX);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let a = &a;
+                s.spawn(move || {
+                    for i in (100 * t..100 * (t + 1)).rev() {
+                        atomic_min_u32(a, i, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load(Ordering::Relaxed), 0);
+    }
+}

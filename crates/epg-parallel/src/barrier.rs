@@ -1,0 +1,98 @@
+//! A reusable sense-reversing barrier.
+//!
+//! Engines that keep threads inside one long parallel region (the
+//! PowerGraph-style GAS engine synchronizes between its gather, apply, and
+//! scatter minor-steps) need an in-region barrier. The classic
+//! sense-reversing design needs one atomic counter and one flag word and is
+//! reusable without re-initialization.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed number of participants.
+pub struct SenseBarrier {
+    parties: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SenseBarrier {
+    /// Creates a barrier for `parties` threads. `parties` must be >= 1.
+    pub fn new(parties: usize) -> SenseBarrier {
+        assert!(parties >= 1, "barrier needs at least one party");
+        SenseBarrier { parties, count: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+    }
+
+    /// Blocks until all parties have called `wait`. Returns `true` on
+    /// exactly one thread per phase (the last arriver), like
+    /// `std::sync::Barrier`'s leader flag.
+    pub fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.parties {
+            self.count.store(0, Ordering::Relaxed);
+            // Release the cohort; Release pairs with the Acquire spin below.
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                std::hint::spin_loop();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = SenseBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+
+    #[test]
+    fn phases_are_ordered_across_threads() {
+        const THREADS: usize = 4;
+        const PHASES: usize = 50;
+        let b = SenseBarrier::new(THREADS);
+        let phase_sum = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for p in 0..PHASES {
+                        phase_sum.fetch_add(1, Ordering::Relaxed);
+                        b.wait();
+                        // After the barrier every thread must observe all
+                        // increments of this phase.
+                        assert!(phase_sum.load(Ordering::Relaxed) >= (p + 1) * THREADS);
+                        b.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(phase_sum.load(Ordering::Relaxed), THREADS * PHASES);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_phase() {
+        const THREADS: usize = 3;
+        let b = SenseBarrier::new(THREADS);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), 20);
+    }
+}

@@ -1,0 +1,363 @@
+//! The persistent fork-join thread pool.
+//!
+//! A parallel region publishes one job — a `Fn(usize)` invoked once per
+//! thread with that thread's id — to `nthreads - 1` parked workers; the
+//! calling thread participates as thread 0. The caller blocks until every
+//! worker finishes, which is what makes handing workers a borrowed closure
+//! sound (see safety note on [`ThreadPool::region`]).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Raw pointer to the caller's region closure. Valid for the duration of
+/// one generation: the dispatching thread keeps the closure alive until all
+/// workers have reported completion.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared invocation from many threads is
+// fine) and the dispatch protocol guarantees it outlives every dereference.
+unsafe impl Send for JobPtr {}
+
+struct State {
+    /// Generation counter; bumping it is the "go" signal.
+    gen: u64,
+    /// Generation whose workers have all finished.
+    done_gen: u64,
+    /// Workers still running the current generation.
+    remaining: usize,
+    /// The job for the current generation.
+    job: Option<JobPtr>,
+    shutdown: bool,
+}
+
+struct Inner {
+    nthreads: usize,
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    regions: AtomicU64,
+    chunks: AtomicU64,
+}
+
+/// Cumulative dispatch statistics, consumed by the machine model to cost
+/// scheduling overhead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel regions executed (each costs a fork + join barrier).
+    pub regions: u64,
+    /// Loop chunks handed out across all worksharing loops.
+    pub chunks: u64,
+}
+
+/// An OpenMP-like thread pool. See the crate docs for an example.
+pub struct ThreadPool {
+    inner: Arc<Inner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs regions on `nthreads` threads (the caller
+    /// counts as one). `nthreads` must be at least 1.
+    pub fn new(nthreads: usize) -> ThreadPool {
+        assert!(nthreads >= 1, "a pool needs at least one thread");
+        let inner = Arc::new(Inner {
+            nthreads,
+            state: Mutex::new(State {
+                gen: 0,
+                done_gen: 0,
+                remaining: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            regions: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+        });
+        let handles = (1..nthreads)
+            .map(|tid| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("epg-worker-{tid}"))
+                    .spawn(move || worker_loop(&inner, tid))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool { inner, handles }
+    }
+
+    /// Number of threads (including the caller).
+    pub fn num_threads(&self) -> usize {
+        self.inner.nthreads
+    }
+
+    /// Runs `f(tid)` once on every thread (tids `0..nthreads`), returning
+    /// when all invocations complete. This is `#pragma omp parallel`.
+    pub fn region<F: Fn(usize) + Sync>(&self, f: F) {
+        self.inner.regions.fetch_add(1, Ordering::Relaxed);
+        if self.inner.nthreads == 1 {
+            f(0);
+            return;
+        }
+        let wide: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: we erase the lifetime to park the pointer in shared state.
+        // The pointee `f` lives on this stack frame, and this function does
+        // not return until `done_gen == gen`, i.e. until every worker has
+        // finished calling through the pointer. Workers never retain it
+        // across generations (they re-read `job` each wakeup).
+        let ptr = JobPtr(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                wide as *const _,
+            )
+        });
+        let gen = {
+            let mut st = self.inner.state.lock();
+            debug_assert_eq!(st.remaining, 0, "region dispatched while busy");
+            st.gen += 1;
+            st.remaining = self.inner.nthreads - 1;
+            st.job = Some(ptr);
+            self.inner.work_cv.notify_all();
+            st.gen
+        };
+        f(0);
+        let mut st = self.inner.state.lock();
+        while st.done_gen != gen {
+            self.inner.done_cv.wait(&mut st);
+        }
+    }
+
+    /// Worksharing loop over `0..n` (`#pragma omp parallel for`).
+    pub fn parallel_for<F: Fn(usize) + Sync>(&self, n: usize, sched: super::Schedule, f: F) {
+        self.parallel_for_ranges(n, sched, |_tid, lo, hi| {
+            for i in lo..hi {
+                f(i);
+            }
+        });
+    }
+
+    /// Worksharing loop handing out whole index ranges `[lo, hi)`; the body
+    /// also receives the executing thread id. Engines use this to keep
+    /// per-thread scratch (frontier buffers, bins) without false sharing.
+    pub fn parallel_for_ranges<F: Fn(usize, usize, usize) + Sync>(
+        &self,
+        n: usize,
+        sched: super::Schedule,
+        f: F,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let nthreads = self.inner.nthreads;
+        let chunks_counter = &self.inner.chunks;
+        match sched {
+            super::Schedule::Static { chunk } => {
+                // OpenMP static: without a chunk, one contiguous block per
+                // thread; with one, round-robin blocks of that size.
+                let chunk = chunk.unwrap_or(n.div_ceil(nthreads).max(1));
+                let nchunks = n.div_ceil(chunk);
+                chunks_counter.fetch_add(nchunks as u64, Ordering::Relaxed);
+                self.region(|tid| {
+                    let mut c = tid;
+                    while c < nchunks {
+                        let lo = c * chunk;
+                        let hi = (lo + chunk).min(n);
+                        f(tid, lo, hi);
+                        c += nthreads;
+                    }
+                });
+            }
+            super::Schedule::Dynamic { chunk } => {
+                let chunk = chunk.max(1);
+                let next = AtomicU64::new(0);
+                self.region(|tid| loop {
+                    let lo = next.fetch_add(chunk as u64, Ordering::Relaxed) as usize;
+                    if lo >= n {
+                        break;
+                    }
+                    chunks_counter.fetch_add(1, Ordering::Relaxed);
+                    f(tid, lo, (lo + chunk).min(n));
+                });
+            }
+            super::Schedule::Guided { min_chunk } => {
+                let min_chunk = min_chunk.max(1);
+                let next = AtomicU64::new(0);
+                self.region(|tid| loop {
+                    // Claim ~(remaining / nthreads), shrinking over time.
+                    let mut cur = next.load(Ordering::Relaxed);
+                    let (lo, hi) = loop {
+                        let lo = cur as usize;
+                        if lo >= n {
+                            return;
+                        }
+                        let size = ((n - lo) / nthreads).max(min_chunk);
+                        let hi = (lo + size).min(n);
+                        match next.compare_exchange_weak(
+                            cur,
+                            hi as u64,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break (lo, hi),
+                            Err(actual) => cur = actual,
+                        }
+                    };
+                    chunks_counter.fetch_add(1, Ordering::Relaxed);
+                    f(tid, lo, hi);
+                });
+            }
+        }
+    }
+
+    /// Snapshot of cumulative dispatch statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            regions: self.inner.regions.load(Ordering::Relaxed),
+            chunks: self.inner.chunks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock();
+            st.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, tid: usize) {
+    let mut seen = 0u64;
+    loop {
+        let (job, gen) = {
+            let mut st = inner.state.lock();
+            while !st.shutdown && st.gen == seen {
+                inner.work_cv.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+            seen = st.gen;
+            (st.job.expect("generation bumped without a job"), st.gen)
+        };
+        // SAFETY: see `region` — the dispatcher keeps the closure alive
+        // until we decrement `remaining` below.
+        (unsafe { &*job.0 })(tid);
+        let mut st = inner.state.lock();
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            st.done_gen = gen;
+            st.job = None;
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Schedule;
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn region_runs_every_thread_exactly_once() {
+        for nthreads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(nthreads);
+            let seen: Vec<AtomicUsize> = (0..nthreads).map(|_| AtomicUsize::new(0)).collect();
+            pool.region(|tid| {
+                seen[tid].fetch_add(1, Ordering::Relaxed);
+            });
+            for (tid, s) in seen.iter().enumerate() {
+                assert_eq!(s.load(Ordering::Relaxed), 1, "tid {tid} of {nthreads}");
+            }
+        }
+    }
+
+    #[test]
+    fn regions_are_reusable() {
+        let pool = ThreadPool::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.region(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 300);
+    }
+
+    fn check_cover(n: usize, sched: Schedule, nthreads: usize) {
+        let pool = ThreadPool::new(nthreads);
+        let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(n, sched, |i| {
+            marks[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, m) in marks.iter().enumerate() {
+            assert_eq!(m.load(Ordering::Relaxed), 1, "index {i} under {sched:?}");
+        }
+    }
+
+    #[test]
+    fn schedules_cover_every_index_exactly_once() {
+        for nthreads in [1, 2, 4] {
+            for n in [0, 1, 5, 64, 1000, 1001] {
+                check_cover(n, Schedule::Static { chunk: None }, nthreads);
+                check_cover(n, Schedule::Static { chunk: Some(7) }, nthreads);
+                check_cover(n, Schedule::Dynamic { chunk: 16 }, nthreads);
+                check_cover(n, Schedule::Guided { min_chunk: 4 }, nthreads);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_partition_the_domain() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicUsize::new(0);
+        pool.parallel_for_ranges(12345, Schedule::Guided { min_chunk: 8 }, |_tid, lo, hi| {
+            assert!(lo < hi && hi <= 12345);
+            total.fetch_add(hi - lo, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 12345);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_and_mutations_join() {
+        // The region's join must publish worker writes (happens-before).
+        let pool = ThreadPool::new(4);
+        let data: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(64, Schedule::Static { chunk: None }, |i| {
+            data[i].store(i * 2, Ordering::Relaxed);
+        });
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(d.load(Ordering::Relaxed), i * 2);
+        }
+    }
+
+    #[test]
+    fn stats_count_regions_and_chunks() {
+        let pool = ThreadPool::new(2);
+        pool.parallel_for(100, Schedule::Dynamic { chunk: 10 }, |_| {});
+        let s = pool.stats();
+        assert_eq!(s.regions, 1);
+        assert_eq!(s.chunks, 10);
+    }
+
+    #[test]
+    fn empty_loop_dispatches_nothing() {
+        let pool = ThreadPool::new(2);
+        pool.parallel_for(0, Schedule::Dynamic { chunk: 1 }, |_| panic!("no work"));
+        assert_eq!(pool.stats().regions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Parallel reductions (`#pragma omp parallel for reduction(...)`).
+
+use crate::{Schedule, ThreadPool};
+use parking_lot::Mutex;
+
+impl ThreadPool {
+    /// Parallel reduction over `0..n`: each thread folds indices into a
+    /// private accumulator created by `identity`, and the per-thread
+    /// accumulators are combined (in unspecified order) with `combine`.
+    pub fn parallel_reduce<T, I, F, C>(
+        &self,
+        n: usize,
+        sched: Schedule,
+        identity: I,
+        fold: F,
+        combine: C,
+    ) -> T
+    where
+        T: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, usize) + Sync,
+        C: Fn(T, T) -> T,
+    {
+        let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(self.num_threads()));
+        self.parallel_for_ranges(n, sched, |_tid, lo, hi| {
+            let mut acc = identity();
+            for i in lo..hi {
+                fold(&mut acc, i);
+            }
+            partials.lock().push(acc);
+        });
+        partials
+            .into_inner()
+            .into_iter()
+            .fold(identity(), combine)
+    }
+
+    /// Sum of `f(i)` over `0..n` in `f64`. The workhorse for PageRank's L1
+    /// convergence check.
+    pub fn parallel_sum_f64<F: Fn(usize) -> f64 + Sync>(
+        &self,
+        n: usize,
+        sched: Schedule,
+        f: F,
+    ) -> f64 {
+        self.parallel_reduce(n, sched, || 0.0f64, |acc, i| *acc += f(i), |a, b| a + b)
+    }
+
+    /// Logical OR of `f(i)` over `0..n` — used for "did any vertex change"
+    /// convergence checks (GraphMat's ∞-norm criterion).
+    pub fn parallel_any<F: Fn(usize) -> bool + Sync>(
+        &self,
+        n: usize,
+        sched: Schedule,
+        f: F,
+    ) -> bool {
+        self.parallel_reduce(n, sched, || false, |acc, i| *acc |= f(i), |a, b| a || b)
+    }
+
+    /// Maximum of `f(i)` over `0..n` in `f64`.
+    pub fn parallel_max_f64<F: Fn(usize) -> f64 + Sync>(
+        &self,
+        n: usize,
+        sched: Schedule,
+        f: F,
+    ) -> f64 {
+        self.parallel_reduce(
+            n,
+            sched,
+            || f64::NEG_INFINITY,
+            |acc, i| *acc = acc.max(f(i)),
+            f64::max,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_sequential_fold() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<f64> = (0..10_000).map(|i| (i % 97) as f64 * 0.25).collect();
+        let par = pool.parallel_sum_f64(data.len(), Schedule::Dynamic { chunk: 33 }, |i| data[i]);
+        let seq: f64 = data.iter().sum();
+        // Summation order differs; allow tiny fp slack.
+        assert!((par - seq).abs() < 1e-6, "{par} vs {seq}");
+    }
+
+    #[test]
+    fn reduce_on_empty_range_is_identity() {
+        let pool = ThreadPool::new(3);
+        let r = pool.parallel_reduce(0, Schedule::Static { chunk: None }, || 7u64, |_, _| panic!(), |a, b| a + b);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn any_detects_single_hit() {
+        let pool = ThreadPool::new(4);
+        assert!(pool.parallel_any(1000, Schedule::Guided { min_chunk: 16 }, |i| i == 777));
+        assert!(!pool.parallel_any(1000, Schedule::Guided { min_chunk: 16 }, |_| false));
+    }
+
+    #[test]
+    fn max_finds_the_peak() {
+        let pool = ThreadPool::new(2);
+        let m = pool.parallel_max_f64(513, Schedule::Static { chunk: Some(10) }, |i| {
+            -((i as f64) - 400.0).powi(2)
+        });
+        assert_eq!(m, 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Parallel prefix sums (exclusive scan).
+//!
+//! The classic two-pass blocked scan: each thread reduces its block, block
+//! sums are scanned serially (P values), then each thread re-walks its
+//! block with the offset. Graph construction kernels (CSR counting sort)
+//! are built on this — the Graph500's construction kernel is exactly a
+//! histogram + scan + scatter.
+
+use crate::{Schedule, ThreadPool};
+use parking_lot::Mutex;
+
+impl ThreadPool {
+    /// In-place exclusive prefix sum over `data`, returning the total.
+    ///
+    /// `data[i]` becomes `sum(data[0..i])`; the sum of the whole original
+    /// array is returned.
+    pub fn exclusive_scan(&self, data: &mut [u64]) -> u64 {
+        let n = data.len();
+        if n == 0 {
+            return 0;
+        }
+        let nthreads = self.num_threads();
+        let block = n.div_ceil(nthreads).max(1);
+        let nblocks = n.div_ceil(block);
+
+        // Pass 1: per-block sums.
+        let sums: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::with_capacity(nblocks));
+        {
+            let data_ref: &[u64] = data;
+            self.parallel_for(nblocks, Schedule::Static { chunk: Some(1) }, |b| {
+                let lo = b * block;
+                let hi = (lo + block).min(n);
+                let s: u64 = data_ref[lo..hi].iter().sum();
+                sums.lock().push((b, s));
+            });
+        }
+        let mut sums = sums.into_inner();
+        sums.sort_unstable_by_key(|&(b, _)| b);
+        // Serial scan over the (few) block sums.
+        let mut offsets = Vec::with_capacity(nblocks);
+        let mut acc = 0u64;
+        for &(_, s) in &sums {
+            offsets.push(acc);
+            acc += s;
+        }
+        let total = acc;
+
+        // Pass 2: per-block exclusive scan with offset.
+        {
+            let writer = crate::DisjointWriter::new(data);
+            let offsets_ref = &offsets;
+            self.parallel_for(nblocks, Schedule::Static { chunk: Some(1) }, |b| {
+                let lo = b * block;
+                let hi = (lo + block).min(n);
+                let mut run = offsets_ref[b];
+                for i in lo..hi {
+                    // SAFETY: blocks are disjoint; each index written once.
+                    unsafe {
+                        let old = *writer.get_raw(i);
+                        writer.write(i, run);
+                        run += old;
+                    }
+                }
+            });
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(data: Vec<u64>, nthreads: usize) {
+        let mut par = data.clone();
+        let pool = ThreadPool::new(nthreads);
+        let total = pool.exclusive_scan(&mut par);
+        let mut expect = Vec::with_capacity(data.len());
+        let mut acc = 0u64;
+        for &x in &data {
+            expect.push(acc);
+            acc += x;
+        }
+        assert_eq!(par, expect, "nthreads={nthreads}");
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn matches_sequential_scan() {
+        for nthreads in [1, 2, 3, 4, 7] {
+            check(vec![], nthreads);
+            check(vec![5], nthreads);
+            check((0..1000).map(|i| i % 17).collect(), nthreads);
+            check(vec![0; 257], nthreads);
+        }
+    }
+
+    #[test]
+    fn large_values_do_not_overflow_between_blocks() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![u32::MAX as u64; 64];
+        let total = pool.exclusive_scan(&mut data);
+        assert_eq!(total, 64 * (u32::MAX as u64));
+        assert_eq!(data[63], 63 * (u32::MAX as u64));
+    }
+}

@@ -1,0 +1,50 @@
+//! OpenMP worksharing schedules.
+
+/// Loop schedule, mirroring OpenMP's `schedule(...)` clause. The paper's
+/// engines differ in their choices — GAP/Graph500 lean on static or guided
+/// partitioning of CSR ranges while GraphBIG's openG kernels use dynamic
+/// scheduling — and the `ablation_sched` bench quantifies the difference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous blocks per thread (`None`) or round-robin blocks of the
+    /// given size (`Some(chunk)`). No runtime coordination.
+    Static {
+        /// Optional fixed chunk size.
+        chunk: Option<usize>,
+    },
+    /// Threads grab fixed-size chunks from a shared counter. Balances
+    /// irregular work at the cost of one atomic RMW per chunk.
+    Dynamic {
+        /// Chunk size (clamped to at least 1).
+        chunk: usize,
+    },
+    /// Threads grab exponentially shrinking chunks (`remaining / nthreads`,
+    /// floored at `min_chunk`). Fewer atomics than dynamic, better balance
+    /// than static.
+    Guided {
+        /// Smallest chunk ever handed out (clamped to at least 1).
+        min_chunk: usize,
+    },
+}
+
+impl Schedule {
+    /// The default schedule GAP-style CSR kernels use.
+    pub const fn gap_default() -> Schedule {
+        Schedule::Guided { min_chunk: 64 }
+    }
+
+    /// The default schedule GraphBIG-style vertex kernels use.
+    pub const fn graphbig_default() -> Schedule {
+        Schedule::Dynamic { chunk: 256 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_distinct() {
+        assert_ne!(Schedule::gap_default(), Schedule::graphbig_default());
+    }
+}

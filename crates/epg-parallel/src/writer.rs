@@ -1,0 +1,81 @@
+//! Disjoint-index shared writer.
+//!
+//! Vertex-parallel kernels write `out[v]` for every `v` exactly once per
+//! parallel region — a data-race-free pattern the borrow checker cannot see
+//! through a `Fn` closure shared across threads. `DisjointWriter` packages
+//! the one `unsafe` write behind a documented contract instead of scattering
+//! raw-pointer casts through every engine.
+
+/// Shared mutable access to a slice for loops that write disjoint indices.
+pub struct DisjointWriter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: writes are only allowed through `write`, whose contract requires
+// each index be written by at most one thread per region; `T: Send` makes
+// moving values across threads sound.
+unsafe impl<T: Send> Sync for DisjointWriter<'_, T> {}
+
+impl<'a, T> DisjointWriter<'a, T> {
+    /// Wraps a slice. The borrow is held for `'a`, so the underlying data
+    /// cannot be touched elsewhere while the writer lives.
+    pub fn new(slice: &'a mut [T]) -> DisjointWriter<'a, T> {
+        DisjointWriter { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: std::marker::PhantomData }
+    }
+
+    /// Writes `value` at `i`.
+    ///
+    /// # Safety
+    /// Within one parallel region, each index must be written by at most
+    /// one thread, and no concurrent reads of `i` may occur.
+    /// Bounds are checked.
+    pub unsafe fn write(&self, i: usize, value: T) {
+        assert!(i < self.len, "DisjointWriter index {i} out of bounds ({})", self.len);
+        unsafe {
+            // Drop the previous value so writes of owning types (Vec,
+            // String) do not leak what they replace.
+            self.ptr.add(i).drop_in_place();
+            self.ptr.add(i).write(value)
+        };
+    }
+
+    /// Mutable access to the element at `i` for read-modify-write patterns.
+    ///
+    /// # Safety
+    /// Same contract as [`DisjointWriter::write`]: at most one thread may
+    /// touch index `i` within a region. Bounds are checked.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_raw(&self, i: usize) -> &mut T {
+        assert!(i < self.len, "DisjointWriter index {i} out of bounds ({})", self.len);
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Schedule, ThreadPool};
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 1000];
+        {
+            let w = DisjointWriter::new(&mut data);
+            pool.parallel_for(1000, Schedule::Dynamic { chunk: 7 }, |i| unsafe {
+                w.write(i, i * 3);
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_write_panics() {
+        let mut data = vec![0u8; 4];
+        let w = DisjointWriter::new(&mut data);
+        unsafe { w.write(4, 1) };
+    }
+}

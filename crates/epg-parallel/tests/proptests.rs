@@ -1,0 +1,69 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Property tests: the parallel runtime must agree with sequential folds
+//! for every schedule and thread count.
+
+use epg_parallel::{Schedule, ThreadPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Static { chunk: None }),
+        (1usize..50).prop_map(|c| Schedule::Static { chunk: Some(c) }),
+        (1usize..50).prop_map(|c| Schedule::Dynamic { chunk: c }),
+        (1usize..50).prop_map(|c| Schedule::Guided { min_chunk: c }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_index_visited_once(
+        n in 0usize..3000,
+        sched in arb_schedule(),
+        nthreads in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(nthreads);
+        let visits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for(n, sched, |i| { visits[i].fetch_add(1, Ordering::Relaxed); });
+        for (i, v) in visits.iter().enumerate() {
+            prop_assert_eq!(v.load(Ordering::Relaxed), 1, "index {}", i);
+        }
+    }
+
+    #[test]
+    fn reduction_matches_sequential(
+        data in proptest::collection::vec(-100i64..100, 0..2000),
+        sched in arb_schedule(),
+        nthreads in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(nthreads);
+        let par = pool.parallel_reduce(
+            data.len(),
+            sched,
+            || 0i64,
+            |acc, i| *acc += data[i],
+            |a, b| a + b,
+        );
+        prop_assert_eq!(par, data.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn ranges_are_disjoint_and_cover(
+        n in 1usize..5000,
+        sched in arb_schedule(),
+        nthreads in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(nthreads);
+        let covered: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for_ranges(n, sched, |tid, lo, hi| {
+            assert!(tid < nthreads);
+            for i in lo..hi {
+                covered[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        prop_assert!(covered.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,62 @@
+//! `epg` — the easy-parallel-graph-rs facade.
+//!
+//! One dependency that re-exports the whole framework: the graph substrate,
+//! the OpenMP-like runtime, the generators, the five engines, the machine
+//! and power models, and the harness. See the repository README for a
+//! guided tour; `examples/quickstart.rs` is the five-minute version.
+//!
+//! ```
+//! use epg::prelude::*;
+//!
+//! // Generate a small Kronecker graph, homogenize it, run BFS everywhere.
+//! let spec = GraphSpec::Kronecker { scale: 7, edge_factor: 8, weighted: false };
+//! let ds = Dataset::from_spec(&spec, 42);
+//! let cfg = ExperimentConfig {
+//!     algorithms: vec![Algorithm::Bfs],
+//!     max_roots: Some(2),
+//!     ..ExperimentConfig::new()
+//! };
+//! let result = run_experiment(&cfg, &ds);
+//! assert!(!result.run_times(EngineKind::Gap, Algorithm::Bfs).is_empty());
+//! ```
+
+#![warn(missing_docs)]
+pub use epg_engine_api as engine_api;
+pub use epg_engine_gap as gap;
+pub use epg_engine_graph500 as graph500;
+pub use epg_engine_graphbig as graphbig;
+pub use epg_engine_graphmat as graphmat;
+pub use epg_engine_powergraph as powergraph;
+pub use epg_generator as generator;
+pub use epg_graph as graph;
+pub use epg_harness as harness;
+pub use epg_machine as machine;
+pub use epg_parallel as parallel;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use epg_engine_api::{
+        Algorithm, AlgorithmResult, Counters, Engine, Phase, RunOutput, RunParams,
+        StoppingCriterion, Trace,
+    };
+    pub use epg_generator::GraphSpec;
+    pub use epg_graph::{Csr, EdgeList, VertexId, Weight};
+    pub use epg_harness::dataset::Dataset;
+    pub use epg_harness::registry::EngineKind;
+    pub use epg_harness::runner::{run_experiment, ExperimentConfig, ExperimentResult};
+    pub use epg_harness::stats::Summary;
+    pub use epg_machine::{MachineModel, MachineSpec};
+    pub use epg_parallel::{Schedule, ThreadPool};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_names_resolve() {
+        use crate::prelude::*;
+        let _pool = ThreadPool::new(1);
+        let _ = Algorithm::Bfs.abbrev();
+        let _ = EngineKind::Gap.name();
+        let _ = MachineModel::paper_machine();
+    }
+}

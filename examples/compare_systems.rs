@@ -1,0 +1,82 @@
+//! Compare all five systems on one workload — the Figs. 2-4 experience in
+//! miniature: phase-separated times, box-plot summaries, PageRank
+//! iteration counts.
+//!
+//! ```sh
+//! cargo run --release --example compare_systems
+//! ```
+
+use epg::harness::stats::Summary;
+use epg::prelude::*;
+
+fn main() {
+    let spec = GraphSpec::Kronecker { scale: 11, edge_factor: 16, weighted: true };
+    let ds = Dataset::from_spec(&spec, 7);
+    println!(
+        "workload: {} ({} vertices, {} edges, weighted)\n",
+        ds.name,
+        ds.raw.num_vertices,
+        ds.raw.num_edges()
+    );
+
+    let cfg = ExperimentConfig {
+        threads: 2,
+        max_roots: Some(8),
+        ..ExperimentConfig::new()
+    };
+    let result = run_experiment(&cfg, &ds);
+
+    for algo in [Algorithm::Bfs, Algorithm::Sssp, Algorithm::PageRank] {
+        println!("== {} ==", algo.name());
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            "system", "min (s)", "median", "max", "mean", "n"
+        );
+        for kind in EngineKind::ALL {
+            let times = result.run_times(kind, algo);
+            if times.is_empty() {
+                println!("{:<12} {:>10}", kind.name(), "N/A");
+                continue;
+            }
+            let s = Summary::of(&times);
+            println!(
+                "{:<12} {:>10.5} {:>10.5} {:>10.5} {:>10.5} {:>8}",
+                kind.name(),
+                s.min,
+                s.median,
+                s.max,
+                s.mean,
+                s.n
+            );
+        }
+        println!();
+    }
+
+    // Fig. 2/3 right panels: construction time, only where separable.
+    println!("== Data structure construction ==");
+    for kind in EngineKind::ALL {
+        let times = result.construct_times(kind);
+        match times.first() {
+            Some(&t) => println!("{:<12} {t:>10.5} s", kind.name()),
+            None => println!(
+                "{:<12} {:>10} (reads file and builds simultaneously)",
+                kind.name(),
+                "fused"
+            ),
+        }
+    }
+
+    // Fig. 4 right panel: iteration counts under native stopping criteria.
+    println!("\n== PageRank iterations (native stopping criteria) ==");
+    for kind in EngineKind::ALL {
+        let iters = result.pr_iterations(kind);
+        if let Some(&i) = iters.first() {
+            let note = if kind == EngineKind::GraphMat {
+                "  <- runs until no vertex changes rank (∞-norm)"
+            } else {
+                ""
+            };
+            println!("{:<12} {i:>6}{note}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Energy profiling with the RAPL simulator — the Table III / Fig. 9
+//! experience: run BFS per system, feed the measured traces to the
+//! simulated Haswell's power model, and print energy per root, the
+//! sleep(10) baseline, and the increase over sleep.
+//!
+//! ```sh
+//! cargo run --release --example energy_profile
+//! ```
+
+use epg::machine::rapl::PowerRapl;
+use epg::prelude::*;
+
+fn main() {
+    let spec = GraphSpec::Kronecker { scale: 11, edge_factor: 16, weighted: false };
+    let ds = Dataset::from_spec(&spec, 3);
+    let cfg = ExperimentConfig {
+        algorithms: vec![Algorithm::Bfs],
+        max_roots: Some(8),
+        ..ExperimentConfig::new()
+    };
+    let result = run_experiment(&cfg, &ds);
+
+    let model = MachineModel::paper_machine();
+    let threads = 32; // the paper measures power at 32 threads
+    println!("machine: {}", model.spec.name);
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>14} {:>10}",
+        "system", "time (s)", "avg CPU (W)", "avg RAM (W)", "energy/root (J)", "vs sleep"
+    );
+    for kind in EngineKind::ALL {
+        // Average over this engine's per-root runs.
+        let runs: Vec<_> = result
+            .runs
+            .iter()
+            .filter(|r| r.engine == kind && r.algorithm == Algorithm::Bfs)
+            .collect();
+        if runs.is_empty() {
+            continue;
+        }
+        let mut time = 0.0;
+        let mut cpu_w = 0.0;
+        let mut ram_w = 0.0;
+        let mut energy = 0.0;
+        let mut sleep_energy = 0.0;
+        for run in &runs {
+            // Calibrate the model from this run's real measurement, then
+            // project time and integrate power at 32 target threads.
+            let rate = model.calibrate_rate(&run.output.trace, run.seconds);
+            let mut rapl = PowerRapl::init(&model, rate, threads);
+            rapl.start();
+            rapl.record(&run.output.trace);
+            let rep = rapl.end();
+            time += rep.duration_s;
+            cpu_w += rep.avg_cpu_w;
+            ram_w += rep.avg_ram_w;
+            energy += rep.total_j();
+            sleep_energy += model.sleep_baseline(rep.duration_s).total_j();
+        }
+        let n = runs.len() as f64;
+        println!(
+            "{:<12} {:>10.5} {:>12.2} {:>12.2} {:>14.4} {:>10.3}",
+            kind.name(),
+            time / n,
+            cpu_w / n,
+            ram_w / n,
+            energy / n,
+            energy / sleep_energy
+        );
+    }
+    let sleep = model.sleep_baseline(10.0);
+    println!(
+        "\nsleep(10) baseline: CPU {:.1} W, RAM {:.1} W ({:.1} J total)",
+        sleep.avg_cpu_w,
+        sleep.avg_ram_w,
+        sleep.total_j()
+    );
+    println!("(as in the paper, the fastest code is also the most energy efficient)");
+}

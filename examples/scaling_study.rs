@@ -1,0 +1,62 @@
+//! Strong-scaling study — the Figs. 5-6 experience: measure each BFS
+//! engine once, then project the measured trace onto 1..72 threads of the
+//! simulated Haswell and print speedup and parallel efficiency.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use epg::prelude::*;
+
+const THREADS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 72];
+
+fn main() {
+    let spec = GraphSpec::Kronecker { scale: 12, edge_factor: 16, weighted: false };
+    let ds = Dataset::from_spec(&spec, 23);
+    let cfg = ExperimentConfig {
+        algorithms: vec![Algorithm::Bfs],
+        max_roots: Some(4), // "only four trials were run" (§IV-B)
+        ..ExperimentConfig::new()
+    };
+    let result = run_experiment(&cfg, &ds);
+    let model = MachineModel::paper_machine();
+
+    println!("BFS strong scaling, projected onto: {}\n", model.spec.name);
+    print!("{:<12}", "speedup");
+    for n in THREADS {
+        print!("{n:>8}");
+    }
+    println!();
+    let mut efficiencies = Vec::new();
+    for kind in EngineKind::ALL {
+        let runs: Vec<_> = result
+            .runs
+            .iter()
+            .filter(|r| r.engine == kind && r.algorithm == Algorithm::Bfs)
+            .collect();
+        let Some(run) = runs.first() else { continue };
+        let rate = model.calibrate_rate(&run.output.trace, run.seconds);
+        let speedup = model.speedup_curve(&run.output.trace, rate, &THREADS);
+        print!("{:<12}", kind.name());
+        for (_, s) in &speedup {
+            print!("{s:>8.2}");
+        }
+        println!();
+        efficiencies.push((
+            kind,
+            model.efficiency_curve(&run.output.trace, rate, &THREADS),
+        ));
+    }
+
+    println!("\n{:<12} T1/(n*Tn)", "efficiency");
+    for (kind, eff) in &efficiencies {
+        print!("{:<12}", kind.name());
+        for (_, e) in eff {
+            print!("{e:>8.3}");
+        }
+        println!();
+    }
+    println!("\n(ideal efficiency is 1.0; the paper observes \"generally poor");
+    println!(" scaling for this size problem\" — visible here as the drop-off");
+    println!(" past the 36 physical cores and under barrier overheads.)");
+}

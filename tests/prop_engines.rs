@@ -1,0 +1,146 @@
+//! Property-based cross-engine tests: on arbitrary random graphs, every
+//! engine must agree with the sequential oracles (and therefore with each
+//! other). This is the heavy-duty correctness net behind the fairness
+//! claims — a comparison is only fair if everyone computes the same thing.
+
+use epg::graph::{oracle, validate};
+use epg::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary homogenized dataset: random simple symmetric weighted graph.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..60, 1usize..300, 0u64..1000).prop_map(|(n, m, seed)| {
+        let el = epg::generator::uniform::generate(n, m, true, seed);
+        Dataset::from_edge_list(format!("prop_{n}_{m}_{seed}"), el, seed)
+    })
+}
+
+fn root_of(ds: &Dataset) -> Option<VertexId> {
+    ds.roots.first().copied()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_bfs_engines_agree_with_oracle(ds in arb_dataset()) {
+        let Some(root) = root_of(&ds) else { return Ok(()); };
+        let pool = ThreadPool::new(2);
+        let csr = Csr::from_edge_list(&ds.symmetric);
+        let want = oracle::bfs(&csr, root);
+        for kind in [EngineKind::Gap, EngineKind::Graph500, EngineKind::GraphBig, EngineKind::GraphMat] {
+            let mut e = kind.create();
+            e.load_edge_list(ds.edges_for(kind));
+            e.construct(&pool);
+            let out = e.run(Algorithm::Bfs, &RunParams::new(&pool, Some(root)));
+            let AlgorithmResult::BfsTree { parent, level } = out.result else { panic!() };
+            prop_assert_eq!(&level, &want.level, "{} levels", kind.name());
+            prop_assert!(validate::validate_bfs_tree(&csr, root, &parent).is_ok(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn all_sssp_engines_agree_with_dijkstra(ds in arb_dataset()) {
+        let Some(root) = root_of(&ds) else { return Ok(()); };
+        let pool = ThreadPool::new(2);
+        let csr = Csr::from_edge_list(&ds.symmetric);
+        let want = oracle::dijkstra(&csr, root);
+        for kind in [EngineKind::Gap, EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph] {
+            let mut e = kind.create();
+            e.load_edge_list(ds.edges_for(kind));
+            e.construct(&pool);
+            let out = e.run(Algorithm::Sssp, &RunParams::new(&pool, Some(root)));
+            let AlgorithmResult::Distances(d) = out.result else { panic!() };
+            for v in 0..want.len() {
+                if want[v].is_infinite() {
+                    prop_assert!(d[v].is_infinite(), "{} v{}", kind.name(), v);
+                } else {
+                    prop_assert!(
+                        (d[v] - want[v]).abs() < 1e-3,
+                        "{} v{}: {} vs {}", kind.name(), v, d[v], want[v]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_pr_engines_agree_under_homogenized_stopping(ds in arb_dataset()) {
+        let pool = ThreadPool::new(2);
+        let csr = Csr::from_edge_list(&ds.symmetric);
+        let (want, _) = oracle::pagerank(&csr, 6e-8, 300);
+        for kind in [EngineKind::Gap, EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph] {
+            let mut e = kind.create();
+            e.load_edge_list(ds.edges_for(kind));
+            e.construct(&pool);
+            let mut p = RunParams::new(&pool, None);
+            p.stopping = Some(StoppingCriterion::paper_default());
+            let out = e.run(Algorithm::PageRank, &p);
+            let AlgorithmResult::Ranks { ranks, .. } = out.result else { panic!() };
+            for v in 0..want.len() {
+                prop_assert!(
+                    (ranks[v] - want[v]).abs() < 1e-5,
+                    "{} v{}: {} vs {}", kind.name(), v, ranks[v], want[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_count_engines_agree(ds in arb_dataset()) {
+        let pool = ThreadPool::new(2);
+        let csr = Csr::from_edge_list(&ds.symmetric);
+        let want = oracle::triangle_count(&csr);
+        for kind in [EngineKind::Gap, EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph] {
+            let mut e = kind.create();
+            e.load_edge_list(ds.edges_for(kind));
+            e.construct(&pool);
+            let out = e.run(Algorithm::TriangleCount, &RunParams::new(&pool, None));
+            let AlgorithmResult::Triangles(t) = out.result else { panic!() };
+            prop_assert_eq!(t, want, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn bc_engines_agree_with_brandes(ds in arb_dataset()) {
+        let pool = ThreadPool::new(2);
+        let csr = Csr::from_edge_list(&ds.symmetric);
+        let want = oracle::betweenness(&csr);
+        for kind in [EngineKind::Gap, EngineKind::GraphBig] {
+            let mut e = kind.create();
+            e.load_edge_list(ds.edges_for(kind));
+            e.construct(&pool);
+            let out = e.run(Algorithm::Bc, &RunParams::new(&pool, None));
+            let AlgorithmResult::Centrality(bc) = out.result else { panic!() };
+            for v in 0..want.len() {
+                prop_assert!(
+                    (bc[v] - want[v]).abs() < 1e-6 * (1.0 + want[v]),
+                    "{} v{}: {} vs {}", kind.name(), v, bc[v], want[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn machine_model_invariants(
+        regions in proptest::collection::vec((1u64..1_000_000, 1u64..10_000, 0u64..10_000_000), 1..30),
+        threads in 1usize..72,
+    ) {
+        let mut trace = Trace::default();
+        for (work, span, bytes) in regions {
+            trace.parallel(work, span, bytes);
+        }
+        let model = MachineModel::paper_machine();
+        let rate = 1e8;
+        let t1 = model.project(&trace, rate, 1).total_s;
+        let tn = model.project(&trace, rate, threads).total_s;
+        // Speedup bounded by thread count; time always positive.
+        prop_assert!(tn > 0.0);
+        prop_assert!(t1 / tn <= threads as f64 + 1e-9);
+        // Energy >= idle * duration, <= max power * duration.
+        let rep = model.energy(&trace, rate, threads);
+        let spec = &model.spec;
+        prop_assert!(rep.cpu_energy_j >= spec.cpu_idle_w * rep.duration_s - 1e-9);
+        prop_assert!(rep.cpu_energy_j <= (spec.cpu_idle_w + spec.cpu_dyn_w) * rep.duration_s + 1e-9);
+    }
+}

@@ -1,0 +1,139 @@
+//! Robustness sweep: every engine × every supported algorithm on
+//! degenerate inputs — empty-ish graphs, singletons, self-loops, stars,
+//! disconnected shards. A comparison harness must not fall over on the
+//! weird graphs users actually feed it ("any network in the SNAP data
+//! format can be used", §III-B).
+
+use epg::prelude::*;
+
+fn degenerate_graphs() -> Vec<(&'static str, EdgeList)> {
+    vec![
+        ("single_edge", EdgeList::new(2, vec![(0, 1)])),
+        ("self_loop_only", EdgeList::new(1, vec![(0, 0)])),
+        ("two_loops", EdgeList::new(2, vec![(0, 0), (1, 1)])),
+        (
+            "star",
+            EdgeList::new(6, (1..6).map(|v| (0u32, v)).collect::<Vec<_>>()).symmetrized(),
+        ),
+        (
+            "disconnected",
+            EdgeList::new(9, vec![(0, 1), (1, 0), (3, 4), (4, 3), (6, 7), (7, 8)]),
+        ),
+        (
+            "weighted_pair",
+            EdgeList::weighted(3, vec![(0, 1), (1, 0)], vec![0.25, 0.25]),
+        ),
+        (
+            "duplicate_heavy",
+            EdgeList::new(3, vec![(0, 1); 20].into_iter().chain([(1, 2)]).collect::<Vec<_>>()),
+        ),
+    ]
+}
+
+#[test]
+fn every_engine_survives_every_degenerate_graph() {
+    let pool = ThreadPool::new(2);
+    for (name, el) in degenerate_graphs() {
+        let ds = Dataset::from_edge_list(name.to_string(), el, 1);
+        for kind in EngineKind::ALL {
+            let mut engine = kind.create();
+            engine.load_edge_list(ds.edges_for(kind));
+            engine.construct(&pool);
+            for algo in Algorithm::ALL {
+                if !engine.supports(algo) {
+                    continue;
+                }
+                if algo.is_rooted() {
+                    // Rooted algorithms need a qualifying root; skip when
+                    // the sampler found none (as the harness does).
+                    let Some(&root) = ds.roots.first() else { continue };
+                    let out = engine.run(algo, &RunParams::new(&pool, Some(root)));
+                    assert_eq!(
+                        out.result.len(),
+                        ds.symmetric.num_vertices,
+                        "{} {} on {}",
+                        kind.name(),
+                        algo.abbrev(),
+                        name
+                    );
+                } else {
+                    let out = engine.run(algo, &RunParams::new(&pool, None));
+                    assert!(
+                        !out.result.is_empty() || ds.symmetric.num_vertices == 0,
+                        "{} {} on {}",
+                        kind.name(),
+                        algo.abbrev(),
+                        name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn results_match_oracles_even_on_degenerate_graphs() {
+    use epg::graph::oracle;
+    let pool = ThreadPool::new(2);
+    for (name, el) in degenerate_graphs() {
+        let ds = Dataset::from_edge_list(name.to_string(), el, 2);
+        let csr = Csr::from_edge_list(&ds.symmetric);
+        let want_wcc = oracle::wcc(&csr);
+        let want_tc = oracle::triangle_count(&csr);
+        for kind in [EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph] {
+            let mut engine = kind.create();
+            engine.load_edge_list(ds.edges_for(kind));
+            engine.construct(&pool);
+            let AlgorithmResult::Components(c) =
+                engine.run(Algorithm::Wcc, &RunParams::new(&pool, None)).result
+            else {
+                panic!()
+            };
+            assert_eq!(c, want_wcc, "{} WCC on {}", kind.name(), name);
+            let AlgorithmResult::Triangles(t) =
+                engine.run(Algorithm::TriangleCount, &RunParams::new(&pool, None)).result
+            else {
+                panic!()
+            };
+            assert_eq!(t, want_tc, "{} TC on {}", kind.name(), name);
+        }
+    }
+}
+
+#[test]
+fn harness_handles_graphs_with_no_eligible_roots() {
+    // Only an edgeless graph has no vertex of total degree > 1 after
+    // symmetrization: zero roots; the runner must simply produce no rooted
+    // rows rather than panicking.
+    let el = EdgeList::new(5, vec![]);
+    let ds = Dataset::from_edge_list("no_roots".into(), el, 3);
+    assert!(ds.roots.is_empty());
+    let cfg = ExperimentConfig {
+        algorithms: vec![Algorithm::Bfs, Algorithm::PageRank],
+        max_roots: Some(4),
+        ..ExperimentConfig::new()
+    };
+    let result = run_experiment(&cfg, &ds);
+    assert!(result.run_times(EngineKind::Gap, Algorithm::Bfs).is_empty());
+    // Unrooted algorithms still ran.
+    assert!(!result.run_times(EngineKind::Gap, Algorithm::PageRank).is_empty());
+}
+
+#[test]
+fn snap_files_with_gaps_in_id_space_work_end_to_end() {
+    // Sparse vertex ids (the SNAP norm): 0, 7, 100 only.
+    let dir = std::env::temp_dir().join("epg_robust_sparse_ids");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sparse.snap");
+    std::fs::write(&path, "# sparse ids\n0 7\n7 100\n100 0\n").unwrap();
+    let ds = Dataset::from_snap_file(&path, 1).unwrap();
+    assert_eq!(ds.raw.num_vertices, 101);
+    let cfg = ExperimentConfig {
+        algorithms: vec![Algorithm::Bfs],
+        max_roots: Some(1),
+        ..ExperimentConfig::new()
+    };
+    let result = run_experiment(&cfg, &ds);
+    assert!(!result.run_times(EngineKind::Gap, Algorithm::Bfs).is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
