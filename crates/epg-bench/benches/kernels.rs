@@ -7,10 +7,7 @@ use epg::prelude::*;
 use std::hint::black_box;
 
 fn dataset() -> Dataset {
-    Dataset::from_spec(
-        &GraphSpec::Kronecker { scale: 11, edge_factor: 16, weighted: true },
-        7,
-    )
+    Dataset::from_spec(&GraphSpec::Kronecker { scale: 11, edge_factor: 16, weighted: true }, 7)
 }
 
 fn bench_bfs(c: &mut Criterion) {

@@ -10,7 +10,11 @@ use std::hint::black_box;
 
 fn kron(scale: u32) -> EdgeList {
     epg::generator::kronecker::generate(
-        &epg::generator::kronecker::KroneckerConfig { scale, edge_factor: 16, ..Default::default() },
+        &epg::generator::kronecker::KroneckerConfig {
+            scale,
+            edge_factor: 16,
+            ..Default::default()
+        },
         7,
     )
 }
@@ -36,9 +40,7 @@ fn bench_construction(c: &mut Criterion) {
     g.bench_function("property_graph", |b| {
         b.iter(|| black_box(epg::graph::adjacency::PropertyGraph::from_edge_list(&el)))
     });
-    g.bench_function("vertex_cut_8", |b| {
-        b.iter(|| black_box(PartitionedGraph::build(&el, 8)))
-    });
+    g.bench_function("vertex_cut_8", |b| b.iter(|| black_box(PartitionedGraph::build(&el, 8))));
     g.finish();
 }
 
@@ -47,17 +49,25 @@ fn bench_parallel_runtime(c: &mut Criterion) {
     for threads in [1usize, 2, 4] {
         let pool = ThreadPool::new(threads);
         g.bench_with_input(BenchmarkId::new("region_dispatch", threads), &threads, |b, _| {
-            b.iter(|| pool.region(|tid| { black_box(tid); }))
+            b.iter(|| {
+                pool.region(|tid| {
+                    black_box(tid);
+                })
+            })
         });
         g.bench_with_input(BenchmarkId::new("parallel_for_1e5", threads), &threads, |b, _| {
             b.iter(|| {
-                pool.parallel_for_ranges(100_000, Schedule::Guided { min_chunk: 64 }, |_t, lo, hi| {
-                    let mut s = 0u64;
-                    for i in lo..hi {
-                        s = s.wrapping_add(i as u64);
-                    }
-                    black_box(s);
-                })
+                pool.parallel_for_ranges(
+                    100_000,
+                    Schedule::Guided { min_chunk: 64 },
+                    |_t, lo, hi| {
+                        let mut s = 0u64;
+                        for i in lo..hi {
+                            s = s.wrapping_add(i as u64);
+                        }
+                        black_box(s);
+                    },
+                )
             })
         });
     }

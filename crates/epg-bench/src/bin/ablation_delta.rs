@@ -16,10 +16,7 @@ fn main() {
     let ds = kron_dataset(scale, true, args.seed);
     let pool = ThreadPool::new(args.threads);
 
-    println!(
-        "{:<12}{:>16}{:>14}{:>12}",
-        "delta", "edge relaxations", "buckets", "time (s)"
-    );
+    println!("{:<12}{:>16}{:>14}{:>12}", "delta", "edge relaxations", "buckets", "time (s)");
     for delta in [0.01f32, 0.05, 0.1, 0.25, 0.5, 1.0, 4.0, 1000.0] {
         let mut e = GapEngine::with_config(GapConfig { delta, ..Default::default() });
         e.load_edge_list(ds.edges_for(EngineKind::Gap));

@@ -19,10 +19,7 @@ fn main() {
     let pool = ThreadPool::new(args.threads);
     let root = ds.roots[0];
 
-    println!(
-        "{:<28}{:>16}{:>12}{:>10}",
-        "configuration", "edges traversed", "time (s)", "steps"
-    );
+    println!("{:<28}{:>16}{:>12}{:>10}", "configuration", "edges traversed", "time (s)", "steps");
     let run = |label: &str, cfg: GapConfig| {
         let mut e = GapEngine::with_config(cfg);
         e.load_edge_list(ds.edges_for(EngineKind::Gap));
@@ -47,10 +44,7 @@ fn main() {
         total_edges
     };
 
-    let off = run(
-        "top-down only",
-        GapConfig { direction_optimizing: false, ..Default::default() },
-    );
+    let off = run("top-down only", GapConfig { direction_optimizing: false, ..Default::default() });
     let on = run("direction-optimizing (15,18)", GapConfig::default());
     for (alpha, beta) in [(1, 18), (4, 18), (64, 18), (15, 2), (15, 64), (256, 1024)] {
         run(

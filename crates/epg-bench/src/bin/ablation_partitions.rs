@@ -38,8 +38,7 @@ fn main() {
         );
         for p in [1usize, 2, 4, 8, 16, 32] {
             let pg = PartitionedGraph::build(&ds.symmetric, p);
-            let mut e =
-                PowerGraphEngine::with_config(PowerGraphConfig { num_partitions: p });
+            let mut e = PowerGraphEngine::with_config(PowerGraphConfig { num_partitions: p });
             e.load_edge_list(ds.edges_for(EngineKind::PowerGraph));
             e.construct(&pool);
             let root = ds.roots[0];

@@ -22,10 +22,10 @@ fn main() {
     let root = ds.roots[0];
 
     let mut results = Vec::new();
-    for (label, repr) in [("float (default)", WeightRepr::Float), ("int (truncated)", WeightRepr::Int)]
+    for (label, repr) in
+        [("float (default)", WeightRepr::Float), ("int (truncated)", WeightRepr::Int)]
     {
-        let mut e =
-            GapEngine::with_config(GapConfig { weight_repr: repr, ..Default::default() });
+        let mut e = GapEngine::with_config(GapConfig { weight_repr: repr, ..Default::default() });
         e.load_edge_list(ds.edges_for(EngineKind::Gap));
         e.construct(&pool);
         let t0 = Instant::now();

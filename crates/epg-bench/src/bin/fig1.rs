@@ -65,7 +65,11 @@ fn main() {
             "<ellipse cx=\"{}\" cy=\"{}\" rx=\"70\" ry=\"20\" fill=\"palegreen\" \
              stroke=\"black\"/>\n\
              <text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"11\">{}</text>\n",
-            f.x, f.y, f.x, f.y + 4.0, f.label
+            f.x,
+            f.y,
+            f.x,
+            f.y + 4.0,
+            f.label
         );
     }
     // Flow arrows between consecutive phases.

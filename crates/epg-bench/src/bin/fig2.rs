@@ -57,10 +57,7 @@ fn main() {
 
     // Graph500's own headline statistic for these runs.
     let g500_times = result.run_times(EngineKind::Graph500, Algorithm::Bfs);
-    let teps = epg::graph500::teps::TepsStats::from_times(
-        ds.raw.num_edges() as u64,
-        &g500_times,
-    );
+    let teps = epg::graph500::teps::TepsStats::from_times(ds.raw.num_edges() as u64, &g500_times);
     println!(
         "\nGraph500 TEPS (local): harmonic mean {:.3e} (min {:.3e}, max {:.3e}, {} runs)",
         teps.harmonic_mean, teps.min, teps.max, teps.runs
@@ -85,6 +82,10 @@ fn main() {
     for kind in [EngineKind::Gap, EngineKind::Graph500, EngineKind::GraphBig, EngineKind::GraphMat]
     {
         let run = result.runs.iter().find(|r| r.engine == kind).unwrap();
-        println!("  {:<10} {:>12} edges traversed", kind.name(), run.output.counters.edges_traversed);
+        println!(
+            "  {:<10} {:>12} edges traversed",
+            kind.name(),
+            run.output.counters.edges_traversed
+        );
     }
 }

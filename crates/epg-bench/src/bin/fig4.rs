@@ -58,7 +58,10 @@ fn main() {
         println!("{}", shape_row(kind.name(), paper, mean_iters, "iters"));
         bars.push((kind.name().to_string(), mean_iters));
     }
-    args.write_artifact("fig4_pr_iterations.svg", &bar_chart("PageRank Iterations", "Iterations", &bars));
+    args.write_artifact(
+        "fig4_pr_iterations.svg",
+        &bar_chart("PageRank Iterations", "Iterations", &bars),
+    );
 
     // Paper shapes: GraphMat iterates most; GAP needs the fewest.
     let get = |k: EngineKind| bars.iter().find(|(n, _)| n == k.name()).unwrap().1;

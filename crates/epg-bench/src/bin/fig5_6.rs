@@ -32,10 +32,8 @@ fn main() {
     let model = MachineModel::paper_machine();
 
     let x_labels: Vec<String> = THREADS.iter().map(|n| n.to_string()).collect();
-    let mut speedup_series = vec![(
-        "Linear".to_string(),
-        THREADS.iter().map(|&n| n as f64).collect::<Vec<f64>>(),
-    )];
+    let mut speedup_series =
+        vec![("Linear".to_string(), THREADS.iter().map(|&n| n as f64).collect::<Vec<f64>>())];
     let mut eff_series = vec![("Ideal".to_string(), vec![1.0; THREADS.len()])];
 
     println!("\n== Fig. 5: speedup T1/Tn ==");

@@ -20,7 +20,11 @@ fn main() {
             args.seed,
         ),
         Dataset::from_spec(
-            &GraphSpec::Kronecker { scale: args.kron_scale(22, 11), edge_factor: 16, weighted: false },
+            &GraphSpec::Kronecker {
+                scale: args.kron_scale(22, 11),
+                edge_factor: 16,
+                weighted: false,
+            },
             args.seed,
         ),
     ];

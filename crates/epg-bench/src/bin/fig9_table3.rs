@@ -28,7 +28,8 @@ fn main() {
     };
     let result = run_experiment(&cfg, &ds);
     let model = MachineModel::paper_machine();
-    let engines = [EngineKind::Gap, EngineKind::Graph500, EngineKind::GraphBig, EngineKind::GraphMat];
+    let engines =
+        [EngineKind::Gap, EngineKind::Graph500, EngineKind::GraphBig, EngineKind::GraphMat];
 
     let mut cpu_groups = Vec::new();
     let mut ram_groups = Vec::new();
@@ -95,7 +96,12 @@ fn main() {
     );
     args.write_artifact(
         "fig9_cpu_power.svg",
-        &boxplot("CPU Average Power During BFS", "Average Power (Watts)", &cpu_groups, Scale::Linear),
+        &boxplot(
+            "CPU Average Power During BFS",
+            "Average Power (Watts)",
+            &cpu_groups,
+            Scale::Linear,
+        ),
     );
     args.write_artifact(
         "fig9_ram_power.svg",

@@ -49,7 +49,10 @@ fn main() {
     println!("{table}");
 
     println!("== Table I (paper, full-size datasets on 72T Haswell) ==");
-    println!("{:<12}{:<14}{:>8}{:>8}{:>9}{:>7}{:>7}{:>7}", "system", "dataset", "BFS", "CDLP", "LCC", "PR", "SSSP", "WCC");
+    println!(
+        "{:<12}{:<14}{:>8}{:>8}{:>9}{:>7}{:>7}{:>7}",
+        "system", "dataset", "BFS", "CDLP", "LCC", "PR", "SSSP", "WCC"
+    );
     for (sys, ds, vals) in paper_ref::TABLE1 {
         print!("{sys:<12}{ds:<14}");
         for v in vals {
@@ -121,12 +124,7 @@ fn main() {
     }
 }
 
-fn cell_time(
-    cells: &[graphalytics::Cell],
-    engine: EngineKind,
-    algo: Algorithm,
-    ds: &str,
-) -> f64 {
+fn cell_time(cells: &[graphalytics::Cell], engine: EngineKind, algo: Algorithm, ds: &str) -> f64 {
     cells
         .iter()
         .find(|c| c.engine == engine && c.algorithm == algo && c.dataset == ds)

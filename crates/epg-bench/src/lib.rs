@@ -122,12 +122,32 @@ pub mod paper_ref {
     /// Table I (Graphalytics, 32 threads, seconds): (system, dataset,
     /// [BFS, CDLP, LCC, PR, SSSP, WCC]), None = N/A.
     pub const TABLE1: [(&str, &str, [Option<f64>; 6]); 6] = [
-        ("GraphBIG", "cit-Patents", [Some(0.8), Some(11.8), Some(15.5), Some(4.5), None, Some(1.3)]),
-        ("GraphBIG", "dota-league", [Some(1.1), Some(3.9), Some(1073.7), Some(2.6), Some(3.0), Some(1.0)]),
-        ("PowerGraph", "cit-Patents", [Some(13.8), Some(30.1), Some(23.9), Some(18.8), None, Some(22.1)]),
-        ("PowerGraph", "dota-league", [Some(25.6), Some(31.2), Some(458.1), Some(26.7), Some(28.9), Some(22.9)]),
+        (
+            "GraphBIG",
+            "cit-Patents",
+            [Some(0.8), Some(11.8), Some(15.5), Some(4.5), None, Some(1.3)],
+        ),
+        (
+            "GraphBIG",
+            "dota-league",
+            [Some(1.1), Some(3.9), Some(1073.7), Some(2.6), Some(3.0), Some(1.0)],
+        ),
+        (
+            "PowerGraph",
+            "cit-Patents",
+            [Some(13.8), Some(30.1), Some(23.9), Some(18.8), None, Some(22.1)],
+        ),
+        (
+            "PowerGraph",
+            "dota-league",
+            [Some(25.6), Some(31.2), Some(458.1), Some(26.7), Some(28.9), Some(22.9)],
+        ),
         ("GraphMat", "cit-Patents", [Some(7.5), Some(20.1), Some(9.8), Some(8.1), None, Some(6.6)]),
-        ("GraphMat", "dota-league", [Some(2.7), Some(21.2), Some(239.7), Some(6.3), Some(9.4), Some(6.9)]),
+        (
+            "GraphMat",
+            "dota-league",
+            [Some(2.7), Some(21.2), Some(239.7), Some(6.3), Some(9.4), Some(6.9)],
+        ),
     ];
 
     /// Table II (Graphalytics on Kronecker scale 22, seconds):

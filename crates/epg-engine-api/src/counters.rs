@@ -110,7 +110,8 @@ mod tests {
     #[test]
     fn counters_merge() {
         let mut a = Counters { edges_traversed: 10, vertices_touched: 5, ..Default::default() };
-        let b = Counters { edges_traversed: 3, iterations: 2, bytes_read: 100, ..Default::default() };
+        let b =
+            Counters { edges_traversed: 3, iterations: 2, bytes_read: 100, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.edges_traversed, 13);
         assert_eq!(a.vertices_touched, 5);

@@ -44,9 +44,9 @@ impl LogStyle {
             },
             LogStyle::GraphBig => match phase {
                 // openG loads and builds in one step; it logs only the total.
-                Phase::ReadFile => Some(format!(
-                    "loading graph file... complete! time: {seconds:.4} s"
-                )),
+                Phase::ReadFile => {
+                    Some(format!("loading graph file... complete! time: {seconds:.4} s"))
+                }
                 Phase::Construct => None,
                 Phase::Run => Some(format!("[{context}] total execution time: {seconds:.4} s")),
                 Phase::Output => Some(format!("writing results... {seconds:.4} s")),
@@ -69,9 +69,9 @@ impl LogStyle {
                 Phase::Run => Some(format!(
                     "INFO:  synchronous_engine.hpp: Finished Running engine in {seconds:.5} seconds"
                 )),
-                Phase::Output => {
-                    Some(format!("INFO:  distributed_graph.hpp: Saved output in {seconds:.5} seconds"))
-                }
+                Phase::Output => Some(format!(
+                    "INFO:  distributed_graph.hpp: Saved output in {seconds:.5} seconds"
+                )),
             },
             LogStyle::Generic => Some(format!("{}: {seconds:.6}", phase.label())),
         }
@@ -187,10 +187,7 @@ mod tests {
             s.parse_line("run algorithm 2 (compute PageRank): 0.149445 sec"),
             Some((Phase::Run, 0.149445))
         );
-        assert_eq!(
-            s.parse_line("print output: 0.0641179 sec"),
-            Some((Phase::Output, 0.0641179))
-        );
+        assert_eq!(s.parse_line("print output: 0.0641179 sec"), Some((Phase::Output, 0.0641179)));
         assert_eq!(s.parse_line("initialize engine: 8.32081e-05 sec"), None);
     }
 

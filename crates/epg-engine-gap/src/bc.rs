@@ -15,12 +15,7 @@ use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Runs betweenness centrality over out-edges.
-pub fn betweenness(
-    g: &Csr,
-    pool: &ThreadPool,
-    sources: Option<usize>,
-    seed: u64,
-) -> RunOutput {
+pub fn betweenness(g: &Csr, pool: &ThreadPool, sources: Option<usize>, seed: u64) -> RunOutput {
     let n = g.num_vertices();
     let mut counters = Counters::default();
     let mut trace = Trace::default();
@@ -50,6 +45,7 @@ pub fn betweenness(
         });
         {
             let dw = DisjointWriter::new(&mut delta);
+            // SAFETY: parallel_for hands each index v to exactly one worker.
             pool.parallel_for(n, Schedule::Static { chunk: None }, |v| unsafe {
                 dw.write(v, 0.0);
             });
@@ -133,10 +129,12 @@ pub fn betweenness(
                                     // finalized; w is at level d, written
                                     // only by this thread this pass.
                                     let dv = unsafe { *dw.get_raw(v as usize) };
-                                    acc += sw / sigma[v as usize].load(Ordering::Relaxed)
-                                        * (1.0 + dv);
+                                    acc +=
+                                        sw / sigma[v as usize].load(Ordering::Relaxed) * (1.0 + dv);
                                 }
                             }
+                            // SAFETY: w is owned by this thread's chunk of
+                            // the level-d frontier; no other worker writes it.
                             unsafe { dw.write(w as usize, acc) };
                         }
                         scanned.fetch_add(sc, Ordering::Relaxed);
@@ -175,9 +173,7 @@ mod tests {
 
     #[test]
     fn exact_matches_brandes_oracle_on_random_graph() {
-        let el = epg_generator::uniform::generate(120, 700, false, 4)
-            .symmetrized()
-            .deduplicated();
+        let el = epg_generator::uniform::generate(120, 700, false, 4).symmetrized().deduplicated();
         let got = exact(&el);
         let want = oracle::betweenness(&Csr::from_edge_list(&el));
         for v in 0..want.len() {
@@ -193,10 +189,7 @@ mod tests {
     #[test]
     fn exact_matches_oracle_on_directed_dag() {
         let el = epg_generator::citations::generate(
-            &epg_generator::citations::CitationsConfig {
-                num_vertices: 200,
-                ..Default::default()
-            },
+            &epg_generator::citations::CitationsConfig { num_vertices: 200, ..Default::default() },
             7,
         );
         let got = exact(&el);

@@ -28,9 +28,7 @@ mod tc;
 
 pub use structures::{Bitmap, SlidingQueue};
 
-use epg_engine_api::{
-    logfmt::LogStyle, Algorithm, Engine, EngineInfo, RunOutput, RunParams,
-};
+use epg_engine_api::{logfmt::LogStyle, Algorithm, Engine, EngineInfo, RunOutput, RunParams};
 use epg_graph::{snap, Csr, EdgeList};
 use epg_parallel::ThreadPool;
 use std::path::Path;
@@ -196,9 +194,7 @@ impl Engine for GapEngine {
             }
             Algorithm::PageRank => pr::pagerank(self.csr(), self.csr_t(), params),
             Algorithm::Bc => bc::betweenness(self.csr(), params.pool, params.bc_sources, 0x6a0),
-            Algorithm::TriangleCount => {
-                tc::triangle_count(self.csr(), self.csr_t(), params.pool)
-            }
+            Algorithm::TriangleCount => tc::triangle_count(self.csr(), self.csr_t(), params.pool),
             _ => unreachable!(),
         }
     }

@@ -2,7 +2,7 @@
 
 use epg_engine_api::{AlgorithmResult, Counters, RunOutput, RunParams, StoppingCriterion, Trace};
 use epg_graph::{Csr, VertexId};
-use epg_parallel::Schedule;
+use epg_parallel::{DisjointWriter, Schedule};
 
 /// Damping factor shared by all engines.
 pub const DAMPING: f64 = 0.85;
@@ -25,8 +25,7 @@ pub fn pagerank(g: &Csr, gt: &Csr, params: &RunParams<'_>) -> RunOutput {
     }
 
     let out_deg: Vec<u32> = (0..n as VertexId).map(|v| g.out_degree(v) as u32).collect();
-    let sinks: Vec<VertexId> =
-        (0..n as VertexId).filter(|&v| out_deg[v as usize] == 0).collect();
+    let sinks: Vec<VertexId> = (0..n as VertexId).filter(|&v| out_deg[v as usize] == 0).collect();
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
     let base = (1.0 - DAMPING) / n as f64;
@@ -38,8 +37,7 @@ pub fn pagerank(g: &Csr, gt: &Csr, params: &RunParams<'_>) -> RunOutput {
         iterations += 1;
         let sink_mass: f64 = sinks.iter().map(|&v| rank[v as usize]).sum::<f64>() / n as f64;
         {
-            // SAFETY-free interior mutability: disjoint ranges per thread.
-            let next_cell = SliceWriter::new(&mut next);
+            let next_cell = DisjointWriter::new(&mut next);
             let rank_ref = &rank;
             pool.parallel_for_ranges(n, Schedule::gap_default(), |_tid, lo, hi| {
                 for v in lo..hi {
@@ -48,16 +46,19 @@ pub fn pagerank(g: &Csr, gt: &Csr, params: &RunParams<'_>) -> RunOutput {
                         .iter()
                         .map(|&u| rank_ref[u as usize] / out_deg[u as usize] as f64)
                         .sum();
-                    // SAFETY: each index v is visited exactly once per loop.
-                    unsafe { next_cell.write(v, base + DAMPING * (incoming + sink_mass)) };
+                    // SAFETY: ranges are disjoint, so each index v is
+                    // written by exactly one thread per region, and
+                    // `v < hi <= n == next.len()`.
+                    unsafe {
+                        next_cell.write_unchecked(v, base + DAMPING * (incoming + sink_mass))
+                    };
                 }
             });
         }
         let rank_ref = &rank;
         let next_ref = &next;
-        let l1 = pool.parallel_sum_f64(n, Schedule::gap_default(), |v| {
-            (rank_ref[v] - next_ref[v]).abs()
-        });
+        let l1 = pool
+            .parallel_sum_f64(n, Schedule::gap_default(), |v| (rank_ref[v] - next_ref[v]).abs());
         let changed = pool.parallel_reduce(
             n,
             Schedule::gap_default(),
@@ -79,26 +80,6 @@ pub fn pagerank(g: &Csr, gt: &Csr, params: &RunParams<'_>) -> RunOutput {
     counters.bytes_read = counters.edges_traversed * 12;
     counters.bytes_written = counters.vertices_touched * 8;
     RunOutput::new(AlgorithmResult::Ranks { ranks: rank, iterations }, counters, trace)
-}
-
-/// Shared-slice writer for loops that provably write disjoint indices.
-pub(crate) struct SliceWriter<T> {
-    ptr: *mut T,
-}
-
-unsafe impl<T: Send> Sync for SliceWriter<T> {}
-
-impl<T> SliceWriter<T> {
-    pub(crate) fn new(slice: &mut [T]) -> SliceWriter<T> {
-        SliceWriter { ptr: slice.as_mut_ptr() }
-    }
-
-    /// # Safety
-    /// Each index must be written by at most one thread per parallel region,
-    /// and `i` must be in bounds of the original slice.
-    pub(crate) unsafe fn write(&self, i: usize, v: T) {
-        unsafe { *self.ptr.add(i) = v };
-    }
 }
 
 #[cfg(test)]

@@ -39,7 +39,18 @@ pub fn delta_stepping(g: &Csr, root: VertexId, pool: &ThreadPool, delta: f32) ->
         while !buckets[bi].is_empty() {
             let frontier = std::mem::take(&mut buckets[bi]);
             settled.extend_from_slice(&frontier);
-            let inserts = relax_edges(g, &dist, &frontier, pool, delta, true, bi, bucket_of, &mut counters, &mut trace);
+            let inserts = relax_edges(
+                g,
+                &dist,
+                &frontier,
+                pool,
+                delta,
+                true,
+                bi,
+                bucket_of,
+                &mut counters,
+                &mut trace,
+            );
             distribute(&mut buckets, inserts, bi);
         }
         // ---- heavy-edge phase over everything settled in this bucket.
@@ -48,7 +59,18 @@ pub fn delta_stepping(g: &Csr, root: VertexId, pool: &ThreadPool, delta: f32) ->
         // Drop stale entries whose distance migrated to a later bucket.
         settled.retain(|&v| bucket_of(dist[v as usize].load(Ordering::Relaxed)) == bi);
         settled_total += settled.len() as u64;
-        let inserts = relax_edges(g, &dist, &settled, pool, delta, false, bi, bucket_of, &mut counters, &mut trace);
+        let inserts = relax_edges(
+            g,
+            &dist,
+            &settled,
+            pool,
+            delta,
+            false,
+            bi,
+            bucket_of,
+            &mut counters,
+            &mut trace,
+        );
         distribute(&mut buckets, inserts, bi);
         counters.iterations += 1;
         bi += 1;
@@ -165,12 +187,8 @@ mod tests {
     #[test]
     fn handles_heavy_only_paths() {
         // All weights > delta: pure heavy-edge propagation.
-        let el = EdgeList::weighted(
-            4,
-            vec![(0, 1), (1, 2), (2, 3)],
-            vec![5.0, 6.0, 7.0],
-        )
-        .symmetrized();
+        let el =
+            EdgeList::weighted(4, vec![(0, 1), (1, 2), (2, 3)], vec![5.0, 6.0, 7.0]).symmetrized();
         check_against_dijkstra(&el, 0, 1.0);
     }
 

@@ -71,11 +71,7 @@ pub fn triangle_count(g: &Csr, gt: &Csr, pool: &ThreadPool) -> RunOutput {
     counters.bytes_read = work * 8;
     counters.bytes_written = n as u64 * 8;
     trace.parallel(work.max(1), max_cost.load(Ordering::Relaxed).max(1), work * 8);
-    RunOutput::new(
-        AlgorithmResult::Triangles(total.load(Ordering::Relaxed)),
-        counters,
-        trace,
-    )
+    RunOutput::new(AlgorithmResult::Triangles(total.load(Ordering::Relaxed)), counters, trace)
 }
 
 fn intersect(a: &[VertexId], b: &[VertexId]) -> u64 {
@@ -112,7 +108,11 @@ mod tests {
     fn matches_oracle_on_random_graphs() {
         for seed in 0..4 {
             let el = epg_generator::uniform::generate(150, 2000, false, seed);
-            assert_eq!(count(&el), oracle::triangle_count(&Csr::from_edge_list(&el)), "seed {seed}");
+            assert_eq!(
+                count(&el),
+                oracle::triangle_count(&Csr::from_edge_list(&el)),
+                "seed {seed}"
+            );
         }
     }
 

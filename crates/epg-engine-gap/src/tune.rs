@@ -52,8 +52,8 @@ impl GapEngine {
             let mut cost = 0u64;
             for &r in &probe_roots {
                 let out = self.run(Algorithm::Sssp, &RunParams::new(pool, Some(r)));
-                cost += out.counters.edges_traversed
-                    + out.counters.iterations as u64 * ROUND_PENALTY;
+                cost +=
+                    out.counters.edges_traversed + out.counters.iterations as u64 * ROUND_PENALTY;
             }
             delta_probes.push((delta, cost));
             if cost < best_delta.1 {
@@ -74,8 +74,8 @@ impl GapEngine {
             let mut cost = 0u64;
             for &r in &probe_roots {
                 let out = self.run(Algorithm::Bfs, &RunParams::new(pool, Some(r)));
-                cost += out.counters.edges_traversed
-                    + out.counters.iterations as u64 * ROUND_PENALTY;
+                cost +=
+                    out.counters.edges_traversed + out.counters.iterations as u64 * ROUND_PENALTY;
             }
             bfs_probes.push(((alpha, beta), cost));
             if cost < best_ab.1 {
@@ -135,16 +135,8 @@ mod tests {
             c
         };
         let report = e.auto_tune(&pool, &roots);
-        let tuned_cost = report
-            .delta_probes
-            .iter()
-            .find(|(d, _)| *d == report.delta)
-            .unwrap()
-            .1;
-        assert!(
-            tuned_cost <= default_cost,
-            "tuned {tuned_cost} vs default {default_cost}"
-        );
+        let tuned_cost = report.delta_probes.iter().find(|(d, _)| *d == report.delta).unwrap().1;
+        assert!(tuned_cost <= default_cost, "tuned {tuned_cost} vs default {default_cost}");
         assert_eq!(report.delta_probes.len(), 6);
         assert_eq!(report.bfs_probes.len(), 5);
     }

@@ -33,10 +33,7 @@ impl TepsStats {
         // Harmonic mean via the mean of reciprocals = mean of times / edges.
         let recip_mean = teps.iter().map(|x| 1.0 / x).sum::<f64>() / teps.len() as f64;
         let hmean = 1.0 / recip_mean;
-        let recip_var = teps
-            .iter()
-            .map(|x| (1.0 / x - recip_mean).powi(2))
-            .sum::<f64>()
+        let recip_var = teps.iter().map(|x| (1.0 / x - recip_mean).powi(2)).sum::<f64>()
             / (teps.len().max(2) - 1) as f64;
         // Delta-method propagation back to TEPS space, as the spec's
         // reference statistics code does.

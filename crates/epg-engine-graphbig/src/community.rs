@@ -3,7 +3,7 @@
 use epg_engine_api::{AlgorithmResult, Counters, RunOutput, Trace};
 use epg_graph::adjacency::PropertyGraph;
 use epg_graph::VertexId;
-use epg_parallel::{Schedule, ThreadPool};
+use epg_parallel::{DisjointWriter, Schedule, ThreadPool};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -16,12 +16,10 @@ pub fn cdlp(g: &PropertyGraph, pool: &ThreadPool, iterations: u32) -> RunOutput 
     let mut next: Vec<u64> = label.clone();
     let mut counters = Counters::default();
     let mut trace = Trace::default();
-    let m2 = (0..n as VertexId)
-        .map(|v| (g.out_degree(v) + g.in_degree(v)) as u64)
-        .sum::<u64>();
+    let m2 = (0..n as VertexId).map(|v| (g.out_degree(v) + g.in_degree(v)) as u64).sum::<u64>();
     for _ in 0..iterations {
         {
-            let writer = SliceWriter(next.as_mut_ptr());
+            let writer = DisjointWriter::new(&mut next);
             let label_ref = &label;
             pool.parallel_for_ranges(n, Schedule::graphbig_default(), |_tid, lo, hi| {
                 let mut freq: HashMap<u64, u32> = HashMap::new();
@@ -39,8 +37,9 @@ pub fn cdlp(g: &PropertyGraph, pool: &ThreadPool, iterations: u32) -> RunOutput 
                         .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
                         .map(|(&l, _)| l)
                         .unwrap_or(label_ref[v]);
-                    // SAFETY: one writer per index per region.
-                    unsafe { writer.write(v, new) };
+                    // SAFETY: ranges are disjoint — one writer per index
+                    // per region, `v < n`.
+                    unsafe { writer.write_unchecked(v, new) };
                 }
             });
         }
@@ -63,9 +62,7 @@ pub fn wcc(g: &PropertyGraph, pool: &ThreadPool) -> RunOutput {
     let comp: Vec<AtomicU64> = (0..n as u64).map(AtomicU64::new).collect();
     let mut counters = Counters::default();
     let mut trace = Trace::default();
-    let m2 = (0..n as VertexId)
-        .map(|v| (g.out_degree(v) + g.in_degree(v)) as u64)
-        .sum::<u64>();
+    let m2 = (0..n as VertexId).map(|v| (g.out_degree(v) + g.in_degree(v)) as u64).sum::<u64>();
     loop {
         let changed = AtomicUsize::new(0);
         pool.parallel_for_ranges(n, Schedule::graphbig_default(), |_tid, lo, hi| {
@@ -119,16 +116,6 @@ pub fn wcc(g: &PropertyGraph, pool: &ThreadPool) -> RunOutput {
     )
 }
 
-struct SliceWriter(*mut u64);
-unsafe impl Sync for SliceWriter {}
-impl SliceWriter {
-    /// # Safety
-    /// `i` in-bounds, single writer per index per region.
-    unsafe fn write(&self, i: usize, v: u64) {
-        unsafe { *self.0.add(i) = v };
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,8 +123,8 @@ mod tests {
 
     #[test]
     fn cdlp_two_triangles() {
-        let el = EdgeList::new(6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .symmetrized();
+        let el =
+            EdgeList::new(6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).symmetrized();
         let g = PropertyGraph::from_edge_list(&el);
         let pool = ThreadPool::new(2);
         let out = cdlp(&g, &pool, 10);

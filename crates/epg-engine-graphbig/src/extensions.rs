@@ -44,6 +44,7 @@ pub fn betweenness(
         });
         {
             let dw = DisjointWriter::new(&mut delta);
+            // SAFETY: parallel_for hands each index v to exactly one worker.
             pool.parallel_for(n, Schedule::graphbig_default(), |v| unsafe { dw.write(v, 0.0) });
         }
         sigma[s as usize].store(1.0, Ordering::Relaxed);
@@ -112,6 +113,8 @@ pub fn betweenness(
                             acc += sw / sigma[v as usize].load(Ordering::Relaxed) * (1.0 + dv);
                         }
                     }
+                    // SAFETY: w belongs to this worker's slice of the
+                    // level-d frontier; no other worker writes it.
                     unsafe { dw.write(w as usize, acc) };
                 }
             });
@@ -203,9 +206,7 @@ mod tests {
 
     #[test]
     fn bc_matches_oracle() {
-        let el = epg_generator::uniform::generate(90, 500, false, 6)
-            .symmetrized()
-            .deduplicated();
+        let el = epg_generator::uniform::generate(90, 500, false, 6).symmetrized().deduplicated();
         let g = PropertyGraph::from_edge_list(&el);
         let pool = ThreadPool::new(3);
         let out = betweenness(&g, &pool, None, 0);

@@ -113,9 +113,7 @@ impl Engine for GraphBigEngine {
             Algorithm::Cdlp => community::cdlp(g, params.pool, 10),
             Algorithm::Wcc => community::wcc(g, params.pool),
             Algorithm::Lcc => topology::lcc(g, params.pool),
-            Algorithm::Bc => {
-                extensions::betweenness(g, params.pool, params.bc_sources, 0x6b16)
-            }
+            Algorithm::Bc => extensions::betweenness(g, params.pool, params.bc_sources, 0x6b16),
             Algorithm::TriangleCount => extensions::triangle_count(g, params.pool),
         }
     }
@@ -165,8 +163,7 @@ mod tests {
 
     #[test]
     fn sssp_matches_dijkstra() {
-        let el =
-            epg_generator::uniform::generate(200, 1500, true, 3).deduplicated().symmetrized();
+        let el = epg_generator::uniform::generate(200, 1500, true, 3).deduplicated().symmetrized();
         let pool = ThreadPool::new(3);
         let mut e = build(&el, &pool);
         let g = Csr::from_edge_list(&el);

@@ -3,7 +3,7 @@
 use epg_engine_api::{AlgorithmResult, Counters, RunOutput, RunParams, StoppingCriterion, Trace};
 use epg_graph::adjacency::PropertyGraph;
 use epg_graph::VertexId;
-use epg_parallel::Schedule;
+use epg_parallel::{DisjointWriter, Schedule};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const DAMPING: f64 = 0.85;
@@ -34,7 +34,7 @@ pub fn pagerank(g: &PropertyGraph, params: &RunParams<'_>) -> RunOutput {
         iterations += 1;
         let sink_mass: f64 = sinks.iter().map(|&v| rank[v as usize]).sum::<f64>() / n as f64;
         {
-            let writer = SliceWriter(next.as_mut_ptr());
+            let writer = DisjointWriter::new(&mut next);
             let rank_ref = &rank;
             pool.parallel_for_ranges(n, Schedule::graphbig_default(), |_tid, lo, hi| {
                 for v in lo..hi {
@@ -42,14 +42,16 @@ pub fn pagerank(g: &PropertyGraph, params: &RunParams<'_>) -> RunOutput {
                         .in_neighbors(v as VertexId)
                         .map(|u| rank_ref[u as usize] / out_deg[u as usize] as f64)
                         .sum();
-                    // SAFETY: v visited exactly once per region.
-                    unsafe { writer.write(v, base + DAMPING * (incoming + sink_mass)) };
+                    // SAFETY: ranges are disjoint — v is written exactly
+                    // once per region, `v < n`.
+                    unsafe { writer.write_unchecked(v, base + DAMPING * (incoming + sink_mass)) };
                 }
             });
         }
         let (rank_ref, next_ref) = (&rank, &next);
-        let l1 = pool
-            .parallel_sum_f64(n, Schedule::graphbig_default(), |v| (rank_ref[v] - next_ref[v]).abs());
+        let l1 = pool.parallel_sum_f64(n, Schedule::graphbig_default(), |v| {
+            (rank_ref[v] - next_ref[v]).abs()
+        });
         let changed = AtomicU64::new(0);
         pool.parallel_for(n, Schedule::graphbig_default(), |v| {
             if (rank_ref[v] as f32) != (next_ref[v] as f32) {
@@ -71,16 +73,6 @@ pub fn pagerank(g: &PropertyGraph, params: &RunParams<'_>) -> RunOutput {
     counters.bytes_read = counters.edges_traversed * 16;
     counters.bytes_written = counters.vertices_touched * 8;
     RunOutput::new(AlgorithmResult::Ranks { ranks: rank, iterations }, counters, trace)
-}
-
-struct SliceWriter(*mut f64);
-unsafe impl Sync for SliceWriter {}
-impl SliceWriter {
-    /// # Safety
-    /// `i` in-bounds, single writer per index per region.
-    unsafe fn write(&self, i: usize, v: f64) {
-        unsafe { *self.0.add(i) = v };
-    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 use epg_engine_api::{AlgorithmResult, Counters, RunOutput, Trace};
 use epg_graph::adjacency::PropertyGraph;
 use epg_graph::VertexId;
-use epg_parallel::{Schedule, ThreadPool};
+use epg_parallel::{DisjointWriter, Schedule, ThreadPool};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Computes the Graphalytics local clustering coefficient per vertex:
@@ -22,8 +22,8 @@ pub fn lcc(g: &PropertyGraph, pool: &ThreadPool) -> RunOutput {
     let mut out_sorted: Vec<Vec<VertexId>> = vec![Vec::new(); n];
     let mut nbrs: Vec<Vec<VertexId>> = vec![Vec::new(); n];
     {
-        let ow = VecWriter(out_sorted.as_mut_ptr());
-        let nw = VecWriter(nbrs.as_mut_ptr());
+        let ow = DisjointWriter::new(&mut out_sorted);
+        let nw = DisjointWriter::new(&mut nbrs);
         pool.parallel_for_ranges(n, Schedule::graphbig_default(), |_tid, lo, hi| {
             for v in lo..hi {
                 let vid = v as VertexId;
@@ -36,10 +36,11 @@ pub fn lcc(g: &PropertyGraph, pool: &ThreadPool) -> RunOutput {
                 nb.sort_unstable();
                 nb.dedup();
                 o.retain(|&u| u != vid);
-                // SAFETY: single writer per index per region.
+                // SAFETY: ranges are disjoint — single writer per index
+                // per region, `v < n`.
                 unsafe {
-                    ow.write(v, o);
-                    nw.write(v, nb);
+                    ow.write_unchecked(v, o);
+                    nw.write_unchecked(v, nb);
                 }
             }
         });
@@ -53,7 +54,7 @@ pub fn lcc(g: &PropertyGraph, pool: &ThreadPool) -> RunOutput {
     let intersections = AtomicU64::new(0);
     let max_cost = AtomicU64::new(0);
     {
-        let writer = F64Writer(out.as_mut_ptr());
+        let writer = DisjointWriter::new(&mut out);
         let out_sorted = &out_sorted;
         let nbrs = &nbrs;
         pool.parallel_for_ranges(n, Schedule::Dynamic { chunk: 16 }, |_tid, lo, hi| {
@@ -74,8 +75,9 @@ pub fn lcc(g: &PropertyGraph, pool: &ThreadPool) -> RunOutput {
                 }
                 local_inter += cost;
                 local_max = local_max.max(cost);
-                // SAFETY: single writer per index per region.
-                unsafe { writer.write(v, tri as f64 / (d as f64 * (d - 1) as f64)) };
+                // SAFETY: dynamic chunks are disjoint — single writer per
+                // index per region, `v < n`.
+                unsafe { writer.write_unchecked(v, tri as f64 / (d as f64 * (d - 1) as f64)) };
             }
             intersections.fetch_add(local_inter, Ordering::Relaxed);
             max_cost.fetch_max(local_max, Ordering::Relaxed);
@@ -111,26 +113,6 @@ fn sorted_intersection_count(a: &[VertexId], b: &[VertexId], exclude: VertexId) 
         }
     }
     c
-}
-
-struct VecWriter(*mut Vec<VertexId>);
-unsafe impl Sync for VecWriter {}
-impl VecWriter {
-    /// # Safety
-    /// `i` in-bounds, single writer per index per region.
-    unsafe fn write(&self, i: usize, v: Vec<VertexId>) {
-        unsafe { *self.0.add(i) = v };
-    }
-}
-
-struct F64Writer(*mut f64);
-unsafe impl Sync for F64Writer {}
-impl F64Writer {
-    /// # Safety
-    /// `i` in-bounds, single writer per index per region.
-    unsafe fn write(&self, i: usize, v: f64) {
-        unsafe { *self.0.add(i) = v };
-    }
 }
 
 #[cfg(test)]

@@ -25,34 +25,30 @@ pub fn bfs(g: &PropertyGraph, root: VertexId, pool: &ThreadPool) -> RunOutput {
         let checked = AtomicU64::new(0);
         let max_deg = AtomicU64::new(0);
         let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
-        pool.parallel_for_ranges(
-            frontier.len(),
-            Schedule::graphbig_default(),
-            |_tid, lo, hi| {
-                let mut local = Vec::new();
-                let mut c = 0u64;
-                let mut md = 0u64;
-                for &u in &frontier[lo..hi] {
-                    md = md.max(g.out_degree(u) as u64);
-                    for (v, _) in g.neighbors(u) {
-                        c += 1;
-                        if parent[v as usize].load(Ordering::Relaxed) == NO_VERTEX
-                            && parent[v as usize]
-                                .compare_exchange(NO_VERTEX, u, Ordering::Relaxed, Ordering::Relaxed)
-                                .is_ok()
-                        {
-                            level[v as usize].store(depth, Ordering::Relaxed);
-                            local.push(v);
-                        }
+        pool.parallel_for_ranges(frontier.len(), Schedule::graphbig_default(), |_tid, lo, hi| {
+            let mut local = Vec::new();
+            let mut c = 0u64;
+            let mut md = 0u64;
+            for &u in &frontier[lo..hi] {
+                md = md.max(g.out_degree(u) as u64);
+                for (v, _) in g.neighbors(u) {
+                    c += 1;
+                    if parent[v as usize].load(Ordering::Relaxed) == NO_VERTEX
+                        && parent[v as usize]
+                            .compare_exchange(NO_VERTEX, u, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                    {
+                        level[v as usize].store(depth, Ordering::Relaxed);
+                        local.push(v);
                     }
                 }
-                checked.fetch_add(c, Ordering::Relaxed);
-                max_deg.fetch_max(md, Ordering::Relaxed);
-                if !local.is_empty() {
-                    next.lock().append(&mut local);
-                }
-            },
-        );
+            }
+            checked.fetch_add(c, Ordering::Relaxed);
+            max_deg.fetch_max(md, Ordering::Relaxed);
+            if !local.is_empty() {
+                next.lock().append(&mut local);
+            }
+        });
         let checked = checked.load(Ordering::Relaxed);
         frontier = next.into_inner();
         counters.edges_traversed += checked;
@@ -144,11 +140,8 @@ mod tests {
 
     #[test]
     fn bellman_ford_converges_with_negative_free_weights() {
-        let el = EdgeList::weighted(
-            4,
-            vec![(0, 1), (0, 2), (2, 1), (1, 3)],
-            vec![10.0, 1.0, 2.0, 1.0],
-        );
+        let el =
+            EdgeList::weighted(4, vec![(0, 1), (0, 2), (2, 1), (1, 3)], vec![10.0, 1.0, 2.0, 1.0]);
         let g = PropertyGraph::from_edge_list(&el);
         let pool = ThreadPool::new(2);
         let out = sssp(&g, 0, &pool);

@@ -109,9 +109,12 @@ impl Engine for GraphMatEngine {
     fn run(&mut self, algo: Algorithm, params: &RunParams<'_>) -> RunOutput {
         let (a, at) = (self.matrix(), self.matrix_t());
         match algo {
-            Algorithm::Bfs => {
-                programs::bfs(a, self.num_vertices, params.root.expect("BFS needs a root"), params.pool)
-            }
+            Algorithm::Bfs => programs::bfs(
+                a,
+                self.num_vertices,
+                params.root.expect("BFS needs a root"),
+                params.pool,
+            ),
             Algorithm::Sssp => programs::sssp(
                 a,
                 self.num_vertices,
@@ -163,8 +166,7 @@ mod tests {
 
     #[test]
     fn sssp_matches_dijkstra() {
-        let el =
-            epg_generator::uniform::generate(200, 1400, true, 5).symmetrized().deduplicated();
+        let el = epg_generator::uniform::generate(200, 1400, true, 5).symmetrized().deduplicated();
         let pool = ThreadPool::new(2);
         let mut e = build(&el, &pool);
         let g = Csr::from_edge_list(&el);
@@ -190,8 +192,7 @@ mod tests {
         let mut p = RunParams::new(&pool, None);
         p.stopping = Some(StoppingCriterion::paper_default());
         let l1 = e.run(Algorithm::PageRank, &p);
-        let (ni, li) =
-            (native.result.iterations().unwrap(), l1.result.iterations().unwrap());
+        let (ni, li) = (native.result.iterations().unwrap(), l1.result.iterations().unwrap());
         assert!(ni >= li, "native {ni} vs L1 {li}");
         // Ranks still correct.
         let AlgorithmResult::Ranks { ranks, .. } = l1.result else { panic!() };

@@ -162,10 +162,9 @@ pub fn pagerank(a: &Dcsc, at: &Dcsc, n: usize, params: &RunParams<'_>) -> RunOut
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
     let mut contrib = vec![0.0f64; n];
-    let max_col = (0..at.num_nonempty_cols())
-        .map(|i| at.col_ptr[i + 1] - at.col_ptr[i])
-        .max()
-        .unwrap_or(0) as u64;
+    let max_col =
+        (0..at.num_nonempty_cols()).map(|i| at.col_ptr[i + 1] - at.col_ptr[i]).max().unwrap_or(0)
+            as u64;
     let mut iterations = 0u32;
     loop {
         iterations += 1;
@@ -182,6 +181,7 @@ pub fn pagerank(a: &Dcsc, at: &Dcsc, n: usize, params: &RunParams<'_>) -> RunOut
         {
             let w = DisjointWriter::new(&mut contrib);
             let (rank_ref, deg_ref) = (&rank, &out_deg);
+            // SAFETY: parallel_for hands each index v to exactly one worker.
             pool.parallel_for(n, Schedule::Static { chunk: None }, |v| unsafe {
                 w.write(v, if deg_ref[v] > 0 { rank_ref[v] / deg_ref[v] as f64 } else { 0.0 });
             });
@@ -189,6 +189,7 @@ pub fn pagerank(a: &Dcsc, at: &Dcsc, n: usize, params: &RunParams<'_>) -> RunOut
         let fill = base + DAMPING * sink_mass;
         {
             let w = DisjointWriter::new(&mut next);
+            // SAFETY: parallel_for hands each index v to exactly one worker.
             pool.parallel_for(n, Schedule::Static { chunk: None }, |v| unsafe {
                 w.write(v, fill);
             });
@@ -203,10 +204,8 @@ pub fn pagerank(a: &Dcsc, at: &Dcsc, n: usize, params: &RunParams<'_>) -> RunOut
                 Schedule::Guided { min_chunk: 16 },
                 |_tid, lo, hi| {
                     for ci in lo..hi {
-                        let sum: f64 = at
-                            .col_entries(ci)
-                            .map(|(u, _)| contrib_ref[u as usize])
-                            .sum();
+                        let sum: f64 =
+                            at.col_entries(ci).map(|(u, _)| contrib_ref[u as usize]).sum();
                         // SAFETY: one write per distinct column id.
                         unsafe {
                             w.write(at.col_ids[ci] as usize, fill + DAMPING * sum);

@@ -9,7 +9,7 @@
 
 use crate::program::GraphProgram;
 use epg_graph::{Dcsc, VertexId};
-use epg_parallel::{Schedule, ThreadPool};
+use epg_parallel::{DisjointWriter, Schedule, ThreadPool};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -92,37 +92,30 @@ pub fn run_iteration<P: GraphProgram>(
     let entries: Vec<(VertexId, P::Accum)> = merged.into_iter().collect();
     let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
     {
-        let cell = ValueCell(values.as_mut_ptr());
-        pool.parallel_for_ranges(entries.len(), Schedule::Static { chunk: None }, |_tid, lo, hi| {
-            let mut local = Vec::new();
-            for (v, acc) in &entries[lo..hi] {
-                // SAFETY: keys are unique after the merge, so each index is
-                // mutated by exactly one thread.
-                let val = unsafe { cell.get_mut(*v as usize) };
-                if prog.apply(acc.clone(), *v, val) {
-                    local.push(*v);
+        let cell = DisjointWriter::new(values);
+        pool.parallel_for_ranges(
+            entries.len(),
+            Schedule::Static { chunk: None },
+            |_tid, lo, hi| {
+                let mut local = Vec::new();
+                for (v, acc) in &entries[lo..hi] {
+                    // SAFETY: keys are unique after the merge, so each index is
+                    // mutated by exactly one thread.
+                    let val = unsafe { cell.get_raw(*v as usize) };
+                    if prog.apply(acc.clone(), *v, val) {
+                        local.push(*v);
+                    }
                 }
-            }
-            if !local.is_empty() {
-                next.lock().append(&mut local);
-            }
-        });
+                if !local.is_empty() {
+                    next.lock().append(&mut local);
+                }
+            },
+        );
     }
     let mut next = next.into_inner();
     next.sort_unstable();
     next.dedup();
     (next, stats)
-}
-
-struct ValueCell<T>(*mut T);
-unsafe impl<T: Send> Sync for ValueCell<T> {}
-impl<T> ValueCell<T> {
-    /// # Safety
-    /// `i` in bounds; at most one thread may touch index `i` per region.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn get_mut(&self, i: usize) -> &mut T {
-        unsafe { &mut *self.0.add(i) }
-    }
 }
 
 #[cfg(test)]
@@ -171,11 +164,8 @@ mod tests {
 
     #[test]
     fn iterating_to_fixpoint_gives_shortest_paths() {
-        let el = EdgeList::weighted(
-            4,
-            vec![(0, 1), (1, 2), (0, 2), (2, 3)],
-            vec![1.0, 1.0, 5.0, 1.0],
-        );
+        let el =
+            EdgeList::weighted(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)], vec![1.0, 1.0, 5.0, 1.0]);
         let m = Dcsc::from_edge_list(&el);
         let pool = ThreadPool::new(3);
         let mut dist = vec![f32::INFINITY; 4];

@@ -16,7 +16,7 @@
 use crate::partition::PartitionedGraph;
 use epg_engine_api::{Counters, Trace};
 use epg_graph::{VertexId, Weight};
-use epg_parallel::{Schedule, ThreadPool};
+use epg_parallel::{DisjointWriter, Schedule, ThreadPool};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -85,8 +85,7 @@ pub fn superstep<P: VertexProgram>(
     let mut merged: HashMap<VertexId, P::Gather> = HashMap::new();
     if prog.gather_dir() != EdgeDir::None {
         let data_ref: &[P::Data] = data;
-        let partials: Mutex<Vec<(HashMap<VertexId, P::Gather>, u64, u64)>> =
-            Mutex::new(Vec::new());
+        let partials: Mutex<Vec<(HashMap<VertexId, P::Gather>, u64, u64)>> = Mutex::new(Vec::new());
         pool.parallel_for_ranges(nparts, Schedule::Dynamic { chunk: 1 }, |_tid, lo, hi| {
             for pi in lo..hi {
                 let part = &g.partitions[pi];
@@ -155,13 +154,13 @@ pub fn superstep<P: VertexProgram>(
     // ---- Apply at masters (parallel over active) ----
     let changed: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
     {
-        let cell = DataCell(data.as_mut_ptr());
+        let cell = DisjointWriter::new(data);
         let merged_ref = &merged;
         pool.parallel_for_ranges(active.len(), Schedule::Static { chunk: None }, |_tid, lo, hi| {
             let mut local = Vec::new();
             for &v in &active[lo..hi] {
                 // SAFETY: `active` is deduplicated, one thread per index.
-                let d = unsafe { cell.get_mut(v as usize) };
+                let d = unsafe { cell.get_raw(v as usize) };
                 if prog.apply(v, d, merged_ref.get(&v).cloned()) {
                     local.push(v);
                 }
@@ -175,10 +174,8 @@ pub fn superstep<P: VertexProgram>(
     changed.sort_unstable();
 
     // ---- Sync to mirrors ----
-    let sync_messages: u64 = changed
-        .iter()
-        .map(|&v| g.replicas[v as usize].len().saturating_sub(1) as u64)
-        .sum();
+    let sync_messages: u64 =
+        changed.iter().map(|&v| g.replicas[v as usize].len().saturating_sub(1) as u64).sum();
     counters.bytes_written += sync_messages * 16;
     trace.serial(sync_messages.max(1), sync_messages * 16);
 
@@ -226,17 +223,6 @@ pub fn superstep<P: VertexProgram>(
     counters.iterations += 1;
 
     (next, StepStats { changed, edge_work, sync_messages })
-}
-
-struct DataCell<T>(*mut T);
-unsafe impl<T: Send> Sync for DataCell<T> {}
-impl<T> DataCell<T> {
-    /// # Safety
-    /// `i` in bounds; at most one thread touches index `i` per region.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn get_mut(&self, i: usize) -> &mut T {
-        unsafe { &mut *self.0.add(i) }
-    }
 }
 
 #[cfg(test)]
@@ -292,9 +278,7 @@ mod tests {
 
     #[test]
     fn fixpoint_reaches_shortest_paths() {
-        let el = epg_generator::uniform::generate(120, 900, true, 7)
-            .symmetrized()
-            .deduplicated();
+        let el = epg_generator::uniform::generate(120, 900, true, 7).symmetrized().deduplicated();
         let g = PartitionedGraph::build(&el, 4);
         let pool = ThreadPool::new(3);
         let n = el.num_vertices;

@@ -58,7 +58,8 @@ pub fn sssp(g: &PartitionedGraph, root: VertexId, pool: &ThreadPool) -> RunOutpu
     active.sort_unstable();
     active.dedup();
     while !active.is_empty() {
-        let (next, _) = superstep(&SsspProgram, g, &active, &mut dist, pool, &mut counters, &mut trace);
+        let (next, _) =
+            superstep(&SsspProgram, g, &active, &mut dist, pool, &mut counters, &mut trace);
         active = next;
     }
     counters.bytes_read = counters.edges_traversed * 16;
@@ -125,20 +126,15 @@ pub fn pagerank(g: &PartitionedGraph, params: &RunParams<'_>) -> RunOutput {
             out_deg[u as usize] += outs.len() as u32;
         }
     }
-    let mut data: Vec<PrData> = (0..n)
-        .map(|v| PrData { rank: 1.0 / n as f64, out_deg: out_deg[v] })
-        .collect();
+    let mut data: Vec<PrData> =
+        (0..n).map(|v| PrData { rank: 1.0 / n as f64, out_deg: out_deg[v] }).collect();
     let all: Vec<VertexId> = (0..n as VertexId).collect();
     let base = (1.0 - DAMPING) / n as f64;
     let mut iterations = 0u32;
     loop {
         iterations += 1;
-        let sink_mass: f64 = data
-            .iter()
-            .filter(|d| d.out_deg == 0)
-            .map(|d| d.rank)
-            .sum::<f64>()
-            / n as f64;
+        let sink_mass: f64 =
+            data.iter().filter(|d| d.out_deg == 0).map(|d| d.rank).sum::<f64>() / n as f64;
         let prev: Vec<f64> = data.iter().map(|d| d.rank).collect();
         let prog = PrProgram { base, sink_mass };
         let (_, stats) = superstep(&prog, g, &all, &mut data, pool, &mut counters, &mut trace);
@@ -246,7 +242,8 @@ pub fn wcc(g: &PartitionedGraph, pool: &ThreadPool) -> RunOutput {
     let mut counters = Counters::default();
     let mut trace = Trace::default();
     while !active.is_empty() {
-        let (next, _) = superstep(&WccProgram, g, &active, &mut comp, pool, &mut counters, &mut trace);
+        let (next, _) =
+            superstep(&WccProgram, g, &active, &mut comp, pool, &mut counters, &mut trace);
         active = next;
     }
     counters.bytes_read = counters.edges_traversed * 16;

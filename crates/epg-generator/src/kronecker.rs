@@ -137,7 +137,8 @@ mod tests {
 
     #[test]
     fn weighted_weights_in_unit_interval() {
-        let cfg = KroneckerConfig { scale: 8, edge_factor: 4, weighted: true, ..Default::default() };
+        let cfg =
+            KroneckerConfig { scale: 8, edge_factor: 4, weighted: true, ..Default::default() };
         let el = generate(&cfg, 3);
         let ws = el.weights.as_ref().unwrap();
         assert!(ws.iter().all(|&w| w > 0.0 && w <= 1.0));

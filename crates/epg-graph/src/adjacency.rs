@@ -219,10 +219,7 @@ mod tests {
         g.add_edge(1, 2, 2.0); // interleaved: arenas are globally ordered
         g.add_edge(0, 1, 3.0);
         g.add_edge(0, 2, 4.0);
-        assert_eq!(
-            g.neighbors(0).collect::<Vec<_>>(),
-            vec![(3, 1.0), (1, 3.0), (2, 4.0)]
-        );
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![(3, 1.0), (1, 3.0), (2, 4.0)]);
         assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![(2, 2.0)]);
     }
 

@@ -77,11 +77,8 @@ impl GraphProfile {
             *sizes.entry(c).or_insert(0) += 1;
         }
         let num_components = sizes.len();
-        let (largest_root, largest_component) = sizes
-            .iter()
-            .max_by_key(|&(_, &s)| s)
-            .map(|(&c, &s)| (c, s))
-            .unwrap_or((0, 0));
+        let (largest_root, largest_component) =
+            sizes.iter().max_by_key(|&(_, &s)| s).map(|(&c, &s)| (c, s)).unwrap_or((0, 0));
 
         // Double sweep: BFS from the largest component's root, then BFS
         // again from the farthest vertex found.
@@ -156,8 +153,8 @@ mod tests {
 
     #[test]
     fn profile_of_two_triangles_plus_isolate() {
-        let el = EdgeList::new(7, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .symmetrized();
+        let el =
+            EdgeList::new(7, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).symmetrized();
         let p = GraphProfile::of(&el);
         assert_eq!(p.num_components, 3); // two triangles + isolated vertex 6
         assert_eq!(p.largest_component, 3);

@@ -74,10 +74,7 @@ impl Csr {
     }
 
     /// Neighbors of `v` with weights (1.0 when unweighted).
-    pub fn neighbors_weighted(
-        &self,
-        v: VertexId,
-    ) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+    pub fn neighbors_weighted(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let range = self.offsets[v as usize]..self.offsets[v as usize + 1];
         let ws = self.weights.as_deref();
         range.map(move |i| (self.targets[i], ws.map_or(1.0, |w| w[i])))

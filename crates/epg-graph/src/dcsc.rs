@@ -34,8 +34,7 @@ impl Dcsc {
     /// weight (1.0 when unweighted). Duplicate edges keep the last value.
     pub fn from_edge_list(el: &EdgeList) -> Dcsc {
         // Sort (src, dst) pairs: groups columns, orders rows within columns.
-        let mut triples: Vec<(VertexId, VertexId, Weight)> =
-            el.iter().collect();
+        let mut triples: Vec<(VertexId, VertexId, Weight)> = el.iter().collect();
         triples.sort_unstable_by_key(|&(u, v, _)| (u, v));
         triples.dedup_by_key(|&mut (u, v, _)| (u, v));
 
@@ -85,9 +84,10 @@ impl Dcsc {
 
     /// Iterates all nonzeros as `(row, col, value)`.
     pub fn triples(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
-        self.col_ids.iter().enumerate().flat_map(move |(i, &c)| {
-            self.col_entries(i).map(move |(r, v)| (r, c, v))
-        })
+        self.col_ids
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, &c)| self.col_entries(i).map(move |(r, v)| (r, c, v)))
     }
 
     /// Builds the transpose (edges reversed).
@@ -166,7 +166,8 @@ mod tests {
         let m = Dcsc::from_edge_list(&el);
         let csr = m.to_csr();
         let mut a: Vec<_> = el.iter().map(|(u, v, w)| (u, v, w.to_bits())).collect();
-        let mut b: Vec<_> = csr.to_edge_list().iter().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        let mut b: Vec<_> =
+            csr.to_edge_list().iter().map(|(u, v, w)| (u, v, w.to_bits())).collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

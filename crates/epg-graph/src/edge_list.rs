@@ -56,10 +56,7 @@ impl EdgeList {
 
     /// Iterates `(src, dst, weight)` with weight 1.0 when unweighted.
     pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .map(move |(i, &(u, v))| (u, v, self.weight(i)))
+        self.edges.iter().enumerate().map(move |(i, &(u, v))| (u, v, self.weight(i)))
     }
 
     /// Returns a copy with every edge also present reversed, making the
@@ -67,7 +64,8 @@ impl EdgeList {
     pub fn symmetrized(&self) -> EdgeList {
         let extra = self.iter().filter(|&(u, v, _)| u != v).count();
         let mut edges = Vec::with_capacity(self.edges.len() + extra);
-        let mut weights = self.weights.as_ref().map(|_| Vec::with_capacity(self.edges.len() + extra));
+        let mut weights =
+            self.weights.as_ref().map(|_| Vec::with_capacity(self.edges.len() + extra));
         for (u, v, w) in self.iter() {
             edges.push((u, v));
             if let Some(ws) = weights.as_mut() {

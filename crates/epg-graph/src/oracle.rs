@@ -157,13 +157,8 @@ pub fn lcc(g: &Csr) -> Vec<f64> {
     // Undirected neighborhoods, deduplicated and sorted.
     let mut nbrs: Vec<Vec<VertexId>> = Vec::with_capacity(n);
     for v in 0..n as VertexId {
-        let mut set: Vec<VertexId> = g
-            .neighbors(v)
-            .iter()
-            .chain(gt.neighbors(v))
-            .copied()
-            .filter(|&u| u != v)
-            .collect();
+        let mut set: Vec<VertexId> =
+            g.neighbors(v).iter().chain(gt.neighbors(v)).copied().filter(|&u| u != v).collect();
         set.sort_unstable();
         set.dedup();
         nbrs.push(set);
@@ -243,9 +238,7 @@ mod tests {
 
     /// 0-1-2 path plus 3-4 pair plus isolated 5, symmetric.
     fn two_components() -> Csr {
-        Csr::from_edge_list(
-            &EdgeList::new(6, vec![(0, 1), (1, 2), (3, 4)]).symmetrized(),
-        )
+        Csr::from_edge_list(&EdgeList::new(6, vec![(0, 1), (1, 2), (3, 4)]).symmetrized())
     }
 
     #[test]
@@ -308,8 +301,8 @@ mod tests {
     #[test]
     fn cdlp_converges_on_cliques() {
         // Two triangles.
-        let el = EdgeList::new(6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .symmetrized();
+        let el =
+            EdgeList::new(6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).symmetrized();
         let labels = cdlp(&Csr::from_edge_list(&el), 10);
         assert_eq!(labels[0], labels[1]);
         assert_eq!(labels[1], labels[2]);
@@ -320,9 +313,8 @@ mod tests {
 
     #[test]
     fn lcc_triangle_is_one_path_is_zero() {
-        let tri = Csr::from_edge_list(
-            &EdgeList::new(3, vec![(0, 1), (1, 2), (2, 0)]).symmetrized(),
-        );
+        let tri =
+            Csr::from_edge_list(&EdgeList::new(3, vec![(0, 1), (1, 2), (2, 0)]).symmetrized());
         for c in lcc(&tri) {
             assert!((c - 1.0).abs() < 1e-12);
         }
@@ -413,13 +405,8 @@ pub fn triangle_count(g: &Csr) -> u64 {
     // Undirected adjacency restricted to higher-numbered neighbors.
     let mut higher: Vec<Vec<VertexId>> = Vec::with_capacity(n);
     for v in 0..n as VertexId {
-        let mut set: Vec<VertexId> = g
-            .neighbors(v)
-            .iter()
-            .chain(gt.neighbors(v))
-            .copied()
-            .filter(|&u| u > v)
-            .collect();
+        let mut set: Vec<VertexId> =
+            g.neighbors(v).iter().chain(gt.neighbors(v)).copied().filter(|&u| u > v).collect();
         set.sort_unstable();
         set.dedup();
         higher.push(set);

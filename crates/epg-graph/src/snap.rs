@@ -95,7 +95,10 @@ pub fn parse_snap<R: Read>(reader: R) -> Result<EdgeList, ParseError> {
             weights.push(w);
         }
         if u > VertexId::MAX as u64 - 1 || v > VertexId::MAX as u64 - 1 {
-            return Err(ParseError::Malformed { line: lineno, reason: "vertex id too large".into() });
+            return Err(ParseError::Malformed {
+                line: lineno,
+                reason: "vertex id too large".into(),
+            });
         }
         max_id = max_id.max(u).max(v);
         edges.push((u as VertexId, v as VertexId));

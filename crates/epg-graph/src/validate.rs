@@ -136,7 +136,11 @@ pub fn validate_bfs_tree(
                         return Err(ValidationError::EdgeSpansLevels { src: u, dst: v });
                     }
                 }
-                _ => return Err(ValidationError::Unreached { vertex: if lu == u32::MAX { u } else { v } }),
+                _ => {
+                    return Err(ValidationError::Unreached {
+                        vertex: if lu == u32::MAX { u } else { v },
+                    })
+                }
             }
         }
     }
@@ -146,11 +150,7 @@ pub fn validate_bfs_tree(
 /// Validates SSSP distances against relaxation optimality: `dist[root] == 0`
 /// and no edge can further relax any distance; reached/unreached must agree
 /// with graph connectivity from the root.
-pub fn validate_sssp_distances(
-    g: &Csr,
-    root: VertexId,
-    dist: &[Weight],
-) -> Result<(), String> {
+pub fn validate_sssp_distances(g: &Csr, root: VertexId, dist: &[Weight]) -> Result<(), String> {
     if dist[root as usize] != 0.0 {
         return Err(format!("dist[root] = {} != 0", dist[root as usize]));
     }
@@ -189,8 +189,7 @@ mod tests {
     use crate::oracle;
 
     fn ring(n: usize) -> Csr {
-        let edges: Vec<_> =
-            (0..n as VertexId).map(|v| (v, (v + 1) % n as VertexId)).collect();
+        let edges: Vec<_> = (0..n as VertexId).map(|v| (v, (v + 1) % n as VertexId)).collect();
         Csr::from_edge_list(&EdgeList::new(n, edges).symmetrized())
     }
 
@@ -251,12 +250,9 @@ mod tests {
 
     #[test]
     fn sssp_validation_accepts_dijkstra_rejects_garbage() {
-        let el = EdgeList::weighted(
-            4,
-            vec![(0, 1), (1, 2), (0, 2), (2, 3)],
-            vec![1.0, 1.0, 5.0, 2.0],
-        )
-        .symmetrized();
+        let el =
+            EdgeList::weighted(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)], vec![1.0, 1.0, 5.0, 2.0])
+                .symmetrized();
         let g = Csr::from_edge_list(&el);
         let d = oracle::dijkstra(&g, 0);
         validate_sssp_distances(&g, 0, &d).unwrap();

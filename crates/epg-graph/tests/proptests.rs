@@ -16,14 +16,11 @@ fn arb_graph() -> impl Strategy<Value = EdgeList> {
 /// Strategy: weighted graph with positive finite weights.
 fn arb_weighted_graph() -> impl Strategy<Value = EdgeList> {
     (1usize..=30).prop_flat_map(|n| {
-        proptest::collection::vec(
-            ((0..n as VertexId, 0..n as VertexId), 0.01f32..10.0),
-            0..150,
-        )
-        .prop_map(move |ews| {
-            let (edges, weights): (Vec<_>, Vec<_>) = ews.into_iter().unzip();
-            EdgeList::weighted(n, edges, weights)
-        })
+        proptest::collection::vec(((0..n as VertexId, 0..n as VertexId), 0.01f32..10.0), 0..150)
+            .prop_map(move |ews| {
+                let (edges, weights): (Vec<_>, Vec<_>) = ews.into_iter().unzip();
+                EdgeList::weighted(n, edges, weights)
+            })
     })
 }
 

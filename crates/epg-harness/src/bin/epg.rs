@@ -80,11 +80,8 @@ fn dataset_for(args: &Args, pipeline: &Pipeline) -> Result<Dataset, String> {
         ds.write_files(&pipeline.out_dir.join("datasets")).map_err(|e| e.to_string())?;
         Ok(ds)
     } else {
-        let spec = GraphSpec::Kronecker {
-            scale: args.scale,
-            edge_factor: 16,
-            weighted: args.weighted,
-        };
+        let spec =
+            GraphSpec::Kronecker { scale: args.scale, edge_factor: 16, weighted: args.weighted };
         pipeline.homogenize(&spec, args.seed).map_err(|e| e.to_string())
     }
 }

@@ -48,10 +48,7 @@ pub fn parse_row(line: &str) -> Vec<String> {
 
 /// Reads an entire CSV document into rows of fields.
 pub fn read_all<R: Read>(reader: R) -> io::Result<Vec<Vec<String>>> {
-    BufReader::new(reader)
-        .lines()
-        .map(|l| l.map(|line| parse_row(&line)))
-        .collect()
+    BufReader::new(reader).lines().map(|l| l.map(|line| parse_row(&line))).collect()
 }
 
 #[cfg(test)]

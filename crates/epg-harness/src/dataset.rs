@@ -205,7 +205,8 @@ mod tests {
         assert_eq!(written.len(), 4);
         let back = snap::read_binary_file(&ds.input_path_for(&dir, EngineKind::Gap)).unwrap();
         assert_eq!(back, ds.symmetric);
-        let raw_back = snap::read_binary_file(&ds.input_path_for(&dir, EngineKind::Graph500)).unwrap();
+        let raw_back =
+            snap::read_binary_file(&ds.input_path_for(&dir, EngineKind::Graph500)).unwrap();
         assert_eq!(raw_back, ds.raw);
         // GraphBIG streams text.
         assert!(ds.input_path_for(&dir, EngineKind::GraphBig).extension().unwrap() == "snap");

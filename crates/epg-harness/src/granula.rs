@@ -137,12 +137,7 @@ mod tests {
     #[test]
     fn kernel_breakdown_sums_to_projection() {
         let chart = sample_chart();
-        let nested_time: f64 = chart
-            .rows
-            .iter()
-            .filter(|r| r.depth == 1)
-            .map(|r| r.seconds)
-            .sum();
+        let nested_time: f64 = chart.rows.iter().filter(|r| r.depth == 1).map(|r| r.seconds).sum();
         let mut trace = Trace::default();
         trace.parallel(1_000_000, 100, 2_000);
         trace.serial(50_000, 100);

@@ -99,9 +99,7 @@ pub fn run_graphalytics(
     for &kind in engines {
         let mut engine = kind.create();
         let t0 = Instant::now();
-        engine
-            .load_file(&ds.input_path_for(&dir, kind))
-            .expect("engine failed to load input");
+        engine.load_file(&ds.input_path_for(&dir, kind)).expect("engine failed to load input");
         let read_s = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
         engine.construct(&pool);
@@ -233,19 +231,15 @@ pub fn format_table(cells: &[Cell], engines: &[EngineKind], datasets: &[String])
 /// Renders the per-system HTML report page Graphalytics produces (Fig. 7).
 pub fn html_report(system: EngineKind, cells: &[Cell]) -> String {
     let mut rows = String::new();
-    let mut datasets: Vec<&str> = cells
-        .iter()
-        .filter(|c| c.engine == system)
-        .map(|c| c.dataset.as_str())
-        .collect();
+    let mut datasets: Vec<&str> =
+        cells.iter().filter(|c| c.engine == system).map(|c| c.dataset.as_str()).collect();
     datasets.sort_unstable();
     datasets.dedup();
     for ds in &datasets {
         let _ = write!(rows, "<tr><td>{ds}</td>");
         for a in TABLE1_ALGOS {
-            let cell = cells
-                .iter()
-                .find(|c| c.engine == system && c.algorithm == a && c.dataset == *ds);
+            let cell =
+                cells.iter().find(|c| c.engine == system && c.algorithm == a && c.dataset == *ds);
             match cell.and_then(|c| c.reported_seconds) {
                 Some(s) => {
                     let _ = write!(rows, "<td>{s:.3} s</td>");
@@ -267,10 +261,7 @@ pub fn html_report(system: EngineKind, cells: &[Cell]) -> String {
          report for phase-separated numbers).</p>\n\
          <table><tr><th>dataset</th>{heads}</tr>\n{rows}</table></body></html>\n",
         name = system.name(),
-        heads = TABLE1_ALGOS
-            .iter()
-            .map(|a| format!("<th>{}</th>", a.abbrev()))
-            .collect::<String>(),
+        heads = TABLE1_ALGOS.iter().map(|a| format!("<th>{}</th>", a.abbrev())).collect::<String>(),
     )
 }
 
@@ -317,8 +308,7 @@ mod tests {
     #[test]
     fn full_run_produces_all_cells() {
         let ds = tiny_weighted();
-        let cells =
-            run_graphalytics(&GRAPHALYTICS_ENGINES, &TABLE1_ALGOS, &ds, 2);
+        let cells = run_graphalytics(&GRAPHALYTICS_ENGINES, &TABLE1_ALGOS, &ds, 2);
         assert_eq!(cells.len(), 3 * 6);
         // Everything except PowerGraph BFS has a number on a weighted graph.
         for c in &cells {

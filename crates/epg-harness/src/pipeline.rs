@@ -137,8 +137,10 @@ impl Pipeline {
             .filter_map(|k| {
                 let iters = result.pr_iterations(k);
                 (!iters.is_empty()).then(|| {
-                    (k.name().to_string(), iters.iter().map(|&x| x as f64).sum::<f64>()
-                        / iters.len() as f64)
+                    (
+                        k.name().to_string(),
+                        iters.iter().map(|&x| x as f64).sum::<f64>() / iters.len() as f64,
+                    )
                 })
             })
             .collect();
@@ -166,24 +168,12 @@ impl Pipeline {
                 .iter()
                 .find(|r| r.engine == kind && r.phase == Phase::Construct)
                 .map_or(0.0, |r| r.seconds);
-            let phases = [
-                (Phase::ReadFile, read),
-                (Phase::Construct, construct),
-                (Phase::Run, run.seconds),
-            ];
+            let phases =
+                [(Phase::ReadFile, read), (Phase::Construct, construct), (Phase::Run, run.seconds)];
             let rate = model.calibrate_rate(&run.output.trace, run.seconds.max(1e-9));
-            let chart = crate::granula::OperationChart::build(
-                &phases,
-                &run.output.trace,
-                &model,
-                rate,
-                32,
-            );
-            let path = granula_dir.join(format!(
-                "{}_{}.txt",
-                kind.name(),
-                run.algorithm.abbrev()
-            ));
+            let chart =
+                crate::granula::OperationChart::build(&phases, &run.output.trace, &model, rate, 32);
+            let path = granula_dir.join(format!("{}_{}.txt", kind.name(), run.algorithm.abbrev()));
             std::fs::write(&path, chart.to_text())?;
             written.push(path);
         }
@@ -209,11 +199,7 @@ impl Pipeline {
         max_roots: Option<usize>,
     ) -> io::Result<Vec<PathBuf>> {
         let ds = self.homogenize(spec, seed)?;
-        let cfg = ExperimentConfig {
-            threads,
-            max_roots,
-            ..ExperimentConfig::new()
-        };
+        let cfg = ExperimentConfig { threads, max_roots, ..ExperimentConfig::new() };
         let result = self.run(cfg, &ds);
         let mut written = vec![self.parse(&result)?];
         written.extend(self.analyze(&result, &ds)?);

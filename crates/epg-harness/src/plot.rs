@@ -294,10 +294,7 @@ mod tests {
             "BFS Speedup",
             "Speedup",
             &["1".into(), "2".into(), "4".into()],
-            &[
-                ("Linear".into(), vec![1.0, 2.0, 4.0]),
-                ("GAP".into(), vec![1.0, 1.8, 3.1]),
-            ],
+            &[("Linear".into(), vec![1.0, 2.0, 4.0]), ("GAP".into(), vec![1.0, 1.8, 3.1])],
             Scale::Log,
         );
         assert_eq!(svg.matches("<polyline").count(), 2);
@@ -305,7 +302,8 @@ mod tests {
 
     #[test]
     fn bar_chart_bars_match_input() {
-        let svg = bar_chart("Iterations", "count", &[("GAP".into(), 24.0), ("GraphMat".into(), 140.0)]);
+        let svg =
+            bar_chart("Iterations", "count", &[("GAP".into(), 24.0), ("GraphMat".into(), 140.0)]);
         assert_eq!(svg.matches("<rect").count(), 3); // background + 2 bars
     }
 
@@ -323,12 +321,7 @@ mod tests {
 
     #[test]
     fn log_scale_handles_tiny_values() {
-        let svg = boxplot(
-            "t",
-            "y",
-            &[("a".into(), summary(&[1e-6, 1e-5, 1e-4]))],
-            Scale::Log,
-        );
+        let svg = boxplot("t", "y", &[("a".into(), summary(&[1e-6, 1e-5, 1e-4]))], Scale::Log);
         assert!(svg.contains("</svg>"));
     }
 }

@@ -70,10 +70,7 @@ impl EngineKind {
 
 /// Engines supporting `algo`, in listing order.
 pub fn engines_supporting(algo: Algorithm) -> Vec<EngineKind> {
-    EngineKind::ALL
-        .into_iter()
-        .filter(|k| k.create().supports(algo))
-        .collect()
+    EngineKind::ALL.into_iter().filter(|k| k.create().supports(algo)).collect()
 }
 
 #[cfg(test)]

@@ -35,7 +35,11 @@ pub fn render(result: &ExperimentResult, ds: &Dataset, projected_threads: usize)
         seen
     };
     let _ = writeln!(out, "## Kernel times (seconds, measured locally)\n");
-    let _ = writeln!(out, "| engine | {} |", algos.iter().map(|a| a.abbrev()).collect::<Vec<_>>().join(" | "));
+    let _ = writeln!(
+        out,
+        "| engine | {} |",
+        algos.iter().map(|a| a.abbrev()).collect::<Vec<_>>().join(" | ")
+    );
     let _ = writeln!(out, "|---|{}|", algos.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
     for kind in EngineKind::ALL {
         let mut row = format!("| {} ", kind.name());

@@ -110,9 +110,7 @@ impl ExperimentResult {
     pub fn run_times(&self, engine: EngineKind, algo: Algorithm) -> Vec<f64> {
         self.records
             .iter()
-            .filter(|r| {
-                r.engine == engine && r.algorithm == Some(algo) && r.phase == Phase::Run
-            })
+            .filter(|r| r.engine == engine && r.algorithm == Some(algo) && r.phase == Phase::Run)
             .map(|r| r.seconds)
             .collect()
     }
@@ -140,7 +138,17 @@ impl ExperimentResult {
         let mut buf = Vec::new();
         csvio::write_row(
             &mut buf,
-            &["engine", "dataset", "algorithm", "threads", "phase", "root", "trial", "seconds", "iterations"],
+            &[
+                "engine",
+                "dataset",
+                "algorithm",
+                "threads",
+                "phase",
+                "root",
+                "trial",
+                "seconds",
+                "iterations",
+            ],
         )
         .unwrap();
         for r in &self.records {
@@ -172,10 +180,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
 
     // Homogenized files, if the file path is requested.
     let file_dir = cfg.use_files.then(|| {
-        let dir = cfg
-            .work_dir
-            .clone()
-            .unwrap_or_else(|| std::env::temp_dir().join("epg-work"));
+        let dir = cfg.work_dir.clone().unwrap_or_else(|| std::env::temp_dir().join("epg-work"));
         ds.write_files(&dir).expect("failed to write homogenized files");
         dir
     });
@@ -225,10 +230,8 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
             // happens inside load_file; in in-memory runs the build work
             // lands in construct(), so fold it into the ReadFile row to
             // keep the fused semantics (one combined number, §III-B).
-            if let Some(read_row) = records
-                .iter_mut()
-                .rev()
-                .find(|r| r.engine == kind && r.phase == Phase::ReadFile)
+            if let Some(read_row) =
+                records.iter_mut().rev().find(|r| r.engine == kind && r.phase == Phase::ReadFile)
             {
                 read_row.seconds += construct_s;
             }
@@ -245,8 +248,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
             // vertices from BFS" (§III-D), and Fig. 8 shows SSSP bars for
             // the unweighted cit-Patents dataset.
             let reps: Vec<Option<VertexId>> = if algo.is_rooted() {
-                let mut roots: Vec<Option<VertexId>> =
-                    ds.roots.iter().map(|&r| Some(r)).collect();
+                let mut roots: Vec<Option<VertexId>> = ds.roots.iter().map(|&r| Some(r)).collect();
                 if let Some(cap) = cfg.max_roots {
                     roots.truncate(cap);
                 }
@@ -278,10 +280,8 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
                     });
                     if ri == 0 && trial == 0 {
                         // Emit this engine's log dialect for the parse phase.
-                        let mut entries = vec![logs::LogEntry {
-                            phase: Phase::ReadFile,
-                            seconds: read_s,
-                        }];
+                        let mut entries =
+                            vec![logs::LogEntry { phase: Phase::ReadFile, seconds: read_s }];
                         if engine.separable_construction() {
                             entries.push(logs::LogEntry {
                                 phase: Phase::Construct,
@@ -295,7 +295,13 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
                             &entries,
                         );
                     }
-                    runs.push(RunInfo { engine: kind, algorithm: algo, root, seconds: secs, output });
+                    runs.push(RunInfo {
+                        engine: kind,
+                        algorithm: algo,
+                        root,
+                        seconds: secs,
+                        output,
+                    });
                 }
             }
             if let Some(dir) = &file_dir {
@@ -318,10 +324,7 @@ mod tests {
     use epg_generator::GraphSpec;
 
     fn tiny_dataset() -> Dataset {
-        Dataset::from_spec(
-            &GraphSpec::Kronecker { scale: 7, edge_factor: 8, weighted: true },
-            11,
-        )
+        Dataset::from_spec(&GraphSpec::Kronecker { scale: 7, edge_factor: 8, weighted: true }, 11)
     }
 
     #[test]
@@ -366,9 +369,7 @@ mod tests {
         assert!(!res.run_times(EngineKind::Gap, Algorithm::Sssp).is_empty());
         // Unit weights: SSSP distances equal BFS levels.
         let run = res.runs.iter().find(|r| r.engine == EngineKind::Gap).unwrap();
-        let epg_engine_api::AlgorithmResult::Distances(d) = &run.output.result else {
-            panic!()
-        };
+        let epg_engine_api::AlgorithmResult::Distances(d) = &run.output.result else { panic!() };
         assert!(d.iter().all(|&x| x.is_infinite() || x.fract() == 0.0));
     }
 
@@ -460,11 +461,8 @@ mod sweep_tests {
         };
         let result = run_thread_sweep(&cfg, &ds, &[1, 2, 4]);
         for &t in &[1usize, 2, 4] {
-            let rows = result
-                .records
-                .iter()
-                .filter(|r| r.threads == t && r.phase == Phase::Run)
-                .count();
+            let rows =
+                result.records.iter().filter(|r| r.threads == t && r.phase == Phase::Run).count();
             assert_eq!(rows, 1, "threads={t}");
         }
         // Results identical across thread counts (determinism check).

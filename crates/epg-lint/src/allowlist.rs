@@ -1,0 +1,161 @@
+//! The audited-exception allowlist (`epg-lint.toml` at the workspace root).
+//!
+//! Entries are `[[allow]]` tables; every entry must carry a `reason` so the
+//! audit trail lives next to the exception:
+//!
+//! ```toml
+//! [[allow]]
+//! file = "crates/epg-foo/src/bar.rs"   # workspace-relative, `/`-separated
+//! rule = "unsafe-impl"                 # rule id from the finding
+//! contains = "impl Sync for Special"   # optional: substring of the line
+//! reason = "audited 2026-08: …"
+//! ```
+//!
+//! The file is parsed with a purpose-built reader (the environment vendors
+//! no toml crate): `[[allow]]` section headers, `key = "value"` pairs, and
+//! `#` comments — exactly the subset the format above uses.
+
+use crate::rules::Finding;
+use crate::scan::Line;
+
+/// One audited exception.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Allow {
+    /// Workspace-relative file the exception applies to.
+    pub file: String,
+    /// Rule id it silences.
+    pub rule: String,
+    /// Optional substring the offending source line must contain.
+    pub contains: Option<String>,
+    /// Why the exception is sound (required, but only by convention —
+    /// the parser reports missing reasons as errors).
+    pub reason: String,
+}
+
+/// Parses allowlist text. Returns the entries or a line-numbered error.
+pub fn parse(text: &str) -> Result<Vec<Allow>, String> {
+    let mut entries: Vec<Allow> = Vec::new();
+    let mut in_entry = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(prev) = entries.last() {
+                validate(prev, idx)?;
+            }
+            entries.push(Allow::default());
+            in_entry = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("epg-lint.toml:{}: unknown section {line}", idx + 1));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("epg-lint.toml:{}: expected key = \"value\"", idx + 1));
+        };
+        if !in_entry {
+            return Err(format!("epg-lint.toml:{}: key outside [[allow]] entry", idx + 1));
+        }
+        let key = key.trim();
+        let value = value.trim();
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(format!("epg-lint.toml:{}: value must be double-quoted", idx + 1));
+        };
+        let entry = entries.last_mut().expect("in_entry implies an open entry");
+        match key {
+            "file" => entry.file = value.to_string(),
+            "rule" => entry.rule = value.to_string(),
+            "contains" => entry.contains = Some(value.to_string()),
+            "reason" => entry.reason = value.to_string(),
+            other => {
+                return Err(format!("epg-lint.toml:{}: unknown key {other}", idx + 1));
+            }
+        }
+    }
+    if let Some(prev) = entries.last() {
+        validate(prev, text.lines().count())?;
+    }
+    Ok(entries)
+}
+
+fn validate(entry: &Allow, end_line: usize) -> Result<(), String> {
+    if entry.file.is_empty() || entry.rule.is_empty() {
+        return Err(format!("epg-lint.toml: entry before line {end_line} needs file and rule"));
+    }
+    if entry.reason.is_empty() {
+        return Err(format!(
+            "epg-lint.toml: entry for {}/{} has no reason; audited exceptions must say why",
+            entry.file, entry.rule
+        ));
+    }
+    Ok(())
+}
+
+/// Whether `finding` (raised against `lines`) is covered by an entry.
+pub fn is_allowed(allows: &[Allow], finding: &Finding, lines: &[Line]) -> bool {
+    allows.iter().any(|a| {
+        if a.file != finding.file.replace('\\', "/") || a.rule != finding.rule {
+            return false;
+        }
+        match &a.contains {
+            None => true,
+            Some(needle) => lines
+                .get(finding.line - 1)
+                .is_some_and(|l| format!("{}{}", l.code, l.comment).contains(needle)),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let text = "# header comment\n\n[[allow]]\nfile = \"crates/a/src/x.rs\" # trailing\nrule = \"unsafe-impl\"\nreason = \"audited\"\n\n[[allow]]\nfile = \"crates/b/src/y.rs\"\nrule = \"static-mut\"\ncontains = \"LEGACY\"\nreason = \"pre-existing\"\n";
+        let allows = parse(text).unwrap();
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].file, "crates/a/src/x.rs");
+        assert_eq!(allows[1].contains.as_deref(), Some("LEGACY"));
+    }
+
+    #[test]
+    fn empty_file_is_empty_allowlist() {
+        assert_eq!(parse("# only comments\n").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let text = "[[allow]]\nfile = \"a.rs\"\nrule = \"static-mut\"\n";
+        assert!(parse(text).unwrap_err().contains("reason"));
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let text = "[[allow]]\nfile = \"a.rs\"\nrule = \"x\"\nreason = \"y\"\nlines = \"3\"\n";
+        assert!(parse(text).unwrap_err().contains("unknown key"));
+    }
+
+    #[test]
+    fn matching_silences_findings() {
+        let allows = parse(
+            "[[allow]]\nfile = \"crates/a/src/x.rs\"\nrule = \"static-mut\"\ncontains = \"AUDITED\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let lines = scan("static mut X: u8 = 0; // AUDITED\nstatic mut Y: u8 = 0;\n");
+        let f1 = Finding {
+            file: "crates/a/src/x.rs".into(),
+            line: 1,
+            rule: "static-mut",
+            message: String::new(),
+        };
+        let f2 = Finding { line: 2, ..f1.clone() };
+        let f3 = Finding { rule: "unsafe-impl", ..f1.clone() };
+        assert!(is_allowed(&allows, &f1, &lines));
+        assert!(!is_allowed(&allows, &f2, &lines), "contains must gate the match");
+        assert!(!is_allowed(&allows, &f3, &lines), "rule must match");
+    }
+}

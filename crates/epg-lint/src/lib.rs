@@ -1,0 +1,86 @@
+//! Workspace concurrency-safety lint.
+//!
+//! A purpose-built analysis pass over every `.rs` file in the workspace,
+//! enforcing the safety policy documented in DESIGN.md ("Safety & static
+//! analysis"): SAFETY comments on `unsafe`, `unsafe impl Send/Sync` and
+//! raw-pointer struct fields contained to `epg-parallel`, compare-exchange
+//! failure orderings no stronger than their success orderings, and no
+//! `static mut`. Runs as a binary (`cargo run -p epg-lint`, nonzero exit on
+//! findings) and as a tier-1 test (`tests/workspace_clean.rs`), so policy
+//! regressions fail `cargo test` the same as any other bug.
+//!
+//! Audited exceptions live in `epg-lint.toml` at the workspace root — see
+//! [`allowlist`] for the format.
+
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod rules;
+pub mod scan;
+
+pub use allowlist::Allow;
+pub use rules::Finding;
+
+use std::path::{Path, PathBuf};
+
+/// The workspace root, located relative to this crate's manifest.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("epg-lint lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
+
+/// Collects every `.rs` file under `root`, workspace-relative, sorted.
+pub fn rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Lints every `.rs` file under `root`, applying `root/epg-lint.toml` when
+/// present. Returns surviving findings sorted by file and line.
+///
+/// # Errors
+/// Returns a message when the allowlist is present but malformed — a broken
+/// allowlist must fail the run rather than silently allow everything (or
+/// nothing).
+pub fn lint_tree(root: &Path) -> Result<Vec<Finding>, String> {
+    let allows = match std::fs::read_to_string(root.join("epg-lint.toml")) {
+        Ok(text) => allowlist::parse(&text)?,
+        Err(_) => Vec::new(),
+    };
+    let mut findings = Vec::new();
+    for path in rust_files(root) {
+        let Ok(src) = std::fs::read_to_string(&path) else { continue };
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let lines = scan::scan(&src);
+        for finding in rules::check_file(&rel, &lines) {
+            if !allowlist::is_allowed(&allows, &finding, &lines) {
+                findings.push(finding);
+            }
+        }
+    }
+    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(findings)
+}

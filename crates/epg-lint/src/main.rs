@@ -1,0 +1,29 @@
+//! `epg-lint` entry point: lints the workspace (or an explicit root given
+//! as the first argument), prints findings `file:line: [rule] message`, and
+//! exits nonzero when any survive the allowlist.
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(epg_lint::workspace_root);
+    if !root.is_dir() {
+        eprintln!("epg-lint: {}: not a directory", root.display());
+        std::process::exit(2);
+    }
+    match epg_lint::lint_tree(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("epg-lint: clean ({})", root.display());
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("epg-lint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(err) => {
+            eprintln!("epg-lint: {err}");
+            std::process::exit(2);
+        }
+    }
+}

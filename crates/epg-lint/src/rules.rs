@@ -1,0 +1,495 @@
+//! The concurrency-safety rules.
+//!
+//! Each rule walks the scanner's per-line code/comment split for one file
+//! and yields [`Finding`]s. The rules encode the workspace's safety policy
+//! (see DESIGN.md "Safety & static analysis"):
+//!
+//! 1. `safety-comment` — every `unsafe` occurrence in code is preceded by a
+//!    `// SAFETY:` comment (or a `/// # Safety` doc section) on the same
+//!    line or on the contiguous run of comment/attribute/blank lines above.
+//! 2. `unsafe-impl` — `unsafe impl Send`/`Sync` only inside `epg-parallel`,
+//!    where the one audited writer/job-pointer pair lives.
+//! 3. `raw-ptr-field` — no `*mut`/`*const` struct fields outside
+//!    `epg-parallel`; engines must use `DisjointWriter` instead of private
+//!    raw-pointer cells.
+//! 4. `cas-ordering` — `compare_exchange(_weak)` failure ordering must not
+//!    be stronger than its success ordering (literal orderings only;
+//!    computed orderings are skipped).
+//! 5. `static-mut` — no `static mut` anywhere.
+
+use crate::scan::{find_word, has_word, Line};
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Path as given to the checker (workspace-relative in the driver).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (used by the allowlist).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Whether `file` (workspace-relative, `/`-separated) belongs to the crate
+/// allowed to contain `unsafe impl Send/Sync` and raw-pointer fields.
+fn in_parallel_crate(file: &str) -> bool {
+    file.replace('\\', "/").contains("crates/epg-parallel/")
+}
+
+/// Runs every rule over one scanned file.
+pub fn check_file(file: &str, lines: &[Line]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    safety_comments(file, lines, &mut findings);
+    unsafe_impls(file, lines, &mut findings);
+    raw_ptr_fields(file, lines, &mut findings);
+    cas_orderings(file, lines, &mut findings);
+    static_muts(file, lines, &mut findings);
+    findings
+}
+
+fn comment_satisfies(comment: &str) -> bool {
+    comment.contains("SAFETY:") || comment.contains("# Safety")
+}
+
+/// A line an upward SAFETY search may walk through: blank, comment-only,
+/// or an attribute.
+fn is_skippable(line: &Line) -> bool {
+    let code = line.code.trim();
+    code.is_empty() || code.starts_with('#') || code == ")]"
+}
+
+fn safety_comments(file: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        // Same-line comment counts (e.g. `unsafe { … } // SAFETY: …`).
+        let mut ok = comment_satisfies(&line.comment);
+        // Walk upward through comments, attributes, and blank lines.
+        let mut j = idx;
+        while !ok && j > 0 {
+            j -= 1;
+            let above = &lines[j];
+            if comment_satisfies(&above.comment) {
+                ok = true;
+            } else if is_skippable(above) {
+                continue;
+            } else {
+                break;
+            }
+        }
+        if !ok {
+            out.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: "safety-comment",
+                message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc section) \
+                          on or above it"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn unsafe_impls(file: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    if in_parallel_crate(file) {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let Some(pos) = find_word(code, "unsafe") else { continue };
+        let rest = &code[pos + "unsafe".len()..];
+        if !rest.trim_start().starts_with("impl") {
+            continue;
+        }
+        // The implemented trait is on this line in every rustfmt layout;
+        // flag conservatively if Send/Sync appears anywhere after `impl`.
+        if has_word(rest, "Send") || has_word(rest, "Sync") {
+            out.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: "unsafe-impl",
+                message: "`unsafe impl Send/Sync` outside epg-parallel; use \
+                          `epg_parallel::DisjointWriter` or move the audited type into the \
+                          parallel crate"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn raw_ptr_fields(file: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    if in_parallel_crate(file) {
+        return;
+    }
+    let mut i = 0;
+    while i < lines.len() {
+        let Some(pos) = find_word(&lines[i].code, "struct") else {
+            i += 1;
+            continue;
+        };
+        // Walk from the keyword to the end of the definition — `{…}` for
+        // named fields, `(…);` for tuple structs, a bare `;` for unit
+        // structs — collecting per line the text inside the body. Any
+        // raw-pointer type in the body is a finding.
+        let mut depth = 0i32;
+        let mut entered = false;
+        let mut done = false;
+        let mut j = i;
+        let mut col = pos + "struct".len();
+        while j < lines.len() && !done {
+            let mut body = String::new();
+            for c in lines[j].code.chars().skip(col) {
+                match c {
+                    '{' | '(' => {
+                        if depth >= 1 {
+                            body.push(c);
+                        }
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' | ')' => {
+                        depth -= 1;
+                        if depth >= 1 {
+                            body.push(c);
+                        }
+                        if entered && depth <= 0 {
+                            done = true;
+                            break;
+                        }
+                    }
+                    ';' if !entered => {
+                        done = true; // unit struct
+                        break;
+                    }
+                    _ => {
+                        if depth >= 1 {
+                            body.push(c);
+                        }
+                    }
+                }
+            }
+            if body.contains("*mut ") || body.contains("*const ") {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: j + 1,
+                    rule: "raw-ptr-field",
+                    message: "raw-pointer struct field outside epg-parallel; hold a \
+                              `DisjointWriter` (or indices) instead"
+                        .to_string(),
+                });
+            }
+            j += 1;
+            col = 0;
+        }
+        i = j.max(i + 1);
+    }
+}
+
+/// Ordering strength for the failure-vs-success comparison. `Acquire` is
+/// ranked above `Release` deliberately: a failure load may not carry more
+/// acquire power than the success ordering grants.
+fn strength(name: &str) -> Option<u8> {
+    Some(match name {
+        "Relaxed" => 0,
+        "Release" => 1,
+        "Acquire" => 2,
+        "AcqRel" => 3,
+        "SeqCst" => 4,
+        _ => return None,
+    })
+}
+
+/// Extracts the single ordering name an argument mentions, or None when
+/// the argument is computed (identifier, function call) or ambiguous.
+fn literal_ordering(arg: &str) -> Option<&'static str> {
+    let mut found: Option<&'static str> = None;
+    for name in ["Relaxed", "Release", "Acquire", "AcqRel", "SeqCst"] {
+        if has_word(arg, name) {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(name);
+        }
+    }
+    // `cas_failure_order(order)`-style computed arguments contain `(`.
+    if arg.contains('(') {
+        return None;
+    }
+    found
+}
+
+fn cas_orderings(file: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    let code: String = lines.iter().map(|l| l.code.as_str()).collect::<Vec<_>>().join("\n");
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("compare_exchange") {
+        let start = from + rel;
+        let mut end = start + "compare_exchange".len();
+        if code[end..].starts_with("_weak") {
+            end += "_weak".len();
+        }
+        from = end;
+        // Identifier boundaries: reject `.compare_exchange_weaker` etc.
+        let bytes = code.as_bytes();
+        if start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+            continue;
+        }
+        if bytes.get(end).is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_') {
+            continue;
+        }
+        let after = code[end..].trim_start();
+        if !after.starts_with('(') {
+            continue;
+        }
+        let open = end + (code[end..].len() - after.len());
+        let Some((args, _close)) = split_call_args(&code, open) else { continue };
+        if args.len() < 2 {
+            continue;
+        }
+        let success = literal_ordering(&args[args.len() - 2]);
+        let failure = literal_ordering(&args[args.len() - 1]);
+        let (Some(s), Some(f)) = (success, failure) else { continue };
+        let (Some(sr), Some(fr)) = (strength(s), strength(f)) else { continue };
+        if fr > sr {
+            let line = code[..start].matches('\n').count() + 1;
+            out.push(Finding {
+                file: file.to_string(),
+                line,
+                rule: "cas-ordering",
+                message: format!(
+                    "compare_exchange failure ordering {f} is stronger than success \
+                     ordering {s}; derive it from the success ordering instead"
+                ),
+            });
+        }
+    }
+}
+
+/// Splits a call's arguments at top-level commas. `open` indexes the `(`.
+/// Returns the arguments and the index of the matching `)`.
+fn split_call_args(code: &str, open: usize) -> Option<(Vec<String>, usize)> {
+    let bytes = code.as_bytes();
+    debug_assert_eq!(bytes[open], b'(');
+    let mut depth = 0i32;
+    let mut args = Vec::new();
+    let mut cur = String::new();
+    for (off, c) in code[open..].char_indices() {
+        match c {
+            '(' | '[' | '{' => {
+                depth += 1;
+                if depth > 1 {
+                    cur.push(c);
+                }
+            }
+            ')' | ']' | '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    if !cur.trim().is_empty() {
+                        args.push(cur.trim().to_string());
+                    }
+                    return Some((args, open + off));
+                }
+                cur.push(c);
+            }
+            ',' if depth == 1 => {
+                args.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => {
+                if depth >= 1 {
+                    cur.push(c);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn static_muts(file: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if let Some(pos) = find_word(&line.code, "static") {
+            let rest = &line.code[pos + "static".len()..];
+            if rest.trim_start().starts_with("mut") && has_word(rest, "mut") {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: "static-mut",
+                    message: "`static mut` is forbidden; use an atomic, a lock, or \
+                              `OnceLock`"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check_file("crates/epg-engine-x/src/lib.rs", &scan(src))
+    }
+
+    fn run_in_parallel(src: &str) -> Vec<Finding> {
+        check_file("crates/epg-parallel/src/x.rs", &scan(src))
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let f = run("fn f() {\n    unsafe { g() };\n}\n");
+        assert_eq!(rules_of(&f), ["safety-comment"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_directly_above_passes() {
+        let f = run("fn f() {\n    // SAFETY: g is fine here.\n    unsafe { g() };\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn safety_comment_through_attributes_and_blanks() {
+        let src = "// SAFETY: audited.\n\n#[allow(clippy::mut_from_ref)]\nunsafe fn g() {}\n";
+        assert!(run_in_parallel(src).is_empty());
+    }
+
+    #[test]
+    fn doc_safety_section_passes() {
+        let src =
+            "/// Does things.\n///\n/// # Safety\n/// Caller checks i.\npub unsafe fn f() {}\n";
+        assert!(run_in_parallel(src).is_empty());
+    }
+
+    #[test]
+    fn trailing_same_line_safety_passes() {
+        let f = run("let x = unsafe { g() }; // SAFETY: single-threaded here.\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn intervening_code_breaks_the_safety_link() {
+        let src = "// SAFETY: stale comment.\nlet a = 1;\nunsafe { g() };\n";
+        assert_eq!(rules_of(&run(src)), ["safety-comment"]);
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_ignored() {
+        let f = run("// this would be unsafe\nlet s = \"unsafe\";\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_impl_send_sync_flagged_outside_parallel() {
+        let src = "// SAFETY: justified.\nunsafe impl<T: Send> Sync for W<T> {}\n";
+        assert_eq!(rules_of(&run(src)), ["unsafe-impl"]);
+        assert!(run_in_parallel(src).is_empty());
+    }
+
+    #[test]
+    fn plain_unsafe_trait_impl_is_not_an_unsafe_impl_finding() {
+        let src = "// SAFETY: contract upheld.\nunsafe impl Searcher for S {}\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn raw_ptr_named_field_flagged() {
+        let src = "struct W {\n    ptr: *mut u8,\n    len: usize,\n}\n";
+        let f = run(src);
+        assert_eq!(rules_of(&f), ["raw-ptr-field"]);
+        assert_eq!(f[0].line, 2);
+        assert!(run_in_parallel(src).is_empty());
+    }
+
+    #[test]
+    fn raw_ptr_tuple_field_flagged() {
+        let f = run("struct C(*mut f64);\n");
+        assert_eq!(rules_of(&f), ["raw-ptr-field"]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn raw_ptr_local_variable_is_fine() {
+        let src = "fn f(s: &mut [u8]) {\n    let p: *mut u8 = s.as_mut_ptr();\n    drop(p);\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unit_and_plain_structs_pass() {
+        assert!(run("struct A;\nstruct B { x: u32 }\nstruct C(u64);\n").is_empty());
+    }
+
+    #[test]
+    fn cas_failure_stronger_than_success_flagged() {
+        let src = "fn f(a: &AtomicU32) {\n    let _ = a.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Acquire);\n}\n";
+        let f = run(src);
+        assert_eq!(rules_of(&f), ["cas-ordering"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn cas_equal_or_weaker_failure_passes() {
+        let ok = [
+            "a.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst);",
+            "a.compare_exchange_weak(0, 1, Ordering::AcqRel, Ordering::Acquire);",
+            "a.compare_exchange(0, 1, Ordering::Release, Ordering::Relaxed);",
+            "a.compare_exchange_weak(0, 1, Ordering::Relaxed, Ordering::Relaxed);",
+        ];
+        for line in ok {
+            assert!(run(&format!("fn f() {{ {line} }}\n")).is_empty(), "{line}");
+        }
+    }
+
+    #[test]
+    fn cas_acquire_failure_needs_acquire_success() {
+        let bad = "a.compare_exchange_weak(0, 1, Ordering::Release, Ordering::Acquire);";
+        assert_eq!(rules_of(&run(&format!("fn f() {{ {bad} }}\n"))), ["cas-ordering"]);
+    }
+
+    #[test]
+    fn cas_computed_orderings_skipped() {
+        let src =
+            "fn f(o: Ordering) {\n    a.compare_exchange_weak(c, n, o, cas_failure_order(o));\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn cas_multiline_call_parsed() {
+        let src = "fn f() {\n    a.compare_exchange(\n        cur,\n        next,\n        Ordering::Relaxed,\n        Ordering::SeqCst,\n    );\n}\n";
+        let f = run(src);
+        assert_eq!(rules_of(&f), ["cas-ordering"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn static_mut_flagged_everywhere() {
+        let src = "static mut COUNTER: u32 = 0;\n";
+        assert_eq!(rules_of(&run(src)), ["static-mut"]);
+        assert_eq!(rules_of(&run_in_parallel(src)), ["static-mut"]);
+    }
+
+    #[test]
+    fn plain_static_passes() {
+        assert!(run("static N: u32 = 0;\nfn f(x: &'static str) {}\n").is_empty());
+    }
+
+    #[test]
+    fn findings_render_file_line_rule() {
+        let f = run("fn f() { unsafe { g() } }\n");
+        let s = f[0].to_string();
+        assert!(s.starts_with("crates/epg-engine-x/src/lib.rs:1: [safety-comment]"), "{s}");
+    }
+}

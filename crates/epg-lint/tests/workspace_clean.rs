@@ -1,0 +1,16 @@
+//! Tier-1 gate: the workspace must be lint-clean. A new `unsafe` without a
+//! SAFETY comment, an escaped `unsafe impl Sync`, or a bad CAS ordering
+//! anywhere in the tree fails `cargo test` here, not just the standalone
+//! `cargo run -p epg-lint` pass.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = epg_lint::workspace_root();
+    let findings = epg_lint::lint_tree(&root).expect("allowlist must parse");
+    assert!(
+        findings.is_empty(),
+        "epg-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

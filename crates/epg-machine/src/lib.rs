@@ -169,10 +169,7 @@ impl MachineModel {
     /// Speedup curve T1/Tn for the given thread counts.
     pub fn speedup_curve(&self, trace: &Trace, rate: f64, threads: &[usize]) -> Vec<(usize, f64)> {
         let t1 = self.project(trace, rate, 1).total_s;
-        threads
-            .iter()
-            .map(|&n| (n, t1 / self.project(trace, rate, n).total_s))
-            .collect()
+        threads.iter().map(|&n| (n, t1 / self.project(trace, rate, n).total_s)).collect()
     }
 
     /// Parallel efficiency T1/(n·Tn) for the given thread counts.

@@ -65,7 +65,8 @@ impl MachineModel {
             // Fraction of the region actually bound by compute.
             let intensity = if body > 0.0 { (compute.max(span_t) / body).min(1.0) } else { 0.0 };
             let cpu_w = spec.cpu_idle_w + spec.cpu_dyn_w * region_util * intensity;
-            let achieved_bw = if body > 0.0 { (r.bytes as f64 / body).min(spec.mem_bandwidth) } else { 0.0 };
+            let achieved_bw =
+                if body > 0.0 { (r.bytes as f64 / body).min(spec.mem_bandwidth) } else { 0.0 };
             let ram_w = spec.ram_idle_w + spec.ram_dyn_w * achieved_bw / spec.mem_bandwidth;
             rep.duration_s += t;
             rep.cpu_energy_j += cpu_w * t;
@@ -118,10 +119,7 @@ impl<'m> PowerRapl<'m> {
     /// Records execution inside the window (the instrumented "region of
     /// code to profile" from Fig. 10).
     pub fn record(&mut self, trace: &Trace) {
-        self.active
-            .as_mut()
-            .expect("power_rapl_start not called")
-            .extend(trace);
+        self.active.as_mut().expect("power_rapl_start not called").extend(trace);
     }
 
     /// `power_rapl_end`: close the window and compute energy.

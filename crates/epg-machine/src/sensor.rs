@@ -18,8 +18,13 @@ pub trait PowerSensor {
     /// Human-readable backend name.
     fn name(&self) -> &'static str;
     /// Measures a projected run: total energy and average power.
-    fn measure(&self, model: &MachineModel, trace: &Trace, rate: f64, threads: usize)
-        -> EnergyReport;
+    fn measure(
+        &self,
+        model: &MachineModel,
+        trace: &Trace,
+        rate: f64,
+        threads: usize,
+    ) -> EnergyReport;
 }
 
 /// The RAPL-style sensor: per-run aggregate counters, exactly what the
@@ -168,8 +173,7 @@ mod tests {
         // aggregate number cannot provide.
         let model = MachineModel::paper_machine();
         let trace = mixed_trace();
-        let series =
-            WattProfSensor { sample_hz: 1e7 }.sample_series(&model, &trace, 1e8, 32);
+        let series = WattProfSensor { sample_hz: 1e7 }.sample_series(&model, &trace, 1e8, 32);
         assert!(series.len() >= 3);
         let cpu_min = series.iter().map(|s| s.cpu_w).fold(f64::INFINITY, f64::min);
         let cpu_max = series.iter().map(|s| s.cpu_w).fold(0.0, f64::max);

@@ -6,6 +6,21 @@
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
+/// Failure ordering for a compare-exchange derived from the caller's
+/// success ordering: the strongest *load* ordering not exceeding it.
+/// Hardcoding `Relaxed` would silently drop the acquire a caller asked for
+/// on the retry path; hardcoding the success ordering is illegal (failure
+/// cannot be `Release`/`AcqRel`). This is the workspace's memory-ordering
+/// policy, enforced by `epg-lint`.
+#[inline]
+fn cas_failure_order(success: Ordering) -> Ordering {
+    match success {
+        Ordering::SeqCst => Ordering::SeqCst,
+        Ordering::Acquire | Ordering::AcqRel => Ordering::Acquire,
+        _ => Ordering::Relaxed,
+    }
+}
+
 /// An `f32` with atomic `load`/`store`/`fetch_add`/`fetch_min` built on a
 /// compare-exchange loop over the bit pattern.
 #[derive(Debug, Default)]
@@ -36,7 +51,7 @@ impl AtomicF32 {
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let next = (f32::from_bits(cur) + v).to_bits();
-            match self.bits.compare_exchange_weak(cur, next, order, Ordering::Relaxed) {
+            match self.bits.compare_exchange_weak(cur, next, order, cas_failure_order(order)) {
                 Ok(prev) => return f32::from_bits(prev),
                 Err(actual) => cur = actual,
             }
@@ -51,7 +66,8 @@ impl AtomicF32 {
             if f32::from_bits(cur) <= v {
                 return false;
             }
-            match self.bits.compare_exchange_weak(cur, v.to_bits(), order, Ordering::Relaxed) {
+            match self.bits.compare_exchange_weak(cur, v.to_bits(), order, cas_failure_order(order))
+            {
                 Ok(_) => return true,
                 Err(actual) => cur = actual,
             }
@@ -88,7 +104,7 @@ impl AtomicF64 {
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
-            match self.bits.compare_exchange_weak(cur, next, order, Ordering::Relaxed) {
+            match self.bits.compare_exchange_weak(cur, next, order, cas_failure_order(order)) {
                 Ok(prev) => return f64::from_bits(prev),
                 Err(actual) => cur = actual,
             }
@@ -104,7 +120,7 @@ pub fn atomic_min_u32(a: &AtomicU32, v: u32, order: Ordering) -> bool {
         if cur <= v {
             return false;
         }
-        match a.compare_exchange_weak(cur, v, order, Ordering::Relaxed) {
+        match a.compare_exchange_weak(cur, v, order, cas_failure_order(order)) {
             Ok(_) => return true,
             Err(actual) => cur = actual,
         }
@@ -124,6 +140,28 @@ mod tests {
         assert!(!a.fetch_min(2.0, Ordering::Relaxed));
         assert!(!a.fetch_min(9.0, Ordering::Relaxed));
         assert_eq!(a.load(Ordering::Relaxed), 2.0);
+    }
+
+    #[test]
+    fn cas_failure_order_never_exceeds_success() {
+        assert_eq!(cas_failure_order(Ordering::SeqCst), Ordering::SeqCst);
+        assert_eq!(cas_failure_order(Ordering::AcqRel), Ordering::Acquire);
+        assert_eq!(cas_failure_order(Ordering::Acquire), Ordering::Acquire);
+        assert_eq!(cas_failure_order(Ordering::Release), Ordering::Relaxed);
+        assert_eq!(cas_failure_order(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    #[test]
+    fn stronger_orderings_are_accepted() {
+        // Exercise every derived failure-ordering path under contention.
+        for order in [Ordering::Relaxed, Ordering::Release, Ordering::AcqRel, Ordering::SeqCst] {
+            let a = AtomicF32::new(0.0);
+            assert_eq!(a.fetch_add(1.5, order), 0.0);
+            let b = AtomicF64::new(0.0);
+            assert_eq!(b.fetch_add(2.5, order), 0.0);
+            let c = AtomicU32::new(9);
+            assert!(atomic_min_u32(&c, 3, order));
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 mod atomics;
 mod barrier;
+mod check;
 mod pool;
 mod reduce;
 mod scan;
@@ -37,6 +38,7 @@ mod writer;
 
 pub use atomics::{atomic_min_u32, AtomicF32, AtomicF64};
 pub use barrier::SenseBarrier;
+pub use check::current_worker_id;
 pub use pool::{PoolStats, ThreadPool};
 pub use schedule::Schedule;
 pub use writer::DisjointWriter;

@@ -6,7 +6,9 @@
 //! worker finishes, which is what makes handing workers a borrowed closure
 //! sound (see safety note on [`ThreadPool::region`]).
 
+use crate::check;
 use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -30,6 +32,11 @@ struct State {
     remaining: usize,
     /// The job for the current generation.
     job: Option<JobPtr>,
+    /// Region id of the current generation (see [`crate::check`]).
+    region_id: u32,
+    /// First panic payload caught from a worker this generation; re-raised
+    /// on the dispatching thread after the join barrier.
+    panic: Option<Box<dyn std::any::Any + Send>>,
     shutdown: bool,
 }
 
@@ -70,6 +77,8 @@ impl ThreadPool {
                 done_gen: 0,
                 remaining: 0,
                 job: None,
+                region_id: 0,
+                panic: None,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -96,18 +105,26 @@ impl ThreadPool {
 
     /// Runs `f(tid)` once on every thread (tids `0..nthreads`), returning
     /// when all invocations complete. This is `#pragma omp parallel`.
+    ///
+    /// A panic inside `f` on any worker thread is caught at the join
+    /// barrier and re-raised on the calling thread (first payload wins); a
+    /// panic on the calling thread itself propagates directly, but only
+    /// after every worker has finished the region.
     pub fn region<F: Fn(usize) + Sync>(&self, f: F) {
         self.inner.regions.fetch_add(1, Ordering::Relaxed);
+        let region_id = check::next_region_id();
         if self.inner.nthreads == 1 {
+            let _scope = check::enter_region(region_id, 0);
             f(0);
             return;
         }
         let wide: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: we erase the lifetime to park the pointer in shared state.
         // The pointee `f` lives on this stack frame, and this function does
-        // not return until `done_gen == gen`, i.e. until every worker has
-        // finished calling through the pointer. Workers never retain it
-        // across generations (they re-read `job` each wakeup).
+        // not return — by unwind or normal exit, `JoinGuard` enforces both —
+        // until `done_gen == gen`, i.e. until every worker has finished
+        // calling through the pointer. Workers never retain it across
+        // generations (they re-read `job` each wakeup).
         let ptr = JobPtr(unsafe {
             std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
                 wide as *const _,
@@ -119,13 +136,23 @@ impl ThreadPool {
             st.gen += 1;
             st.remaining = self.inner.nthreads - 1;
             st.job = Some(ptr);
+            st.region_id = region_id;
+            // A payload from a generation whose dispatcher unwound before
+            // collecting it must not leak into this one.
+            st.panic = None;
             self.inner.work_cv.notify_all();
             st.gen
         };
-        f(0);
-        let mut st = self.inner.state.lock();
-        while st.done_gen != gen {
-            self.inner.done_cv.wait(&mut st);
+        {
+            // Waits for the join barrier even if `f(0)` unwinds: dropping
+            // `f` while a worker still holds `ptr` would be use-after-free.
+            let _join = JoinGuard { inner: &self.inner, gen };
+            let _scope = check::enter_region(region_id, 0);
+            f(0);
+        }
+        let payload = self.inner.state.lock().panic.take();
+        if let Some(p) = payload {
+            resume_unwind(p);
         }
     }
 
@@ -220,6 +247,23 @@ impl ThreadPool {
     }
 }
 
+/// Blocks until the given generation's workers have all checked out. Run
+/// from `Drop` so the wait happens on both the normal and unwinding exits
+/// of `region`.
+struct JoinGuard<'p> {
+    inner: &'p Inner,
+    gen: u64,
+}
+
+impl Drop for JoinGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock();
+        while st.done_gen != self.gen {
+            self.inner.done_cv.wait(&mut st);
+        }
+    }
+}
+
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
@@ -236,7 +280,7 @@ impl Drop for ThreadPool {
 fn worker_loop(inner: &Inner, tid: usize) {
     let mut seen = 0u64;
     loop {
-        let (job, gen) = {
+        let (job, gen, region_id) = {
             let mut st = inner.state.lock();
             while !st.shutdown && st.gen == seen {
                 inner.work_cv.wait(&mut st);
@@ -245,12 +289,20 @@ fn worker_loop(inner: &Inner, tid: usize) {
                 return;
             }
             seen = st.gen;
-            (st.job.expect("generation bumped without a job"), st.gen)
+            (st.job.expect("generation bumped without a job"), st.gen, st.region_id)
         };
-        // SAFETY: see `region` — the dispatcher keeps the closure alive
-        // until we decrement `remaining` below.
-        (unsafe { &*job.0 })(tid);
+        let caught = {
+            let _scope = check::enter_region(region_id, tid);
+            // SAFETY: see `region` — the dispatcher keeps the closure alive
+            // until we decrement `remaining` below.
+            catch_unwind(AssertUnwindSafe(|| (unsafe { &*job.0 })(tid)))
+        };
         let mut st = inner.state.lock();
+        if let Err(payload) = caught {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
         st.remaining -= 1;
         if st.remaining == 0 {
             st.done_gen = gen;
@@ -359,5 +411,63 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn worker_ids_are_exposed_inside_regions() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(crate::current_worker_id(), None);
+        let ids: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        pool.region(|tid| {
+            ids[tid].store(crate::current_worker_id().expect("inside a region"), Ordering::Relaxed);
+        });
+        for (tid, id) in ids.iter().enumerate() {
+            assert_eq!(id.load(Ordering::Relaxed), tid, "worker id != region tid");
+        }
+        assert_eq!(crate::current_worker_id(), None, "worker id leaked past the region");
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = ThreadPool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.region(|tid| {
+                if tid == 2 {
+                    panic!("boom from worker {tid}");
+                }
+            });
+        }));
+        let payload = result.expect_err("worker panic must reach the caller");
+        let msg = payload.downcast::<String>().expect("panic! with args carries a String");
+        assert!(msg.contains("boom from worker 2"), "unexpected payload: {msg}");
+        // The pool must stay usable after a propagated panic.
+        let count = AtomicUsize::new(0);
+        pool.region(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn caller_panic_still_joins_workers() {
+        // Thread 0 unwinding out of `f` must not free the closure while
+        // workers are still calling through the job pointer; the join
+        // guard holds the frame until they check out.
+        let pool = ThreadPool::new(4);
+        let entered = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.region(|tid| {
+                entered.fetch_add(1, Ordering::Relaxed);
+                if tid == 0 {
+                    panic!("caller bail");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            });
+        }));
+        assert!(result.is_err());
+        // All four entered and, because region joined before unwinding,
+        // their count is already visible here.
+        assert_eq!(entered.load(Ordering::Relaxed), 4);
+        pool.region(|_| {});
     }
 }

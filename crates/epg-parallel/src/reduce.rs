@@ -29,10 +29,7 @@ impl ThreadPool {
             }
             partials.lock().push(acc);
         });
-        partials
-            .into_inner()
-            .into_iter()
-            .fold(identity(), combine)
+        partials.into_inner().into_iter().fold(identity(), combine)
     }
 
     /// Sum of `f(i)` over `0..n` in `f64`. The workhorse for PageRank's L1
@@ -91,7 +88,13 @@ mod tests {
     #[test]
     fn reduce_on_empty_range_is_identity() {
         let pool = ThreadPool::new(3);
-        let r = pool.parallel_reduce(0, Schedule::Static { chunk: None }, || 7u64, |_, _| panic!(), |a, b| a + b);
+        let r = pool.parallel_reduce(
+            0,
+            Schedule::Static { chunk: None },
+            || 7u64,
+            |_, _| panic!(),
+            |a, b| a + b,
+        );
         assert_eq!(r, 7);
     }
 

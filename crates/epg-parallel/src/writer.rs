@@ -5,24 +5,47 @@
 //! through a `Fn` closure shared across threads. `DisjointWriter` packages
 //! the one `unsafe` write behind a documented contract instead of scattering
 //! raw-pointer casts through every engine.
+//!
+//! With the `check-disjoint` feature the contract is *checked*, not just
+//! documented: the writer keeps a shadow table with one atomic tag per
+//! element recording which worker last wrote it and in which parallel
+//! region (see [`crate::check`]). A second worker writing the same index
+//! within the same region trips a panic naming both workers. Detection is
+//! deterministic — the second `swap` always observes the first worker's tag
+//! — so an overlapping kernel fails every run, not just under unlucky
+//! interleavings.
+
+#[cfg(feature = "check-disjoint")]
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared mutable access to a slice for loops that write disjoint indices.
 pub struct DisjointWriter<'a, T> {
     ptr: *mut T,
     len: usize,
+    /// One tag per element: `(region id << 32) | (worker id + 1)`, 0 when
+    /// never written. Updated with a swap on every write so the second of
+    /// two same-region writers always sees the first.
+    #[cfg(feature = "check-disjoint")]
+    shadow: Vec<AtomicU64>,
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
-// SAFETY: writes are only allowed through `write`, whose contract requires
-// each index be written by at most one thread per region; `T: Send` makes
-// moving values across threads sound.
+// SAFETY: writes are only allowed through `write`/`write_unchecked`/
+// `get_raw`, whose contract requires each index be written by at most one
+// thread per region; `T: Send` makes moving values across threads sound.
 unsafe impl<T: Send> Sync for DisjointWriter<'_, T> {}
 
 impl<'a, T> DisjointWriter<'a, T> {
     /// Wraps a slice. The borrow is held for `'a`, so the underlying data
     /// cannot be touched elsewhere while the writer lives.
     pub fn new(slice: &'a mut [T]) -> DisjointWriter<'a, T> {
-        DisjointWriter { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: std::marker::PhantomData }
+        DisjointWriter {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            #[cfg(feature = "check-disjoint")]
+            shadow: (0..slice.len()).map(|_| AtomicU64::new(0)).collect(),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Writes `value` at `i`.
@@ -33,9 +56,28 @@ impl<'a, T> DisjointWriter<'a, T> {
     /// Bounds are checked.
     pub unsafe fn write(&self, i: usize, value: T) {
         assert!(i < self.len, "DisjointWriter index {i} out of bounds ({})", self.len);
+        self.record(i);
+        // SAFETY: `i < len` was just asserted and the caller upholds the
+        // one-writer-per-index contract. The previous value is dropped so
+        // writes of owning types (Vec, String) do not leak what they replace.
         unsafe {
-            // Drop the previous value so writes of owning types (Vec,
-            // String) do not leak what they replace.
+            self.ptr.add(i).drop_in_place();
+            self.ptr.add(i).write(value)
+        };
+    }
+
+    /// Writes `value` at `i` without the bounds assertion — the fast path
+    /// for kernels whose loop bounds already guarantee `i < len`.
+    ///
+    /// # Safety
+    /// Same disjointness contract as [`DisjointWriter::write`], and
+    /// additionally `i` must be in bounds (checked only in debug builds).
+    pub unsafe fn write_unchecked(&self, i: usize, value: T) {
+        debug_assert!(i < self.len, "DisjointWriter index {i} out of bounds ({})", self.len);
+        self.record(i);
+        // SAFETY: the caller guarantees `i < len` and the one-writer-per-
+        // index contract; drop the old value first to avoid leaks.
+        unsafe {
             self.ptr.add(i).drop_in_place();
             self.ptr.add(i).write(value)
         };
@@ -49,8 +91,42 @@ impl<'a, T> DisjointWriter<'a, T> {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn get_raw(&self, i: usize) -> &mut T {
         assert!(i < self.len, "DisjointWriter index {i} out of bounds ({})", self.len);
+        self.record(i);
+        // SAFETY: `i < len` was just asserted; exclusivity of the returned
+        // reference is the caller's contract (one thread per index).
         unsafe { &mut *self.ptr.add(i) }
     }
+
+    /// Records a write of index `i` in the shadow table and panics if a
+    /// different worker already wrote it within the current parallel region.
+    /// Outside any region (`region == 0`) the writer is reachable from one
+    /// thread only, so nothing is recorded.
+    #[cfg(feature = "check-disjoint")]
+    fn record(&self, i: usize) {
+        let region = crate::check::current_region();
+        if region == 0 {
+            return;
+        }
+        let me = crate::check::current_worker_id().expect("worker id set inside a region") as u64;
+        debug_assert!(me < u32::MAX as u64, "worker id overflows the shadow tag");
+        let tag = ((region as u64) << 32) | (me + 1);
+        // AcqRel: a conflicting tag must carry the other worker's id over
+        // reliably, and our own tag must be visible to a later conflicter.
+        let prev = self.shadow[i].swap(tag, Ordering::AcqRel);
+        if prev >> 32 == region as u64 && prev & 0xFFFF_FFFF != me + 1 {
+            let other = (prev & 0xFFFF_FFFF) - 1;
+            let (a, b) = if other < me { (other, me) } else { (me, other) };
+            panic!(
+                "check-disjoint: overlapping writes to index {i}: workers {a} and {b} both \
+                 wrote it within the same parallel region (DisjointWriter requires at most \
+                 one writer per index per region)"
+            );
+        }
+    }
+
+    #[cfg(not(feature = "check-disjoint"))]
+    #[inline(always)]
+    fn record(&self, _i: usize) {}
 }
 
 #[cfg(test)]
@@ -64,6 +140,7 @@ mod tests {
         let mut data = vec![0usize; 1000];
         {
             let w = DisjointWriter::new(&mut data);
+            // SAFETY: parallel_for hands each index i to exactly one worker.
             pool.parallel_for(1000, Schedule::Dynamic { chunk: 7 }, |i| unsafe {
                 w.write(i, i * 3);
             });
@@ -72,10 +149,39 @@ mod tests {
     }
 
     #[test]
+    fn unchecked_parallel_writes_land() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 1000];
+        {
+            let w = DisjointWriter::new(&mut data);
+            // SAFETY: each index i is visited once and i < 1000 == len.
+            pool.parallel_for(1000, Schedule::Static { chunk: Some(11) }, |i| unsafe {
+                w.write_unchecked(i, i + 1);
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn get_raw_supports_read_modify_write() {
+        let pool = ThreadPool::new(2);
+        let mut data: Vec<Vec<usize>> = vec![Vec::new(); 64];
+        {
+            let w = DisjointWriter::new(&mut data);
+            // SAFETY: parallel_for hands each index i to exactly one worker.
+            pool.parallel_for(64, Schedule::Static { chunk: None }, |i| unsafe {
+                w.get_raw(i).push(i);
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, v)| v == &[i]));
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn oob_write_panics() {
         let mut data = vec![0u8; 4];
         let w = DisjointWriter::new(&mut data);
+        // SAFETY: intentionally out of bounds — the assert must fire.
         unsafe { w.write(4, 1) };
     }
 }

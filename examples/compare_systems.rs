@@ -19,11 +19,7 @@ fn main() {
         ds.raw.num_edges()
     );
 
-    let cfg = ExperimentConfig {
-        threads: 2,
-        max_roots: Some(8),
-        ..ExperimentConfig::new()
-    };
+    let cfg = ExperimentConfig { threads: 2, max_roots: Some(8), ..ExperimentConfig::new() };
     let result = run_experiment(&cfg, &ds);
 
     for algo in [Algorithm::Bfs, Algorithm::Sssp, Algorithm::PageRank] {

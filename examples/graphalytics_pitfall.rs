@@ -47,9 +47,8 @@ fn main() {
         );
     }
 
-    if let Some(gm) = cells
-        .iter()
-        .find(|c| c.engine == EngineKind::GraphMat && c.reported_seconds.is_some())
+    if let Some(gm) =
+        cells.iter().find(|c| c.engine == EngineKind::GraphMat && c.reported_seconds.is_some())
     {
         let p = gm.true_phases.unwrap();
         let reported = gm.reported_seconds.unwrap();

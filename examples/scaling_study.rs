@@ -42,10 +42,7 @@ fn main() {
             print!("{s:>8.2}");
         }
         println!();
-        efficiencies.push((
-            kind,
-            model.efficiency_curve(&run.output.trace, rate, &THREADS),
-        ));
+        efficiencies.push((kind, model.efficiency_curve(&run.output.trace, rate, &THREADS)));
     }
 
     println!("\n{:<12} T1/(n*Tn)", "efficiency");

@@ -4,14 +4,11 @@
 //! trees must pass Graph500-style validation; ranks must agree within
 //! floating-point tolerance.
 
-use epg::prelude::*;
 use epg::graph::{oracle, validate};
+use epg::prelude::*;
 
 fn dataset() -> Dataset {
-    Dataset::from_spec(
-        &GraphSpec::Kronecker { scale: 9, edge_factor: 8, weighted: true },
-        1234,
-    )
+    Dataset::from_spec(&GraphSpec::Kronecker { scale: 9, edge_factor: 8, weighted: true }, 1234)
 }
 
 fn engine_on(kind: EngineKind, ds: &Dataset, pool: &ThreadPool) -> Box<dyn Engine> {

@@ -1,8 +1,8 @@
 //! Format interop: homogenized files feed every engine; SNAP text, binary,
 //! and each engine's internal representation all describe the same graph.
 
-use epg::prelude::*;
 use epg::graph::snap;
+use epg::prelude::*;
 
 fn temp(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("epg_fmt_{name}"));
@@ -14,17 +14,16 @@ fn temp(name: &str) -> std::path::PathBuf {
 #[test]
 fn every_engine_loads_its_homogenized_file_and_computes_correctly() {
     let dir = temp("all_engines");
-    let ds = Dataset::from_spec(
-        &GraphSpec::Kronecker { scale: 8, edge_factor: 8, weighted: true },
-        21,
-    );
+    let ds =
+        Dataset::from_spec(&GraphSpec::Kronecker { scale: 8, edge_factor: 8, weighted: true }, 21);
     ds.write_files(&dir).unwrap();
     let pool = ThreadPool::new(2);
     let csr = Csr::from_edge_list(&ds.symmetric);
     let root = ds.roots[0];
     let want = epg::graph::oracle::dijkstra(&csr, root);
 
-    for kind in [EngineKind::Gap, EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph]
+    for kind in
+        [EngineKind::Gap, EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph]
     {
         let mut e = kind.create();
         e.load_file(&ds.input_path_for(&dir, kind)).unwrap();
@@ -46,10 +45,8 @@ fn every_engine_loads_its_homogenized_file_and_computes_correctly() {
 #[test]
 fn graph500_gets_raw_edges_and_symmetrizes_itself() {
     let dir = temp("g500_raw");
-    let ds = Dataset::from_spec(
-        &GraphSpec::Kronecker { scale: 8, edge_factor: 8, weighted: false },
-        22,
-    );
+    let ds =
+        Dataset::from_spec(&GraphSpec::Kronecker { scale: 8, edge_factor: 8, weighted: false }, 22);
     ds.write_files(&dir).unwrap();
     let raw = snap::read_binary_file(&ds.input_path_for(&dir, EngineKind::Graph500)).unwrap();
     assert_eq!(raw, ds.raw);

@@ -112,11 +112,17 @@ fn projected_scaling_shapes_match_figures_5_and_6() {
     let model = MachineModel::paper_machine();
     let threads = [1, 2, 4, 8, 16, 32, 64, 72];
 
+    // One nominal rate for every engine, in the ballpark the paper machine
+    // calibrates to. Calibrating from this run's wall time would feed
+    // shared-CI timing noise into the curve *shape* and flip the
+    // cross-engine comparisons below; the shapes under test are properties
+    // of the traces, which are deterministic.
+    let rate = 5e8;
+
     let mut speedup72 = Vec::new();
     for kind in [EngineKind::Gap, EngineKind::Graph500, EngineKind::GraphBig, EngineKind::GraphMat]
     {
         let run = result.runs.iter().find(|r| r.engine == kind).unwrap();
-        let rate = model.calibrate_rate(&run.output.trace, run.seconds.max(1e-6));
         let curve = model.speedup_curve(&run.output.trace, rate, &threads);
         let s72 = curve.last().unwrap().1;
         assert!(s72 < 40.0, "{} scales implausibly well: {s72}", kind.name());
@@ -165,11 +171,7 @@ fn energy_tracks_runtime_across_engines() {
     }
     pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     for w in pairs.windows(2) {
-        assert!(
-            w[0].1 <= w[1].1 * 1.05,
-            "faster run used more energy: {:?}",
-            pairs
-        );
+        assert!(w[0].1 <= w[1].1 * 1.05, "faster run used more energy: {:?}", pairs);
     }
 }
 

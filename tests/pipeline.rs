@@ -2,9 +2,9 @@
 //! directory, the Graphalytics comparator, and the machine-model path from
 //! measured traces to projected scalability and energy.
 
+use epg::harness::csvio;
 use epg::harness::graphalytics::{self, GRAPHALYTICS_ENGINES, TABLE1_ALGOS};
 use epg::harness::pipeline::Pipeline;
-use epg::harness::{csvio};
 use epg::prelude::*;
 
 fn temp(name: &str) -> std::path::PathBuf {
@@ -32,11 +32,7 @@ fn five_phases_produce_csv_plots_and_parsable_logs() {
     // The CSV has rows for every engine.
     let rows = csvio::read_all(std::fs::File::open(dir.join("results.csv")).unwrap()).unwrap();
     for k in EngineKind::ALL {
-        assert!(
-            rows.iter().any(|r| r[0] == k.name()),
-            "no CSV rows for {}",
-            k.name()
-        );
+        assert!(rows.iter().any(|r| r[0] == k.name()), "no CSV rows for {}", k.name());
     }
 
     // Plots exist and are valid-ish SVG.
@@ -52,10 +48,7 @@ fn five_phases_produce_csv_plots_and_parsable_logs() {
     let logs = p.reparse_logs().unwrap();
     assert!(logs.len() >= 5);
     for (name, entries) in &logs {
-        assert!(
-            entries.iter().any(|e| e.phase == Phase::Run),
-            "log {name} has no run time"
-        );
+        assert!(entries.iter().any(|e| e.phase == Phase::Run), "log {name} has no run time");
     }
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -112,10 +105,8 @@ fn graphalytics_comparator_reproduces_table1_structure() {
 
 #[test]
 fn machine_model_consumes_runner_traces() {
-    let ds = Dataset::from_spec(
-        &GraphSpec::Kronecker { scale: 8, edge_factor: 8, weighted: false },
-        13,
-    );
+    let ds =
+        Dataset::from_spec(&GraphSpec::Kronecker { scale: 8, edge_factor: 8, weighted: false }, 13);
     let cfg = ExperimentConfig {
         algorithms: vec![Algorithm::Bfs],
         max_roots: Some(1),
@@ -156,10 +147,7 @@ fn snap_ingestion_to_full_run() {
     let ds = Dataset::from_snap_file(&path, 3).unwrap();
     assert_eq!(ds.name, "mygraph");
     assert!(ds.weighted);
-    let cfg = ExperimentConfig {
-        max_roots: Some(2),
-        ..ExperimentConfig::new()
-    };
+    let cfg = ExperimentConfig { max_roots: Some(2), ..ExperimentConfig::new() };
     let result = run_experiment(&cfg, &ds);
     assert!(!result.run_times(EngineKind::Gap, Algorithm::Sssp).is_empty());
     assert!(!result.run_times(EngineKind::PowerGraph, Algorithm::PageRank).is_empty());

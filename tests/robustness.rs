@@ -11,18 +11,9 @@ fn degenerate_graphs() -> Vec<(&'static str, EdgeList)> {
         ("single_edge", EdgeList::new(2, vec![(0, 1)])),
         ("self_loop_only", EdgeList::new(1, vec![(0, 0)])),
         ("two_loops", EdgeList::new(2, vec![(0, 0), (1, 1)])),
-        (
-            "star",
-            EdgeList::new(6, (1..6).map(|v| (0u32, v)).collect::<Vec<_>>()).symmetrized(),
-        ),
-        (
-            "disconnected",
-            EdgeList::new(9, vec![(0, 1), (1, 0), (3, 4), (4, 3), (6, 7), (7, 8)]),
-        ),
-        (
-            "weighted_pair",
-            EdgeList::weighted(3, vec![(0, 1), (1, 0)], vec![0.25, 0.25]),
-        ),
+        ("star", EdgeList::new(6, (1..6).map(|v| (0u32, v)).collect::<Vec<_>>()).symmetrized()),
+        ("disconnected", EdgeList::new(9, vec![(0, 1), (1, 0), (3, 4), (4, 3), (6, 7), (7, 8)])),
+        ("weighted_pair", EdgeList::weighted(3, vec![(0, 1), (1, 0)], vec![0.25, 0.25])),
         (
             "duplicate_heavy",
             EdgeList::new(3, vec![(0, 1); 20].into_iter().chain([(1, 2)]).collect::<Vec<_>>()),
