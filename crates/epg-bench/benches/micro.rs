@@ -114,9 +114,34 @@ fn bench_spmv(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_trace_jsonl(c: &mut Criterion) {
+    use epg::trace::{jsonl, Dir, TraceEvent};
+    let events: Vec<TraceEvent> = (0..1000u64)
+        .map(|i| match i % 3 {
+            0 => TraceEvent::Region { work: i * 17, span: 5, bytes: i * 96, parallel: true },
+            1 => TraceEvent::CountersDelta {
+                region: "iteration".into(),
+                edges: i,
+                vertices: 3,
+                bytes_read: 0,
+                bytes_written: 0,
+                iterations: 1,
+            },
+            _ => TraceEvent::Iteration { iter: i as u32, frontier: 100 + i, dir: Dir::Push },
+        })
+        .collect();
+    let text = jsonl::render_jsonl(&events);
+    let mut g = c.benchmark_group("trace_jsonl");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("render_1000", |b| b.iter(|| black_box(jsonl::render_jsonl(&events))));
+    g.bench_function("parse_1000", |b| b.iter(|| black_box(jsonl::parse_jsonl(&text))));
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_generation, bench_construction, bench_parallel_runtime, bench_spmv
+    targets = bench_generation, bench_construction, bench_parallel_runtime, bench_spmv,
+        bench_trace_jsonl
 }
 criterion_main!(benches);

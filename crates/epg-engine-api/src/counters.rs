@@ -36,6 +36,20 @@ impl Counters {
     pub fn bytes_total(&self) -> u64 {
         self.bytes_read + self.bytes_written
     }
+
+    /// Componentwise `self - earlier` (saturating; counters are
+    /// monotonic within a run, so a nonzero saturation indicates a
+    /// stale snapshot). Used by the telemetry layer to attribute
+    /// counter growth to trace regions.
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            edges_traversed: self.edges_traversed.saturating_sub(earlier.edges_traversed),
+            vertices_touched: self.vertices_touched.saturating_sub(earlier.vertices_touched),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            iterations: self.iterations.saturating_sub(earlier.iterations),
+        }
+    }
 }
 
 /// One recorded execution region.

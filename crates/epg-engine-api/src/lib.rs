@@ -20,12 +20,17 @@
 #![warn(missing_docs)]
 pub mod counters;
 pub mod logfmt;
+pub mod record;
 pub mod result;
 pub mod stopping;
 
 pub use counters::{Counters, RegionRecord, Trace};
+pub use record::{sum_counter_deltas, DeltaTracker, RecorderCtx, Tracer};
 pub use result::{AlgorithmResult, RunOutput};
 pub use stopping::StoppingCriterion;
+// Re-exported so engine crates and tests use telemetry types without
+// depending on epg-trace themselves.
+pub use epg_trace::{Dir, NullRecorder, Recorder, RunRecorder, TraceEvent};
 
 use epg_graph::{EdgeList, VertexId};
 use epg_parallel::ThreadPool;
@@ -165,12 +170,23 @@ pub struct RunParams<'a> {
     /// every vertex; `Some(k)` samples `k` sources and scales (GAP-style
     /// approximate BC).
     pub bc_sources: Option<usize>,
+    /// Telemetry sink. Defaults to [`RecorderCtx::none`]; a no-op unless
+    /// the `trace` cargo feature is enabled *and* a recorder is attached
+    /// (see the `record` module).
+    pub recorder: RecorderCtx<'a>,
 }
 
 impl<'a> RunParams<'a> {
     /// Standard parameters: paper defaults, given a pool and optional root.
     pub fn new(pool: &'a ThreadPool, root: Option<VertexId>) -> RunParams<'a> {
-        RunParams { root, pool, stopping: None, max_iterations: 300, bc_sources: None }
+        RunParams {
+            root,
+            pool,
+            stopping: None,
+            max_iterations: 300,
+            bc_sources: None,
+            recorder: RecorderCtx::none(),
+        }
     }
 }
 

@@ -9,20 +9,25 @@
 
 use crate::structures::{Bitmap, SlidingQueue};
 use crate::GapConfig;
-use epg_engine_api::{AlgorithmResult, Counters, RunOutput, Trace};
+use epg_engine_api::{
+    AlgorithmResult, Counters, DeltaTracker, Dir, RecorderCtx, RunOutput, Tracer,
+};
 use epg_graph::{Csr, VertexId, NO_VERTEX};
 use epg_parallel::{Schedule, ThreadPool};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Runs direction-optimizing BFS from `root`. `g` holds out-edges, `gt`
-/// in-edges (identical for symmetric graphs).
+/// in-edges (identical for symmetric graphs). `rec` is the telemetry
+/// sink; per-step events carry the frontier size and whether the step
+/// ran push (top-down), pull (bottom-up), or was the hybrid switch.
 pub fn direction_optimizing_bfs(
     g: &Csr,
     gt: &Csr,
     root: VertexId,
     pool: &ThreadPool,
     cfg: &GapConfig,
+    rec: RecorderCtx<'_>,
 ) -> RunOutput {
     let n = g.num_vertices();
     let m = g.num_edges() as u64;
@@ -30,16 +35,19 @@ pub fn direction_optimizing_bfs(
     let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
     parent[root as usize].store(root, Ordering::Relaxed);
     level[root as usize].store(0, Ordering::Relaxed);
+    rec.alloc_hwm("gap.bfs.parent+level", n as u64 * 8);
 
     let mut queue = SlidingQueue::new();
     queue.push(root);
     queue.slide_window();
 
     let mut counters = Counters::default();
-    let mut trace = Trace::default();
+    let mut trace = Tracer::new(rec);
+    let mut deltas = DeltaTracker::new();
     let mut depth = 0u32;
     let mut edges_to_check = m;
     let mut scout = g.out_degree(root) as u64;
+    let mut bitmaps_reported = false;
 
     while !queue.window_is_empty() {
         if cfg.direction_optimizing && scout > edges_to_check / cfg.alpha.max(1) {
@@ -48,7 +56,12 @@ pub fn direction_optimizing_bfs(
             for &v in queue.window() {
                 front.set(v as usize);
             }
+            if !bitmaps_reported {
+                bitmaps_reported = true;
+                rec.alloc_hwm("gap.bfs.bitmaps", 2 * n.div_ceil(8) as u64);
+            }
             let mut awake = queue.window_len() as u64;
+            let mut switched = true;
             loop {
                 depth += 1;
                 let old_awake = awake;
@@ -63,6 +76,11 @@ pub fn direction_optimizing_bfs(
                 // their full in-degree — the reason direction-optimized BFS
                 // keeps scaling (Fig. 5).
                 trace.parallel(scanned.max(1), max_scan.max(1), scanned * 8 + awake * 8);
+                deltas.flush("iteration", &counters, rec);
+                // The step that flipped the direction is the hybrid
+                // switch; subsequent bottom-up steps are plain pulls.
+                rec.iteration(depth, old_awake, if switched { Dir::Hybrid } else { Dir::Pull });
+                switched = false;
                 front = next;
                 if awake == 0 {
                     break;
@@ -80,6 +98,7 @@ pub fn direction_optimizing_bfs(
         } else {
             // ---- top-down step ----
             depth += 1;
+            let frontier = queue.window_len() as u64;
             let (checked, new_scout, max_deg, discovered) =
                 top_down_step(g, &parent, &level, &mut queue, depth, pool);
             counters.edges_traversed += checked;
@@ -87,6 +106,8 @@ pub fn direction_optimizing_bfs(
             edges_to_check = edges_to_check.saturating_sub(checked);
             scout = new_scout;
             trace.parallel(checked.max(1), max_deg.max(1), checked * 8 + discovered * 12);
+            deltas.flush("iteration", &counters, rec);
+            rec.iteration(depth, frontier, Dir::Push);
             queue.slide_window();
         }
         counters.iterations += 1;
@@ -94,10 +115,11 @@ pub fn direction_optimizing_bfs(
 
     counters.bytes_read = counters.edges_traversed * 8;
     counters.bytes_written = counters.vertices_touched * 12;
+    deltas.flush("finalize", &counters, rec);
     parent[root as usize].store(NO_VERTEX, Ordering::Relaxed);
     let parent: Vec<VertexId> = parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
     let level: Vec<u32> = level.iter().map(|l| l.load(Ordering::Relaxed)).collect();
-    RunOutput::new(AlgorithmResult::BfsTree { parent, level }, counters, trace)
+    RunOutput::new(AlgorithmResult::BfsTree { parent, level }, counters, trace.into_trace())
 }
 
 /// One top-down step. Returns (edges checked, scout count = out-degrees of
@@ -214,7 +236,7 @@ mod tests {
         let want = oracle::bfs(&g, root);
         for dir_opt in [false, true] {
             let cfg = GapConfig { direction_optimizing: dir_opt, ..Default::default() };
-            let out = direction_optimizing_bfs(&g, &gt, root, &pool, &cfg);
+            let out = direction_optimizing_bfs(&g, &gt, root, &pool, &cfg, RecorderCtx::none());
             let AlgorithmResult::BfsTree { parent, level } = out.result else { panic!() };
             assert_eq!(level, want.level, "dir_opt={dir_opt}");
             epg_graph::validate::validate_bfs_tree(&g, root, &parent).unwrap();
@@ -248,7 +270,8 @@ mod tests {
         let g = Csr::from_edge_list(&el);
         let gt = g.transpose();
         let pool = ThreadPool::new(2);
-        let out = direction_optimizing_bfs(&g, &gt, 0, &pool, &GapConfig::default());
+        let out =
+            direction_optimizing_bfs(&g, &gt, 0, &pool, &GapConfig::default(), RecorderCtx::none());
         // Each BFS step records one region; a bottom-up phase may record
         // several steps under a single outer iteration.
         assert!(out.trace.records.len() as u32 >= out.counters.iterations);

@@ -182,6 +182,7 @@ impl Engine for GapEngine {
                     root,
                     params.pool,
                     &self.config,
+                    params.recorder,
                 )
             }
             Algorithm::Sssp => {

@@ -4,22 +4,26 @@
 //! vertices with compare-and-swap on the parent array. Scheduling is plain
 //! static worksharing, as in the reference's `#pragma omp parallel for`.
 
-use epg_engine_api::{AlgorithmResult, Counters, RunOutput, Trace};
+use epg_engine_api::{
+    AlgorithmResult, Counters, DeltaTracker, Dir, RecorderCtx, RunOutput, Tracer,
+};
 use epg_graph::{Csr, VertexId, NO_VERTEX};
 use epg_parallel::{Schedule, ThreadPool};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Runs top-down BFS from `root`.
-pub fn top_down_bfs(g: &Csr, root: VertexId, pool: &ThreadPool) -> RunOutput {
+pub fn top_down_bfs(g: &Csr, root: VertexId, pool: &ThreadPool, rec: RecorderCtx<'_>) -> RunOutput {
     let n = g.num_vertices();
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect();
     let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
     parent[root as usize].store(root, Ordering::Relaxed);
     level[root as usize].store(0, Ordering::Relaxed);
+    rec.alloc_hwm("graph500.bfs.parent+level", n as u64 * 8);
 
     let mut counters = Counters::default();
-    let mut trace = Trace::default();
+    let mut trace = Tracer::new(rec);
+    let mut deltas = DeltaTracker::new();
     let mut frontier = vec![root];
     let mut depth = 0u32;
 
@@ -71,11 +75,14 @@ pub fn top_down_bfs(g: &Csr, root: VertexId, pool: &ThreadPool) -> RunOutput {
             max_deg.load(Ordering::Relaxed).max(1),
             checked * 8 + next.len() as u64 * 12,
         );
+        deltas.flush("iteration", &counters, rec);
+        rec.iteration(depth, frontier.len() as u64, Dir::Push);
         frontier = next;
     }
 
     counters.bytes_read = counters.edges_traversed * 8;
     counters.bytes_written = counters.vertices_touched * 12;
+    deltas.flush("finalize", &counters, rec);
     parent[root as usize].store(NO_VERTEX, Ordering::Relaxed);
     RunOutput::new(
         AlgorithmResult::BfsTree {
@@ -83,7 +90,7 @@ pub fn top_down_bfs(g: &Csr, root: VertexId, pool: &ThreadPool) -> RunOutput {
             level: level.iter().map(|l| l.load(Ordering::Relaxed)).collect(),
         },
         counters,
-        trace,
+        trace.into_trace(),
     )
 }
 
@@ -97,7 +104,7 @@ mod tests {
         let el = epg_generator::uniform::generate(500, 3000, false, 13).symmetrized();
         let g = Csr::from_edge_list(&el);
         let pool = ThreadPool::new(4);
-        let out = top_down_bfs(&g, 3, &pool);
+        let out = top_down_bfs(&g, 3, &pool, RecorderCtx::none());
         let AlgorithmResult::BfsTree { parent, level } = out.result else { panic!() };
         assert_eq!(level, oracle::bfs(&g, 3).level);
         epg_graph::validate::validate_bfs_tree(&g, 3, &parent).unwrap();
@@ -110,7 +117,7 @@ mod tests {
         let el = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3)]).symmetrized();
         let g = Csr::from_edge_list(&el);
         let pool = ThreadPool::new(1);
-        let out = top_down_bfs(&g, 0, &pool);
+        let out = top_down_bfs(&g, 0, &pool, RecorderCtx::none());
         assert_eq!(out.counters.iterations, 4);
     }
 
@@ -120,7 +127,7 @@ mod tests {
         let el = epg_generator::uniform::generate(64, 512, false, 7).symmetrized();
         let g = Csr::from_edge_list(&el);
         let pool = ThreadPool::new(2);
-        let out = top_down_bfs(&g, 0, &pool);
+        let out = top_down_bfs(&g, 0, &pool, RecorderCtx::none());
         let AlgorithmResult::BfsTree { level, .. } = out.result else { panic!() };
         let expect: u64 = (0..g.num_vertices())
             .filter(|&v| level[v] != u32::MAX)

@@ -104,7 +104,7 @@ impl Engine for Graph500Engine {
     fn run(&mut self, algo: Algorithm, params: &RunParams<'_>) -> RunOutput {
         assert!(self.supports(algo), "Graph500 implements only BFS");
         let root = params.root.expect("BFS needs a root");
-        let out = bfs::top_down_bfs(self.csr(), root, params.pool);
+        let out = bfs::top_down_bfs(self.csr(), root, params.pool, params.recorder);
         if self.config.validate {
             let epg_engine_api::AlgorithmResult::BfsTree { parent, .. } = &out.result else {
                 unreachable!()

@@ -103,12 +103,18 @@ impl Engine for GraphBigEngine {
     fn run(&mut self, algo: Algorithm, params: &RunParams<'_>) -> RunOutput {
         let g = self.graph();
         match algo {
-            Algorithm::Bfs => {
-                traversal::bfs(g, params.root.expect("BFS needs a root"), params.pool)
-            }
-            Algorithm::Sssp => {
-                traversal::sssp(g, params.root.expect("SSSP needs a root"), params.pool)
-            }
+            Algorithm::Bfs => traversal::bfs(
+                g,
+                params.root.expect("BFS needs a root"),
+                params.pool,
+                params.recorder,
+            ),
+            Algorithm::Sssp => traversal::sssp(
+                g,
+                params.root.expect("SSSP needs a root"),
+                params.pool,
+                params.recorder,
+            ),
             Algorithm::PageRank => ranking::pagerank(g, params),
             Algorithm::Cdlp => community::cdlp(g, params.pool, 10),
             Algorithm::Wcc => community::wcc(g, params.pool),

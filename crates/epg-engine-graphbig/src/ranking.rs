@@ -1,6 +1,8 @@
 //! openG-style PageRank.
 
-use epg_engine_api::{AlgorithmResult, Counters, RunOutput, RunParams, StoppingCriterion, Trace};
+use epg_engine_api::{
+    AlgorithmResult, Counters, DeltaTracker, Dir, RunOutput, RunParams, StoppingCriterion, Tracer,
+};
 use epg_graph::adjacency::PropertyGraph;
 use epg_graph::VertexId;
 use epg_parallel::{DisjointWriter, Schedule};
@@ -13,16 +15,19 @@ const DAMPING: f64 = 0.85;
 pub fn pagerank(g: &PropertyGraph, params: &RunParams<'_>) -> RunOutput {
     let n = g.num_vertices();
     let pool = params.pool;
+    let rec = params.recorder;
     let stopping = params.stopping.unwrap_or(StoppingCriterion::paper_default());
     let mut counters = Counters::default();
-    let mut trace = Trace::default();
+    let mut trace = Tracer::new(rec);
+    let mut deltas = DeltaTracker::new();
     if n == 0 {
         return RunOutput::new(
             AlgorithmResult::Ranks { ranks: Vec::new(), iterations: 0 },
             counters,
-            trace,
+            trace.into_trace(),
         );
     }
+    rec.alloc_hwm("graphbig.pr.rank+next", n as u64 * 16);
     let out_deg: Vec<u32> = (0..n as VertexId).map(|v| g.out_degree(v) as u32).collect();
     let sinks: Vec<VertexId> = (0..n as VertexId).filter(|&v| out_deg[v as usize] == 0).collect();
     let m: u64 = out_deg.iter().map(|&d| d as u64).sum();
@@ -63,6 +68,9 @@ pub fn pagerank(g: &PropertyGraph, params: &RunParams<'_>) -> RunOutput {
         counters.vertices_touched += n as u64;
         trace.parallel(m.max(1), 1, m * 16 + n as u64 * 24);
         trace.parallel(n as u64, 1, n as u64 * 16);
+        deltas.flush("iteration", &counters, rec);
+        // Pull-mode: every vertex is active every round.
+        rec.iteration(iterations, n as u64, Dir::Pull);
         if stopping.is_converged(l1, changed.load(Ordering::Relaxed))
             || iterations >= params.max_iterations
         {
@@ -72,7 +80,8 @@ pub fn pagerank(g: &PropertyGraph, params: &RunParams<'_>) -> RunOutput {
     counters.iterations = iterations;
     counters.bytes_read = counters.edges_traversed * 16;
     counters.bytes_written = counters.vertices_touched * 8;
-    RunOutput::new(AlgorithmResult::Ranks { ranks: rank, iterations }, counters, trace)
+    deltas.flush("finalize", &counters, rec);
+    RunOutput::new(AlgorithmResult::Ranks { ranks: rank, iterations }, counters, trace.into_trace())
 }
 
 #[cfg(test)]

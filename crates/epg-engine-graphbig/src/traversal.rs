@@ -1,6 +1,8 @@
 //! openG-style traversal kernels: BFS and SSSP.
 
-use epg_engine_api::{AlgorithmResult, Counters, RunOutput, Trace};
+use epg_engine_api::{
+    AlgorithmResult, Counters, DeltaTracker, Dir, RecorderCtx, RunOutput, Tracer,
+};
 use epg_graph::adjacency::PropertyGraph;
 use epg_graph::{VertexId, INF_DIST, NO_VERTEX};
 use epg_parallel::{AtomicF32, Schedule, ThreadPool};
@@ -9,15 +11,22 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Level-synchronous top-down BFS over the property graph, dynamic
 /// scheduling (openG's `bfs` kernel).
-pub fn bfs(g: &PropertyGraph, root: VertexId, pool: &ThreadPool) -> RunOutput {
+pub fn bfs(
+    g: &PropertyGraph,
+    root: VertexId,
+    pool: &ThreadPool,
+    rec: RecorderCtx<'_>,
+) -> RunOutput {
     let n = g.num_vertices();
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect();
     let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
     parent[root as usize].store(root, Ordering::Relaxed);
     level[root as usize].store(0, Ordering::Relaxed);
+    rec.alloc_hwm("graphbig.bfs.parent+level", n as u64 * 8);
 
     let mut counters = Counters::default();
-    let mut trace = Trace::default();
+    let mut trace = Tracer::new(rec);
+    let mut deltas = DeltaTracker::new();
     let mut frontier = vec![root];
     let mut depth = 0u32;
     while !frontier.is_empty() {
@@ -50,6 +59,7 @@ pub fn bfs(g: &PropertyGraph, root: VertexId, pool: &ThreadPool) -> RunOutput {
             }
         });
         let checked = checked.load(Ordering::Relaxed);
+        let scanned = frontier.len() as u64;
         frontier = next.into_inner();
         counters.edges_traversed += checked;
         counters.vertices_touched += frontier.len() as u64;
@@ -61,9 +71,12 @@ pub fn bfs(g: &PropertyGraph, root: VertexId, pool: &ThreadPool) -> RunOutput {
             max_deg.load(Ordering::Relaxed).max(1),
             checked * 16 + frontier.len() as u64 * 24,
         );
+        deltas.flush("iteration", &counters, rec);
+        rec.iteration(depth, scanned, Dir::Push);
     }
     counters.bytes_read = counters.edges_traversed * 16;
     counters.bytes_written = counters.vertices_touched * 24;
+    deltas.flush("finalize", &counters, rec);
     parent[root as usize].store(NO_VERTEX, Ordering::Relaxed);
     RunOutput::new(
         AlgorithmResult::BfsTree {
@@ -71,22 +84,31 @@ pub fn bfs(g: &PropertyGraph, root: VertexId, pool: &ThreadPool) -> RunOutput {
             level: level.iter().map(|l| l.load(Ordering::Relaxed)).collect(),
         },
         counters,
-        trace,
+        trace.into_trace(),
     )
 }
 
 /// Frontier-based Bellman-Ford SSSP (openG's `sssp` kernel): no Δ buckets,
 /// just repeated relaxation of an active set — simpler and slower than
 /// GAP's Δ-stepping, which is the architectural contrast the paper draws.
-pub fn sssp(g: &PropertyGraph, root: VertexId, pool: &ThreadPool) -> RunOutput {
+pub fn sssp(
+    g: &PropertyGraph,
+    root: VertexId,
+    pool: &ThreadPool,
+    rec: RecorderCtx<'_>,
+) -> RunOutput {
     let n = g.num_vertices();
     let dist: Vec<AtomicF32> = (0..n).map(|_| AtomicF32::new(INF_DIST)).collect();
     dist[root as usize].store(0.0, Ordering::Relaxed);
+    rec.alloc_hwm("graphbig.sssp.dist", n as u64 * 4);
 
     let mut counters = Counters::default();
-    let mut trace = Trace::default();
+    let mut trace = Tracer::new(rec);
+    let mut deltas = DeltaTracker::new();
+    let mut round = 0u32;
     let mut active = vec![root];
     while !active.is_empty() {
+        round += 1;
         let relaxed = AtomicU64::new(0);
         let max_deg = AtomicU64::new(0);
         let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
@@ -122,14 +144,17 @@ pub fn sssp(g: &PropertyGraph, root: VertexId, pool: &ThreadPool) -> RunOutput {
             max_deg.load(Ordering::Relaxed).max(1),
             relaxed * 20 + next.len() as u64 * 8,
         );
+        deltas.flush("iteration", &counters, rec);
+        rec.iteration(round, active.len() as u64, Dir::Push);
         active = next;
     }
     counters.bytes_read = counters.edges_traversed * 20;
     counters.bytes_written = counters.vertices_touched * 8;
+    deltas.flush("finalize", &counters, rec);
     RunOutput::new(
         AlgorithmResult::Distances(dist.iter().map(|d| d.load(Ordering::Relaxed)).collect()),
         counters,
-        trace,
+        trace.into_trace(),
     )
 }
 
@@ -144,7 +169,7 @@ mod tests {
             EdgeList::weighted(4, vec![(0, 1), (0, 2), (2, 1), (1, 3)], vec![10.0, 1.0, 2.0, 1.0]);
         let g = PropertyGraph::from_edge_list(&el);
         let pool = ThreadPool::new(2);
-        let out = sssp(&g, 0, &pool);
+        let out = sssp(&g, 0, &pool, RecorderCtx::none());
         let AlgorithmResult::Distances(d) = out.result else { panic!() };
         assert_eq!(d[1], 3.0);
         assert_eq!(d[3], 4.0);
@@ -157,7 +182,7 @@ mod tests {
         let el = EdgeList::new(51, edges);
         let g = PropertyGraph::from_edge_list(&el);
         let pool = ThreadPool::new(1);
-        let out = sssp(&g, 0, &pool);
+        let out = sssp(&g, 0, &pool, RecorderCtx::none());
         assert!(out.counters.iterations >= 50);
     }
 
@@ -166,7 +191,7 @@ mod tests {
         let el = EdgeList::new(5, vec![(0, 1), (3, 4)]);
         let g = PropertyGraph::from_edge_list(&el);
         let pool = ThreadPool::new(2);
-        let out = bfs(&g, 0, &pool);
+        let out = bfs(&g, 0, &pool, RecorderCtx::none());
         let AlgorithmResult::BfsTree { level, .. } = out.result else { panic!() };
         assert_eq!(level[1], 1);
         assert_eq!(level[3], u32::MAX);
@@ -187,7 +212,7 @@ mod tests {
         let csr = Csr::from_edge_list(&el);
         let pool = ThreadPool::new(4);
         let root = epg_graph::degree::sample_roots(&el, 1, 1)[0];
-        let out = bfs(&g, root, &pool);
+        let out = bfs(&g, root, &pool, RecorderCtx::none());
         let AlgorithmResult::BfsTree { level, .. } = out.result else { panic!() };
         assert_eq!(level, oracle::bfs(&csr, root).level);
     }

@@ -114,16 +114,20 @@ impl Engine for GraphMatEngine {
                 self.num_vertices,
                 params.root.expect("BFS needs a root"),
                 params.pool,
+                params.recorder,
             ),
             Algorithm::Sssp => programs::sssp(
                 a,
                 self.num_vertices,
                 params.root.expect("SSSP needs a root"),
                 params.pool,
+                params.recorder,
             ),
             Algorithm::PageRank => programs::pagerank(a, at, self.num_vertices, params),
-            Algorithm::Cdlp => programs::cdlp(a, at, self.num_vertices, params.pool, 10),
-            Algorithm::Wcc => programs::wcc(a, at, self.num_vertices, params.pool),
+            Algorithm::Cdlp => {
+                programs::cdlp(a, at, self.num_vertices, params.pool, 10, params.recorder)
+            }
+            Algorithm::Wcc => programs::wcc(a, at, self.num_vertices, params.pool, params.recorder),
             Algorithm::Lcc => lcc::lcc(a, at, self.num_vertices, params.pool),
             Algorithm::TriangleCount => lcc::triangle_count(a, at, self.num_vertices, params.pool),
             Algorithm::Bc => unreachable!(),

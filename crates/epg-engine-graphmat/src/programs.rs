@@ -2,11 +2,14 @@
 
 use crate::program::GraphProgram;
 use crate::spmv::{run_iteration, SpmvStats};
-use epg_engine_api::{AlgorithmResult, Counters, RunOutput, RunParams, StoppingCriterion, Trace};
+use epg_engine_api::{
+    AlgorithmResult, Counters, DeltaTracker, Dir, RecorderCtx, RunOutput, RunParams,
+    StoppingCriterion, Tracer,
+};
 use epg_graph::{Dcsc, VertexId, Weight, INF_DIST, NO_VERTEX};
 use epg_parallel::{DisjointWriter, Schedule, ThreadPool};
 
-fn charge(counters: &mut Counters, trace: &mut Trace, stats: &SpmvStats) {
+fn charge(counters: &mut Counters, trace: &mut Tracer<'_>, stats: &SpmvStats) {
     counters.edges_traversed += stats.edges;
     counters.vertices_touched += stats.touched;
     trace.parallel(stats.edges.max(1), stats.max_column.max(1), stats.edges * 12);
@@ -53,30 +56,43 @@ impl GraphProgram for BfsProgram {
 }
 
 /// BFS as iterated sparse matrix-vector products.
-pub fn bfs(a: &Dcsc, n: usize, root: VertexId, pool: &ThreadPool) -> RunOutput {
+pub fn bfs(
+    a: &Dcsc,
+    n: usize,
+    root: VertexId,
+    pool: &ThreadPool,
+    rec: RecorderCtx<'_>,
+) -> RunOutput {
     let mut values = vec![BfsValue { parent: NO_VERTEX, level: u32::MAX }; n];
     values[root as usize].level = 0;
     let mut active = vec![root];
     let mut counters = Counters::default();
-    let mut trace = Trace::default();
+    let mut trace = Tracer::new(rec);
+    let mut deltas = DeltaTracker::new();
     let mut depth = 0;
+    rec.alloc_hwm("graphmat.bfs.values", n as u64 * 8);
     while !active.is_empty() {
         depth += 1;
+        let frontier = active.len() as u64;
         let prog = BfsProgram { depth };
         let (next, stats) = run_iteration(&prog, &[a], &active, &mut values, pool);
         charge(&mut counters, &mut trace, &stats);
         counters.iterations += 1;
+        deltas.flush("iteration", &counters, rec);
+        // SpMSpV pushes along out-edge columns of the active set.
+        rec.iteration(depth, frontier, Dir::Push);
         active = next;
     }
     counters.bytes_read = counters.edges_traversed * 12;
     counters.bytes_written = counters.vertices_touched * 8;
+    deltas.flush("finalize", &counters, rec);
     RunOutput::new(
         AlgorithmResult::BfsTree {
             parent: values.iter().map(|v| v.parent).collect(),
             level: values.iter().map(|v| v.level).collect(),
         },
         counters,
-        trace,
+        trace.into_trace(),
     )
 }
 
@@ -108,21 +124,35 @@ impl GraphProgram for SsspProgram {
 }
 
 /// SSSP as iterated min-plus SpMSpV (Bellman-Ford over the semiring).
-pub fn sssp(a: &Dcsc, n: usize, root: VertexId, pool: &ThreadPool) -> RunOutput {
+pub fn sssp(
+    a: &Dcsc,
+    n: usize,
+    root: VertexId,
+    pool: &ThreadPool,
+    rec: RecorderCtx<'_>,
+) -> RunOutput {
     let mut dist = vec![INF_DIST; n];
     dist[root as usize] = 0.0;
     let mut active = vec![root];
     let mut counters = Counters::default();
-    let mut trace = Trace::default();
+    let mut trace = Tracer::new(rec);
+    let mut deltas = DeltaTracker::new();
+    let mut round = 0u32;
+    rec.alloc_hwm("graphmat.sssp.dist", n as u64 * 4);
     while !active.is_empty() {
+        round += 1;
+        let frontier = active.len() as u64;
         let (next, stats) = run_iteration(&SsspProgram, &[a], &active, &mut dist, pool);
         charge(&mut counters, &mut trace, &stats);
         counters.iterations += 1;
+        deltas.flush("iteration", &counters, rec);
+        rec.iteration(round, frontier, Dir::Push);
         active = next;
     }
     counters.bytes_read = counters.edges_traversed * 12;
     counters.bytes_written = counters.vertices_touched * 4;
-    RunOutput::new(AlgorithmResult::Distances(dist), counters, trace)
+    deltas.flush("finalize", &counters, rec);
+    RunOutput::new(AlgorithmResult::Distances(dist), counters, trace.into_trace())
 }
 
 // ----------------------------------------------------------- PageRank ----
@@ -137,17 +167,20 @@ const DAMPING: f64 = 0.85;
 /// phase in the paper's GraphMat log excerpt.
 pub fn pagerank(a: &Dcsc, at: &Dcsc, n: usize, params: &RunParams<'_>) -> RunOutput {
     let pool = params.pool;
+    let rec = params.recorder;
     // GraphMat's native criterion is NoChange (∞-norm at f32 granularity).
     let stopping = params.stopping.unwrap_or(StoppingCriterion::NoChange);
     let mut counters = Counters::default();
-    let mut trace = Trace::default();
+    let mut trace = Tracer::new(rec);
+    let mut deltas = DeltaTracker::new();
     if n == 0 {
         return RunOutput::new(
             AlgorithmResult::Ranks { ranks: Vec::new(), iterations: 0 },
             counters,
-            trace,
+            trace.into_trace(),
         );
     }
+    rec.alloc_hwm("graphmat.pr.rank+next+contrib", n as u64 * 24);
 
     // Algorithm 1: count degree (an SpMV over columns of A).
     let mut out_deg = vec![0u32; n];
@@ -230,6 +263,9 @@ pub fn pagerank(a: &Dcsc, at: &Dcsc, n: usize, params: &RunParams<'_>) -> RunOut
         counters.vertices_touched += n as u64;
         trace.parallel(m.max(1), max_col.max(1), m * 12 + n as u64 * 24);
         trace.parallel(n as u64, 1, n as u64 * 16);
+        deltas.flush("iteration", &counters, rec);
+        // Dense SpMV over the pull matrix: every vertex is active.
+        rec.iteration(iterations, n as u64, Dir::Pull);
         if stopping.is_converged(l1, changed) || iterations >= params.max_iterations {
             break;
         }
@@ -237,7 +273,8 @@ pub fn pagerank(a: &Dcsc, at: &Dcsc, n: usize, params: &RunParams<'_>) -> RunOut
     counters.iterations = iterations;
     counters.bytes_read = counters.edges_traversed * 12;
     counters.bytes_written = counters.vertices_touched * 8;
-    RunOutput::new(AlgorithmResult::Ranks { ranks: rank, iterations }, counters, trace)
+    deltas.flush("finalize", &counters, rec);
+    RunOutput::new(AlgorithmResult::Ranks { ranks: rank, iterations }, counters, trace.into_trace())
 }
 
 // --------------------------------------------------------------- CDLP ----
@@ -273,19 +310,30 @@ impl GraphProgram for CdlpProgram {
 
 /// CDLP: synchronous label propagation over both edge orientations for a
 /// fixed number of rounds (Graphalytics semantics).
-pub fn cdlp(a: &Dcsc, at: &Dcsc, n: usize, pool: &ThreadPool, iterations: u32) -> RunOutput {
+pub fn cdlp(
+    a: &Dcsc,
+    at: &Dcsc,
+    n: usize,
+    pool: &ThreadPool,
+    iterations: u32,
+    rec: RecorderCtx<'_>,
+) -> RunOutput {
     let mut labels: Vec<u64> = (0..n as u64).collect();
     let all: Vec<VertexId> = (0..n as VertexId).collect();
     let mut counters = Counters::default();
-    let mut trace = Trace::default();
-    for _ in 0..iterations {
+    let mut trace = Tracer::new(rec);
+    let mut deltas = DeltaTracker::new();
+    for round in 0..iterations {
         let (_, stats) = run_iteration(&CdlpProgram, &[a, at], &all, &mut labels, pool);
         charge(&mut counters, &mut trace, &stats);
         counters.iterations += 1;
+        deltas.flush("iteration", &counters, rec);
+        rec.iteration(round + 1, n as u64, Dir::Push);
     }
     counters.bytes_read = counters.edges_traversed * 16;
     counters.bytes_written = counters.vertices_touched * 8;
-    RunOutput::new(AlgorithmResult::Labels(labels), counters, trace)
+    deltas.flush("finalize", &counters, rec);
+    RunOutput::new(AlgorithmResult::Labels(labels), counters, trace.into_trace())
 }
 
 // ---------------------------------------------------------------- WCC ----
@@ -316,23 +364,30 @@ impl GraphProgram for WccProgram {
 }
 
 /// WCC: min-label propagation over both orientations until fixpoint.
-pub fn wcc(a: &Dcsc, at: &Dcsc, n: usize, pool: &ThreadPool) -> RunOutput {
+pub fn wcc(a: &Dcsc, at: &Dcsc, n: usize, pool: &ThreadPool, rec: RecorderCtx<'_>) -> RunOutput {
     let mut comp: Vec<u64> = (0..n as u64).collect();
     let mut active: Vec<VertexId> = (0..n as VertexId).collect();
     let mut counters = Counters::default();
-    let mut trace = Trace::default();
+    let mut trace = Tracer::new(rec);
+    let mut deltas = DeltaTracker::new();
+    let mut round = 0u32;
     while !active.is_empty() {
+        round += 1;
+        let frontier = active.len() as u64;
         let (next, stats) = run_iteration(&WccProgram, &[a, at], &active, &mut comp, pool);
         charge(&mut counters, &mut trace, &stats);
         counters.iterations += 1;
+        deltas.flush("iteration", &counters, rec);
+        rec.iteration(round, frontier, Dir::Push);
         active = next;
     }
     counters.bytes_read = counters.edges_traversed * 16;
     counters.bytes_written = counters.vertices_touched * 8;
+    deltas.flush("finalize", &counters, rec);
     RunOutput::new(
         AlgorithmResult::Components(comp.into_iter().map(|c| c as VertexId).collect()),
         counters,
-        trace,
+        trace.into_trace(),
     )
 }
 
@@ -347,7 +402,7 @@ mod tests {
         let el = EdgeList::new(4, vec![(3, 0), (3, 1), (0, 2), (1, 2)]);
         let m = Dcsc::from_edge_list(&el);
         let pool = ThreadPool::new(4);
-        let out = bfs(&m, 4, 3, &pool);
+        let out = bfs(&m, 4, 3, &pool, RecorderCtx::none());
         let AlgorithmResult::BfsTree { parent, level } = out.result else { panic!() };
         assert_eq!(level, vec![1, 1, 2, 0]);
         assert_eq!(parent[2], 0);
@@ -359,7 +414,7 @@ mod tests {
         let m = Dcsc::from_edge_list(&el);
         let mt = m.transpose();
         let pool = ThreadPool::new(2);
-        let out = wcc(&m, &mt, 6, &pool);
+        let out = wcc(&m, &mt, 6, &pool, RecorderCtx::none());
         let AlgorithmResult::Components(c) = out.result else { panic!() };
         assert_eq!(c, vec![0, 0, 0, 3, 3, 5]);
     }
@@ -381,7 +436,7 @@ mod tests {
         let m = Dcsc::from_edge_list(&el);
         let mt = m.transpose();
         let pool = ThreadPool::new(2);
-        let out = cdlp(&m, &mt, 4, &pool, 7);
+        let out = cdlp(&m, &mt, 4, &pool, 7, RecorderCtx::none());
         assert_eq!(out.counters.iterations, 7);
     }
 }

@@ -4,10 +4,19 @@
 //! provide an reference implementation of BFS in its toolkits" (§III-D),
 //! which is why PowerGraph is absent from Figs. 2, 5, 6 and the BFS panel
 //! of Fig. 8.
+//!
+//! Telemetry: the driver loops here emit per-superstep `Iteration` and
+//! `CountersDelta` events. [`superstep`] itself still records into a plain
+//! [`Trace`], so PowerGraph's cost-model regions are *not* mirrored as
+//! `Region` events — the per-iteration counter deltas carry the same
+//! information at superstep granularity.
 
 use crate::gas::{superstep, EdgeDir, VertexProgram};
 use crate::partition::PartitionedGraph;
-use epg_engine_api::{AlgorithmResult, Counters, RunOutput, RunParams, StoppingCriterion, Trace};
+use epg_engine_api::{
+    AlgorithmResult, Counters, DeltaTracker, Dir, RecorderCtx, RunOutput, RunParams,
+    StoppingCriterion, Trace,
+};
 use epg_graph::{VertexId, Weight, INF_DIST};
 use epg_parallel::ThreadPool;
 
@@ -43,12 +52,19 @@ impl VertexProgram for SsspProgram {
 
 /// SSSP: gather-min over in-edges, scatter-activate over out-edges, until
 /// no vertex changes.
-pub fn sssp(g: &PartitionedGraph, root: VertexId, pool: &ThreadPool) -> RunOutput {
+pub fn sssp(
+    g: &PartitionedGraph,
+    root: VertexId,
+    pool: &ThreadPool,
+    rec: RecorderCtx<'_>,
+) -> RunOutput {
     let n = g.num_vertices;
     let mut dist = vec![INF_DIST; n];
     dist[root as usize] = 0.0;
     let mut counters = Counters::default();
     let mut trace = Trace::default();
+    let mut deltas = DeltaTracker::new();
+    rec.alloc_hwm("powergraph.sssp.dist", n as u64 * 4);
     // Signal the root's out-neighbors, as the toolkit's init scatter does.
     let mut active: Vec<VertexId> = g
         .partitions
@@ -57,12 +73,19 @@ pub fn sssp(g: &PartitionedGraph, root: VertexId, pool: &ThreadPool) -> RunOutpu
         .collect();
     active.sort_unstable();
     active.dedup();
+    let mut round = 0u32;
     while !active.is_empty() {
+        round += 1;
+        let frontier = active.len() as u64;
         let (next, _) =
             superstep(&SsspProgram, g, &active, &mut dist, pool, &mut counters, &mut trace);
+        deltas.flush("iteration", &counters, rec);
+        // Activation-driven superstep: the active set pushes work forward.
+        rec.iteration(round, frontier, Dir::Push);
         active = next;
     }
     counters.bytes_read = counters.edges_traversed * 16;
+    deltas.flush("finalize", &counters, rec);
     RunOutput::new(AlgorithmResult::Distances(dist), counters, trace)
 }
 
@@ -110,9 +133,11 @@ impl VertexProgram for PrProgram {
 pub fn pagerank(g: &PartitionedGraph, params: &RunParams<'_>) -> RunOutput {
     let n = g.num_vertices;
     let pool = params.pool;
+    let rec = params.recorder;
     let stopping = params.stopping.unwrap_or(StoppingCriterion::paper_default());
     let mut counters = Counters::default();
     let mut trace = Trace::default();
+    let mut deltas = DeltaTracker::new();
     if n == 0 {
         return RunOutput::new(
             AlgorithmResult::Ranks { ranks: Vec::new(), iterations: 0 },
@@ -120,6 +145,7 @@ pub fn pagerank(g: &PartitionedGraph, params: &RunParams<'_>) -> RunOutput {
             trace,
         );
     }
+    rec.alloc_hwm("powergraph.pr.data", n as u64 * 16);
     let mut out_deg = vec![0u32; n];
     for p in &g.partitions {
         for (&u, outs) in &p.out_edges {
@@ -139,6 +165,9 @@ pub fn pagerank(g: &PartitionedGraph, params: &RunParams<'_>) -> RunOutput {
         let prog = PrProgram { base, sink_mass };
         let (_, stats) = superstep(&prog, g, &all, &mut data, pool, &mut counters, &mut trace);
         let l1: f64 = data.iter().zip(&prev).map(|(d, &p)| (d.rank - p).abs()).sum();
+        deltas.flush("iteration", &counters, rec);
+        // Gather over in-edges with every vertex active: a pull round.
+        rec.iteration(iterations, n as u64, Dir::Pull);
         if stopping.is_converged(l1, stats.changed.len() as u64)
             || iterations >= params.max_iterations
         {
@@ -146,6 +175,7 @@ pub fn pagerank(g: &PartitionedGraph, params: &RunParams<'_>) -> RunOutput {
         }
     }
     counters.bytes_read = counters.edges_traversed * 16;
+    deltas.flush("finalize", &counters, rec);
     RunOutput::new(
         AlgorithmResult::Ranks { ranks: data.iter().map(|d| d.rank).collect(), iterations },
         counters,
@@ -191,16 +221,26 @@ impl VertexProgram for CdlpProgram {
 
 /// CDLP: fixed-round synchronous label propagation (Graphalytics
 /// semantics, both edge directions).
-pub fn cdlp(g: &PartitionedGraph, pool: &ThreadPool, iterations: u32) -> RunOutput {
+pub fn cdlp(
+    g: &PartitionedGraph,
+    pool: &ThreadPool,
+    iterations: u32,
+    rec: RecorderCtx<'_>,
+) -> RunOutput {
     let n = g.num_vertices;
     let mut labels: Vec<u64> = (0..n as u64).collect();
     let all: Vec<VertexId> = (0..n as VertexId).collect();
     let mut counters = Counters::default();
     let mut trace = Trace::default();
-    for _ in 0..iterations {
+    let mut deltas = DeltaTracker::new();
+    rec.alloc_hwm("powergraph.cdlp.labels", n as u64 * 8);
+    for round in 0..iterations {
         let _ = superstep(&CdlpProgram, g, &all, &mut labels, pool, &mut counters, &mut trace);
+        deltas.flush("iteration", &counters, rec);
+        rec.iteration(round + 1, n as u64, Dir::Push);
     }
     counters.bytes_read = counters.edges_traversed * 16;
+    deltas.flush("finalize", &counters, rec);
     RunOutput::new(AlgorithmResult::Labels(labels), counters, trace)
 }
 
@@ -235,18 +275,26 @@ impl VertexProgram for WccProgram {
 }
 
 /// WCC: min-label GAS until fixpoint.
-pub fn wcc(g: &PartitionedGraph, pool: &ThreadPool) -> RunOutput {
+pub fn wcc(g: &PartitionedGraph, pool: &ThreadPool, rec: RecorderCtx<'_>) -> RunOutput {
     let n = g.num_vertices;
     let mut comp: Vec<u64> = (0..n as u64).collect();
     let mut active: Vec<VertexId> = (0..n as VertexId).collect();
     let mut counters = Counters::default();
     let mut trace = Trace::default();
+    let mut deltas = DeltaTracker::new();
+    let mut round = 0u32;
+    rec.alloc_hwm("powergraph.wcc.comp", n as u64 * 8);
     while !active.is_empty() {
+        round += 1;
+        let frontier = active.len() as u64;
         let (next, _) =
             superstep(&WccProgram, g, &active, &mut comp, pool, &mut counters, &mut trace);
+        deltas.flush("iteration", &counters, rec);
+        rec.iteration(round, frontier, Dir::Push);
         active = next;
     }
     counters.bytes_read = counters.edges_traversed * 16;
+    deltas.flush("finalize", &counters, rec);
     RunOutput::new(
         AlgorithmResult::Components(comp.into_iter().map(|c| c as VertexId).collect()),
         counters,
@@ -268,7 +316,7 @@ mod tests {
         let el = graph(1);
         let g = PartitionedGraph::build(&el, 4);
         let pool = ThreadPool::new(3);
-        let out = sssp(&g, 2, &pool);
+        let out = sssp(&g, 2, &pool, RecorderCtx::none());
         let AlgorithmResult::Distances(d) = out.result else { panic!() };
         let want = oracle::dijkstra(&Csr::from_edge_list(&el), 2);
         for v in 0..want.len() {
@@ -299,7 +347,7 @@ mod tests {
         let el = graph(3);
         let g = PartitionedGraph::build(&el, 4);
         let pool = ThreadPool::new(2);
-        let out = cdlp(&g, &pool, 10);
+        let out = cdlp(&g, &pool, 10, RecorderCtx::none());
         let AlgorithmResult::Labels(l) = out.result else { panic!() };
         assert_eq!(l, oracle::cdlp(&Csr::from_edge_list(&el), 10));
     }
@@ -309,7 +357,7 @@ mod tests {
         let el = epg_generator::uniform::generate(200, 260, false, 4);
         let g = PartitionedGraph::build(&el, 4);
         let pool = ThreadPool::new(3);
-        let out = wcc(&g, &pool);
+        let out = wcc(&g, &pool, RecorderCtx::none());
         let AlgorithmResult::Components(c) = out.result else { panic!() };
         assert_eq!(c, oracle::wcc(&Csr::from_edge_list(&el)));
     }
@@ -319,7 +367,7 @@ mod tests {
         let el = EdgeList::weighted(3, vec![(1, 2)], vec![1.0]);
         let g = PartitionedGraph::build(&el, 2);
         let pool = ThreadPool::new(1);
-        let out = sssp(&g, 0, &pool);
+        let out = sssp(&g, 0, &pool, RecorderCtx::none());
         let AlgorithmResult::Distances(d) = out.result else { panic!() };
         assert_eq!(d[0], 0.0);
         assert!(d[1].is_infinite() && d[2].is_infinite());

@@ -7,6 +7,7 @@
 //! epg run   --scale 14 --threads 2  # phase 3 (also runs 2 if needed)
 //! epg all   --scale 14              # phases 2-5
 //! epg graphalytics --scale 12       # the comparator + HTML report
+//! epg trace summarize --input F     # summarize a *.trace.jsonl file
 //! ```
 
 use epg_generator::GraphSpec;
@@ -19,6 +20,7 @@ use std::process::ExitCode;
 
 struct Args {
     cmd: String,
+    subcmd: Option<String>,
     scale: u32,
     weighted: bool,
     threads: usize,
@@ -26,14 +28,21 @@ struct Args {
     seed: u64,
     out: PathBuf,
     snap_file: Option<PathBuf>,
+    input: Option<PathBuf>,
 }
 
 fn parse_args(argv: std::env::Args) -> Result<Args, String> {
     let mut argv = argv;
     let _bin = argv.next();
     let cmd = argv.next().ok_or_else(usage)?;
+    let subcmd = if cmd == "trace" {
+        Some(argv.next().ok_or("trace needs a subcommand: summarize")?)
+    } else {
+        None
+    };
     let mut a = Args {
         cmd,
+        subcmd,
         scale: 12,
         weighted: true,
         threads: 1,
@@ -41,6 +50,7 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
         seed: 42,
         out: PathBuf::from("target/epg-out"),
         snap_file: None,
+        input: None,
     };
     let mut it = argv.peekable();
     while let Some(flag) = it.next() {
@@ -61,6 +71,7 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
             "--weighted" => a.weighted = true,
             "--unweighted" => a.weighted = false,
             "--snap" => a.snap_file = Some(PathBuf::from(val("--snap")?)),
+            "--input" => a.input = Some(PathBuf::from(val("--input")?)),
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
         }
     }
@@ -68,9 +79,9 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: epg <setup|gen|run|all|graphalytics|granula> \
+    "usage: epg <setup|gen|run|all|graphalytics|granula|trace summarize> \
      [--scale N] [--weighted|--unweighted] [--threads N] [--roots N|--all-roots] \
-     [--seed N] [--out DIR] [--snap FILE]"
+     [--seed N] [--out DIR] [--snap FILE] [--input FILE]"
         .to_string()
 }
 
@@ -179,6 +190,21 @@ fn real_main() -> Result<(), String> {
                 println!("wrote {}", path.display());
             }
         }
+        "trace" => match args.subcmd.as_deref() {
+            Some("summarize") => {
+                let path =
+                    args.input.as_ref().ok_or("trace summarize needs --input FILE".to_string())?;
+                let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+                print!("{}", epg_harness::tracefile::summarize(&text));
+            }
+            other => {
+                return Err(format!(
+                    "unknown trace subcommand: {}\n{}",
+                    other.unwrap_or(""),
+                    usage()
+                ))
+            }
+        },
         "--help" | "help" => println!("{}", usage()),
         other => return Err(format!("unknown command: {other}\n{}", usage())),
     }

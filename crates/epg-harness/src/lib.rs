@@ -31,6 +31,7 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod stats;
+pub mod tracefile;
 
 pub use registry::EngineKind;
 pub use runner::{ExperimentConfig, ExperimentResult, RunRecord};

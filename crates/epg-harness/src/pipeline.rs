@@ -214,6 +214,11 @@ impl Pipeline {
         for entry in std::fs::read_dir(log_dir)? {
             let entry = entry?;
             let name = entry.file_name().to_string_lossy().into_owned();
+            // Telemetry streams (*.trace.jsonl) are not dialect logs; they
+            // have their own parser (`crate::tracefile`).
+            if name.ends_with(".trace.jsonl") {
+                continue;
+            }
             let Some(engine) = name.split('_').next().and_then(EngineKind::from_name) else {
                 continue;
             };

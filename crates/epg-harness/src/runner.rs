@@ -18,6 +18,11 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
 
+#[cfg(feature = "trace")]
+use epg_engine_api::{Recorder, RecorderCtx, RunRecorder, TraceEvent};
+#[cfg(feature = "trace")]
+use std::sync::Arc;
+
 /// Experiment parameters.
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -97,12 +102,30 @@ pub struct RunInfo {
     pub output: RunOutput,
 }
 
+/// Structured telemetry captured for one engine/algorithm pair (first
+/// root, first trial) when the `trace` feature is enabled.
+pub struct TraceBundle {
+    /// Engine.
+    pub engine: EngineKind,
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Dataset name.
+    pub dataset: String,
+    /// The recorded event stream (phase spans, iterations, regions,
+    /// counter deltas, worker spans, allocation high-water marks).
+    pub events: Vec<epg_engine_api::TraceEvent>,
+    /// Events lost to the recorder's ring-buffer cap (oldest dropped).
+    pub dropped: u64,
+}
+
 /// Everything an experiment produces.
 pub struct ExperimentResult {
     /// Flat timing records (phase 4 rows).
     pub records: Vec<RunRecord>,
     /// Full outputs for trace-based analysis.
     pub runs: Vec<RunInfo>,
+    /// Telemetry bundles; always empty without the `trace` feature.
+    pub traces: Vec<TraceBundle>,
 }
 
 impl ExperimentResult {
@@ -177,6 +200,8 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
     let pool = ThreadPool::new(cfg.threads.max(1));
     let mut records = Vec::new();
     let mut runs = Vec::new();
+    #[cfg_attr(not(feature = "trace"), allow(unused_mut))]
+    let mut traces: Vec<TraceBundle> = Vec::new();
 
     // Homogenized files, if the file path is requested.
     let file_dir = cfg.use_files.then(|| {
@@ -262,10 +287,75 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
             let mut log_text = String::new();
             for (ri, &root) in reps.iter().enumerate() {
                 for trial in 0..cfg.trials {
+                    // Record telemetry for the first observation of each
+                    // engine×algorithm pair only: attaching the recorder to
+                    // the pool has measurable cost, and one run per pair is
+                    // what the summarizer and the machine-model replay need.
+                    #[cfg(feature = "trace")]
+                    let tracer = (ri == 0 && trial == 0).then(|| {
+                        let rec = Arc::new(RunRecorder::new());
+                        // Read/construct happened before any recorder
+                        // existed; reconstruct their spans from the wall
+                        // clocks so the trace shows all three phases.
+                        let mut at = 0u64;
+                        rec.record(TraceEvent::PhaseStart { phase: "read".into(), at_ns: at });
+                        at += (read_s * 1e9) as u64;
+                        rec.record(TraceEvent::PhaseEnd { phase: "read".into(), at_ns: at });
+                        if engine.separable_construction() {
+                            rec.record(TraceEvent::PhaseStart {
+                                phase: "construct".into(),
+                                at_ns: at,
+                            });
+                            at += (construct_s * 1e9) as u64;
+                            rec.record(TraceEvent::PhaseEnd {
+                                phase: "construct".into(),
+                                at_ns: at,
+                            });
+                        }
+                        rec.record(TraceEvent::PhaseStart { phase: "run".into(), at_ns: at });
+                        pool.set_recorder(Some(rec.clone() as Arc<dyn Recorder>));
+                        (rec, at)
+                    });
                     let params = RunParams::new(&pool, root);
+                    #[cfg(feature = "trace")]
+                    let params = {
+                        let mut p = params;
+                        if let Some((rec, _)) = &tracer {
+                            p.recorder = RecorderCtx::new(&**rec);
+                        }
+                        p
+                    };
                     let t0 = Instant::now();
                     let output = engine.run(algo, &params);
                     let secs = t0.elapsed().as_secs_f64();
+                    #[cfg(feature = "trace")]
+                    if let Some((rec, at)) = tracer {
+                        pool.set_recorder(None);
+                        rec.record(TraceEvent::PhaseEnd {
+                            phase: "run".into(),
+                            at_ns: at + (secs * 1e9) as u64,
+                        });
+                        if let Some(dir) = &file_dir {
+                            let log_dir = dir.join("logs");
+                            std::fs::create_dir_all(&log_dir).ok();
+                            let path = log_dir.join(format!(
+                                "{}_{}_{}.trace.jsonl",
+                                kind.name(),
+                                algo.abbrev(),
+                                ds.name
+                            ));
+                            if let Ok(mut f) = std::fs::File::create(path) {
+                                let _ = f.write_all(rec.to_jsonl().as_bytes());
+                            }
+                        }
+                        traces.push(TraceBundle {
+                            engine: kind,
+                            algorithm: algo,
+                            dataset: ds.name.clone(),
+                            events: rec.events(),
+                            dropped: rec.dropped(),
+                        });
+                    }
                     let iterations = output.result.iterations();
                     records.push(RunRecord {
                         engine: kind,
@@ -315,7 +405,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
             }
         }
     }
-    ExperimentResult { records, runs }
+    ExperimentResult { records, runs, traces }
 }
 
 #[cfg(test)]
@@ -421,6 +511,50 @@ mod tests {
     }
 }
 
+#[cfg(all(test, feature = "trace"))]
+mod trace_tests {
+    use super::*;
+    use epg_generator::GraphSpec;
+
+    #[test]
+    fn runner_captures_one_bundle_per_pair_and_writes_jsonl() {
+        let ds = Dataset::from_spec(
+            &GraphSpec::Kronecker { scale: 6, edge_factor: 8, weighted: false },
+            5,
+        );
+        let dir = std::env::temp_dir().join("epg_runner_trace_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cfg = ExperimentConfig::new();
+        cfg.max_roots = Some(2);
+        cfg.threads = 2;
+        cfg.trials = 2;
+        cfg.use_files = true;
+        cfg.work_dir = Some(dir.clone());
+        cfg.engines = vec![EngineKind::Gap];
+        cfg.algorithms = vec![Algorithm::Bfs];
+        let res = run_experiment(&cfg, &ds);
+        // One bundle per engine×algorithm pair (first root, first trial).
+        assert_eq!(res.traces.len(), 1);
+        let b = &res.traces[0];
+        assert_eq!(b.dropped, 0);
+        assert!(b.events.iter().any(|e| matches!(e, TraceEvent::Iteration { .. })));
+        assert!(b.events.iter().any(|e| matches!(e, TraceEvent::WorkerSpan { .. })));
+        assert!(b.events.iter().any(|e| matches!(e, TraceEvent::PhaseEnd { .. })));
+        // The flushed file parses back to the same number of events.
+        let trace_file = dir
+            .join("logs")
+            .read_dir()
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.to_string_lossy().ends_with(".trace.jsonl"))
+            .expect("trace file written");
+        let parsed = epg_trace::jsonl::parse_jsonl(&std::fs::read_to_string(trace_file).unwrap());
+        assert_eq!(parsed.skipped, 0);
+        assert_eq!(parsed.events.len(), b.events.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 /// Runs the experiment once per thread count, concatenating records — the
 /// §IV-B scalability protocol ("varying the number of threads from one to
 /// the total number of threads available"). On a machine with real cores
@@ -433,13 +567,15 @@ pub fn run_thread_sweep(
 ) -> ExperimentResult {
     let mut records = Vec::new();
     let mut runs = Vec::new();
+    let mut traces = Vec::new();
     for &threads in thread_counts {
         let cfg = ExperimentConfig { threads, ..base.clone() };
         let mut result = run_experiment(&cfg, ds);
         records.append(&mut result.records);
         runs.append(&mut result.runs);
+        traces.append(&mut result.traces);
     }
-    ExperimentResult { records, runs }
+    ExperimentResult { records, runs, traces }
 }
 
 #[cfg(test)]

@@ -1,0 +1,210 @@
+//! Phase 4 for telemetry: summarizing `*.trace.jsonl` files.
+//!
+//! The runner (with the `trace` feature) drops one JSONL event stream per
+//! engine×algorithm pair next to the dialect logs. [`summarize`] is the
+//! pure renderer behind `epg trace summarize --input FILE`: it parses the
+//! stream with the same chatter-tolerant parser the log pipeline uses and
+//! prints phase timings, the per-iteration push/pull story, worker
+//! utilization, counter totals, and allocation high-water marks.
+//!
+//! Parsing and rendering are unconditional — summarize works on any
+//! checked-in trace file even in a build without the `trace` feature.
+
+use epg_engine_api::sum_counter_deltas;
+use epg_trace::{jsonl, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a human-readable summary of one JSONL trace stream.
+///
+/// Deterministic for a given input (workers and allocation labels are
+/// sorted), so the output is suitable for golden-file tests.
+pub fn summarize(input: &str) -> String {
+    let parsed = jsonl::parse_jsonl(input);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace summary: {} events, {} unparseable lines skipped",
+        parsed.events.len(),
+        parsed.skipped
+    );
+
+    // ---- phases: match each end to the most recent unmatched start ----
+    let mut open: Vec<(&str, u64)> = Vec::new();
+    let mut phases: Vec<(&str, u64)> = Vec::new();
+    for ev in &parsed.events {
+        match ev {
+            TraceEvent::PhaseStart { phase, at_ns } => open.push((phase, *at_ns)),
+            TraceEvent::PhaseEnd { phase, at_ns } => {
+                if let Some(pos) = open.iter().rposition(|(p, _)| p == phase) {
+                    let (p, start) = open.remove(pos);
+                    phases.push((p, at_ns.saturating_sub(start)));
+                }
+            }
+            _ => {}
+        }
+    }
+    if !phases.is_empty() {
+        let _ = writeln!(out, "\nphases");
+        for (phase, ns) in &phases {
+            let _ = writeln!(out, "  {:<12} {:>12.6} s", phase, *ns as f64 / 1e9);
+        }
+    }
+
+    // ---- iterations: a pending "iteration" delta is closed by the next
+    // Iteration event (the engines' event-ordering convention) ----
+    let mut iter_rows: Vec<String> = Vec::new();
+    let mut pending: Option<(u64, u64)> = None; // (edges, vertices)
+    for ev in &parsed.events {
+        match ev {
+            TraceEvent::CountersDelta { region, edges, vertices, .. } if region == "iteration" => {
+                pending = Some((*edges, *vertices));
+            }
+            TraceEvent::Iteration { iter, frontier, dir } => {
+                let (edges, vertices) = pending.take().unwrap_or((0, 0));
+                iter_rows.push(format!(
+                    "  {:>4}  {:<6} {:>12} {:>12} {:>12}",
+                    iter,
+                    dir.label(),
+                    frontier,
+                    edges,
+                    vertices
+                ));
+            }
+            _ => {}
+        }
+    }
+    if !iter_rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "\niterations\n  {:>4}  {:<6} {:>12} {:>12} {:>12}",
+            "iter", "dir", "frontier", "edges", "vertices"
+        );
+        for row in &iter_rows {
+            let _ = writeln!(out, "{row}");
+        }
+    }
+
+    // ---- counter totals: sum of every delta in the stream ----
+    let totals = sum_counter_deltas(&parsed.events);
+    let _ = writeln!(
+        out,
+        "\ncounter totals: edges={} vertices={} bytes_read={} bytes_written={} iterations={}",
+        totals.edges_traversed,
+        totals.vertices_touched,
+        totals.bytes_read,
+        totals.bytes_written,
+        totals.iterations
+    );
+
+    // ---- worker utilization, aggregated over all recorded regions ----
+    let mut workers: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for ev in &parsed.events {
+        if let TraceEvent::WorkerSpan { worker, busy_ns, idle_ns, .. } = ev {
+            let w = workers.entry(*worker).or_insert((0, 0));
+            w.0 += busy_ns;
+            w.1 += idle_ns;
+        }
+    }
+    if !workers.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nworkers\n  {:>6} {:>12} {:>12} {:>7}",
+            "worker", "busy_s", "idle_s", "util%"
+        );
+        for (worker, (busy, idle)) in &workers {
+            let wall = busy + idle;
+            let util = if wall == 0 { 100.0 } else { *busy as f64 / wall as f64 * 100.0 };
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>12.6} {:>12.6} {:>7.1}",
+                worker,
+                *busy as f64 / 1e9,
+                *idle as f64 / 1e9,
+                util
+            );
+        }
+    }
+
+    // ---- allocation high-water marks (max per label) ----
+    let mut allocs: BTreeMap<&str, u64> = BTreeMap::new();
+    for ev in &parsed.events {
+        if let TraceEvent::AllocHwm { label, bytes } = ev {
+            let e = allocs.entry(label).or_insert(0);
+            *e = (*e).max(*bytes);
+        }
+    }
+    if !allocs.is_empty() {
+        let _ = writeln!(out, "\nallocation high-water marks");
+        for (label, bytes) in &allocs {
+            let _ = writeln!(out, "  {label:<28} {bytes:>12} B");
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_trace::{Dir, RunRecorder};
+
+    fn sample_trace() -> String {
+        let rec = RunRecorder::new();
+        use epg_trace::Recorder;
+        rec.record(TraceEvent::PhaseStart { phase: "run".into(), at_ns: 0 });
+        rec.record(TraceEvent::AllocHwm { label: "parent".into(), bytes: 1024 });
+        rec.record(TraceEvent::Region { work: 100, span: 5, bytes: 800, parallel: true });
+        rec.record(TraceEvent::CountersDelta {
+            region: "iteration".into(),
+            edges: 100,
+            vertices: 9,
+            bytes_read: 0,
+            bytes_written: 0,
+            iterations: 1,
+        });
+        rec.record(TraceEvent::Iteration { iter: 1, frontier: 1, dir: Dir::Push });
+        rec.record(TraceEvent::WorkerSpan { region: 0, worker: 0, busy_ns: 900, idle_ns: 100 });
+        rec.record(TraceEvent::WorkerSpan { region: 0, worker: 1, busy_ns: 500, idle_ns: 500 });
+        rec.record(TraceEvent::CountersDelta {
+            region: "finalize".into(),
+            edges: 0,
+            vertices: 0,
+            bytes_read: 1200,
+            bytes_written: 108,
+            iterations: 0,
+        });
+        rec.record(TraceEvent::PhaseEnd { phase: "run".into(), at_ns: 2_000_000 });
+        rec.to_jsonl()
+    }
+
+    #[test]
+    fn summary_covers_every_section() {
+        let text = summarize(&sample_trace());
+        assert!(text.contains("trace summary: 9 events, 0 unparseable lines skipped"));
+        assert!(text.contains("phases"));
+        assert!(text.contains("run"));
+        assert!(text.contains("0.002000 s"));
+        assert!(text.contains("push"));
+        assert!(text.contains("counter totals: edges=100 vertices=9 bytes_read=1200"));
+        assert!(text.contains("workers"));
+        assert!(text.contains("90.0"));
+        assert!(text.contains("parent"));
+        assert!(text.contains("1024"));
+    }
+
+    #[test]
+    fn chatter_is_counted_not_fatal() {
+        let mut input = sample_trace();
+        input.push_str("some stray stderr line\n");
+        let text = summarize(&input);
+        assert!(text.contains("1 unparseable lines skipped"));
+    }
+
+    #[test]
+    fn empty_input_still_renders_totals() {
+        let text = summarize("");
+        assert!(text.contains("0 events"));
+        assert!(text.contains("counter totals: edges=0"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Golden-file test for `epg trace summarize`.
+//!
+//! The fixture is a hand-written but schema-faithful trace of a
+//! three-iteration GAP BFS run (phases, regions, per-iteration counter
+//! deltas, worker spans, allocation high-water marks, and one line of
+//! non-trace chatter). The rendered summary is compared byte-for-byte
+//! against the checked-in golden file, so any change to the summarizer's
+//! layout is a visible diff in review rather than a silent drift.
+//!
+//! To regenerate after an intentional format change:
+//! `EPG_BLESS_GOLDEN=1 cargo test -p epg-harness --test golden_summarize`
+
+use std::path::Path;
+
+#[test]
+fn summarize_matches_golden() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let input = std::fs::read_to_string(dir.join("gap_bfs_kron8.trace.jsonl")).unwrap();
+    let got = epg_harness::tracefile::summarize(&input);
+
+    let golden_path = dir.join("gap_bfs_kron8.summary.golden");
+    if std::env::var_os("EPG_BLESS_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap();
+    assert_eq!(
+        got, want,
+        "summary drifted from golden; if intentional, re-bless with EPG_BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_fixture_parses_cleanly_except_the_chatter_line() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let input = std::fs::read_to_string(dir.join("gap_bfs_kron8.trace.jsonl")).unwrap();
+    let parsed = epg_trace::jsonl::parse_jsonl(&input);
+    assert_eq!(parsed.skipped, 1, "fixture has exactly one deliberate chatter line");
+    assert_eq!(parsed.events.len(), 24);
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 pub mod rapl;
 pub mod sensor;
+pub mod trace_replay;
 
 use epg_engine_api::Trace;
 

@@ -47,6 +47,14 @@ struct Inner {
     done_cv: Condvar,
     regions: AtomicU64,
     chunks: AtomicU64,
+    /// Telemetry sink for per-worker busy/idle spans.
+    #[cfg(feature = "trace")]
+    recorder: Mutex<Option<Arc<dyn epg_trace::Recorder>>>,
+    /// Per-worker busy nanoseconds of the current generation; read by
+    /// the dispatcher after the join barrier (the state mutex orders
+    /// the stores before the read).
+    #[cfg(feature = "trace")]
+    busy_ns: Vec<AtomicU64>,
 }
 
 /// Cumulative dispatch statistics, consumed by the machine model to cost
@@ -85,6 +93,10 @@ impl ThreadPool {
             done_cv: Condvar::new(),
             regions: AtomicU64::new(0),
             chunks: AtomicU64::new(0),
+            #[cfg(feature = "trace")]
+            recorder: Mutex::new(None),
+            #[cfg(feature = "trace")]
+            busy_ns: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
         });
         let handles = (1..nthreads)
             .map(|tid| {
@@ -103,6 +115,15 @@ impl ThreadPool {
         self.inner.nthreads
     }
 
+    /// Attaches (`Some`) or detaches (`None`) a telemetry sink. While
+    /// attached, every region emits one `WorkerSpan` event per worker
+    /// with its busy time and the idle remainder of the region's wall
+    /// clock. Only present with the `trace` feature.
+    #[cfg(feature = "trace")]
+    pub fn set_recorder(&self, rec: Option<Arc<dyn epg_trace::Recorder>>) {
+        *self.inner.recorder.lock() = rec;
+    }
+
     /// Runs `f(tid)` once on every thread (tids `0..nthreads`), returning
     /// when all invocations complete. This is `#pragma omp parallel`.
     ///
@@ -113,9 +134,24 @@ impl ThreadPool {
     pub fn region<F: Fn(usize) + Sync>(&self, f: F) {
         self.inner.regions.fetch_add(1, Ordering::Relaxed);
         let region_id = check::next_region_id();
+        #[cfg(feature = "trace")]
+        let rec: Option<Arc<dyn epg_trace::Recorder>> = self.inner.recorder.lock().clone();
+        #[cfg(feature = "trace")]
+        let wall_start = std::time::Instant::now();
         if self.inner.nthreads == 1 {
-            let _scope = check::enter_region(region_id, 0);
-            f(0);
+            {
+                let _scope = check::enter_region(region_id, 0);
+                f(0);
+            }
+            #[cfg(feature = "trace")]
+            if let Some(rec) = &rec {
+                rec.record(epg_trace::TraceEvent::WorkerSpan {
+                    region: region_id as u64,
+                    worker: 0,
+                    busy_ns: wall_start.elapsed().as_nanos() as u64,
+                    idle_ns: 0,
+                });
+            }
             return;
         }
         let wide: &(dyn Fn(usize) + Sync) = &f;
@@ -148,7 +184,26 @@ impl ThreadPool {
             // `f` while a worker still holds `ptr` would be use-after-free.
             let _join = JoinGuard { inner: &self.inner, gen };
             let _scope = check::enter_region(region_id, 0);
+            #[cfg(feature = "trace")]
+            let t0 = std::time::Instant::now();
             f(0);
+            #[cfg(feature = "trace")]
+            self.inner.busy_ns[0].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        #[cfg(feature = "trace")]
+        if let Some(rec) = &rec {
+            // The join barrier has passed: every worker stored its busy
+            // time before decrementing `remaining` under the state lock.
+            let wall = wall_start.elapsed().as_nanos() as u64;
+            for (tid, slot) in self.inner.busy_ns.iter().enumerate() {
+                let busy = slot.load(Ordering::Relaxed).min(wall);
+                rec.record(epg_trace::TraceEvent::WorkerSpan {
+                    region: region_id as u64,
+                    worker: tid as u32,
+                    busy_ns: busy,
+                    idle_ns: wall - busy,
+                });
+            }
         }
         let payload = self.inner.state.lock().panic.take();
         if let Some(p) = payload {
@@ -293,9 +348,14 @@ fn worker_loop(inner: &Inner, tid: usize) {
         };
         let caught = {
             let _scope = check::enter_region(region_id, tid);
+            #[cfg(feature = "trace")]
+            let t0 = std::time::Instant::now();
             // SAFETY: see `region` — the dispatcher keeps the closure alive
             // until we decrement `remaining` below.
-            catch_unwind(AssertUnwindSafe(|| (unsafe { &*job.0 })(tid)))
+            let caught = catch_unwind(AssertUnwindSafe(|| (unsafe { &*job.0 })(tid)));
+            #[cfg(feature = "trace")]
+            inner.busy_ns[tid].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            caught
         };
         let mut st = inner.state.lock();
         if let Err(payload) = caught {
@@ -425,6 +485,36 @@ mod tests {
             assert_eq!(id.load(Ordering::Relaxed), tid, "worker id != region tid");
         }
         assert_eq!(crate::current_worker_id(), None, "worker id leaked past the region");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn worker_spans_cover_every_worker_once_per_region() {
+        use epg_trace::TraceEvent;
+        for nthreads in [1, 3] {
+            let pool = ThreadPool::new(nthreads);
+            let rec = Arc::new(epg_trace::RunRecorder::new());
+            pool.set_recorder(Some(rec.clone()));
+            pool.parallel_for(64, Schedule::Static { chunk: None }, |_| {});
+            pool.set_recorder(None);
+            // Spans after detach must not be recorded.
+            pool.parallel_for(64, Schedule::Static { chunk: None }, |_| {});
+            let spans: Vec<_> = rec
+                .events()
+                .into_iter()
+                .filter_map(|ev| match ev {
+                    TraceEvent::WorkerSpan { region, worker, busy_ns, idle_ns } => {
+                        Some((region, worker, busy_ns, idle_ns))
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(spans.len(), nthreads, "one span per worker ({nthreads} threads)");
+            let mut workers: Vec<u32> = spans.iter().map(|s| s.1).collect();
+            workers.sort_unstable();
+            assert_eq!(workers, (0..nthreads as u32).collect::<Vec<_>>());
+            assert!(spans.iter().all(|s| s.0 == spans[0].0), "same region id");
+        }
     }
 
     #[test]

@@ -32,12 +32,13 @@ pub use epg_graph as graph;
 pub use epg_harness as harness;
 pub use epg_machine as machine;
 pub use epg_parallel as parallel;
+pub use epg_trace as trace;
 
 /// The names most programs need.
 pub mod prelude {
     pub use epg_engine_api::{
-        Algorithm, AlgorithmResult, Counters, Engine, Phase, RunOutput, RunParams,
-        StoppingCriterion, Trace,
+        Algorithm, AlgorithmResult, Counters, Dir, Engine, Phase, RecorderCtx, RunOutput,
+        RunParams, RunRecorder, StoppingCriterion, Trace, TraceEvent,
     };
     pub use epg_generator::GraphSpec;
     pub use epg_graph::{Csr, EdgeList, VertexId, Weight};

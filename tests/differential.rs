@@ -1,0 +1,189 @@
+//! Registry-driven differential suite: every engine the registry lists for
+//! an algorithm must produce a result equivalent to the sequential oracle
+//! on the same homogenized graphs — one seeded Kronecker graph and one
+//! seeded uniform graph per algorithm.
+//!
+//! Unlike `cross_engine.rs` (which pins the engine lists from the paper's
+//! figures), this suite asks [`engines_supporting`] at runtime, so a new
+//! engine or a support-matrix change is covered automatically. The checks
+//! per algorithm: BFS levels must equal the oracle's and the parent array
+//! must pass Graph500-style tree validation; SSSP must match Dijkstra and
+//! pass the per-edge triangle-inequality check; PageRank must agree both
+//! per-vertex and in L1; WCC labels must match exactly; LCC coefficients
+//! must match to 1e-9. The `#[should_panic]` case feeds a deliberately
+//! corrupted BFS tree through the same checker to prove the suite can
+//! actually fail.
+
+use epg::graph::{oracle, validate, Csr, VertexId, NO_VERTEX};
+use epg::harness::registry::engines_supporting;
+use epg::prelude::*;
+
+/// One Kronecker and one uniform graph, both weighted (SSSP runs on unit
+/// weights when unweighted, so weighted is the stricter input).
+fn datasets() -> Vec<Dataset> {
+    vec![
+        Dataset::from_spec(&GraphSpec::Kronecker { scale: 8, edge_factor: 8, weighted: true }, 77),
+        Dataset::from_spec(
+            &GraphSpec::Uniform { num_vertices: 300, num_edges: 2400, weighted: true },
+            78,
+        ),
+    ]
+}
+
+fn engine_on(kind: EngineKind, ds: &Dataset, pool: &ThreadPool) -> Box<dyn Engine> {
+    let mut e = kind.create();
+    e.load_edge_list(ds.edges_for(kind));
+    e.construct(pool);
+    e
+}
+
+/// Panics unless `parent`/`level` form a valid BFS tree matching the
+/// oracle. Shared by the positive sweep and the corruption case below.
+fn check_bfs(name: &str, csr: &Csr, root: VertexId, parent: &[VertexId], level: &[u32]) {
+    let want = oracle::bfs(csr, root);
+    assert_eq!(level, want.level, "{name}: BFS levels diverge from oracle");
+    validate::validate_bfs_tree(csr, root, parent)
+        .unwrap_or_else(|e| panic!("{name}: invalid BFS tree: {e}"));
+}
+
+#[test]
+fn bfs_matches_oracle_on_every_registry_engine() {
+    let pool = ThreadPool::new(3);
+    for ds in datasets() {
+        let csr = Csr::from_edge_list(&ds.symmetric);
+        let root = ds.roots[0];
+        for kind in engines_supporting(Algorithm::Bfs) {
+            let mut e = engine_on(kind, &ds, &pool);
+            let out = e.run(Algorithm::Bfs, &RunParams::new(&pool, Some(root)));
+            let AlgorithmResult::BfsTree { parent, level } = out.result else {
+                panic!("{}: wrong result kind", kind.name())
+            };
+            check_bfs(kind.name(), &csr, root, &parent, &level);
+        }
+    }
+}
+
+#[test]
+fn sssp_matches_dijkstra_on_every_registry_engine() {
+    let pool = ThreadPool::new(3);
+    for ds in datasets() {
+        let csr = Csr::from_edge_list(&ds.symmetric);
+        let root = ds.roots[1];
+        let want = oracle::dijkstra(&csr, root);
+        for kind in engines_supporting(Algorithm::Sssp) {
+            let mut e = engine_on(kind, &ds, &pool);
+            let out = e.run(Algorithm::Sssp, &RunParams::new(&pool, Some(root)));
+            let AlgorithmResult::Distances(d) = out.result else {
+                panic!("{}: wrong result kind", kind.name())
+            };
+            for v in 0..want.len() {
+                if want[v].is_infinite() {
+                    assert!(d[v].is_infinite(), "{} vertex {v} should be unreachable", kind.name());
+                } else {
+                    assert!(
+                        (d[v] - want[v]).abs() < 1e-3,
+                        "{} vertex {v}: {} vs {}",
+                        kind.name(),
+                        d[v],
+                        want[v]
+                    );
+                }
+            }
+            validate::validate_sssp_distances(&csr, root, &d)
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        }
+    }
+}
+
+#[test]
+fn pagerank_agrees_per_vertex_and_in_l1_on_every_registry_engine() {
+    let pool = ThreadPool::new(2);
+    for ds in datasets() {
+        let csr = Csr::from_edge_list(&ds.symmetric);
+        let (want, _) = oracle::pagerank(&csr, 6e-8, 300);
+        for kind in engines_supporting(Algorithm::PageRank) {
+            let mut e = engine_on(kind, &ds, &pool);
+            let mut params = RunParams::new(&pool, None);
+            params.stopping = Some(StoppingCriterion::paper_default());
+            let out = e.run(Algorithm::PageRank, &params);
+            let AlgorithmResult::Ranks { ranks, .. } = out.result else {
+                panic!("{}: wrong result kind", kind.name())
+            };
+            let l1: f64 = ranks.iter().zip(&want).map(|(a, b)| (a - b).abs()).sum();
+            assert!(l1 < 1e-3, "{}: PageRank L1 distance to oracle = {l1}", kind.name());
+            for v in 0..want.len() {
+                assert!(
+                    (ranks[v] - want[v]).abs() < 1e-5,
+                    "{} vertex {v}: {} vs {}",
+                    kind.name(),
+                    ranks[v],
+                    want[v]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wcc_matches_oracle_on_every_registry_engine() {
+    let pool = ThreadPool::new(2);
+    for ds in datasets() {
+        let csr = Csr::from_edge_list(&ds.symmetric);
+        let want = oracle::wcc(&csr);
+        for kind in engines_supporting(Algorithm::Wcc) {
+            let mut e = engine_on(kind, &ds, &pool);
+            let out = e.run(Algorithm::Wcc, &RunParams::new(&pool, None));
+            let AlgorithmResult::Components(c) = out.result else {
+                panic!("{}: wrong result kind", kind.name())
+            };
+            assert_eq!(c, want, "{}: WCC labels diverge", kind.name());
+        }
+    }
+}
+
+#[test]
+fn lcc_matches_oracle_on_every_registry_engine() {
+    let pool = ThreadPool::new(2);
+    for ds in datasets() {
+        let csr = Csr::from_edge_list(&ds.symmetric);
+        let want = oracle::lcc(&csr);
+        for kind in engines_supporting(Algorithm::Lcc) {
+            let mut e = engine_on(kind, &ds, &pool);
+            let out = e.run(Algorithm::Lcc, &RunParams::new(&pool, None));
+            let AlgorithmResult::Coefficients(c) = out.result else {
+                panic!("{}: wrong result kind", kind.name())
+            };
+            for v in 0..want.len() {
+                assert!(
+                    (c[v] - want[v]).abs() < 1e-9,
+                    "{} LCC vertex {v}: {} vs {}",
+                    kind.name(),
+                    c[v],
+                    want[v]
+                );
+            }
+        }
+    }
+}
+
+/// The differential checker must reject a broken result, not just accept
+/// everything: corrupt one tree edge of a correct BFS run and feed it back
+/// through the exact check the positive sweep uses.
+#[test]
+#[should_panic(expected = "invalid BFS tree")]
+fn corrupted_bfs_parent_is_caught() {
+    let ds = &datasets()[0];
+    let pool = ThreadPool::new(2);
+    let csr = Csr::from_edge_list(&ds.symmetric);
+    let root = ds.roots[0];
+    let mut e = engine_on(EngineKind::Gap, ds, &pool);
+    let out = e.run(Algorithm::Bfs, &RunParams::new(&pool, Some(root)));
+    let AlgorithmResult::BfsTree { mut parent, level } = out.result else { panic!() };
+    // Point a reached non-root vertex at itself: a parent cycle no valid
+    // BFS tree can contain.
+    let victim = (0..parent.len())
+        .find(|&v| v as VertexId != root && parent[v] != NO_VERTEX)
+        .expect("some reached vertex");
+    parent[victim] = victim as VertexId;
+    check_bfs("corrupted", &csr, root, &parent, &level);
+}

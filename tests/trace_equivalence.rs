@@ -1,0 +1,95 @@
+//! Trace/counters equivalence: the per-region `CountersDelta` stream an
+//! engine emits must sum back to exactly the `Counters` aggregate it
+//! returns in its `RunOutput`. Engines flush deltas with a
+//! `DeltaTracker`, so a counter bump outside a flushed region (a future
+//! regression this suite exists to catch) shows up here as a mismatch
+//! instead of silently skewing `epg-machine` replay projections.
+//!
+//! The whole file is gated on the `trace` feature — without it there is
+//! no recorder to attach and the suite is intentionally empty.
+#![cfg(feature = "trace")]
+
+use epg::engine_api::sum_counter_deltas;
+use epg::prelude::*;
+use epg::trace::Recorder;
+use std::sync::Arc;
+
+fn dataset() -> Dataset {
+    Dataset::from_spec(&GraphSpec::Kronecker { scale: 7, edge_factor: 8, weighted: true }, 91)
+}
+
+/// Engine×algorithm pairs covering every engine at least once, with both
+/// frontier-driven (BFS) and all-active (PageRank) shapes represented.
+fn pairs() -> Vec<(EngineKind, Algorithm)> {
+    vec![
+        (EngineKind::Gap, Algorithm::Bfs),
+        (EngineKind::Graph500, Algorithm::Bfs),
+        (EngineKind::GraphBig, Algorithm::Bfs),
+        (EngineKind::GraphMat, Algorithm::Bfs),
+        (EngineKind::PowerGraph, Algorithm::PageRank),
+    ]
+}
+
+#[test]
+fn counters_equal_sum_of_trace_deltas_on_every_engine() {
+    let ds = dataset();
+    let pool = ThreadPool::new(2);
+    for (kind, algo) in pairs() {
+        let mut e = kind.create();
+        e.load_edge_list(ds.edges_for(kind));
+        e.construct(&pool);
+
+        let rec = RunRecorder::new();
+        let root = (algo == Algorithm::Bfs).then(|| ds.roots[0]);
+        let mut params = RunParams::new(&pool, root);
+        params.recorder = RecorderCtx::new(&rec);
+        let out = e.run(algo, &params);
+
+        let events = rec.events();
+        assert!(
+            events.iter().any(|ev| matches!(ev, TraceEvent::Iteration { .. })),
+            "{} {:?}: no per-iteration events recorded",
+            kind.name(),
+            algo
+        );
+        assert_eq!(
+            sum_counter_deltas(&events),
+            out.counters,
+            "{} {:?}: trace deltas do not sum to the reported counters",
+            kind.name(),
+            algo
+        );
+        assert_eq!(rec.dropped(), 0, "{} {:?}: ring buffer overflowed", kind.name(), algo);
+    }
+}
+
+#[test]
+fn pool_recorder_captures_worker_spans_during_a_run() {
+    let ds = dataset();
+    let pool = ThreadPool::new(2);
+    let mut e = EngineKind::Gap.create();
+    e.load_edge_list(ds.edges_for(EngineKind::Gap));
+    e.construct(&pool);
+
+    let rec = Arc::new(RunRecorder::new());
+    pool.set_recorder(Some(rec.clone() as Arc<dyn Recorder>));
+    let mut params = RunParams::new(&pool, Some(ds.roots[0]));
+    params.recorder = RecorderCtx::new(&*rec);
+    let _ = e.run(Algorithm::Bfs, &params);
+    pool.set_recorder(None);
+
+    let events = rec.events();
+    let spans: Vec<_> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::WorkerSpan { worker, busy_ns, .. } => Some((*worker, *busy_ns)),
+            _ => None,
+        })
+        .collect();
+    assert!(!spans.is_empty(), "pool emitted no worker spans");
+    assert!(spans.iter().any(|&(_, busy)| busy > 0), "every worker span reported zero busy time");
+    // Both workers should have shown up at least once across the run.
+    for w in 0..2u32 {
+        assert!(spans.iter().any(|&(worker, _)| worker == w), "worker {w} never recorded a span");
+    }
+}
