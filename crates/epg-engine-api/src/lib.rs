@@ -19,12 +19,16 @@
 
 #![warn(missing_docs)]
 pub mod counters;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod logfmt;
 pub mod record;
 pub mod result;
 pub mod stopping;
 
 pub use counters::{Counters, RegionRecord, Trace};
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultKind, FaultPlan, FaultyEngine};
 pub use record::{sum_counter_deltas, DeltaTracker, RecorderCtx, Tracer};
 pub use result::{AlgorithmResult, RunOutput};
 pub use stopping::StoppingCriterion;

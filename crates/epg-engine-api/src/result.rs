@@ -74,12 +74,24 @@ pub struct RunOutput {
     pub counters: Counters,
     /// Region-level execution trace for the machine model.
     pub trace: Trace,
+    /// True when the kernel unwound cooperatively because the pool's
+    /// [`CancelToken`](epg_parallel::CancelToken) tripped mid-run: the
+    /// result is partial and must not enter completed-trial statistics,
+    /// but `counters` still reflect the work actually done — the
+    /// supervisor reports them with the `Timeout` outcome.
+    pub cancelled: bool,
 }
 
 impl RunOutput {
-    /// Convenience constructor.
+    /// Convenience constructor (a completed, non-cancelled run).
     pub fn new(result: AlgorithmResult, counters: Counters, trace: Trace) -> RunOutput {
-        RunOutput { result, counters, trace }
+        RunOutput { result, counters, trace, cancelled: false }
+    }
+
+    /// Marks the output as a cooperative-cancellation partial result.
+    pub fn cancelled(mut self, cancelled: bool) -> RunOutput {
+        self.cancelled = cancelled;
+        self
     }
 }
 

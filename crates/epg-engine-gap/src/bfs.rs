@@ -48,8 +48,13 @@ pub fn direction_optimizing_bfs(
     let mut edges_to_check = m;
     let mut scout = g.out_degree(root) as u64;
     let mut bitmaps_reported = false;
+    let mut cancelled = false;
 
     while !queue.window_is_empty() {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         if cfg.direction_optimizing && scout > edges_to_check / cfg.alpha.max(1) {
             // ---- bottom-up phase ----
             let mut front = Bitmap::new(n);
@@ -82,7 +87,7 @@ pub fn direction_optimizing_bfs(
                 rec.iteration(depth, old_awake, if switched { Dir::Hybrid } else { Dir::Pull });
                 switched = false;
                 front = next;
-                if awake == 0 {
+                if awake == 0 || pool.is_cancelled() {
                     break;
                 }
                 // GAP keeps going bottom-up while the frontier still grows
@@ -120,6 +125,7 @@ pub fn direction_optimizing_bfs(
     let parent: Vec<VertexId> = parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
     let level: Vec<u32> = level.iter().map(|l| l.load(Ordering::Relaxed)).collect();
     RunOutput::new(AlgorithmResult::BfsTree { parent, level }, counters, trace.into_trace())
+        .cancelled(cancelled)
 }
 
 /// One top-down step. Returns (edges checked, scout count = out-degrees of

@@ -38,7 +38,12 @@ pub fn pagerank(g: &Csr, gt: &Csr, params: &RunParams<'_>) -> RunOutput {
     let max_in_deg = (0..n as VertexId).map(|v| gt.out_degree(v)).max().unwrap_or(0) as u64;
 
     let mut iterations = 0u32;
+    let mut cancelled = false;
     loop {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         iterations += 1;
         let sink_mass: f64 = sinks.iter().map(|&v| rank[v as usize]).sum::<f64>() / n as f64;
         {
@@ -89,6 +94,7 @@ pub fn pagerank(g: &Csr, gt: &Csr, params: &RunParams<'_>) -> RunOutput {
     counters.bytes_written = counters.vertices_touched * 8;
     deltas.flush("finalize", &counters, rec);
     RunOutput::new(AlgorithmResult::Ranks { ranks: rank, iterations }, counters, trace.into_trace())
+        .cancelled(cancelled)
 }
 
 #[cfg(test)]

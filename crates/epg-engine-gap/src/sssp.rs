@@ -28,7 +28,12 @@ pub fn delta_stepping(g: &Csr, root: VertexId, pool: &ThreadPool, delta: f32) ->
     let mut settled_total = 0u64;
 
     let mut bi = 0usize;
+    let mut cancelled = false;
     while bi < buckets.len() {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         if buckets[bi].is_empty() {
             bi += 1;
             continue;
@@ -80,7 +85,7 @@ pub fn delta_stepping(g: &Csr, root: VertexId, pool: &ThreadPool, delta: f32) ->
     counters.bytes_read = counters.edges_traversed * 12;
     counters.bytes_written = settled_total * 8;
     let out: Vec<Weight> = dist.iter().map(|d| d.load(Ordering::Relaxed)).collect();
-    RunOutput::new(AlgorithmResult::Distances(out), counters, trace)
+    RunOutput::new(AlgorithmResult::Distances(out), counters, trace).cancelled(cancelled)
 }
 
 /// Relaxes the light (`light == true`, w ≤ Δ) or heavy (w > Δ) edges of

@@ -26,8 +26,13 @@ pub fn top_down_bfs(g: &Csr, root: VertexId, pool: &ThreadPool, rec: RecorderCtx
     let mut deltas = DeltaTracker::new();
     let mut frontier = vec![root];
     let mut depth = 0u32;
+    let mut cancelled = false;
 
     while !frontier.is_empty() {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         depth += 1;
         let checked = AtomicU64::new(0);
         let max_deg = AtomicU64::new(0);
@@ -92,6 +97,7 @@ pub fn top_down_bfs(g: &Csr, root: VertexId, pool: &ThreadPool, rec: RecorderCtx
         counters,
         trace.into_trace(),
     )
+    .cancelled(cancelled)
 }
 
 #[cfg(test)]

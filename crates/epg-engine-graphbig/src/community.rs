@@ -17,7 +17,12 @@ pub fn cdlp(g: &PropertyGraph, pool: &ThreadPool, iterations: u32) -> RunOutput 
     let mut counters = Counters::default();
     let mut trace = Trace::default();
     let m2 = (0..n as VertexId).map(|v| (g.out_degree(v) + g.in_degree(v)) as u64).sum::<u64>();
+    let mut cancelled = false;
     for _ in 0..iterations {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         {
             let writer = DisjointWriter::new(&mut next);
             let label_ref = &label;
@@ -51,7 +56,7 @@ pub fn cdlp(g: &PropertyGraph, pool: &ThreadPool, iterations: u32) -> RunOutput 
     }
     counters.bytes_read = counters.edges_traversed * 16;
     counters.bytes_written = counters.vertices_touched * 8;
-    RunOutput::new(AlgorithmResult::Labels(label), counters, trace)
+    RunOutput::new(AlgorithmResult::Labels(label), counters, trace).cancelled(cancelled)
 }
 
 /// Weakly connected components by min-label propagation until fixpoint;
@@ -63,7 +68,12 @@ pub fn wcc(g: &PropertyGraph, pool: &ThreadPool) -> RunOutput {
     let mut counters = Counters::default();
     let mut trace = Trace::default();
     let m2 = (0..n as VertexId).map(|v| (g.out_degree(v) + g.in_degree(v)) as u64).sum::<u64>();
+    let mut cancelled = false;
     loop {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         let changed = AtomicUsize::new(0);
         pool.parallel_for_ranges(n, Schedule::graphbig_default(), |_tid, lo, hi| {
             let mut local_changed = 0usize;
@@ -114,6 +124,7 @@ pub fn wcc(g: &PropertyGraph, pool: &ThreadPool) -> RunOutput {
         counters,
         trace,
     )
+    .cancelled(cancelled)
 }
 
 #[cfg(test)]

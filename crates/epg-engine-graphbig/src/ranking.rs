@@ -35,7 +35,12 @@ pub fn pagerank(g: &PropertyGraph, params: &RunParams<'_>) -> RunOutput {
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
     let mut iterations = 0u32;
+    let mut cancelled = false;
     loop {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         iterations += 1;
         let sink_mass: f64 = sinks.iter().map(|&v| rank[v as usize]).sum::<f64>() / n as f64;
         {
@@ -82,6 +87,7 @@ pub fn pagerank(g: &PropertyGraph, params: &RunParams<'_>) -> RunOutput {
     counters.bytes_written = counters.vertices_touched * 8;
     deltas.flush("finalize", &counters, rec);
     RunOutput::new(AlgorithmResult::Ranks { ranks: rank, iterations }, counters, trace.into_trace())
+        .cancelled(cancelled)
 }
 
 #[cfg(test)]

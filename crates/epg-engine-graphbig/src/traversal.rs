@@ -29,7 +29,12 @@ pub fn bfs(
     let mut deltas = DeltaTracker::new();
     let mut frontier = vec![root];
     let mut depth = 0u32;
+    let mut bfs_cancelled = false;
     while !frontier.is_empty() {
+        if pool.is_cancelled() {
+            bfs_cancelled = true;
+            break;
+        }
         depth += 1;
         let checked = AtomicU64::new(0);
         let max_deg = AtomicU64::new(0);
@@ -86,6 +91,7 @@ pub fn bfs(
         counters,
         trace.into_trace(),
     )
+    .cancelled(bfs_cancelled)
 }
 
 /// Frontier-based Bellman-Ford SSSP (openG's `sssp` kernel): no Δ buckets,
@@ -107,7 +113,12 @@ pub fn sssp(
     let mut deltas = DeltaTracker::new();
     let mut round = 0u32;
     let mut active = vec![root];
+    let mut sssp_cancelled = false;
     while !active.is_empty() {
+        if pool.is_cancelled() {
+            sssp_cancelled = true;
+            break;
+        }
         round += 1;
         let relaxed = AtomicU64::new(0);
         let max_deg = AtomicU64::new(0);
@@ -156,6 +167,7 @@ pub fn sssp(
         counters,
         trace.into_trace(),
     )
+    .cancelled(sssp_cancelled)
 }
 
 #[cfg(test)]

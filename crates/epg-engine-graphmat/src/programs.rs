@@ -70,8 +70,13 @@ pub fn bfs(
     let mut trace = Tracer::new(rec);
     let mut deltas = DeltaTracker::new();
     let mut depth = 0;
+    let mut cancelled = false;
     rec.alloc_hwm("graphmat.bfs.values", n as u64 * 8);
     while !active.is_empty() {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         depth += 1;
         let frontier = active.len() as u64;
         let prog = BfsProgram { depth };
@@ -94,6 +99,7 @@ pub fn bfs(
         counters,
         trace.into_trace(),
     )
+    .cancelled(cancelled)
 }
 
 // --------------------------------------------------------------- SSSP ----
@@ -138,8 +144,13 @@ pub fn sssp(
     let mut trace = Tracer::new(rec);
     let mut deltas = DeltaTracker::new();
     let mut round = 0u32;
+    let mut cancelled = false;
     rec.alloc_hwm("graphmat.sssp.dist", n as u64 * 4);
     while !active.is_empty() {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         round += 1;
         let frontier = active.len() as u64;
         let (next, stats) = run_iteration(&SsspProgram, &[a], &active, &mut dist, pool);
@@ -153,6 +164,7 @@ pub fn sssp(
     counters.bytes_written = counters.vertices_touched * 4;
     deltas.flush("finalize", &counters, rec);
     RunOutput::new(AlgorithmResult::Distances(dist), counters, trace.into_trace())
+        .cancelled(cancelled)
 }
 
 // ----------------------------------------------------------- PageRank ----
@@ -199,7 +211,12 @@ pub fn pagerank(a: &Dcsc, at: &Dcsc, n: usize, params: &RunParams<'_>) -> RunOut
         (0..at.num_nonempty_cols()).map(|i| at.col_ptr[i + 1] - at.col_ptr[i]).max().unwrap_or(0)
             as u64;
     let mut iterations = 0u32;
+    let mut cancelled = false;
     loop {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         iterations += 1;
         let sink_mass = {
             let (rank_ref, deg_ref) = (&rank, &out_deg);
@@ -275,6 +292,7 @@ pub fn pagerank(a: &Dcsc, at: &Dcsc, n: usize, params: &RunParams<'_>) -> RunOut
     counters.bytes_written = counters.vertices_touched * 8;
     deltas.flush("finalize", &counters, rec);
     RunOutput::new(AlgorithmResult::Ranks { ranks: rank, iterations }, counters, trace.into_trace())
+        .cancelled(cancelled)
 }
 
 // --------------------------------------------------------------- CDLP ----
@@ -323,7 +341,12 @@ pub fn cdlp(
     let mut counters = Counters::default();
     let mut trace = Tracer::new(rec);
     let mut deltas = DeltaTracker::new();
+    let mut cancelled = false;
     for round in 0..iterations {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         let (_, stats) = run_iteration(&CdlpProgram, &[a, at], &all, &mut labels, pool);
         charge(&mut counters, &mut trace, &stats);
         counters.iterations += 1;
@@ -334,6 +357,7 @@ pub fn cdlp(
     counters.bytes_written = counters.vertices_touched * 8;
     deltas.flush("finalize", &counters, rec);
     RunOutput::new(AlgorithmResult::Labels(labels), counters, trace.into_trace())
+        .cancelled(cancelled)
 }
 
 // ---------------------------------------------------------------- WCC ----
@@ -371,7 +395,12 @@ pub fn wcc(a: &Dcsc, at: &Dcsc, n: usize, pool: &ThreadPool, rec: RecorderCtx<'_
     let mut trace = Tracer::new(rec);
     let mut deltas = DeltaTracker::new();
     let mut round = 0u32;
+    let mut cancelled = false;
     while !active.is_empty() {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         round += 1;
         let frontier = active.len() as u64;
         let (next, stats) = run_iteration(&WccProgram, &[a, at], &active, &mut comp, pool);
@@ -389,6 +418,7 @@ pub fn wcc(a: &Dcsc, at: &Dcsc, n: usize, pool: &ThreadPool, rec: RecorderCtx<'_
         counters,
         trace.into_trace(),
     )
+    .cancelled(cancelled)
 }
 
 #[cfg(test)]

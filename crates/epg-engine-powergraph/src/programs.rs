@@ -74,7 +74,12 @@ pub fn sssp(
     active.sort_unstable();
     active.dedup();
     let mut round = 0u32;
+    let mut cancelled = false;
     while !active.is_empty() {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         round += 1;
         let frontier = active.len() as u64;
         let (next, _) =
@@ -86,7 +91,7 @@ pub fn sssp(
     }
     counters.bytes_read = counters.edges_traversed * 16;
     deltas.flush("finalize", &counters, rec);
-    RunOutput::new(AlgorithmResult::Distances(dist), counters, trace)
+    RunOutput::new(AlgorithmResult::Distances(dist), counters, trace).cancelled(cancelled)
 }
 
 // ----------------------------------------------------------- PageRank ----
@@ -157,7 +162,12 @@ pub fn pagerank(g: &PartitionedGraph, params: &RunParams<'_>) -> RunOutput {
     let all: Vec<VertexId> = (0..n as VertexId).collect();
     let base = (1.0 - DAMPING) / n as f64;
     let mut iterations = 0u32;
+    let mut cancelled = false;
     loop {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         iterations += 1;
         let sink_mass: f64 =
             data.iter().filter(|d| d.out_deg == 0).map(|d| d.rank).sum::<f64>() / n as f64;
@@ -181,6 +191,7 @@ pub fn pagerank(g: &PartitionedGraph, params: &RunParams<'_>) -> RunOutput {
         counters,
         trace,
     )
+    .cancelled(cancelled)
 }
 
 // --------------------------------------------------------------- CDLP ----
@@ -234,14 +245,19 @@ pub fn cdlp(
     let mut trace = Trace::default();
     let mut deltas = DeltaTracker::new();
     rec.alloc_hwm("powergraph.cdlp.labels", n as u64 * 8);
+    let mut cancelled = false;
     for round in 0..iterations {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         let _ = superstep(&CdlpProgram, g, &all, &mut labels, pool, &mut counters, &mut trace);
         deltas.flush("iteration", &counters, rec);
         rec.iteration(round + 1, n as u64, Dir::Push);
     }
     counters.bytes_read = counters.edges_traversed * 16;
     deltas.flush("finalize", &counters, rec);
-    RunOutput::new(AlgorithmResult::Labels(labels), counters, trace)
+    RunOutput::new(AlgorithmResult::Labels(labels), counters, trace).cancelled(cancelled)
 }
 
 // ---------------------------------------------------------------- WCC ----
@@ -283,8 +299,13 @@ pub fn wcc(g: &PartitionedGraph, pool: &ThreadPool, rec: RecorderCtx<'_>) -> Run
     let mut trace = Trace::default();
     let mut deltas = DeltaTracker::new();
     let mut round = 0u32;
+    let mut cancelled = false;
     rec.alloc_hwm("powergraph.wcc.comp", n as u64 * 8);
     while !active.is_empty() {
+        if pool.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         round += 1;
         let frontier = active.len() as u64;
         let (next, _) =
@@ -300,6 +321,7 @@ pub fn wcc(g: &PartitionedGraph, pool: &ThreadPool, rec: RecorderCtx<'_>) -> Run
         counters,
         trace,
     )
+    .cancelled(cancelled)
 }
 
 #[cfg(test)]

@@ -180,6 +180,122 @@ proptest! {
     }
 }
 
+/// Strategy: one SNAP-ish line drawn from a grab-bag of valid edges,
+/// truncated lines, non-numeric ids, oversized ids, comments, and
+/// arbitrary printable soup.
+fn arb_snap_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("0 1".to_string()),
+        Just("2\t3\t0.5".to_string()),
+        Just("7".to_string()),                      // truncated: missing dst
+        Just("a b".to_string()),                    // non-numeric ids
+        Just("4294967295 0".to_string()),           // id == VertexId::MAX (reserved)
+        Just("18446744073709551616 0".to_string()), // overflows u64
+        Just("# comment mid-file".to_string()),
+        Just("   ".to_string()),
+        Just("0 1 2 3".to_string()),   // too many columns
+        Just("5 6 heavy".to_string()), // unparseable weight
+        "[ -~]{0,16}",
+    ]
+}
+
+/// Strategy: a whole input assembled from grab-bag lines with mixed LF /
+/// CRLF / missing terminators.
+fn arb_snap_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec((arb_snap_line(), 0u8..3), 0..24).prop_map(|lines| {
+        let mut text = String::new();
+        for (line, ending) in lines {
+            text.push_str(&line);
+            match ending {
+                0 => text.push('\n'),
+                1 => text.push_str("\r\n"),
+                _ => {} // run-on: no terminator, fuses with the next line
+            }
+        }
+        text
+    })
+}
+
+proptest! {
+    #[test]
+    fn snap_parser_never_panics_on_line_soup(text in arb_snap_soup()) {
+        // Any Ok/Err outcome is acceptable; a panic is not. On success the
+        // parsed list must be internally consistent.
+        if let Ok(el) = snap::parse_snap(text.as_bytes()) {
+            if let Some(w) = &el.weights {
+                prop_assert_eq!(w.len(), el.edges.len());
+            }
+            for &(u, v) in &el.edges {
+                prop_assert!((u as usize) < el.num_vertices);
+                prop_assert!((v as usize) < el.num_vertices);
+            }
+        }
+    }
+
+    #[test]
+    fn snap_parser_never_panics_on_printable_soup(text in "[ -~\r\n\t]{0,400}") {
+        let _ = snap::parse_snap(text.as_bytes());
+    }
+
+    #[test]
+    fn malformed_line_is_reported_by_number(good in 0usize..12, crlf in 0u8..2) {
+        // `good` valid data lines after a header, then one bad line: the
+        // error must carry the bad line's 1-based number regardless of
+        // line-ending style.
+        let newline = if crlf == 1 { "\r\n" } else { "\n" };
+        let mut text = format!("# header{newline}");
+        for i in 0..good {
+            let _ = std::fmt::Write::write_fmt(
+                &mut text,
+                format_args!("{} {}{}", i, i + 1, newline),
+            );
+        }
+        text.push_str("not numbers");
+        match snap::parse_snap(text.as_bytes()) {
+            Err(snap::ParseError::Malformed { line, .. }) => prop_assert_eq!(line, good + 2),
+            _ => prop_assert!(false, "expected a Malformed error with a line number"),
+        }
+    }
+
+    #[test]
+    fn oversized_ids_are_rejected_not_truncated(id in (VertexId::MAX as u64)..u64::MAX) {
+        // VertexId::MAX is reserved as a sentinel; anything at or above it
+        // must be a clean parse error, never a silent wrap to a small id.
+        let text = format!("{id} 0\n");
+        prop_assert!(snap::parse_snap(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_like_lf(el in arb_weighted_graph()) {
+        let mut buf = Vec::new();
+        snap::write_snap(&el, "crlf", &mut buf).unwrap();
+        let lf_text = String::from_utf8(buf).unwrap();
+        let crlf_text = lf_text.replace('\n', "\r\n");
+        let lf = snap::parse_snap(lf_text.as_bytes()).unwrap();
+        let crlf = snap::parse_snap(crlf_text.as_bytes()).unwrap();
+        prop_assert_eq!(crlf, lf);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_transparent(el in arb_graph(), every in 1usize..4) {
+        // Interleaving comments and blank lines between data lines never
+        // changes the parsed graph.
+        let mut buf = Vec::new();
+        snap::write_snap(&el, "plain", &mut buf).unwrap();
+        let plain = snap::parse_snap(buf.as_slice()).unwrap();
+        let mut noisy = String::new();
+        for (i, line) in String::from_utf8(buf).unwrap().lines().enumerate() {
+            if i % every == 0 {
+                noisy.push_str("# interleaved comment\n\n");
+            }
+            noisy.push_str(line);
+            noisy.push('\n');
+        }
+        let parsed = snap::parse_snap(noisy.as_bytes()).unwrap();
+        prop_assert_eq!(parsed, plain);
+    }
+}
+
 proptest! {
     #[test]
     fn betweenness_is_nonnegative_and_zero_on_leaves(el in arb_graph()) {

@@ -29,6 +29,7 @@ struct Args {
     out: PathBuf,
     snap_file: Option<PathBuf>,
     input: Option<PathBuf>,
+    trial_budget_ms: Option<u64>,
 }
 
 fn parse_args(argv: std::env::Args) -> Result<Args, String> {
@@ -51,6 +52,7 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
         out: PathBuf::from("target/epg-out"),
         snap_file: None,
         input: None,
+        trial_budget_ms: None,
     };
     let mut it = argv.peekable();
     while let Some(flag) = it.next() {
@@ -72,6 +74,13 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
             "--unweighted" => a.weighted = false,
             "--snap" => a.snap_file = Some(PathBuf::from(val("--snap")?)),
             "--input" => a.input = Some(PathBuf::from(val("--input")?)),
+            "--trial-budget-ms" => {
+                a.trial_budget_ms = Some(
+                    val("--trial-budget-ms")?
+                        .parse()
+                        .map_err(|e| format!("--trial-budget-ms: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag: {other}\n{}", usage())),
         }
     }
@@ -81,7 +90,7 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
 fn usage() -> String {
     "usage: epg <setup|gen|run|all|graphalytics|granula|trace summarize> \
      [--scale N] [--weighted|--unweighted] [--threads N] [--roots N|--all-roots] \
-     [--seed N] [--out DIR] [--snap FILE] [--input FILE]"
+     [--seed N] [--out DIR] [--snap FILE] [--input FILE] [--trial-budget-ms N]"
         .to_string()
 }
 
@@ -128,11 +137,15 @@ fn real_main() -> Result<(), String> {
         }
         "run" | "all" => {
             let ds = dataset_for(&args, &pipeline)?;
-            let cfg = ExperimentConfig {
+            let mut cfg = ExperimentConfig {
                 threads: args.threads,
                 max_roots: args.roots,
                 ..ExperimentConfig::new()
             };
+            // Per-trial wall-clock budget: over-budget trials are reaped
+            // cooperatively and reported as DNF (timeout) rows.
+            cfg.supervisor.trial_budget =
+                args.trial_budget_ms.map(std::time::Duration::from_millis);
             eprintln!(
                 "running {} engines x {} algorithms on '{}' ({} threads)...",
                 cfg.engines.len(),

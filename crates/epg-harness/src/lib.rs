@@ -31,7 +31,9 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod stats;
+pub mod supervise;
 pub mod tracefile;
 
 pub use registry::EngineKind;
 pub use runner::{ExperimentConfig, ExperimentResult, RunRecord};
+pub use supervise::{SupervisorConfig, TrialOutcome};

@@ -7,7 +7,7 @@
 use crate::dataset::Dataset;
 use crate::registry::EngineKind;
 use crate::runner::ExperimentResult;
-use crate::stats::Summary;
+use crate::stats::CensoredSummary;
 use epg_engine_api::{Algorithm, Phase};
 use epg_graph::analysis::GraphProfile;
 use epg_machine::MachineModel;
@@ -46,17 +46,45 @@ pub fn render(result: &ExperimentResult, ds: &Dataset, projected_threads: usize)
         let mut any = false;
         for &a in &algos {
             let times = result.run_times(kind, a);
-            if times.is_empty() {
+            let dnf = result.dnf_count(kind, a);
+            if times.is_empty() && dnf == 0 {
                 row.push_str("| N/A ");
             } else {
                 any = true;
-                let s = Summary::of(&times);
-                let _ = write!(row, "| {:.5} (n={}) ", s.median, s.n);
+                let s = CensoredSummary::of(&times, dnf);
+                match (s.median, dnf) {
+                    (Some(m), 0) => {
+                        let _ = write!(row, "| {m:.5} (n={}) ", s.n);
+                    }
+                    (Some(m), _) => {
+                        let _ = write!(row, "| {m:.5} (n={}, dnf={dnf}) ", s.n);
+                    }
+                    // Median censored: most trials never finished.
+                    (None, _) => {
+                        let _ = write!(row, "| DNF (n={}, dnf={dnf}) ", s.n);
+                    }
+                }
             }
         }
         if any {
             let _ = writeln!(out, "{row}|");
         }
+    }
+
+    // ---- trial outcomes (only when supervision recorded any DNFs) ----
+    if result.records.iter().any(|r| r.outcome.is_dnf()) {
+        let _ = writeln!(out, "\n## Trial outcomes\n");
+        for (o, count) in result.outcome_counts() {
+            if count > 0 {
+                let _ = writeln!(out, "- {}: {count}", o.label());
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\nDNF trials (timeout / panic / quarantine) are censored \
+             observations: the medians above rank them at +∞, and a cell \
+             prints \"DNF\" when its median lands in the censored tail."
+        );
     }
 
     // ---- construction ----

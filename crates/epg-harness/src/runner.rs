@@ -10,6 +10,7 @@
 
 use crate::dataset::Dataset;
 use crate::registry::EngineKind;
+use crate::supervise::{supervise_trial, QuarantineBook, SupervisorConfig, TrialOutcome};
 use crate::{csvio, logs};
 use epg_engine_api::{Algorithm, Phase, RunOutput, RunParams};
 use epg_graph::VertexId;
@@ -42,6 +43,12 @@ pub struct ExperimentConfig {
     pub use_files: bool,
     /// Where homogenized files and logs go.
     pub work_dir: Option<PathBuf>,
+    /// Trial supervision policy: per-trial budget, retries, quarantine.
+    pub supervisor: SupervisorConfig,
+    /// Deterministic fault plans, keyed by engine: the engine is wrapped
+    /// in a [`epg_engine_api::FaultyEngine`] decorator before running.
+    #[cfg(feature = "fault-inject")]
+    pub fault_plans: Vec<(EngineKind, epg_engine_api::FaultPlan)>,
 }
 
 impl ExperimentConfig {
@@ -55,6 +62,9 @@ impl ExperimentConfig {
             max_roots: None,
             use_files: false,
             work_dir: None,
+            supervisor: SupervisorConfig::default(),
+            #[cfg(feature = "fault-inject")]
+            fault_plans: Vec::new(),
         }
     }
 }
@@ -86,6 +96,8 @@ pub struct RunRecord {
     pub seconds: f64,
     /// PageRank iterations, when applicable.
     pub iterations: Option<u32>,
+    /// How the trial ended; only `Ok` rows carry a performance sample.
+    pub outcome: TrialOutcome,
 }
 
 /// A kernel invocation's full output, kept for the machine model.
@@ -129,12 +141,41 @@ pub struct ExperimentResult {
 }
 
 impl ExperimentResult {
-    /// Kernel-time samples for one engine/algorithm pair.
+    /// Kernel-time samples for one engine/algorithm pair — completed
+    /// trials only; DNF rows are counted by [`Self::dnf_count`].
     pub fn run_times(&self, engine: EngineKind, algo: Algorithm) -> Vec<f64> {
         self.records
             .iter()
-            .filter(|r| r.engine == engine && r.algorithm == Some(algo) && r.phase == Phase::Run)
+            .filter(|r| {
+                r.engine == engine
+                    && r.algorithm == Some(algo)
+                    && r.phase == Phase::Run
+                    && r.outcome == TrialOutcome::Ok
+            })
             .map(|r| r.seconds)
+            .collect()
+    }
+
+    /// Did-not-finish trial count for one engine/algorithm pair.
+    pub fn dnf_count(&self, engine: EngineKind, algo: Algorithm) -> usize {
+        self.records
+            .iter()
+            .filter(|r| {
+                r.engine == engine
+                    && r.algorithm == Some(algo)
+                    && r.phase == Phase::Run
+                    && r.outcome.is_dnf()
+            })
+            .count()
+    }
+
+    /// Per-outcome row counts over all run-phase records, in label order.
+    pub fn outcome_counts(&self) -> Vec<(TrialOutcome, usize)> {
+        [TrialOutcome::Ok, TrialOutcome::Timeout, TrialOutcome::Panicked, TrialOutcome::Quarantined]
+            .into_iter()
+            .map(|o| {
+                (o, self.records.iter().filter(|r| r.phase == Phase::Run && r.outcome == o).count())
+            })
             .collect()
     }
 
@@ -171,6 +212,7 @@ impl ExperimentResult {
                 "trial",
                 "seconds",
                 "iterations",
+                "outcome",
             ],
         )
         .unwrap();
@@ -187,6 +229,7 @@ impl ExperimentResult {
                     &r.trial.to_string(),
                     &format!("{:.9}", r.seconds),
                     &r.iterations.map_or(String::new(), |x| x.to_string()),
+                    r.outcome.label(),
                 ],
             )
             .unwrap();
@@ -200,6 +243,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
     let pool = ThreadPool::new(cfg.threads.max(1));
     let mut records = Vec::new();
     let mut runs = Vec::new();
+    let mut quarantine = QuarantineBook::new();
     #[cfg_attr(not(feature = "trace"), allow(unused_mut))]
     let mut traces: Vec<TraceBundle> = Vec::new();
 
@@ -211,7 +255,12 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
     });
 
     for &kind in &cfg.engines {
+        #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
         let mut engine = kind.create();
+        #[cfg(feature = "fault-inject")]
+        if let Some((_, plan)) = cfg.fault_plans.iter().find(|(k, _)| *k == kind) {
+            engine = Box::new(epg_engine_api::FaultyEngine::new(engine, plan.clone()));
+        }
         // ---- Phase 1: read input ----
         let t0 = Instant::now();
         if let Some(dir) = &file_dir {
@@ -232,6 +281,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
             trial: 0,
             seconds: read_s,
             iterations: None,
+            outcome: TrialOutcome::Ok,
         });
 
         // ---- Phase 2: construct (recorded only when separable) ----
@@ -249,6 +299,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
                 trial: 0,
                 seconds: construct_s,
                 iterations: None,
+                outcome: TrialOutcome::Ok,
             });
         } else {
             // Fused engines build during the read. In file-based runs that
@@ -285,8 +336,27 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
                 vec![None]
             };
             let mut log_text = String::new();
+            let cell = format!("{}/{}", kind.name(), algo.abbrev());
             for (ri, &root) in reps.iter().enumerate() {
                 for trial in 0..cfg.trials {
+                    // A cell that failed `quarantine_after` trials in a
+                    // row is never scheduled again: the remaining reps
+                    // become explicit Quarantined DNF rows (zero cost).
+                    if quarantine.is_quarantined(&cell, cfg.supervisor.quarantine_after) {
+                        records.push(RunRecord {
+                            engine: kind,
+                            dataset: ds.name.clone(),
+                            algorithm: Some(algo),
+                            threads: cfg.threads,
+                            phase: Phase::Run,
+                            root,
+                            trial,
+                            seconds: 0.0,
+                            iterations: None,
+                            outcome: TrialOutcome::Quarantined,
+                        });
+                        continue;
+                    }
                     // Record telemetry for the first observation of each
                     // engine×algorithm pair only: attaching the recorder to
                     // the pool has measurable cost, and one run per pair is
@@ -325,15 +395,20 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
                         }
                         p
                     };
-                    let t0 = Instant::now();
-                    let output = engine.run(algo, &params);
-                    let secs = t0.elapsed().as_secs_f64();
+                    let report =
+                        supervise_trial(&pool, &cfg.supervisor, || engine.run(algo, &params), None);
+                    quarantine.record(&cell, report.outcome);
+                    let secs = report.seconds;
                     #[cfg(feature = "trace")]
                     if let Some((rec, at)) = tracer {
                         pool.set_recorder(None);
                         rec.record(TraceEvent::PhaseEnd {
                             phase: "run".into(),
                             at_ns: at + (secs * 1e9) as u64,
+                        });
+                        rec.record(TraceEvent::TrialOutcome {
+                            outcome: report.outcome.label().into(),
+                            attempts: report.attempts,
                         });
                         if let Some(dir) = &file_dir {
                             let log_dir = dir.join("logs");
@@ -356,7 +431,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
                             dropped: rec.dropped(),
                         });
                     }
-                    let iterations = output.result.iterations();
+                    let iterations = report.output.as_ref().and_then(|o| o.result.iterations());
                     records.push(RunRecord {
                         engine: kind,
                         dataset: ds.name.clone(),
@@ -367,6 +442,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
                         trial,
                         seconds: secs,
                         iterations,
+                        outcome: report.outcome,
                     });
                     if ri == 0 && trial == 0 {
                         // Emit this engine's log dialect for the parse phase.
@@ -385,13 +461,20 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
                             &entries,
                         );
                     }
-                    runs.push(RunInfo {
-                        engine: kind,
-                        algorithm: algo,
-                        root,
-                        seconds: secs,
-                        output,
-                    });
+                    // Only completed runs feed the machine model and the
+                    // cross-engine result checks; a timed-out run's partial
+                    // counters live on in its (DNF) record.
+                    if report.outcome == TrialOutcome::Ok {
+                        if let Some(output) = report.output {
+                            runs.push(RunInfo {
+                                engine: kind,
+                                algorithm: algo,
+                                root,
+                                seconds: secs,
+                                output,
+                            });
+                        }
+                    }
                 }
             }
             if let Some(dir) = &file_dir {

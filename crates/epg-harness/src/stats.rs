@@ -68,6 +68,54 @@ impl Summary {
     }
 }
 
+/// Summary over a right-censored sample: DNF trials (timeout, panic,
+/// quarantine) carry no finite time but still count toward the sample,
+/// entering the order statistics as +∞. A quantile whose interpolation
+/// touches the censored tail is unknowable and reported as `None` — the
+/// report renders it as an explicit "DNF" cell rather than silently
+/// averaging over only the survivors (which would flatter a flaky engine).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CensoredSummary {
+    /// Total trials, completed + DNF.
+    pub n: usize,
+    /// Trials that finished with a usable time.
+    pub completed: usize,
+    /// Trials that did not finish.
+    pub dnf: usize,
+    /// Type-7 median over the censored order statistics; `None` when the
+    /// median index lands in the DNF tail.
+    pub median: Option<f64>,
+    /// Fastest completed trial; `None` when nothing completed.
+    pub min: Option<f64>,
+}
+
+impl CensoredSummary {
+    /// Builds the summary from completed times plus a DNF count.
+    pub fn of(completed: &[f64], dnf: usize) -> CensoredSummary {
+        let mut s = completed.to_vec();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let n = s.len() + dnf;
+        let median = (n > 0)
+            .then(|| {
+                let h = (n - 1) as f64 * 0.5;
+                let (lo, hi) = (h.floor() as usize, h.ceil() as usize);
+                // Both interpolation endpoints must be finite observations.
+                (hi < s.len()).then(|| s[lo] + (h - lo as f64) * (s[hi] - s[lo]))
+            })
+            .flatten();
+        CensoredSummary { n, completed: s.len(), dnf, median, min: s.first().copied() }
+    }
+
+    /// Fraction of trials that did not finish.
+    pub fn dnf_rate(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.dnf as f64 / self.n as f64
+        }
+    }
+}
+
 /// R's default (type 7) quantile on pre-sorted data.
 fn quantile_type7(sorted: &[f64], p: f64) -> f64 {
     let n = sorted.len();
@@ -152,5 +200,51 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn empty_sample_panics() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn censored_median_matches_uncensored_when_all_complete() {
+        let times = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let c = CensoredSummary::of(&times, 0);
+        assert_eq!(c.median, Some(Summary::of(&times).median));
+        assert_eq!(c.dnf_rate(), 0.0);
+        assert_eq!(c.min, Some(1.0));
+    }
+
+    #[test]
+    fn minority_dnf_shifts_but_keeps_the_median() {
+        // 4 completed + 1 DNF: h = 2.0 lands on the 3rd order statistic.
+        let c = CensoredSummary::of(&[1.0, 2.0, 3.0, 4.0], 1);
+        assert_eq!(c.n, 5);
+        assert_eq!(c.median, Some(3.0));
+        // 3 completed + 2 DNF: h = 2.0 still lands on a finite value.
+        let c = CensoredSummary::of(&[1.0, 2.0, 3.0], 2);
+        assert_eq!(c.median, Some(3.0));
+    }
+
+    #[test]
+    fn majority_dnf_censors_the_median() {
+        // 2 completed + 3 DNF: median index is in the infinite tail.
+        let c = CensoredSummary::of(&[1.0, 2.0], 3);
+        assert_eq!(c.median, None);
+        assert!((c.dnf_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(c.min, Some(1.0));
+    }
+
+    #[test]
+    fn interpolation_touching_the_tail_is_censored() {
+        // 2 completed + 2 DNF: h = 1.5 interpolates s[1]..s[2]; s[2] is ∞.
+        let c = CensoredSummary::of(&[1.0, 2.0], 2);
+        assert_eq!(c.median, None);
+    }
+
+    #[test]
+    fn all_dnf_and_empty_samples() {
+        let c = CensoredSummary::of(&[], 4);
+        assert_eq!((c.n, c.median, c.min), (4, None, None));
+        assert_eq!(c.dnf_rate(), 1.0);
+        let c = CensoredSummary::of(&[], 0);
+        assert_eq!((c.n, c.median), (0, None));
+        assert_eq!(c.dnf_rate(), 0.0);
     }
 }

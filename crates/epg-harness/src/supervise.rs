@@ -1,0 +1,380 @@
+//! Trial supervision: deadline enforcement, panic capture, bounded retry,
+//! and quarantine bookkeeping for the runner.
+//!
+//! A comparison harness runs thousands of trials across engines it does
+//! not control; one wedged or crashing kernel must not take the whole
+//! sweep down. [`supervise_trial`] wraps a single kernel invocation with:
+//!
+//! - **deadline enforcement** — a [`CancelToken`] with the per-trial
+//!   budget is attached to the pool; engines poll it at chunk boundaries
+//!   and iteration tops, so an over-budget trial unwinds cooperatively
+//!   with its partial counters intact (no watchdog thread, no `kill`);
+//! - **panic capture** — `catch_unwind` turns an engine panic into a
+//!   classified [`TrialOutcome::Panicked`] instead of aborting the sweep;
+//! - **bounded retry** — transient failures (panics, wrong results caught
+//!   by a verifier) are retried with doubling backoff up to `max_retries`;
+//! - **quarantine** — the runner counts consecutive failures per
+//!   engine×algorithm cell through [`QuarantineBook`] and stops scheduling
+//!   a cell after `quarantine_after` in a row, recording the remaining
+//!   trials as [`TrialOutcome::Quarantined`] (did-not-finish, never run).
+//!
+//! Timeouts are *not* retried: a trial that blows its budget once will
+//! blow it again, and the partial counters are themselves a result (the
+//! censored statistics in [`crate::stats`] know how to use them).
+
+use epg_engine_api::RunOutput;
+use epg_parallel::{CancelToken, ThreadPool};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// How a supervised trial ended. `Ok` is the only outcome whose timing
+/// belongs in the performance statistics; the other three are
+/// did-not-finish (DNF) classifications.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// The trial completed within budget and (if verified) correctly.
+    #[default]
+    Ok,
+    /// The trial exceeded its budget and was cooperatively cancelled;
+    /// partial counters survive in the report's `output`.
+    Timeout,
+    /// The trial panicked (or kept producing wrong results) through every
+    /// allowed attempt.
+    Panicked,
+    /// The trial was never run: its engine×algorithm cell had already
+    /// failed `quarantine_after` consecutive times.
+    Quarantined,
+}
+
+impl TrialOutcome {
+    /// Stable lowercase label used in CSV rows and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrialOutcome::Ok => "ok",
+            TrialOutcome::Timeout => "timeout",
+            TrialOutcome::Panicked => "panicked",
+            TrialOutcome::Quarantined => "quarantined",
+        }
+    }
+
+    /// Parses a [`label`](Self::label) back; `None` for anything else.
+    pub fn from_label(s: &str) -> Option<TrialOutcome> {
+        match s {
+            "ok" => Some(TrialOutcome::Ok),
+            "timeout" => Some(TrialOutcome::Timeout),
+            "panicked" => Some(TrialOutcome::Panicked),
+            "quarantined" => Some(TrialOutcome::Quarantined),
+            _ => None,
+        }
+    }
+
+    /// Did-not-finish: everything except `Ok`.
+    pub fn is_dnf(self) -> bool {
+        self != TrialOutcome::Ok
+    }
+}
+
+/// Supervision policy knobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Per-trial wall-clock budget; `None` disables deadline enforcement
+    /// (the default — measurement runs must not poll a live deadline).
+    pub trial_budget: Option<Duration>,
+    /// Extra attempts after a transient failure (panic or verify-fail).
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles per subsequent attempt.
+    pub backoff: Duration,
+    /// Consecutive failures before an engine×algorithm cell is skipped.
+    pub quarantine_after: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            trial_budget: None,
+            max_retries: 1,
+            backoff: Duration::from_millis(5),
+            quarantine_after: 3,
+        }
+    }
+}
+
+/// What [`supervise_trial`] hands back to the runner.
+#[derive(Debug)]
+pub struct TrialReport {
+    /// Classification of the (final) attempt.
+    pub outcome: TrialOutcome,
+    /// Wall-clock seconds of the final attempt (including a timed-out
+    /// one — it is the censoring time, not a performance sample).
+    pub seconds: f64,
+    /// Attempts consumed (1 = no retry was needed).
+    pub attempts: u32,
+    /// The engine's output. Present for `Ok` and for `Timeout` (partial
+    /// counters); absent when every attempt panicked.
+    pub output: Option<RunOutput>,
+    /// Panic payload (or verifier complaint) from the last failed attempt.
+    pub error: Option<String>,
+}
+
+/// Runs one trial under supervision. `run` is invoked up to
+/// `1 + cfg.max_retries` times; `verify`, when given, can reject a
+/// completed output as wrong (counted like a panic, i.e. retried).
+///
+/// The pool's cancel token is installed before each attempt and always
+/// cleared afterwards, including on unwind.
+pub fn supervise_trial(
+    pool: &ThreadPool,
+    cfg: &SupervisorConfig,
+    mut run: impl FnMut() -> RunOutput,
+    verify: Option<&dyn Fn(&RunOutput) -> bool>,
+) -> TrialReport {
+    let mut backoff = cfg.backoff;
+    let attempts_allowed = 1 + cfg.max_retries;
+    for attempt in 1..=attempts_allowed {
+        let token = CancelToken::new();
+        if let Some(budget) = cfg.trial_budget {
+            token.set_deadline(budget);
+        }
+        pool.set_cancel_token(Some(token.clone()));
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(&mut run));
+        let seconds = t0.elapsed().as_secs_f64();
+        pool.set_cancel_token(None);
+        let failure = match result {
+            Ok(out) => {
+                if out.cancelled || token.is_cancelled() {
+                    // Deterministic failure: a trial over budget stays over
+                    // budget. Keep the partial counters, do not retry.
+                    return TrialReport {
+                        outcome: TrialOutcome::Timeout,
+                        seconds,
+                        attempts: attempt,
+                        output: Some(out),
+                        error: None,
+                    };
+                }
+                match verify {
+                    Some(check) if !check(&out) => "result failed verification".to_string(),
+                    _ => {
+                        return TrialReport {
+                            outcome: TrialOutcome::Ok,
+                            seconds,
+                            attempts: attempt,
+                            output: Some(out),
+                            error: None,
+                        };
+                    }
+                }
+            }
+            Err(payload) => panic_message(payload.as_ref()),
+        };
+        if attempt < attempts_allowed {
+            std::thread::sleep(backoff);
+            backoff *= 2;
+        } else {
+            return TrialReport {
+                outcome: TrialOutcome::Panicked,
+                seconds,
+                attempts: attempt,
+                output: None,
+                error: Some(failure),
+            };
+        }
+    }
+    unreachable!("loop always returns on its final attempt")
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Consecutive-failure ledger for one experiment: the runner consults it
+/// before each trial and reports each outcome back.
+#[derive(Debug, Default)]
+pub struct QuarantineBook {
+    cells: Vec<(String, u32)>,
+}
+
+impl QuarantineBook {
+    /// An empty ledger.
+    pub fn new() -> QuarantineBook {
+        QuarantineBook::default()
+    }
+
+    /// Whether `cell` (an engine×algorithm key) has hit the threshold.
+    pub fn is_quarantined(&self, cell: &str, threshold: u32) -> bool {
+        threshold > 0 && self.cells.iter().any(|(c, n)| c == cell && *n >= threshold)
+    }
+
+    /// Records an outcome; `Ok` resets the consecutive-failure count,
+    /// every DNF outcome bumps it.
+    pub fn record(&mut self, cell: &str, outcome: TrialOutcome) {
+        let count = match self.cells.iter_mut().find(|(c, _)| c == cell) {
+            Some((_, n)) => n,
+            None => {
+                self.cells.push((cell.to_string(), 0));
+                &mut self.cells.last_mut().expect("just pushed").1
+            }
+        };
+        if outcome.is_dnf() {
+            *count += 1;
+        } else {
+            *count = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_engine_api::{AlgorithmResult, Counters, Trace};
+
+    fn ok_output() -> RunOutput {
+        RunOutput::new(AlgorithmResult::Triangles(7), Counters::default(), Trace::default())
+    }
+
+    #[test]
+    fn clean_trial_is_ok_first_attempt() {
+        let pool = ThreadPool::new(1);
+        let rep = supervise_trial(&pool, &SupervisorConfig::default(), ok_output, None);
+        assert_eq!(rep.outcome, TrialOutcome::Ok);
+        assert_eq!(rep.attempts, 1);
+        assert!(rep.output.is_some());
+        assert!(pool.cancel_token().is_none(), "token must be cleared");
+    }
+
+    #[test]
+    fn panic_is_captured_and_retried_to_success() {
+        let pool = ThreadPool::new(1);
+        let mut calls = 0;
+        let rep = supervise_trial(
+            &pool,
+            &SupervisorConfig { max_retries: 2, ..Default::default() },
+            || {
+                calls += 1;
+                if calls == 1 {
+                    panic!("transient");
+                }
+                ok_output()
+            },
+            None,
+        );
+        assert_eq!(rep.outcome, TrialOutcome::Ok);
+        assert_eq!(rep.attempts, 2);
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_retries() {
+        let pool = ThreadPool::new(1);
+        let cfg = SupervisorConfig {
+            max_retries: 2,
+            backoff: Duration::from_micros(10),
+            ..Default::default()
+        };
+        let rep = supervise_trial(&pool, &cfg, || panic!("always"), None);
+        assert_eq!(rep.outcome, TrialOutcome::Panicked);
+        assert_eq!(rep.attempts, 3);
+        assert_eq!(rep.error.as_deref(), Some("always"));
+        assert!(rep.output.is_none());
+        assert!(pool.cancel_token().is_none(), "token cleared even after panics");
+    }
+
+    #[test]
+    fn cancelled_output_is_a_timeout_and_keeps_partial_counters() {
+        let pool = ThreadPool::new(1);
+        let mut calls = 0;
+        let cfg = SupervisorConfig {
+            trial_budget: Some(Duration::from_secs(60)),
+            max_retries: 5,
+            ..Default::default()
+        };
+        let rep = supervise_trial(
+            &pool,
+            &cfg,
+            || {
+                calls += 1;
+                let counters = Counters { edges_traversed: 123, ..Default::default() };
+                RunOutput::new(AlgorithmResult::Triangles(0), counters, Trace::default())
+                    .cancelled(true)
+            },
+            None,
+        );
+        assert_eq!(rep.outcome, TrialOutcome::Timeout);
+        assert_eq!(calls, 1, "timeouts are never retried");
+        assert_eq!(rep.output.unwrap().counters.edges_traversed, 123);
+    }
+
+    #[test]
+    fn wrong_result_is_retried_then_panicked_when_persistent() {
+        let pool = ThreadPool::new(1);
+        let cfg = SupervisorConfig {
+            max_retries: 1,
+            backoff: Duration::from_micros(10),
+            ..Default::default()
+        };
+        let reject = |_: &RunOutput| false;
+        let rep = supervise_trial(&pool, &cfg, ok_output, Some(&reject));
+        assert_eq!(rep.outcome, TrialOutcome::Panicked);
+        assert_eq!(rep.attempts, 2);
+        assert_eq!(rep.error.as_deref(), Some("result failed verification"));
+    }
+
+    #[test]
+    fn deadline_budget_is_installed_on_the_pool() {
+        let pool = ThreadPool::new(1);
+        let cfg = SupervisorConfig {
+            trial_budget: Some(Duration::from_secs(3600)),
+            ..Default::default()
+        };
+        let mut seen_remaining = None;
+        let rep = supervise_trial(
+            &pool,
+            &cfg,
+            || {
+                seen_remaining = pool.cancel_token().and_then(|t| t.remaining());
+                ok_output()
+            },
+            None,
+        );
+        assert_eq!(rep.outcome, TrialOutcome::Ok);
+        let rem = seen_remaining.expect("deadline visible inside the trial");
+        assert!(rem <= Duration::from_secs(3600) && rem > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn outcome_labels_round_trip() {
+        for o in [
+            TrialOutcome::Ok,
+            TrialOutcome::Timeout,
+            TrialOutcome::Panicked,
+            TrialOutcome::Quarantined,
+        ] {
+            assert_eq!(TrialOutcome::from_label(o.label()), Some(o));
+            assert_eq!(o.is_dnf(), o != TrialOutcome::Ok);
+        }
+        assert_eq!(TrialOutcome::from_label("dnf"), None);
+    }
+
+    #[test]
+    fn quarantine_book_counts_consecutive_failures_only() {
+        let mut book = QuarantineBook::new();
+        book.record("gap/bfs", TrialOutcome::Panicked);
+        book.record("gap/bfs", TrialOutcome::Timeout);
+        assert!(!book.is_quarantined("gap/bfs", 3));
+        book.record("gap/bfs", TrialOutcome::Ok); // resets
+        book.record("gap/bfs", TrialOutcome::Panicked);
+        book.record("gap/bfs", TrialOutcome::Panicked);
+        book.record("gap/bfs", TrialOutcome::Panicked);
+        assert!(book.is_quarantined("gap/bfs", 3));
+        // Other cells are independent.
+        assert!(!book.is_quarantined("gap/pr", 3));
+        // Threshold 0 disables quarantine entirely.
+        assert!(!book.is_quarantined("gap/bfs", 0));
+    }
+}

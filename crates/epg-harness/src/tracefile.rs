@@ -126,6 +126,20 @@ pub fn summarize(input: &str) -> String {
         }
     }
 
+    // ---- trial outcomes (supervision layer; absent in older traces) ----
+    let mut outcome_rows: Vec<String> = Vec::new();
+    for ev in &parsed.events {
+        if let TraceEvent::TrialOutcome { outcome, attempts } = ev {
+            outcome_rows.push(format!("  {outcome:<12} attempts={attempts}"));
+        }
+    }
+    if !outcome_rows.is_empty() {
+        let _ = writeln!(out, "\ntrial outcomes");
+        for row in &outcome_rows {
+            let _ = writeln!(out, "{row}");
+        }
+    }
+
     // ---- allocation high-water marks (max per label) ----
     let mut allocs: BTreeMap<&str, u64> = BTreeMap::new();
     for ev in &parsed.events {
@@ -175,13 +189,16 @@ mod tests {
             iterations: 0,
         });
         rec.record(TraceEvent::PhaseEnd { phase: "run".into(), at_ns: 2_000_000 });
+        rec.record(TraceEvent::TrialOutcome { outcome: "ok".into(), attempts: 1 });
         rec.to_jsonl()
     }
 
     #[test]
     fn summary_covers_every_section() {
         let text = summarize(&sample_trace());
-        assert!(text.contains("trace summary: 9 events, 0 unparseable lines skipped"));
+        assert!(text.contains("trace summary: 10 events, 0 unparseable lines skipped"));
+        assert!(text.contains("trial outcomes"));
+        assert!(text.contains("ok           attempts=1"));
         assert!(text.contains("phases"));
         assert!(text.contains("run"));
         assert!(text.contains("0.002000 s"));

@@ -31,6 +31,28 @@ fn summarize_matches_golden() {
 }
 
 #[test]
+fn dnf_summary_matches_golden() {
+    // A supervised PageRank trial that blew its budget: the trace ends in
+    // a cooperative-cancellation PhaseEnd plus a "timeout" TrialOutcome,
+    // and the summary must render the trial-outcomes section.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let input = std::fs::read_to_string(dir.join("gap_pr_dnf.trace.jsonl")).unwrap();
+    let got = epg_harness::tracefile::summarize(&input);
+    assert!(got.contains("trial outcomes"), "summary must surface the DNF:\n{got}");
+
+    let golden_path = dir.join("gap_pr_dnf.summary.golden");
+    if std::env::var_os("EPG_BLESS_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap();
+    assert_eq!(
+        got, want,
+        "DNF summary drifted from golden; if intentional, re-bless with EPG_BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
 fn golden_fixture_parses_cleanly_except_the_chatter_line() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let input = std::fs::read_to_string(dir.join("gap_bfs_kron8.trace.jsonl")).unwrap();

@@ -91,7 +91,8 @@ pub fn group_iterations(events: &[TraceEvent]) -> Replay {
             TraceEvent::PhaseStart { .. }
             | TraceEvent::PhaseEnd { .. }
             | TraceEvent::WorkerSpan { .. }
-            | TraceEvent::AllocHwm { .. } => {}
+            | TraceEvent::AllocHwm { .. }
+            | TraceEvent::TrialOutcome { .. } => {}
         }
     }
     replay.finalize = delta;

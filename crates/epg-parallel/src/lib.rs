@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 mod atomics;
 mod barrier;
+mod cancel;
 mod check;
 mod pool;
 mod reduce;
@@ -38,6 +39,7 @@ mod writer;
 
 pub use atomics::{atomic_min_u32, AtomicF32, AtomicF64};
 pub use barrier::SenseBarrier;
+pub use cancel::CancelToken;
 pub use check::current_worker_id;
 pub use pool::{PoolStats, ThreadPool};
 pub use schedule::Schedule;

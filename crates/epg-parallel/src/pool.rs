@@ -6,10 +6,11 @@
 //! worker finishes, which is what makes handing workers a borrowed closure
 //! sound (see safety note on [`ThreadPool::region`]).
 
+use crate::cancel::CancelToken;
 use crate::check;
 use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -47,6 +48,12 @@ struct Inner {
     done_cv: Condvar,
     regions: AtomicU64,
     chunks: AtomicU64,
+    /// Cooperative-cancellation token for the trial currently using this
+    /// pool; worksharing loops poll it at chunk boundaries.
+    cancel: Mutex<Option<CancelToken>>,
+    /// Fast-path gate: `false` means no token is attached and the poll
+    /// in the hot chunk loops is a single relaxed load.
+    cancel_active: AtomicBool,
     /// Telemetry sink for per-worker busy/idle spans.
     #[cfg(feature = "trace")]
     recorder: Mutex<Option<Arc<dyn epg_trace::Recorder>>>,
@@ -93,6 +100,8 @@ impl ThreadPool {
             done_cv: Condvar::new(),
             regions: AtomicU64::new(0),
             chunks: AtomicU64::new(0),
+            cancel: Mutex::new(None),
+            cancel_active: AtomicBool::new(false),
             #[cfg(feature = "trace")]
             recorder: Mutex::new(None),
             #[cfg(feature = "trace")]
@@ -122,6 +131,35 @@ impl ThreadPool {
     #[cfg(feature = "trace")]
     pub fn set_recorder(&self, rec: Option<Arc<dyn epg_trace::Recorder>>) {
         *self.inner.recorder.lock() = rec;
+    }
+
+    /// Attaches (`Some`) or detaches (`None`) a cooperative-cancellation
+    /// token. While attached, every worksharing loop polls it before
+    /// claiming each chunk and abandons the remainder of the iteration
+    /// space once it trips; already-claimed chunks always run to
+    /// completion, so each index is covered at most once and never
+    /// twice. The supervisor in `epg-harness` attaches a fresh token per
+    /// trial and detaches it afterwards.
+    pub fn set_cancel_token(&self, token: Option<CancelToken>) {
+        let mut slot = self.inner.cancel.lock();
+        self.inner.cancel_active.store(token.is_some(), Ordering::Release);
+        *slot = token;
+    }
+
+    /// The currently attached token, if any.
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        if !self.inner.cancel_active.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner.cancel.lock().clone()
+    }
+
+    /// Whether the attached token (if any) has tripped. Engines poll
+    /// this at the top of their iteration loops; with no token attached
+    /// it is a single atomic load.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel_token().is_some_and(|t| t.is_cancelled())
     }
 
     /// Runs `f(tid)` once on every thread (tids `0..nthreads`), returning
@@ -234,6 +272,11 @@ impl ThreadPool {
         }
         let nthreads = self.inner.nthreads;
         let chunks_counter = &self.inner.chunks;
+        // Fetched once per loop, not per chunk: the poll inside the hot
+        // claim loops is then lock-free (an atomic flag read, plus a
+        // clock read while a deadline is armed).
+        let token = self.cancel_token();
+        let cancelled = move || token.as_ref().is_some_and(|t| t.is_cancelled());
         match sched {
             super::Schedule::Static { chunk } => {
                 // OpenMP static: without a chunk, one contiguous block per
@@ -244,6 +287,9 @@ impl ThreadPool {
                 self.region(|tid| {
                     let mut c = tid;
                     while c < nchunks {
+                        if cancelled() {
+                            break;
+                        }
                         let lo = c * chunk;
                         let hi = (lo + chunk).min(n);
                         f(tid, lo, hi);
@@ -255,6 +301,9 @@ impl ThreadPool {
                 let chunk = chunk.max(1);
                 let next = AtomicU64::new(0);
                 self.region(|tid| loop {
+                    if cancelled() {
+                        break;
+                    }
                     let lo = next.fetch_add(chunk as u64, Ordering::Relaxed) as usize;
                     if lo >= n {
                         break;
@@ -267,6 +316,9 @@ impl ThreadPool {
                 let min_chunk = min_chunk.max(1);
                 let next = AtomicU64::new(0);
                 self.region(|tid| loop {
+                    if cancelled() {
+                        break;
+                    }
                     // Claim ~(remaining / nthreads), shrinking over time.
                     let mut cur = next.load(Ordering::Relaxed);
                     let (lo, hi) = loop {
@@ -536,6 +588,116 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    fn cancel_schedules() -> [Schedule; 4] {
+        [
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(7) },
+            Schedule::Dynamic { chunk: 16 },
+            Schedule::Guided { min_chunk: 4 },
+        ]
+    }
+
+    #[test]
+    fn cancelled_loop_covers_or_abandons_each_index_exactly_once() {
+        // Satellite requirement: under every schedule, a loop whose token
+        // trips midway must never run an index twice — each index is
+        // covered once or abandoned, and the loop still returns cleanly.
+        const N: usize = 10_000;
+        for sched in cancel_schedules() {
+            for nthreads in [1, 4] {
+                let pool = ThreadPool::new(nthreads);
+                let token = crate::CancelToken::new();
+                pool.set_cancel_token(Some(token.clone()));
+                let marks: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+                let done = AtomicUsize::new(0);
+                pool.parallel_for(N, sched, |i| {
+                    marks[i].fetch_add(1, Ordering::Relaxed);
+                    // Trip the token from inside the loop body once a few
+                    // hundred indices have run — deterministic enough to
+                    // leave work abandoned on every schedule.
+                    if done.fetch_add(1, Ordering::Relaxed) == 300 {
+                        token.cancel();
+                    }
+                });
+                pool.set_cancel_token(None);
+                let covered: usize = marks.iter().map(|m| m.load(Ordering::Relaxed)).sum();
+                for (i, m) in marks.iter().enumerate() {
+                    assert!(
+                        m.load(Ordering::Relaxed) <= 1,
+                        "index {i} ran twice under {sched:?} ({nthreads} threads)"
+                    );
+                }
+                // Whether abandonment is *guaranteed* depends on chunk
+                // granularity: Static{None} hands every chunk out up
+                // front, and Guided on one thread claims the whole range
+                // in its first chunk — claimed chunks always finish.
+                let expect_abandon = match sched {
+                    Schedule::Static { chunk: Some(_) } | Schedule::Dynamic { .. } => true,
+                    Schedule::Guided { .. } => nthreads > 1,
+                    Schedule::Static { chunk: None } => false,
+                };
+                if expect_abandon {
+                    assert!(
+                        covered < N,
+                        "cancellation abandoned nothing under {sched:?} ({nthreads} threads)"
+                    );
+                }
+                // Detached token: the pool must run full loops again.
+                check_cover(257, sched, nthreads);
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_loop_after_unwind_never_doubles_execution() {
+        // A body that panics while the token is tripped: the unwind is
+        // caught at the join barrier, and no index may have run twice.
+        const N: usize = 4_096;
+        for sched in cancel_schedules() {
+            let pool = ThreadPool::new(4);
+            let token = crate::CancelToken::new();
+            pool.set_cancel_token(Some(token.clone()));
+            let marks: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.parallel_for(N, sched, |i| {
+                    marks[i].fetch_add(1, Ordering::Relaxed);
+                    if i == 100 {
+                        token.cancel();
+                        panic!("injected unwind at {i}");
+                    }
+                });
+            }));
+            pool.set_cancel_token(None);
+            assert!(result.is_err(), "panic must propagate under {sched:?}");
+            for (i, m) in marks.iter().enumerate() {
+                assert!(
+                    m.load(Ordering::Relaxed) <= 1,
+                    "index {i} ran twice after unwind under {sched:?}"
+                );
+            }
+            // The pool stays usable for the next trial.
+            check_cover(100, sched, 4);
+        }
+    }
+
+    #[test]
+    fn deadline_reaps_a_hot_loop() {
+        // A long loop under a short deadline is abandoned well before it
+        // would complete, and the pool reports the cancellation.
+        let pool = ThreadPool::new(2);
+        let token = crate::CancelToken::with_deadline(std::time::Duration::from_millis(5));
+        pool.set_cancel_token(Some(token));
+        let ran = AtomicUsize::new(0);
+        pool.parallel_for(1_000_000, Schedule::Dynamic { chunk: 8 }, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        });
+        assert!(pool.is_cancelled(), "deadline should have tripped");
+        assert!(ran.load(Ordering::Relaxed) < 1_000_000, "deadline abandoned nothing");
+        pool.set_cancel_token(None);
+        assert!(!pool.is_cancelled(), "detaching the token clears the pool's view");
     }
 
     #[test]

@@ -110,6 +110,11 @@ pub fn render_event(ev: &TraceEvent) -> String {
             field_str(&mut out, "label", label);
             field_u64(&mut out, "bytes", *bytes);
         }
+        TraceEvent::TrialOutcome { outcome, attempts } => {
+            push_json_string(&mut out, "trial");
+            field_str(&mut out, "outcome", outcome);
+            field_u64(&mut out, "attempts", *attempts as u64);
+        }
     }
     out.push('}');
     out
@@ -340,6 +345,10 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
             label: get_str(&fields, "label")?.to_string(),
             bytes: get_u64(&fields, "bytes")?,
         }),
+        "trial" => Some(TraceEvent::TrialOutcome {
+            outcome: get_str(&fields, "outcome")?.to_string(),
+            attempts: u32::try_from(get_u64(&fields, "attempts")?).ok()?,
+        }),
         _ => None,
     }
 }
@@ -389,6 +398,7 @@ mod tests {
             TraceEvent::Iteration { iter: 3, frontier: 250, dir: Dir::Pull },
             TraceEvent::WorkerSpan { region: 42, worker: 0, busy_ns: 12345, idle_ns: 678 },
             TraceEvent::AllocHwm { label: "pr.next \"ranks\"".into(), bytes: u64::MAX },
+            TraceEvent::TrialOutcome { outcome: "timeout".into(), attempts: 2 },
         ]
     }
 
@@ -423,7 +433,7 @@ mod tests {
         let text = render_jsonl(&all_kinds());
         let cut = text.len() - 17; // mid final line
         let parsed = parse_jsonl(&text[..cut]);
-        assert_eq!(parsed.events, all_kinds()[..6].to_vec());
+        assert_eq!(parsed.events, all_kinds()[..7].to_vec());
         assert_eq!(parsed.skipped, 1);
     }
 

@@ -139,6 +139,18 @@ pub enum TraceEvent {
         /// Peak size in bytes.
         bytes: u64,
     },
+    /// The supervisor's verdict on one trial, emitted after the run
+    /// phase closes: completed trials say `"ok"`, DNFs carry the label
+    /// of their `TrialOutcome` (`"timeout"`, `"panicked"`,
+    /// `"quarantined"`) so the trace stream shows the paper's Table
+    /// II/III holes explicitly.
+    TrialOutcome {
+        /// Outcome label (`epg_harness::TrialOutcome::label`).
+        outcome: String,
+        /// Attempts the supervisor spent on the trial (≥ 1; retries
+        /// after transient panics increment this).
+        attempts: u32,
+    },
 }
 
 /// Sink for [`TraceEvent`]s. `&self` receivers plus `Send + Sync` let

@@ -58,6 +58,8 @@ fn event() -> BoxedStrategy<TraceEvent> {
             }
         ),
         (label(), 0u64..=u64::MAX).prop_map(|(label, bytes)| TraceEvent::AllocHwm { label, bytes }),
+        (label(), 0u32..=u32::MAX)
+            .prop_map(|(outcome, attempts)| TraceEvent::TrialOutcome { outcome, attempts }),
     ]
     .boxed()
 }

@@ -8,6 +8,8 @@ use epg::prelude::*;
 
 fn degenerate_graphs() -> Vec<(&'static str, EdgeList)> {
     vec![
+        ("zero_vertices", EdgeList::new(0, vec![])),
+        ("zero_edges", EdgeList::new(4, vec![])),
         ("single_edge", EdgeList::new(2, vec![(0, 1)])),
         ("self_loop_only", EdgeList::new(1, vec![(0, 0)])),
         ("two_loops", EdgeList::new(2, vec![(0, 0), (1, 1)])),
@@ -49,8 +51,16 @@ fn every_engine_survives_every_degenerate_graph() {
                     );
                 } else {
                     let out = engine.run(algo, &RunParams::new(&pool, None));
-                    assert!(
-                        !out.result.is_empty() || ds.symmetric.num_vertices == 0,
+                    // Per-vertex results must cover exactly the vertex set
+                    // — in particular, empty (not a panic) on the
+                    // zero-vertex graph. Triangle counts are a scalar.
+                    let want = match out.result {
+                        AlgorithmResult::Triangles(_) => 1,
+                        _ => ds.symmetric.num_vertices,
+                    };
+                    assert_eq!(
+                        out.result.len(),
+                        want,
                         "{} {} on {}",
                         kind.name(),
                         algo.abbrev(),

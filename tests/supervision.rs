@@ -1,0 +1,197 @@
+#![cfg(feature = "fault-inject")]
+
+//! Supervision-layer integration: deterministic injected faults flow
+//! through the runner and come out as classified, DNF-aware results.
+//!
+//! Runs only with `--features fault-inject`; the injection layer does not
+//! exist in default builds, so supervision costs nothing there.
+
+use epg::engine_api::{FaultKind, FaultPlan, FaultyEngine};
+use epg::harness::supervise::{supervise_trial, SupervisorConfig, TrialOutcome};
+use epg::prelude::*;
+use std::time::Duration;
+
+fn dataset() -> Dataset {
+    Dataset::from_spec(&GraphSpec::Kronecker { scale: 7, edge_factor: 8, weighted: false }, 9)
+}
+
+/// A budget generous enough that un-faulted trials never trip it on a
+/// scale-7 graph, yet small enough that the hang test stays fast.
+const BUDGET: Duration = Duration::from_millis(400);
+
+fn cfg_with(plans: Vec<(EngineKind, FaultPlan)>) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig {
+        engines: vec![EngineKind::Gap],
+        algorithms: vec![Algorithm::Bfs],
+        max_roots: Some(4),
+        ..ExperimentConfig::new()
+    };
+    cfg.supervisor.trial_budget = Some(BUDGET);
+    cfg.supervisor.backoff = Duration::from_micros(50);
+    cfg.fault_plans = plans;
+    cfg
+}
+
+#[test]
+fn injected_hang_times_out_with_partial_counters() {
+    let ds = dataset();
+    // Trial indices count every run-call including retries; fault the 2nd.
+    let plan = FaultPlan::new().with_fault(1, FaultKind::Hang);
+    let cfg = cfg_with(vec![(EngineKind::Gap, plan)]);
+    let t0 = std::time::Instant::now();
+    let result = run_experiment(&cfg, &ds);
+    let wall = t0.elapsed();
+
+    let outcomes: Vec<TrialOutcome> =
+        result.records.iter().filter(|r| r.phase == Phase::Run).map(|r| r.outcome).collect();
+    assert_eq!(outcomes.len(), 4);
+    assert_eq!(outcomes[1], TrialOutcome::Timeout);
+    assert_eq!(outcomes.iter().filter(|&&o| o == TrialOutcome::Ok).count(), 3);
+    // The timed-out row carries its censoring time (>= most of the budget,
+    // reaped well within 2x of it) — the acceptance bound for the layer.
+    let timeout_row = result
+        .records
+        .iter()
+        .find(|r| r.outcome == TrialOutcome::Timeout)
+        .expect("timeout row present");
+    assert!(timeout_row.seconds >= BUDGET.as_secs_f64() * 0.5);
+    assert!(
+        timeout_row.seconds < 2.0 * BUDGET.as_secs_f64(),
+        "hung trial took {:.3}s against a {:?} budget",
+        timeout_row.seconds,
+        BUDGET
+    );
+    assert!(wall < Duration::from_secs(30), "experiment wedged behind the hang: {wall:?}");
+    // DNF rows are excluded from the performance samples but counted.
+    assert_eq!(result.run_times(EngineKind::Gap, Algorithm::Bfs).len(), 3);
+    assert_eq!(result.dnf_count(EngineKind::Gap, Algorithm::Bfs), 1);
+    // The timeout row reaches the CSV, outcome in the last column.
+    let csv = result.to_csv();
+    let rows = epg::harness::csvio::read_all(csv.as_bytes()).unwrap();
+    assert_eq!(*rows[0].last().unwrap(), "outcome");
+    assert!(rows.iter().any(|r| r.last().is_some_and(|c| c == "timeout")));
+}
+
+#[test]
+fn injected_panic_is_retried_to_success() {
+    let ds = dataset();
+    // Fault only the first run-call: the supervisor's retry (run-call 1)
+    // is clean, so the trial still lands as Ok after 2 attempts.
+    let plan = FaultPlan::new().with_fault(0, FaultKind::Panic);
+    let cfg = cfg_with(vec![(EngineKind::Gap, plan)]);
+    let result = run_experiment(&cfg, &ds);
+    let run_rows: Vec<_> = result.records.iter().filter(|r| r.phase == Phase::Run).collect();
+    assert_eq!(run_rows.len(), 4);
+    assert!(run_rows.iter().all(|r| r.outcome == TrialOutcome::Ok));
+    assert_eq!(result.run_times(EngineKind::Gap, Algorithm::Bfs).len(), 4);
+    assert_eq!(result.dnf_count(EngineKind::Gap, Algorithm::Bfs), 0);
+}
+
+#[test]
+fn consecutive_failures_quarantine_the_cell() {
+    let ds = dataset();
+    // Panic on every run-call: with retries disabled, each trial fails,
+    // and after `quarantine_after` consecutive Panicked trials the
+    // remaining reps are recorded as Quarantined without ever running.
+    let mut plan = FaultPlan::new();
+    for t in 0..64 {
+        plan = plan.with_fault(t, FaultKind::Panic);
+    }
+    let mut cfg = cfg_with(vec![(EngineKind::Gap, plan)]);
+    cfg.supervisor.quarantine_after = 2;
+    cfg.supervisor.max_retries = 0;
+    let result = run_experiment(&cfg, &ds);
+    let outcomes: Vec<TrialOutcome> =
+        result.records.iter().filter(|r| r.phase == Phase::Run).map(|r| r.outcome).collect();
+    assert_eq!(
+        outcomes,
+        vec![
+            TrialOutcome::Panicked,
+            TrialOutcome::Panicked,
+            TrialOutcome::Quarantined,
+            TrialOutcome::Quarantined,
+        ]
+    );
+    // Nothing completed: the report renders an explicit DNF cell and a
+    // trial-outcomes section.
+    assert!(result.run_times(EngineKind::Gap, Algorithm::Bfs).is_empty());
+    let md = epg::harness::report::render(&result, &ds, 32);
+    assert!(md.contains("DNF (n=4, dnf=4)"), "report:\n{md}");
+    assert!(md.contains("## Trial outcomes"));
+    assert!(md.contains("- panicked: 2"));
+    assert!(md.contains("- quarantined: 2"));
+}
+
+#[test]
+fn seeded_plans_make_failures_reproducible() {
+    let ds = dataset();
+    let run = |seed: u64| {
+        let plan = FaultPlan::seeded(seed, 16, 3);
+        let cfg = cfg_with(vec![(EngineKind::Gap, plan)]);
+        run_experiment(&cfg, &ds)
+            .records
+            .iter()
+            .filter(|r| r.phase == Phase::Run)
+            .map(|r| r.outcome)
+            .collect::<Vec<_>>()
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a, b, "same seed, same outcome sequence");
+}
+
+#[test]
+fn wrong_result_injection_is_caught_by_a_verifier() {
+    // Exercised at the supervise_trial level, where an oracle is
+    // available: the corrupted first attempt is rejected and the retry
+    // (not faulted) passes verification.
+    let ds = dataset();
+    let pool = ThreadPool::new(2);
+    let mut engine = FaultyEngine::new(
+        EngineKind::Gap.create(),
+        FaultPlan::new().with_fault(0, FaultKind::WrongResult),
+    );
+    engine.load_edge_list(ds.edges_for(EngineKind::Gap));
+    engine.construct(&pool);
+    let root = ds.roots[0];
+    let csr = Csr::from_edge_list(ds.edges_for(EngineKind::Gap));
+    let want = epg::graph::oracle::bfs(&csr, root).level;
+    let verify = |out: &RunOutput| match &out.result {
+        AlgorithmResult::BfsTree { level, .. } => *level == want,
+        _ => false,
+    };
+    let cfg = SupervisorConfig { backoff: Duration::from_micros(50), ..Default::default() };
+    let params = RunParams::new(&pool, Some(root));
+    let report =
+        supervise_trial(&pool, &cfg, || engine.run(Algorithm::Bfs, &params), Some(&verify));
+    assert_eq!(report.outcome, TrialOutcome::Ok);
+    assert_eq!(report.attempts, 2, "first attempt corrupted, retry clean");
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn trial_outcome_reaches_the_trace_stream() {
+    let ds = dataset();
+    // Hang the very first run-call: the traced trial itself times out.
+    let plan = FaultPlan::new().with_fault(0, FaultKind::Hang);
+    let mut cfg = cfg_with(vec![(EngineKind::Gap, plan)]);
+    cfg.max_roots = Some(1);
+    cfg.supervisor.quarantine_after = 0; // keep scheduling despite failures
+    let result = run_experiment(&cfg, &ds);
+    assert_eq!(result.traces.len(), 1);
+    let bundle = &result.traces[0];
+    let outcome_ev = bundle
+        .events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::TrialOutcome { outcome, attempts } => Some((outcome.clone(), *attempts)),
+            _ => None,
+        })
+        .expect("TrialOutcome event recorded");
+    assert_eq!(outcome_ev, ("timeout".to_string(), 1));
+    // And the summarizer renders it.
+    let jsonl = epg::trace::jsonl::render_jsonl(&bundle.events);
+    let summary = epg::harness::tracefile::summarize(&jsonl);
+    assert!(summary.contains("trial outcomes"), "summary:\n{summary}");
+    assert!(summary.contains("timeout"));
+}
