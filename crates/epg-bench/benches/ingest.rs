@@ -1,0 +1,93 @@
+//! Criterion benchmarks for the zero-copy parallel ingest pipeline:
+//! SNAP text parse, binary decode, CSR build/transpose/sort — serial
+//! oracle vs the chunked parallel implementations at 1/2/4 threads.
+//!
+//! `epg bench --json` produces the machine-readable medians for the
+//! committed trajectory file; these criterion benches are for local,
+//! statistically-rigorous A/B work on the same phases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epg::graph::{ingest, snap};
+use epg::prelude::*;
+use std::hint::black_box;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn workload() -> EdgeList {
+    epg::generator::GraphSpec::Kronecker { scale: 12, edge_factor: 8, weighted: true }
+        .generate(7)
+        .deduplicated()
+}
+
+fn bench_snap_parse(c: &mut Criterion) {
+    let el = workload();
+    let mut text = Vec::new();
+    snap::write_snap(&el, "bench", &mut text).unwrap();
+    let mut g = c.benchmark_group("ingest_snap_parse");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("serial", |b| b.iter(|| black_box(snap::parse_snap(&text[..]).unwrap())));
+    for t in THREADS {
+        let pool = ThreadPool::new(t);
+        g.bench_with_input(BenchmarkId::new("parallel", t), &t, |b, _| {
+            b.iter(|| black_box(ingest::parse_snap_parallel(&text, &pool).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_binary_codec(c: &mut Criterion) {
+    let el = workload();
+    let mut bin = Vec::new();
+    snap::write_binary(&el, &mut bin).unwrap();
+    let mut g = c.benchmark_group("ingest_binary");
+    g.throughput(Throughput::Bytes(bin.len() as u64));
+    g.bench_function("decode_serial", |b| {
+        b.iter(|| black_box(snap::read_binary(&bin[..]).unwrap()))
+    });
+    for t in THREADS {
+        let pool = ThreadPool::new(t);
+        g.bench_with_input(BenchmarkId::new("decode_parallel", t), &t, |b, _| {
+            b.iter(|| black_box(ingest::decode_binary_parallel(&bin, &pool).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("encode_parallel", t), &t, |b, _| {
+            b.iter(|| black_box(ingest::encode_binary_parallel(&el, &pool)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_csr_phases(c: &mut Criterion) {
+    let el = workload();
+    let csr = Csr::from_edge_list(&el);
+    let mut g = c.benchmark_group("ingest_csr");
+    g.throughput(Throughput::Elements(el.num_edges() as u64));
+    g.bench_function("build_serial", |b| b.iter(|| black_box(Csr::from_edge_list(&el))));
+    g.bench_function("transpose_serial", |b| b.iter(|| black_box(csr.transpose())));
+    g.bench_function("sort_serial", |b| {
+        b.iter(|| {
+            let mut x = csr.clone();
+            x.sort_adjacency();
+            black_box(x)
+        })
+    });
+    for t in THREADS {
+        let pool = ThreadPool::new(t);
+        g.bench_with_input(BenchmarkId::new("build_parallel", t), &t, |b, _| {
+            b.iter(|| black_box(Csr::from_edge_list_parallel(&el, &pool)))
+        });
+        g.bench_with_input(BenchmarkId::new("transpose_parallel", t), &t, |b, _| {
+            b.iter(|| black_box(csr.transpose_parallel(&pool)))
+        });
+        g.bench_with_input(BenchmarkId::new("sort_parallel", t), &t, |b, _| {
+            b.iter(|| {
+                let mut x = csr.clone();
+                x.sort_adjacency_parallel(&pool);
+                black_box(x)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_snap_parse, bench_binary_codec, bench_csr_phases);
+criterion_main!(benches);

@@ -169,8 +169,8 @@ impl Engine for FaultyEngine {
         self.inner.separable_construction()
     }
 
-    fn load_file(&mut self, path: &Path) -> std::io::Result<()> {
-        self.inner.load_file(path)
+    fn load_file(&mut self, path: &Path, pool: &ThreadPool) -> std::io::Result<()> {
+        self.inner.load_file(path, pool)
     }
 
     fn load_edge_list(&mut self, el: &EdgeList) {

@@ -229,8 +229,11 @@ pub trait Engine {
     }
 
     /// Phase 1: read a homogenized input file into RAM (an edge list for
-    /// most engines; GraphBIG/PowerGraph also construct here).
-    fn load_file(&mut self, path: &Path) -> std::io::Result<()>;
+    /// most engines; GraphBIG/PowerGraph also construct here). Engines use
+    /// the pool for parallel decode/parse of the input bytes — the paper
+    /// measures this phase separately precisely because it dominates
+    /// end-to-end time for several systems.
+    fn load_file(&mut self, path: &Path, pool: &ThreadPool) -> std::io::Result<()>;
 
     /// In-memory variant of phase 1 for tests and benches.
     fn load_edge_list(&mut self, el: &EdgeList);

@@ -29,7 +29,7 @@ mod tc;
 pub use structures::{Bitmap, SlidingQueue};
 
 use epg_engine_api::{logfmt::LogStyle, Algorithm, Engine, EngineInfo, RunOutput, RunParams};
-use epg_graph::{snap, Csr, EdgeList};
+use epg_graph::{ingest, Csr, EdgeList};
 use epg_parallel::ThreadPool;
 use std::path::Path;
 
@@ -143,8 +143,8 @@ impl Engine for GapEngine {
         )
     }
 
-    fn load_file(&mut self, path: &Path) -> std::io::Result<()> {
-        let el = snap::read_binary_file(path)
+    fn load_file(&mut self, path: &Path, pool: &ThreadPool) -> std::io::Result<()> {
+        let el = ingest::read_binary_file_parallel(path, pool)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         self.load_edge_list(&el);
         Ok(())
@@ -165,9 +165,10 @@ impl Engine for GapEngine {
                 }
             }
         }
-        // GAP builds CSR in parallel (histogram + prefix sum + scatter).
+        // GAP builds CSR in parallel (histogram + prefix sum + scatter);
+        // the pull-direction transpose uses the same parallel structure.
         let csr = Csr::from_edge_list_parallel(&el, pool);
-        self.csr_t = Some(csr.transpose());
+        self.csr_t = Some(csr.transpose_parallel(pool));
         self.csr = Some(csr);
     }
 

@@ -24,9 +24,8 @@ mod traversal;
 
 use epg_engine_api::{logfmt::LogStyle, Algorithm, Engine, EngineInfo, RunOutput, RunParams};
 use epg_graph::adjacency::PropertyGraph;
-use epg_graph::{snap, EdgeList};
+use epg_graph::{ingest, EdgeList};
 use epg_parallel::ThreadPool;
-use std::io::Read;
 use std::path::Path;
 
 /// The GraphBIG-style engine.
@@ -71,13 +70,12 @@ impl Engine for GraphBigEngine {
         false // reads the file and builds the graph simultaneously (§III-B)
     }
 
-    fn load_file(&mut self, path: &Path) -> std::io::Result<()> {
-        // openG streams the text file edge-by-edge into the structure: one
-        // pass, building as it reads. We mirror that: parse incrementally
-        // and insert as lines arrive (no intermediate edge list retained).
-        let mut text = String::new();
-        std::fs::File::open(path)?.read_to_string(&mut text)?;
-        let el = snap::parse_snap(text.as_bytes())
+    fn load_file(&mut self, path: &Path, pool: &ThreadPool) -> std::io::Result<()> {
+        // openG streams the text file into the structure in one pass. The
+        // text parse itself is the chunked zero-copy scanner; the insert
+        // loop stays serial because the property graph mutates shared
+        // per-vertex objects.
+        let el = ingest::read_snap_file_parallel(path, pool)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         let mut g = PropertyGraph::with_vertices(el.num_vertices);
         for (u, v, w) in el.iter() {
@@ -241,10 +239,10 @@ mod tests {
         let dir = std::env::temp_dir().join("epg_graphbig_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("g.snap");
-        snap::write_snap_file(&el, "t", &path).unwrap();
+        epg_graph::snap::write_snap_file(&el, "t", &path).unwrap();
         let mut e = GraphBigEngine::new();
-        e.load_file(&path).unwrap();
-        let pool = ThreadPool::new(1);
+        let pool = ThreadPool::new(2);
+        e.load_file(&path, &pool).unwrap();
         e.construct(&pool); // no-op: already built during load
         let out = e.run(Algorithm::Bfs, &RunParams::new(&pool, Some(0)));
         let AlgorithmResult::BfsTree { level, .. } = out.result else { panic!() };

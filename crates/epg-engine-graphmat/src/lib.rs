@@ -31,7 +31,7 @@ pub mod spmv;
 mod lcc;
 
 use epg_engine_api::{logfmt::LogStyle, Algorithm, Engine, EngineInfo, RunOutput, RunParams};
-use epg_graph::{snap, Dcsc, EdgeList};
+use epg_graph::{ingest, Dcsc, EdgeList};
 use epg_parallel::ThreadPool;
 use std::path::Path;
 
@@ -85,8 +85,8 @@ impl Engine for GraphMatEngine {
         algo != Algorithm::Bc
     }
 
-    fn load_file(&mut self, path: &Path) -> std::io::Result<()> {
-        let el = snap::read_binary_file(path)
+    fn load_file(&mut self, path: &Path, pool: &ThreadPool) -> std::io::Result<()> {
+        let el = ingest::read_binary_file_parallel(path, pool)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         self.load_edge_list(&el);
         Ok(())

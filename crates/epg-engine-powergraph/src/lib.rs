@@ -25,7 +25,7 @@ pub mod programs;
 mod lcc;
 
 use epg_engine_api::{logfmt::LogStyle, Algorithm, Engine, EngineInfo, RunOutput, RunParams};
-use epg_graph::{snap, EdgeList};
+use epg_graph::{ingest, EdgeList};
 use epg_parallel::ThreadPool;
 use partition::PartitionedGraph;
 use std::path::Path;
@@ -101,8 +101,8 @@ impl Engine for PowerGraphEngine {
         false // loads and partitions in one pass (§III-B)
     }
 
-    fn load_file(&mut self, path: &Path) -> std::io::Result<()> {
-        let el = snap::read_binary_file(path)
+    fn load_file(&mut self, path: &Path, pool: &ThreadPool) -> std::io::Result<()> {
+        let el = ingest::read_binary_file_parallel(path, pool)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         // Fused: partition while "loading".
         self.graph = Some(PartitionedGraph::build(&el, self.config.num_partitions));

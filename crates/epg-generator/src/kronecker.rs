@@ -77,39 +77,109 @@ fn scramble(v: u64, scale: u32, key: u64) -> u64 {
     x & mask
 }
 
-/// Generates a Kronecker edge list. Deterministic in `seed`.
-pub fn generate(cfg: &KroneckerConfig, seed: u64) -> EdgeList {
+/// Validates the config and precomputes the conditional quadrant
+/// probabilities `(ab, a_norm, c_norm)`.
+fn prepare(cfg: &KroneckerConfig) -> (f64, f64, f64) {
     assert!(cfg.scale >= 1 && cfg.scale <= 32, "scale out of range");
     let (a, b, c, d) = (cfg.a, cfg.b, cfg.c, cfg.d());
     // D is defined as 1-(A+B+C), so positivity of all four is the whole
     // well-formedness condition.
     assert!(a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0, "initiator must be positive");
+    (a + b, a / (a + b), c / (c + d))
+}
 
+/// Draws one edge from `rng`: `scale` levels of the 2x2 recursion, then the
+/// label scramble. Shared by the serial and parallel generators so the
+/// distribution logic has a single source.
+#[inline]
+fn draw_edge(
+    rng: &mut StdRng,
+    cfg: &KroneckerConfig,
+    seed: u64,
+    (ab, a_norm, c_norm): (f64, f64, f64),
+) -> (VertexId, VertexId) {
+    let (mut u, mut v) = (0u64, 0u64);
+    for bit in 0..cfg.scale {
+        // The Graph500 v2 recursion with per-level noise-free quadrant
+        // choice: pick row bit then column bit conditionally.
+        let row = rng.gen::<f64>() > ab;
+        let col = rng.gen::<f64>() > if row { c_norm } else { a_norm };
+        u |= (row as u64) << bit;
+        v |= (col as u64) << bit;
+    }
+    let u = scramble(u, cfg.scale, seed ^ 0xA5A5_5A5A) as VertexId;
+    let v = scramble(v, cfg.scale, seed ^ 0xA5A5_5A5A) as VertexId;
+    (u, v)
+}
+
+/// Uniform (0,1] weight: avoid zero-weight edges (paper §IV-A notes the
+/// hazards of weights rounding to 0).
+#[inline]
+fn draw_weight(rng: &mut StdRng) -> Weight {
+    (1.0 - rng.gen::<f32>()).max(f32::MIN_POSITIVE) as Weight
+}
+
+/// Generates a Kronecker edge list. Deterministic in `seed`.
+pub fn generate(cfg: &KroneckerConfig, seed: u64) -> EdgeList {
+    let probs = prepare(cfg);
     let m = cfg.num_edges();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(m);
     let mut weights = cfg.weighted.then(|| Vec::with_capacity(m));
-    let ab = a + b;
-    let a_norm = a / ab;
-    let c_norm = c / (c + d);
     for _ in 0..m {
-        let (mut u, mut v) = (0u64, 0u64);
-        for bit in 0..cfg.scale {
-            // The Graph500 v2 recursion with per-level noise-free quadrant
-            // choice: pick row bit then column bit conditionally.
-            let row = rng.gen::<f64>() > ab;
-            let col = rng.gen::<f64>() > if row { c_norm } else { a_norm };
-            u |= (row as u64) << bit;
-            v |= (col as u64) << bit;
-        }
-        let u = scramble(u, cfg.scale, seed ^ 0xA5A5_5A5A) as VertexId;
-        let v = scramble(v, cfg.scale, seed ^ 0xA5A5_5A5A) as VertexId;
-        edges.push((u, v));
+        edges.push(draw_edge(&mut rng, cfg, seed, probs));
         if let Some(ws) = weights.as_mut() {
-            // Uniform (0,1]: avoid zero-weight edges (paper §IV-A notes the
-            // hazards of weights rounding to 0).
-            ws.push((1.0 - rng.gen::<f32>()).max(f32::MIN_POSITIVE) as Weight);
+            ws.push(draw_weight(&mut rng));
         }
+    }
+    EdgeList { num_vertices: cfg.num_vertices(), edges, weights }
+}
+
+/// Edges per deterministic generation block. Fixed — never derived from the
+/// thread count — so parallel output is a pure function of the seed.
+pub(crate) const GEN_BLOCK: usize = 8192;
+
+/// SplitMix64 finalizer; decorrelates per-block RNG seeds.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Parallel Kronecker generation. Edges are drawn in fixed blocks of
+/// [`GEN_BLOCK`], each from its own `StdRng` seeded by `mix64(seed, block)`,
+/// so the result is deterministic per seed *regardless of thread count* —
+/// though it is a different (equally distributed) stream than the serial
+/// [`generate`], whose single-RNG sequence cannot be split.
+pub fn generate_parallel(
+    cfg: &KroneckerConfig,
+    seed: u64,
+    pool: &epg_parallel::ThreadPool,
+) -> EdgeList {
+    use epg_parallel::{DisjointWriter, Schedule};
+
+    let probs = prepare(cfg);
+    let m = cfg.num_edges();
+    let nblocks = m.div_ceil(GEN_BLOCK);
+    let mut edges = vec![(0 as VertexId, 0 as VertexId); m];
+    let mut weights = cfg.weighted.then(|| vec![0.0 as Weight; m]);
+    {
+        let ew = DisjointWriter::new(&mut edges);
+        let ww = weights.as_mut().map(|w| DisjointWriter::new(w.as_mut_slice()));
+        pool.parallel_for(nblocks, Schedule::Dynamic { chunk: 1 }, |b| {
+            let lo = b * GEN_BLOCK;
+            let hi = ((b + 1) * GEN_BLOCK).min(m);
+            let mut rng = StdRng::seed_from_u64(mix64(seed ^ mix64(b as u64 + 1)));
+            let (es, mut ws) =
+                // SAFETY: blocks map 1:1 to disjoint index ranges.
+                unsafe { (ew.range_mut(lo, hi), ww.as_ref().map(|w| w.range_mut(lo, hi))) };
+            for k in 0..hi - lo {
+                es[k] = draw_edge(&mut rng, cfg, seed, probs);
+                if let Some(ws) = ws.as_deref_mut() {
+                    ws[k] = draw_weight(&mut rng);
+                }
+            }
+        });
     }
     EdgeList { num_vertices: cfg.num_vertices(), edges, weights }
 }
@@ -133,6 +203,30 @@ mod tests {
         let cfg = KroneckerConfig { scale: 8, ..Default::default() };
         assert_eq!(generate(&cfg, 5), generate(&cfg, 5));
         assert_ne!(generate(&cfg, 5), generate(&cfg, 6));
+    }
+
+    #[test]
+    fn parallel_deterministic_across_thread_counts() {
+        let cfg =
+            KroneckerConfig { scale: 10, edge_factor: 8, weighted: true, ..Default::default() };
+        let reference = generate_parallel(&cfg, 5, &epg_parallel::ThreadPool::new(1));
+        for nthreads in [2, 4] {
+            let pool = epg_parallel::ThreadPool::new(nthreads);
+            assert_eq!(generate_parallel(&cfg, 5, &pool), reference, "nthreads={nthreads}");
+        }
+        assert_ne!(generate_parallel(&cfg, 6, &epg_parallel::ThreadPool::new(2)), reference);
+        assert_eq!(reference.num_vertices, cfg.num_vertices());
+        assert_eq!(reference.num_edges(), cfg.num_edges());
+        assert!(reference.weights.as_ref().unwrap().iter().all(|&w| w > 0.0 && w <= 1.0));
+    }
+
+    #[test]
+    fn parallel_stream_keeps_kronecker_shape() {
+        // The block-split stream must preserve the heavy tail, not just run.
+        let cfg = KroneckerConfig { scale: 12, edge_factor: 16, ..Default::default() };
+        let el = generate_parallel(&cfg, 7, &epg_parallel::ThreadPool::new(4));
+        let stats = degree_stats(&el);
+        assert!(stats.top1pct_edge_share > 0.10, "share {}", stats.top1pct_edge_share);
     }
 
     #[test]

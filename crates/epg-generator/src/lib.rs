@@ -108,6 +108,25 @@ impl GraphSpec {
             }
         }
     }
+
+    /// Materializes the edge list using the pool where a parallel generator
+    /// exists (Kronecker, Uniform — both deterministic per seed regardless
+    /// of thread count, though a different stream than [`GraphSpec::generate`]).
+    /// The citation and dota-league stand-ins model inherently sequential
+    /// attachment processes and fall back to the serial path.
+    pub fn generate_parallel(&self, seed: u64, pool: &epg_parallel::ThreadPool) -> EdgeList {
+        match *self {
+            GraphSpec::Kronecker { scale, edge_factor, weighted } => kronecker::generate_parallel(
+                &kronecker::KroneckerConfig { scale, edge_factor, weighted, ..Default::default() },
+                seed,
+                pool,
+            ),
+            GraphSpec::Uniform { num_vertices, num_edges, weighted } => {
+                uniform::generate_parallel(num_vertices, num_edges, weighted, seed, pool)
+            }
+            GraphSpec::CitPatents { .. } | GraphSpec::DotaLeague { .. } => self.generate(seed),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -24,10 +24,66 @@ pub fn generate(num_vertices: usize, num_edges: usize, weighted: bool, seed: u64
     EdgeList { num_vertices, edges, weights }
 }
 
+/// Parallel uniform generation: fixed blocks of
+/// [`crate::kronecker::GEN_BLOCK`] edges, each from its own block-seeded
+/// `StdRng` — deterministic per seed regardless of thread count (a
+/// different stream than the serial [`generate`]).
+pub fn generate_parallel(
+    num_vertices: usize,
+    num_edges: usize,
+    weighted: bool,
+    seed: u64,
+    pool: &epg_parallel::ThreadPool,
+) -> EdgeList {
+    use crate::kronecker::{mix64, GEN_BLOCK};
+    use epg_parallel::{DisjointWriter, Schedule};
+
+    assert!(num_vertices >= 1, "need at least one vertex");
+    let nblocks = num_edges.div_ceil(GEN_BLOCK);
+    let mut edges = vec![(0 as VertexId, 0 as VertexId); num_edges];
+    let mut weights = weighted.then(|| vec![0.0 as Weight; num_edges]);
+    {
+        let ew = DisjointWriter::new(&mut edges);
+        let ww = weights.as_mut().map(|w| DisjointWriter::new(w.as_mut_slice()));
+        pool.parallel_for(nblocks, Schedule::Dynamic { chunk: 1 }, |b| {
+            let lo = b * GEN_BLOCK;
+            let hi = ((b + 1) * GEN_BLOCK).min(num_edges);
+            let mut rng = StdRng::seed_from_u64(mix64(seed ^ mix64(b as u64 + 1)));
+            let (es, mut ws) =
+                // SAFETY: blocks map 1:1 to disjoint index ranges.
+                unsafe { (ew.range_mut(lo, hi), ww.as_ref().map(|w| w.range_mut(lo, hi))) };
+            for k in 0..hi - lo {
+                let u = rng.gen_range(0..num_vertices) as VertexId;
+                let v = rng.gen_range(0..num_vertices) as VertexId;
+                es[k] = (u, v);
+                if let Some(ws) = ws.as_deref_mut() {
+                    ws[k] = (1.0 - rng.gen::<f32>()).max(f32::MIN_POSITIVE) as Weight;
+                }
+            }
+        });
+    }
+    EdgeList { num_vertices, edges, weights }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use epg_graph::degree::degree_stats;
+
+    #[test]
+    fn parallel_deterministic_across_thread_counts() {
+        let reference = generate_parallel(500, 20_000, true, 9, &epg_parallel::ThreadPool::new(1));
+        for nthreads in [2, 4] {
+            let pool = epg_parallel::ThreadPool::new(nthreads);
+            assert_eq!(generate_parallel(500, 20_000, true, 9, &pool), reference);
+        }
+        assert_ne!(
+            generate_parallel(500, 20_000, true, 10, &epg_parallel::ThreadPool::new(2)),
+            reference
+        );
+        assert_eq!(reference.num_edges(), 20_000);
+        assert!(reference.weights.as_ref().unwrap().iter().all(|&w| w > 0.0 && w <= 1.0));
+    }
 
     #[test]
     fn sizes_and_determinism() {

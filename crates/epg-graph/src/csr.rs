@@ -293,6 +293,93 @@ impl Csr {
         }
         Csr { offsets, targets, weights }
     }
+
+    /// Parallel transpose: same histogram → scan → atomic-cursor scatter
+    /// structure as [`Csr::from_edge_list_parallel`], iterating sources by
+    /// vertex range. Adjacency order within a transposed vertex is
+    /// unspecified (call [`Csr::sort_adjacency`] for a canonical form).
+    pub fn transpose_parallel(&self, pool: &epg_parallel::ThreadPool) -> Csr {
+        use epg_parallel::{DisjointWriter, Schedule};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        if pool.num_threads() == 1 {
+            return self.transpose();
+        }
+        let n = self.num_vertices();
+        let m = self.num_edges();
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        {
+            let targets = &self.targets;
+            pool.parallel_for_ranges(m, Schedule::Static { chunk: None }, |_t, lo, hi| {
+                for &t in &targets[lo..hi] {
+                    counts[t as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let mut scanned: Vec<u64> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total = pool.exclusive_scan(&mut scanned);
+        debug_assert_eq!(total as usize, m);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.extend(scanned.iter().map(|&x| x as usize));
+        offsets.push(m);
+        let cursor: Vec<AtomicU64> = scanned.iter().map(|&x| AtomicU64::new(x)).collect();
+        let mut targets = vec![0 as VertexId; m];
+        let mut weights = self.weights.as_ref().map(|_| vec![0.0 as Weight; m]);
+        {
+            let tw = DisjointWriter::new(&mut targets);
+            let ww = weights.as_mut().map(|w| DisjointWriter::new(w.as_mut_slice()));
+            pool.parallel_for_ranges(n, Schedule::Guided { min_chunk: 64 }, |_t, lo, hi| {
+                for u in lo..hi {
+                    for i in self.offsets[u]..self.offsets[u + 1] {
+                        let t = self.targets[i] as usize;
+                        let slot = cursor[t].fetch_add(1, Ordering::Relaxed) as usize;
+                        // SAFETY: cursors hand out each slot exactly once.
+                        unsafe {
+                            tw.write(slot, u as VertexId);
+                            if let (Some(ww), Some(src)) = (&ww, self.weights.as_ref()) {
+                                ww.write(slot, src[i]);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        Csr { offsets, targets, weights }
+    }
+
+    /// Parallel adjacency sort: vertices are dealt out in ranges and each
+    /// worker sorts its vertices' (disjoint) `targets`/`weights` spans in
+    /// place. Same canonical order as the serial [`Csr::sort_adjacency`].
+    pub fn sort_adjacency_parallel(&mut self, pool: &epg_parallel::ThreadPool) {
+        use epg_parallel::{DisjointWriter, Schedule};
+
+        let n = self.num_vertices();
+        let Csr { offsets, targets, weights } = self;
+        let tw = DisjointWriter::new(targets.as_mut_slice());
+        let ww = weights.as_mut().map(|w| DisjointWriter::new(w.as_mut_slice()));
+        pool.parallel_for_ranges(n, Schedule::Guided { min_chunk: 64 }, |_t, vlo, vhi| {
+            for v in vlo..vhi {
+                let (lo, hi) = (offsets[v], offsets[v + 1]);
+                // SAFETY: per-vertex spans [lo, hi) are disjoint because the
+                // vertex ranges handed to workers are disjoint.
+                unsafe {
+                    let ts = tw.range_mut(lo, hi);
+                    if let Some(ww) = &ww {
+                        let ws = ww.range_mut(lo, hi);
+                        let mut pairs: Vec<(VertexId, Weight)> =
+                            ts.iter().copied().zip(ws.iter().copied()).collect();
+                        pairs.sort_unstable_by_key(|&(t, w)| (t, w.to_bits()));
+                        for (k, (t, w)) in pairs.into_iter().enumerate() {
+                            ts[k] = t;
+                            ws[k] = w;
+                        }
+                    } else {
+                        ts.sort_unstable();
+                    }
+                }
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +402,70 @@ mod parallel_build_tests {
             ser.sort_adjacency();
             assert_eq!(par, ser, "nthreads={nthreads}");
         }
+    }
+
+    #[test]
+    fn parallel_transpose_equals_serial_after_sorting() {
+        for nthreads in [1, 2, 4] {
+            let pool = ThreadPool::new(nthreads);
+            let el = crate::EdgeList::weighted(
+                150,
+                (0..2500u32).map(|i| (i % 150, (i * 11 + 5) % 150)).collect(),
+                (0..2500).map(|i| i as f32 * 0.25).collect(),
+            );
+            let g = Csr::from_edge_list(&el);
+            let mut par = g.transpose_parallel(&pool);
+            let mut ser = g.transpose();
+            par.sort_adjacency();
+            ser.sort_adjacency();
+            assert_eq!(par, ser, "nthreads={nthreads}");
+            assert_eq!(par.offsets, ser.offsets);
+        }
+    }
+
+    #[test]
+    fn parallel_sort_adjacency_equals_serial() {
+        for nthreads in [1, 2, 4] {
+            let pool = ThreadPool::new(nthreads);
+            for weighted in [false, true] {
+                let edges: Vec<_> = (0..2000u32).map(|i| (i % 97, (i * 31 + 7) % 97)).collect();
+                let el = if weighted {
+                    crate::EdgeList::weighted(
+                        97,
+                        edges.clone(),
+                        (0..2000).map(|i| (i % 13) as f32).collect(),
+                    )
+                } else {
+                    crate::EdgeList::new(97, edges)
+                };
+                let mut par = Csr::from_edge_list(&el);
+                let mut ser = par.clone();
+                par.sort_adjacency_parallel(&pool);
+                ser.sort_adjacency();
+                assert_eq!(par, ser, "nthreads={nthreads} weighted={weighted}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_transpose_empty_graph() {
+        let pool = ThreadPool::new(2);
+        let g = Csr::from_edge_list(&crate::EdgeList::new(0, vec![]));
+        let t = g.transpose_parallel(&pool);
+        assert_eq!(t.num_vertices(), 0);
+        assert_eq!(t.num_edges(), 0);
+    }
+
+    #[test]
+    fn size_bytes_accounts_for_weights() {
+        // Pin the accounting: offsets are usize, targets u32, weights f32.
+        let el = crate::EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let g = Csr::from_edge_list(&el);
+        let unweighted = 5 * std::mem::size_of::<usize>() + 3 * std::mem::size_of::<VertexId>();
+        assert_eq!(g.size_bytes(), unweighted);
+        let elw = crate::EdgeList::weighted(4, vec![(0, 1), (1, 2), (2, 3)], vec![1.0, 2.0, 3.0]);
+        let gw = Csr::from_edge_list(&elw);
+        assert_eq!(gw.size_bytes(), unweighted + 3 * std::mem::size_of::<Weight>());
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod csr;
 pub mod dcsc;
 pub mod degree;
 pub mod edge_list;
+pub mod ingest;
 pub mod oracle;
 pub mod snap;
 pub mod validate;

@@ -140,7 +140,7 @@ pub fn write_snap_file(el: &EdgeList, name: &str, path: &Path) -> io::Result<()>
     write_snap(el, name, std::fs::File::create(path)?)
 }
 
-const BIN_MAGIC: &[u8; 8] = b"EPGBIN01";
+pub(crate) const BIN_MAGIC: &[u8; 8] = b"EPGBIN01";
 
 /// Writes the homogenizer's compact binary format: magic, vertex count,
 /// edge count, weighted flag, then little-endian `(u32, u32[, f32])` records.

@@ -296,6 +296,133 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Parallel ingest parity: the chunked zero-copy parser, parallel CSR
+// phases, and block generators must agree with their serial oracles for
+// every input and every chunk/thread count. These run under the
+// `check-disjoint` feature in CI, so the unsafe disjoint writes are also
+// dynamically race-checked here.
+// ---------------------------------------------------------------------------
+
+use epg_graph::ingest;
+use epg_parallel::ThreadPool;
+
+/// Serial and chunked parse must agree: same edge multiset and vertex
+/// count on success, identical `Malformed { line, reason }` on failure.
+/// (The soup strategies are printable ASCII, so the documented UTF-8
+/// `Io`-vs-`Malformed` divergence cannot trigger here.)
+fn assert_parse_parity(text: &str, pool: &ThreadPool, nchunks: usize) -> Result<(), TestCaseError> {
+    let serial = snap::parse_snap(text.as_bytes());
+    let chunked = ingest::parse_snap_chunked(text.as_bytes(), pool, nchunks);
+    match (serial, chunked) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(a.num_vertices, b.num_vertices);
+            prop_assert_eq!(edge_multiset(&a), edge_multiset(&b));
+        }
+        (
+            Err(snap::ParseError::Malformed { line: l1, reason: r1 }),
+            Err(snap::ParseError::Malformed { line: l2, reason: r2 }),
+        ) => {
+            prop_assert_eq!(l1, l2, "line mismatch: {} vs {}", r1, r2);
+            prop_assert_eq!(r1, r2);
+        }
+        (a, b) => prop_assert!(false, "outcome class diverged: {:?} vs {:?}", a, b),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_parse_matches_serial_on_soup(
+        text in arb_snap_soup(),
+        threads in 1usize..=4,
+        nchunks in 1usize..=6,
+    ) {
+        let pool = ThreadPool::new(threads);
+        assert_parse_parity(&text, &pool, nchunks)?;
+    }
+
+    #[test]
+    fn error_line_numbers_are_physical_lines(
+        good in 0usize..8,
+        noise_every in 1usize..4,
+        threads in 1usize..=4,
+    ) {
+        // Valid data lines interleaved with comments and blanks, then a
+        // bad line: the reported number must be the bad line's *physical*
+        // position in the file — for the serial oracle AND every chunking
+        // of the parallel parser.
+        let mut text = String::new();
+        let mut physical = 0usize;
+        for i in 0..good {
+            if i % noise_every == 0 {
+                text.push_str("# interleaved comment\n\n");
+                physical += 2;
+            }
+            let _ = std::fmt::Write::write_fmt(
+                &mut text,
+                format_args!("{} {}\n", i, i + 1),
+            );
+            physical += 1;
+        }
+        text.push_str("# trailing comment\n\n");
+        text.push_str("not numbers\n");
+        let want = physical + 3;
+        match snap::parse_snap(text.as_bytes()) {
+            Err(snap::ParseError::Malformed { line, .. }) => prop_assert_eq!(line, want),
+            other => prop_assert!(false, "serial: expected Malformed, got {:?}", other),
+        }
+        let pool = ThreadPool::new(threads);
+        for nchunks in 1..=5 {
+            match ingest::parse_snap_chunked(text.as_bytes(), &pool, nchunks) {
+                Err(snap::ParseError::Malformed { line, .. }) => prop_assert_eq!(line, want),
+                other => prop_assert!(
+                    false, "parallel ({} chunks): expected Malformed, got {:?}", nchunks, other
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_csr_phases_match_serial(
+        el in arb_weighted_graph(),
+        threads in 1usize..=4,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let g = Csr::from_edge_list(&el);
+
+        // Build: same graph after canonical adjacency ordering.
+        let mut pb = Csr::from_edge_list_parallel(&el, &pool);
+        let mut sb = g.clone();
+        pb.sort_adjacency_parallel(&pool);
+        sb.sort_adjacency();
+        prop_assert_eq!(&pb, &sb);
+
+        // Transpose: parallel and serial agree after sorting.
+        let mut pt = g.transpose_parallel(&pool);
+        let mut st = g.transpose();
+        pt.sort_adjacency_parallel(&pool);
+        st.sort_adjacency();
+        prop_assert_eq!(pt, st);
+    }
+
+    #[test]
+    fn parallel_binary_codec_matches_serial(
+        el in arb_weighted_graph(),
+        threads in 1usize..=4,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let mut serial_bytes = Vec::new();
+        snap::write_binary(&el, &mut serial_bytes).unwrap();
+        // Byte-identical encode; decode parity both ways.
+        prop_assert_eq!(&ingest::encode_binary_parallel(&el, &pool), &serial_bytes);
+        prop_assert_eq!(&ingest::decode_binary_parallel(&serial_bytes, &pool).unwrap(), &el);
+        prop_assert_eq!(&snap::read_binary(serial_bytes.as_slice()).unwrap(), &el);
+    }
+}
+
 proptest! {
     #[test]
     fn betweenness_is_nonnegative_and_zero_on_leaves(el in arb_graph()) {

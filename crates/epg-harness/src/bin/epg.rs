@@ -7,6 +7,7 @@
 //! epg run   --scale 14 --threads 2  # phase 3 (also runs 2 if needed)
 //! epg all   --scale 14              # phases 2-5
 //! epg graphalytics --scale 12       # the comparator + HTML report
+//! epg bench --json [--quick]        # ingest pipeline medians -> BENCH_ingest.json
 //! epg trace summarize --input F     # summarize a *.trace.jsonl file
 //! ```
 
@@ -30,6 +31,8 @@ struct Args {
     snap_file: Option<PathBuf>,
     input: Option<PathBuf>,
     trial_budget_ms: Option<u64>,
+    json: bool,
+    quick: bool,
 }
 
 fn parse_args(argv: std::env::Args) -> Result<Args, String> {
@@ -53,6 +56,8 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
         snap_file: None,
         input: None,
         trial_budget_ms: None,
+        json: false,
+        quick: false,
     };
     let mut it = argv.peekable();
     while let Some(flag) = it.next() {
@@ -72,6 +77,8 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
             "--out" => a.out = PathBuf::from(val("--out")?),
             "--weighted" => a.weighted = true,
             "--unweighted" => a.weighted = false,
+            "--json" => a.json = true,
+            "--quick" => a.quick = true,
             "--snap" => a.snap_file = Some(PathBuf::from(val("--snap")?)),
             "--input" => a.input = Some(PathBuf::from(val("--input")?)),
             "--trial-budget-ms" => {
@@ -88,9 +95,10 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: epg <setup|gen|run|all|graphalytics|granula|trace summarize> \
+    "usage: epg <setup|gen|run|all|graphalytics|granula|bench|trace summarize> \
      [--scale N] [--weighted|--unweighted] [--threads N] [--roots N|--all-roots] \
-     [--seed N] [--out DIR] [--snap FILE] [--input FILE] [--trial-budget-ms N]"
+     [--seed N] [--out DIR] [--snap FILE] [--input FILE] [--trial-budget-ms N] \
+     [--json] [--quick]"
         .to_string()
 }
 
@@ -200,6 +208,33 @@ fn real_main() -> Result<(), String> {
                 let path = html_dir.join(format!("{}.html", k.name()));
                 std::fs::write(&path, graphalytics::html_report(k, &cells))
                     .map_err(|e| e.to_string())?;
+                println!("wrote {}", path.display());
+            }
+        }
+        "bench" => {
+            use epg_harness::ingestbench;
+            let mut cfg = if args.quick {
+                ingestbench::IngestBenchConfig::quick()
+            } else {
+                ingestbench::IngestBenchConfig::full()
+            };
+            cfg.seed = args.seed;
+            eprintln!(
+                "ingest bench: kronecker scale {} x{} edges, {} trials, threads {:?}...",
+                cfg.scale, cfg.edge_factor, cfg.trials, cfg.threads
+            );
+            let report = ingestbench::run_ingest_bench(&cfg);
+            for p in &report.phases {
+                let per: Vec<String> =
+                    p.per_thread.iter().map(|&(t, m)| format!("t={t}: {m:.5}s")).collect();
+                println!("{:<12} serial {:.5}s | {}", p.phase, p.serial_median_s, per.join(" | "));
+            }
+            if args.json {
+                let json = report.to_json();
+                ingestbench::validate_report_json(&json)
+                    .map_err(|e| format!("generated JSON failed validation: {e}"))?;
+                let path = args.out.join("BENCH_ingest.json");
+                std::fs::write(&path, &json).map_err(|e| e.to_string())?;
                 println!("wrote {}", path.display());
             }
         }

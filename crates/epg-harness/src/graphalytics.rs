@@ -99,7 +99,9 @@ pub fn run_graphalytics(
     for &kind in engines {
         let mut engine = kind.create();
         let t0 = Instant::now();
-        engine.load_file(&ds.input_path_for(&dir, kind)).expect("engine failed to load input");
+        engine
+            .load_file(&ds.input_path_for(&dir, kind), &pool)
+            .expect("engine failed to load input");
         let read_s = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
         engine.construct(&pool);

@@ -1,0 +1,656 @@
+//! The ingest benchmark: machine-readable timing trajectory for the
+//! zero-copy parallel ingest pipeline (`epg bench --json`).
+//!
+//! The paper's methodology separates file read from data-structure
+//! construction precisely because the two scale differently (§III-B).
+//! This module measures the five ingest phases the parallel pipeline
+//! accelerates — SNAP text parse, binary decode, CSR build, transpose,
+//! adjacency sort — against their serial oracles, at several thread
+//! counts, and emits the medians as `BENCH_ingest.json`.
+//!
+//! The JSON schema (`epg-ingest-bench/v1`) is hand-rolled and validated
+//! by [`validate_report_json`], a dependency-free recursive-descent
+//! parser; the CI `bench-smoke` job and a tier-1 unit test both run the
+//! validator so the file format cannot silently drift. On a single-core
+//! machine the per-thread medians will not show speedup — the file is a
+//! *trajectory* record: re-run on a multi-core host, the same schema
+//! shows the scaling curve (see EXPERIMENTS.md).
+
+use crate::stats::Summary;
+use epg_generator::GraphSpec;
+use epg_graph::{ingest, snap, Csr};
+use epg_parallel::ThreadPool;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "epg-ingest-bench/v1";
+
+/// Phases every well-formed report must contain, in emission order.
+pub const PHASES: [&str; 5] = ["read", "read_binary", "build", "transpose", "sort"];
+
+/// Benchmark configuration: one Kronecker workload, measured `trials`
+/// times per phase per thread count.
+#[derive(Clone, Debug)]
+pub struct IngestBenchConfig {
+    /// Kronecker scale (2^scale vertices).
+    pub scale: u32,
+    /// Edges per vertex.
+    pub edge_factor: u32,
+    /// Trials per measurement; the median is reported.
+    pub trials: usize,
+    /// Thread counts to sweep (the schema requires at least two).
+    pub threads: Vec<usize>,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl IngestBenchConfig {
+    /// CI-smoke configuration: small enough to finish in seconds anywhere.
+    pub fn quick() -> IngestBenchConfig {
+        IngestBenchConfig { scale: 12, edge_factor: 8, trials: 3, threads: vec![1, 2], seed: 42 }
+    }
+
+    /// Full configuration for the committed snapshot: the largest scale
+    /// that still fits a CI-class single machine comfortably.
+    pub fn full() -> IngestBenchConfig {
+        IngestBenchConfig {
+            scale: 16,
+            edge_factor: 16,
+            trials: 5,
+            threads: vec![1, 2, 4],
+            seed: 42,
+        }
+    }
+}
+
+/// One phase's medians: the serial oracle and one median per thread count.
+#[derive(Clone, Debug)]
+pub struct PhaseTiming {
+    /// Phase name (one of [`PHASES`]).
+    pub phase: &'static str,
+    /// Median seconds of the serial implementation.
+    pub serial_median_s: f64,
+    /// `(threads, median seconds)` for the parallel implementation.
+    pub per_thread: Vec<(usize, f64)>,
+}
+
+/// The full report: config echo, workload shape, and per-phase timings.
+#[derive(Clone, Debug)]
+pub struct IngestBenchReport {
+    /// The configuration that produced this report.
+    pub config: IngestBenchConfig,
+    /// Vertices in the measured edge list.
+    pub nvertices: usize,
+    /// Edges in the measured edge list.
+    pub nedges: usize,
+    /// Bytes of the rendered SNAP text input.
+    pub snap_bytes: usize,
+    /// Bytes of the binary input.
+    pub bin_bytes: usize,
+    /// Hardware threads of the measuring host (context for the medians).
+    pub host_threads: usize,
+    /// One entry per phase, in [`PHASES`] order.
+    pub phases: Vec<PhaseTiming>,
+}
+
+fn median_secs(trials: usize, mut f: impl FnMut()) -> f64 {
+    let samples: Vec<f64> = (0..trials.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    Summary::of(&samples).median
+}
+
+/// Runs the ingest benchmark: generates the workload, renders both input
+/// formats in memory (no disk noise), then times each phase serially and
+/// at every configured thread count.
+pub fn run_ingest_bench(cfg: &IngestBenchConfig) -> IngestBenchReport {
+    let el =
+        GraphSpec::Kronecker { scale: cfg.scale, edge_factor: cfg.edge_factor, weighted: true }
+            .generate(cfg.seed)
+            .deduplicated();
+
+    let mut snap_bytes = Vec::new();
+    snap::write_snap(&el, "bench", &mut snap_bytes).expect("in-memory write");
+    let mut bin_bytes = Vec::new();
+    snap::write_binary(&el, &mut bin_bytes).expect("in-memory write");
+    let csr = Csr::from_edge_list(&el);
+
+    let pools: Vec<ThreadPool> = cfg.threads.iter().map(|&t| ThreadPool::new(t.max(1))).collect();
+    let trials = cfg.trials;
+
+    // Each closure pair: (serial oracle, parallel at a given pool).
+    let mut phases = Vec::new();
+    {
+        let serial = median_secs(trials, || {
+            black_box(snap::parse_snap(&snap_bytes[..]).expect("clean input"));
+        });
+        let per_thread = pools
+            .iter()
+            .zip(&cfg.threads)
+            .map(|(pool, &t)| {
+                (
+                    t,
+                    median_secs(trials, || {
+                        black_box(
+                            ingest::parse_snap_parallel(&snap_bytes, pool).expect("clean input"),
+                        );
+                    }),
+                )
+            })
+            .collect();
+        phases.push(PhaseTiming { phase: "read", serial_median_s: serial, per_thread });
+    }
+    {
+        let serial = median_secs(trials, || {
+            black_box(snap::read_binary(&bin_bytes[..]).expect("clean input"));
+        });
+        let per_thread = pools
+            .iter()
+            .zip(&cfg.threads)
+            .map(|(pool, &t)| {
+                (
+                    t,
+                    median_secs(trials, || {
+                        black_box(
+                            ingest::decode_binary_parallel(&bin_bytes, pool).expect("clean input"),
+                        );
+                    }),
+                )
+            })
+            .collect();
+        phases.push(PhaseTiming { phase: "read_binary", serial_median_s: serial, per_thread });
+    }
+    {
+        let serial = median_secs(trials, || {
+            black_box(Csr::from_edge_list(&el));
+        });
+        let per_thread = pools
+            .iter()
+            .zip(&cfg.threads)
+            .map(|(pool, &t)| {
+                (
+                    t,
+                    median_secs(trials, || {
+                        black_box(Csr::from_edge_list_parallel(&el, pool));
+                    }),
+                )
+            })
+            .collect();
+        phases.push(PhaseTiming { phase: "build", serial_median_s: serial, per_thread });
+    }
+    {
+        let serial = median_secs(trials, || {
+            black_box(csr.transpose());
+        });
+        let per_thread = pools
+            .iter()
+            .zip(&cfg.threads)
+            .map(|(pool, &t)| {
+                (
+                    t,
+                    median_secs(trials, || {
+                        black_box(csr.transpose_parallel(pool));
+                    }),
+                )
+            })
+            .collect();
+        phases.push(PhaseTiming { phase: "transpose", serial_median_s: serial, per_thread });
+    }
+    {
+        let serial = median_secs(trials, || {
+            let mut c = csr.clone();
+            c.sort_adjacency();
+            black_box(c);
+        });
+        let per_thread = pools
+            .iter()
+            .zip(&cfg.threads)
+            .map(|(pool, &t)| {
+                (
+                    t,
+                    median_secs(trials, || {
+                        let mut c = csr.clone();
+                        c.sort_adjacency_parallel(pool);
+                        black_box(c);
+                    }),
+                )
+            })
+            .collect();
+        phases.push(PhaseTiming { phase: "sort", serial_median_s: serial, per_thread });
+    }
+
+    IngestBenchReport {
+        config: cfg.clone(),
+        nvertices: el.num_vertices,
+        nedges: el.num_edges(),
+        snap_bytes: snap_bytes.len(),
+        bin_bytes: bin_bytes.len(),
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        phases,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl IngestBenchReport {
+    /// Renders the report as pretty-printed `epg-ingest-bench/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut o = String::new();
+        let _ = writeln!(o, "{{");
+        let _ = writeln!(o, "  \"schema\": \"{}\",", json_escape(SCHEMA));
+        let _ = writeln!(
+            o,
+            "  \"config\": {{\"scale\": {}, \"edge_factor\": {}, \"trials\": {}, \
+             \"threads\": [{}], \"seed\": {}}},",
+            self.config.scale,
+            self.config.edge_factor,
+            self.config.trials,
+            self.config.threads.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", "),
+            self.config.seed
+        );
+        let _ = writeln!(
+            o,
+            "  \"graph\": {{\"nvertices\": {}, \"nedges\": {}, \"snap_bytes\": {}, \
+             \"bin_bytes\": {}}},",
+            self.nvertices, self.nedges, self.snap_bytes, self.bin_bytes
+        );
+        let _ = writeln!(o, "  \"host\": {{\"hardware_threads\": {}}},", self.host_threads);
+        let _ = writeln!(o, "  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            let _ = writeln!(o, "    {{");
+            let _ = writeln!(o, "      \"phase\": \"{}\",", json_escape(p.phase));
+            let _ = writeln!(o, "      \"serial_median_s\": {:.9},", p.serial_median_s);
+            let _ = writeln!(o, "      \"per_thread\": [");
+            for (j, &(t, m)) in p.per_thread.iter().enumerate() {
+                let speedup = p.serial_median_s / m.max(1e-12);
+                let _ = writeln!(
+                    o,
+                    "        {{\"threads\": {t}, \"median_s\": {m:.9}, \
+                     \"speedup_vs_serial\": {speedup:.4}}}{}",
+                    if j + 1 < p.per_thread.len() { "," } else { "" }
+                );
+            }
+            let _ = writeln!(o, "      ]");
+            let _ = writeln!(o, "    }}{}", if i + 1 < self.phases.len() { "," } else { "" });
+        }
+        let _ = writeln!(o, "  ]");
+        let _ = writeln!(o, "}}");
+        o
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation: a minimal recursive-descent JSON parser (no serde in
+// the dependency budget), plus structural checks over the parsed tree.
+// ---------------------------------------------------------------------------
+
+/// Parsed JSON value (only what validation needs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as f64.
+    Num(f64),
+    /// String with escapes resolved.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as an ordered key/value list (duplicate keys: last wins on get).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.b.len() && matches!(self.b[self.pos], b' ' | b'\t' | b'\n' | b'\r') {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut kv = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(kv));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let v = self.value()?;
+            kv.push((k, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(kv));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut vs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(vs));
+        }
+        loop {
+            vs.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(vs));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.b.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged).
+                    let rest = std::str::from_utf8(&self.b[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let tok = std::str::from_utf8(&self.b[start..self.pos]).unwrap();
+        tok.parse::<f64>().map(Json::Num).map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Parses a complete JSON document (rejects trailing garbage).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser { b: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+fn check_num(v: &Json, key: &str, min: f64) -> Result<f64, String> {
+    let x = v
+        .get(key)
+        .and_then(Json::num)
+        .ok_or_else(|| format!("missing or non-numeric \"{key}\""))?;
+    if !x.is_finite() || x < min {
+        return Err(format!("\"{key}\" = {x} out of range (min {min})"));
+    }
+    Ok(x)
+}
+
+/// Structural validation of a `BENCH_ingest.json` document. Returns a
+/// description of the first violation found.
+pub fn validate_report_json(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    if doc.get("schema").and_then(Json::str) != Some(SCHEMA) {
+        return Err(format!("\"schema\" must be \"{SCHEMA}\""));
+    }
+
+    let config = doc.get("config").ok_or("missing \"config\"")?;
+    check_num(config, "scale", 1.0)?;
+    check_num(config, "edge_factor", 1.0)?;
+    check_num(config, "trials", 1.0)?;
+    check_num(config, "seed", 0.0)?;
+    let threads =
+        config.get("threads").and_then(Json::arr).ok_or("\"config.threads\" must be an array")?;
+    if threads.len() < 2 {
+        return Err("\"config.threads\" needs at least 2 thread counts".into());
+    }
+
+    let graph = doc.get("graph").ok_or("missing \"graph\"")?;
+    check_num(graph, "nvertices", 1.0)?;
+    check_num(graph, "nedges", 1.0)?;
+
+    let phases = doc.get("phases").and_then(Json::arr).ok_or("\"phases\" must be an array")?;
+    for want in PHASES {
+        let p = phases
+            .iter()
+            .find(|p| p.get("phase").and_then(Json::str) == Some(want))
+            .ok_or_else(|| format!("missing phase \"{want}\""))?;
+        check_num(p, "serial_median_s", 0.0)?;
+        let per = p
+            .get("per_thread")
+            .and_then(Json::arr)
+            .ok_or_else(|| format!("phase \"{want}\": \"per_thread\" must be an array"))?;
+        if per.len() < 2 {
+            return Err(format!("phase \"{want}\": need medians at >= 2 thread counts"));
+        }
+        for e in per {
+            check_num(e, "threads", 1.0)?;
+            check_num(e, "median_s", 0.0)?;
+            check_num(e, "speedup_vs_serial", 0.0)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> IngestBenchConfig {
+        IngestBenchConfig { scale: 7, edge_factor: 4, trials: 1, threads: vec![1, 2], seed: 42 }
+    }
+
+    #[test]
+    fn report_emits_valid_schema() {
+        let report = run_ingest_bench(&tiny());
+        assert_eq!(report.phases.len(), PHASES.len());
+        let json = report.to_json();
+        validate_report_json(&json).unwrap_or_else(|e| panic!("{e}\n---\n{json}"));
+    }
+
+    #[test]
+    fn quick_config_passes_schema_requirements() {
+        // The CI smoke job uses quick(); make its shape a tier-1 invariant.
+        let q = IngestBenchConfig::quick();
+        assert!(q.threads.len() >= 2);
+        assert!(q.trials >= 1);
+    }
+
+    #[test]
+    fn validator_rejects_structural_damage() {
+        let good = run_ingest_bench(&tiny()).to_json();
+        assert!(validate_report_json(&good).is_ok());
+        // Wrong schema tag.
+        let bad = good.replace(SCHEMA, "epg-ingest-bench/v0");
+        assert!(validate_report_json(&bad).unwrap_err().contains("schema"));
+        // A required phase missing entirely.
+        let bad = good.replace("\"transpose\"", "\"transposed\"");
+        assert!(validate_report_json(&bad).unwrap_err().contains("transpose"));
+        // Not JSON at all.
+        assert!(validate_report_json("{\"schema\": ").is_err());
+        // Trailing garbage.
+        assert!(validate_report_json(&format!("{good} x")).is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5e1, "x\n\"A"], "b": {"c": null, "d": true}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().arr().unwrap()[2], Json::Str("x\n\"A".into()));
+        assert_eq!(v.get("a").unwrap().arr().unwrap()[1], Json::Num(-25.0));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{\"k\" 1}").is_err());
+    }
+
+    #[test]
+    fn speedup_fields_are_consistent() {
+        let report = run_ingest_bench(&tiny());
+        let json = report.to_json();
+        let doc = parse_json(&json).unwrap();
+        let phases = doc.get("phases").unwrap().arr().unwrap();
+        for p in phases {
+            let serial = p.get("serial_median_s").unwrap();
+            let Json::Num(serial) = serial else { panic!() };
+            for e in p.get("per_thread").unwrap().arr().unwrap() {
+                let Some(Json::Num(m)) = e.get("median_s") else { panic!() };
+                let Some(Json::Num(s)) = e.get("speedup_vs_serial") else { panic!() };
+                let want = serial / m.max(1e-12);
+                assert!((s - want).abs() <= 0.05 * want.max(1e-9) + 1e-4);
+            }
+        }
+    }
+}

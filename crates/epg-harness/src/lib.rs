@@ -24,6 +24,7 @@ pub mod csvio;
 pub mod dataset;
 pub mod granula;
 pub mod graphalytics;
+pub mod ingestbench;
 pub mod logs;
 pub mod pipeline;
 pub mod plot;

@@ -107,6 +107,55 @@ pub fn render(result: &ExperimentResult, ds: &Dataset, projected_threads: usize)
         }
     }
 
+    // ---- ingest phases (read + build medians per thread count) ----
+    // The parallel ingest pipeline makes these phases thread-sensitive;
+    // when the result spans a thread sweep, show the speedup of the
+    // highest thread count over the lowest for each separable phase.
+    let tcounts = result.thread_counts();
+    let has_reads =
+        result.records.iter().any(|r| r.phase == Phase::ReadFile || r.phase == Phase::Construct);
+    if has_reads && !tcounts.is_empty() {
+        let _ = writeln!(out, "\n## Ingest phases (seconds, median per thread count)\n");
+        let cols: String = tcounts.iter().map(|t| format!(" t={t} |")).collect();
+        let _ = writeln!(out, "| engine | phase |{cols} speedup |");
+        let _ =
+            writeln!(out, "|---|---|{}---|", tcounts.iter().map(|_| "---|").collect::<String>());
+        for kind in EngineKind::ALL {
+            for label in ["read", "construct"] {
+                let medians: Vec<Option<f64>> = tcounts
+                    .iter()
+                    .map(|&t| {
+                        let ts = if label == "read" {
+                            result.read_times_at(kind, t)
+                        } else {
+                            result.construct_times_at(kind, t)
+                        };
+                        (!ts.is_empty()).then(|| crate::stats::Summary::of(&ts).median)
+                    })
+                    .collect();
+                if medians.iter().all(Option::is_none) {
+                    continue;
+                }
+                let mut row = format!("| {} | {label} |", kind.name());
+                for m in &medians {
+                    match m {
+                        Some(m) => {
+                            let _ = write!(row, " {m:.5} |");
+                        }
+                        None => row.push_str(" N/A |"),
+                    }
+                }
+                match (medians.first().copied().flatten(), medians.last().copied().flatten()) {
+                    (Some(lo), Some(hi)) if tcounts.len() > 1 => {
+                        let _ = write!(row, " {:.2}x |", crate::stats::speedup(lo, hi));
+                    }
+                    _ => row.push_str(" — |"),
+                }
+                let _ = writeln!(out, "{row}");
+            }
+        }
+    }
+
     // ---- PageRank iterations ----
     let pr_rows: Vec<(EngineKind, f64)> = EngineKind::ALL
         .into_iter()
@@ -181,6 +230,7 @@ mod tests {
             "## Dataset",
             "## Kernel times",
             "## Data structure construction",
+            "## Ingest phases",
             "## PageRank iterations",
             "## Projected energy",
         ] {

@@ -179,6 +179,34 @@ impl ExperimentResult {
             .collect()
     }
 
+    /// File-read ("ReadFile" phase) samples for one engine at one thread
+    /// count — feeds the ingest-phase table's read/build speedup column
+    /// when the result spans a thread sweep.
+    pub fn read_times_at(&self, engine: EngineKind, threads: usize) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.engine == engine && r.phase == Phase::ReadFile && r.threads == threads)
+            .map(|r| r.seconds)
+            .collect()
+    }
+
+    /// Construction-time samples for one engine at one thread count.
+    pub fn construct_times_at(&self, engine: EngineKind, threads: usize) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.engine == engine && r.phase == Phase::Construct && r.threads == threads)
+            .map(|r| r.seconds)
+            .collect()
+    }
+
+    /// The distinct thread counts present in the records, ascending.
+    pub fn thread_counts(&self) -> Vec<usize> {
+        let mut t: Vec<usize> = self.records.iter().map(|r| r.threads).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
     /// Construction-time samples for one engine (empty when fused).
     pub fn construct_times(&self, engine: EngineKind) -> Vec<f64> {
         self.records
@@ -250,7 +278,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
     // Homogenized files, if the file path is requested.
     let file_dir = cfg.use_files.then(|| {
         let dir = cfg.work_dir.clone().unwrap_or_else(|| std::env::temp_dir().join("epg-work"));
-        ds.write_files(&dir).expect("failed to write homogenized files");
+        ds.write_files_parallel(&dir, &pool).expect("failed to write homogenized files");
         dir
     });
 
@@ -265,7 +293,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
         let t0 = Instant::now();
         if let Some(dir) = &file_dir {
             engine
-                .load_file(&ds.input_path_for(dir, kind))
+                .load_file(&ds.input_path_for(dir, kind), &pool)
                 .expect("engine failed to load homogenized file");
         } else {
             engine.load_edge_list(ds.edges_for(kind));

@@ -97,6 +97,29 @@ impl<'a, T> DisjointWriter<'a, T> {
         unsafe { &mut *self.ptr.add(i) }
     }
 
+    /// Mutable access to the sub-slice `[lo, hi)` for loops whose workers
+    /// each own a contiguous, non-overlapping range (per-vertex adjacency
+    /// sorts, chunked stitch copies, fixed-stride codecs).
+    ///
+    /// # Safety
+    /// Within one parallel region the ranges handed out must be pairwise
+    /// disjoint, and no other access to `[lo, hi)` may occur while the
+    /// returned slice is live. Bounds (`lo <= hi <= len`) are checked.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [T] {
+        assert!(
+            lo <= hi && hi <= self.len,
+            "DisjointWriter range {lo}..{hi} out of bounds ({})",
+            self.len
+        );
+        for i in lo..hi {
+            self.record(i);
+        }
+        // SAFETY: bounds were just asserted; exclusivity of the returned
+        // slice is the caller's contract (disjoint ranges per region).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
+    }
+
     /// Records a write of index `i` in the shadow table and panics if a
     /// different worker already wrote it within the current parallel region.
     /// Outside any region (`region == 0`) the writer is reachable from one
@@ -174,6 +197,32 @@ mod tests {
             });
         }
         assert!(data.iter().enumerate().all(|(i, v)| v == &[i]));
+    }
+
+    #[test]
+    fn range_mut_disjoint_ranges_land() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 997];
+        {
+            let w = DisjointWriter::new(&mut data);
+            pool.parallel_for_ranges(997, Schedule::Guided { min_chunk: 16 }, |_t, lo, hi| {
+                // SAFETY: parallel_for_ranges hands out pairwise-disjoint ranges.
+                let s = unsafe { w.range_mut(lo, hi) };
+                for (k, slot) in s.iter_mut().enumerate() {
+                    *slot = (lo + k) * 2;
+                }
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn range_mut_oob_panics() {
+        let mut data = vec![0u8; 4];
+        let w = DisjointWriter::new(&mut data);
+        // SAFETY: intentionally out of bounds — the assert must fire.
+        unsafe { w.range_mut(2, 5) };
     }
 
     #[test]

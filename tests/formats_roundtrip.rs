@@ -26,7 +26,7 @@ fn every_engine_loads_its_homogenized_file_and_computes_correctly() {
         [EngineKind::Gap, EngineKind::GraphBig, EngineKind::GraphMat, EngineKind::PowerGraph]
     {
         let mut e = kind.create();
-        e.load_file(&ds.input_path_for(&dir, kind)).unwrap();
+        e.load_file(&ds.input_path_for(&dir, kind), &pool).unwrap();
         e.construct(&pool);
         let AlgorithmResult::Distances(d) =
             e.run(Algorithm::Sssp, &RunParams::new(&pool, Some(root))).result
@@ -53,7 +53,7 @@ fn graph500_gets_raw_edges_and_symmetrizes_itself() {
 
     let pool = ThreadPool::new(1);
     let mut e = EngineKind::Graph500.create();
-    e.load_file(&ds.input_path_for(&dir, EngineKind::Graph500)).unwrap();
+    e.load_file(&ds.input_path_for(&dir, EngineKind::Graph500), &pool).unwrap();
     e.construct(&pool);
     let root = ds.roots[0];
     let out = e.run(Algorithm::Bfs, &RunParams::new(&pool, Some(root)));
@@ -94,7 +94,7 @@ fn weights_survive_the_full_file_path_into_results() {
     ds.write_files(&dir).unwrap();
     let pool = ThreadPool::new(1);
     let mut e = EngineKind::Gap.create();
-    e.load_file(&ds.input_path_for(&dir, EngineKind::Gap)).unwrap();
+    e.load_file(&ds.input_path_for(&dir, EngineKind::Gap), &pool).unwrap();
     e.construct(&pool);
     let AlgorithmResult::Distances(d) =
         e.run(Algorithm::Sssp, &RunParams::new(&pool, Some(0))).result
