@@ -56,8 +56,7 @@ pub fn betweenness(g: &Csr, pool: &ThreadPool, sources: Option<usize>, seed: u64
         // ---- forward phase: level-synchronous BFS counting paths ----
         let mut levels: Vec<Vec<VertexId>> = vec![vec![s]];
         let mut depth: i64 = 0;
-        loop {
-            let frontier = levels.last().unwrap();
+        while let Some(frontier) = levels.last() {
             if frontier.is_empty() {
                 levels.pop();
                 break;

@@ -52,8 +52,7 @@ pub fn betweenness(
 
         let mut levels: Vec<Vec<VertexId>> = vec![vec![s]];
         let mut depth: i64 = 0;
-        loop {
-            let frontier = levels.last().unwrap();
+        while let Some(frontier) = levels.last() {
             if frontier.is_empty() {
                 levels.pop();
                 break;

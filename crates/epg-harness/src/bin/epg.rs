@@ -9,6 +9,7 @@
 //! epg graphalytics --scale 12       # the comparator + HTML report
 //! epg bench --json [--quick]        # ingest pipeline medians -> BENCH_ingest.json
 //! epg trace summarize --input F     # summarize a *.trace.jsonl file
+//! epg lint [--json] [--strict]      # workspace static analysis (DESIGN.md §10)
 //! ```
 
 use epg_generator::GraphSpec;
@@ -33,6 +34,8 @@ struct Args {
     trial_budget_ms: Option<u64>,
     json: bool,
     quick: bool,
+    strict: bool,
+    baseline: Option<PathBuf>,
 }
 
 fn parse_args(argv: std::env::Args) -> Result<Args, String> {
@@ -58,6 +61,8 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
         trial_budget_ms: None,
         json: false,
         quick: false,
+        strict: false,
+        baseline: None,
     };
     let mut it = argv.peekable();
     while let Some(flag) = it.next() {
@@ -79,6 +84,8 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
             "--unweighted" => a.weighted = false,
             "--json" => a.json = true,
             "--quick" => a.quick = true,
+            "--strict" => a.strict = true,
+            "--baseline" => a.baseline = Some(PathBuf::from(val("--baseline")?)),
             "--snap" => a.snap_file = Some(PathBuf::from(val("--snap")?)),
             "--input" => a.input = Some(PathBuf::from(val("--input")?)),
             "--trial-budget-ms" => {
@@ -95,10 +102,10 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: epg <setup|gen|run|all|graphalytics|granula|bench|trace summarize> \
+    "usage: epg <setup|gen|run|all|graphalytics|granula|bench|trace summarize|lint> \
      [--scale N] [--weighted|--unweighted] [--threads N] [--roots N|--all-roots] \
      [--seed N] [--out DIR] [--snap FILE] [--input FILE] [--trial-budget-ms N] \
-     [--json] [--quick]"
+     [--json] [--quick] [--strict] [--baseline FILE]"
         .to_string()
 }
 
@@ -126,6 +133,16 @@ fn main() -> ExitCode {
 
 fn real_main() -> Result<(), String> {
     let args = parse_args(std::env::args())?;
+    if args.cmd == "lint" {
+        // Static analysis needs no pipeline state (and must not create the
+        // out directory); it prints its own report and owns the exit code.
+        let opts = epg_lint::LintOptions {
+            json: args.json,
+            strict: args.strict,
+            baseline: args.baseline.clone(),
+        };
+        std::process::exit(epg_lint::run_lint(&epg_lint::workspace_root(), &opts));
+    }
     let pipeline = Pipeline::new(args.out.clone()).map_err(|e| e.to_string())?;
     match args.cmd.as_str() {
         "setup" => {

@@ -9,20 +9,32 @@
 //! rule = "unsafe-impl"                 # rule id from the finding
 //! contains = "impl Sync for Special"   # optional: substring of the line
 //! reason = "audited 2026-08: …"
+//!
+//! [[allow]]
+//! dir = "crates/epg-bench/"            # or a directory prefix scope
+//! rule = "timing-discipline"
+//! reason = "bench drivers are measurement code"
 //! ```
 //!
-//! The file is parsed with a purpose-built reader (the environment vendors
-//! no toml crate): `[[allow]]` section headers, `key = "value"` pairs, and
-//! `#` comments — exactly the subset the format above uses.
+//! Exactly one of `file` (exact path) or `dir` (path prefix) scopes each
+//! entry. The file is parsed with a purpose-built reader (the environment
+//! vendors no toml crate): `[[allow]]` section headers, `key = "value"`
+//! pairs, and `#` comments — exactly the subset the format above uses.
+//!
+//! Entries that silence nothing are *stale*: [`stale`] reports them after a
+//! run, and `--strict` (default in CI) turns them into a failure, so the
+//! allowlist can only shrink as debts are paid, never rot.
 
 use crate::rules::Finding;
-use crate::scan::Line;
 
 /// One audited exception.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Allow {
-    /// Workspace-relative file the exception applies to.
+    /// Workspace-relative file the exception applies to (exact match).
+    /// Empty when the entry is `dir`-scoped.
     pub file: String,
+    /// Workspace-relative directory prefix the exception applies to.
+    pub dir: Option<String>,
     /// Rule id it silences.
     pub rule: String,
     /// Optional substring the offending source line must contain.
@@ -66,6 +78,7 @@ pub fn parse(text: &str) -> Result<Vec<Allow>, String> {
         let entry = entries.last_mut().expect("in_entry implies an open entry");
         match key {
             "file" => entry.file = value.to_string(),
+            "dir" => entry.dir = Some(value.to_string()),
             "rule" => entry.rule = value.to_string(),
             "contains" => entry.contains = Some(value.to_string()),
             "reason" => entry.reason = value.to_string(),
@@ -81,37 +94,67 @@ pub fn parse(text: &str) -> Result<Vec<Allow>, String> {
 }
 
 fn validate(entry: &Allow, end_line: usize) -> Result<(), String> {
-    if entry.file.is_empty() || entry.rule.is_empty() {
-        return Err(format!("epg-lint.toml: entry before line {end_line} needs file and rule"));
+    match (&entry.file.is_empty(), &entry.dir) {
+        (true, None) => {
+            return Err(format!(
+                "epg-lint.toml: entry before line {end_line} needs `file` or `dir`"
+            ));
+        }
+        (false, Some(_)) => {
+            return Err(format!(
+                "epg-lint.toml: entry before line {end_line} has both `file` and `dir`; pick one"
+            ));
+        }
+        _ => {}
+    }
+    if entry.rule.is_empty() {
+        return Err(format!("epg-lint.toml: entry before line {end_line} needs a rule"));
     }
     if entry.reason.is_empty() {
         return Err(format!(
             "epg-lint.toml: entry for {}/{} has no reason; audited exceptions must say why",
-            entry.file, entry.rule
+            if entry.file.is_empty() { entry.dir.as_deref().unwrap_or("") } else { &entry.file },
+            entry.rule
         ));
     }
     Ok(())
 }
 
-/// Whether `finding` (raised against `lines`) is covered by an entry.
-pub fn is_allowed(allows: &[Allow], finding: &Finding, lines: &[Line]) -> bool {
-    allows.iter().any(|a| {
-        if a.file != finding.file.replace('\\', "/") || a.rule != finding.rule {
-            return false;
-        }
-        match &a.contains {
-            None => true,
-            Some(needle) => lines
-                .get(finding.line - 1)
-                .is_some_and(|l| format!("{}{}", l.code, l.comment).contains(needle)),
-        }
+/// The index of the first entry covering `finding`, or `None`.
+/// `line_text` is the offending source (or manifest) line, used for
+/// `contains` matching.
+pub fn match_allow(allows: &[Allow], finding: &Finding, line_text: &str) -> Option<usize> {
+    let file = finding.file.replace('\\', "/");
+    allows.iter().position(|a| {
+        let scope_ok = if !a.file.is_empty() {
+            a.file == file
+        } else {
+            a.dir.as_deref().is_some_and(|d| file.starts_with(d))
+        };
+        scope_ok
+            && a.rule == finding.rule
+            && a.contains.as_deref().is_none_or(|needle| line_text.contains(needle))
     })
+}
+
+/// The entries whose index never appeared in `used` — exceptions that no
+/// longer silence anything and should be deleted.
+pub fn stale(allows: &[Allow], used: &[bool]) -> Vec<Allow> {
+    allows
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !used.get(i).copied().unwrap_or(false))
+        .map(|(_, a)| a.clone())
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::scan;
+
+    fn finding(file: &str, rule: &'static str) -> Finding {
+        Finding { file: file.into(), line: 1, rule, message: String::new() }
+    }
 
     #[test]
     fn parses_entries_and_comments() {
@@ -134,6 +177,18 @@ mod tests {
     }
 
     #[test]
+    fn missing_scope_is_an_error() {
+        let text = "[[allow]]\nrule = \"static-mut\"\nreason = \"r\"\n";
+        assert!(parse(text).unwrap_err().contains("`file` or `dir`"));
+    }
+
+    #[test]
+    fn file_and_dir_together_is_an_error() {
+        let text = "[[allow]]\nfile = \"a.rs\"\ndir = \"crates/\"\nrule = \"x\"\nreason = \"r\"\n";
+        assert!(parse(text).unwrap_err().contains("pick one"));
+    }
+
+    #[test]
     fn unknown_key_is_an_error() {
         let text = "[[allow]]\nfile = \"a.rs\"\nrule = \"x\"\nreason = \"y\"\nlines = \"3\"\n";
         assert!(parse(text).unwrap_err().contains("unknown key"));
@@ -145,17 +200,33 @@ mod tests {
             "[[allow]]\nfile = \"crates/a/src/x.rs\"\nrule = \"static-mut\"\ncontains = \"AUDITED\"\nreason = \"r\"\n",
         )
         .unwrap();
-        let lines = scan("static mut X: u8 = 0; // AUDITED\nstatic mut Y: u8 = 0;\n");
-        let f1 = Finding {
-            file: "crates/a/src/x.rs".into(),
-            line: 1,
-            rule: "static-mut",
-            message: String::new(),
-        };
-        let f2 = Finding { line: 2, ..f1.clone() };
-        let f3 = Finding { rule: "unsafe-impl", ..f1.clone() };
-        assert!(is_allowed(&allows, &f1, &lines));
-        assert!(!is_allowed(&allows, &f2, &lines), "contains must gate the match");
-        assert!(!is_allowed(&allows, &f3, &lines), "rule must match");
+        let f = finding("crates/a/src/x.rs", "static-mut");
+        assert_eq!(match_allow(&allows, &f, "static mut X: u8 = 0; // AUDITED"), Some(0));
+        assert_eq!(match_allow(&allows, &f, "static mut Y: u8 = 0;"), None, "contains gates");
+        let other_rule = finding("crates/a/src/x.rs", "unsafe-impl");
+        assert_eq!(match_allow(&allows, &other_rule, "// AUDITED"), None, "rule must match");
+    }
+
+    #[test]
+    fn dir_scope_matches_by_prefix() {
+        let allows = parse(
+            "[[allow]]\ndir = \"crates/epg-bench/\"\nrule = \"timing-discipline\"\nreason = \"bench drivers measure\"\n",
+        )
+        .unwrap();
+        let inside = finding("crates/epg-bench/src/bin/ablation.rs", "timing-discipline");
+        let outside = finding("crates/epg-graph/src/lib.rs", "timing-discipline");
+        assert_eq!(match_allow(&allows, &inside, "Instant::now()"), Some(0));
+        assert_eq!(match_allow(&allows, &outside, "Instant::now()"), None);
+    }
+
+    #[test]
+    fn stale_reports_unused_entries() {
+        let allows = parse(
+            "[[allow]]\nfile = \"a.rs\"\nrule = \"x\"\nreason = \"r\"\n\n[[allow]]\nfile = \"b.rs\"\nrule = \"y\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let s = stale(&allows, &[true, false]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].file, "b.rs");
     }
 }

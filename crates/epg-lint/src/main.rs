@@ -1,29 +1,41 @@
-//! `epg-lint` entry point: lints the workspace (or an explicit root given
-//! as the first argument), prints findings `file:line: [rule] message`, and
-//! exits nonzero when any survive the allowlist.
+//! `epg-lint` entry point: runs the full workspace analysis (line rules
+//! plus the layering / phase-purity / timing-discipline / panic-discipline
+//! families), prints findings `file:line: [rule] message` (or `--json`),
+//! and exits nonzero when any survive the allowlist.
+//!
+//! Usage: `epg-lint [root] [--json] [--strict] [--baseline <path>]`
 
+use epg_lint::LintOptions;
 use std::path::PathBuf;
 
 fn main() {
-    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(epg_lint::workspace_root);
-    if !root.is_dir() {
-        eprintln!("epg-lint: {}: not a directory", root.display());
-        std::process::exit(2);
-    }
-    match epg_lint::lint_tree(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("epg-lint: clean ({})", root.display());
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+    let mut root: Option<PathBuf> = None;
+    let mut opts = LintOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--strict" => opts.strict = true,
+            "--baseline" => match args.next() {
+                Some(path) => opts.baseline = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("epg-lint: --baseline needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: epg-lint [root] [--json] [--strict] [--baseline <path>]");
+                return;
             }
-            eprintln!("epg-lint: {} finding(s)", findings.len());
-            std::process::exit(1);
-        }
-        Err(err) => {
-            eprintln!("epg-lint: {err}");
-            std::process::exit(2);
+            other if !other.starts_with('-') && root.is_none() => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("epg-lint: unknown argument {other}");
+                std::process::exit(2);
+            }
         }
     }
+    let root = root.unwrap_or_else(epg_lint::workspace_root);
+    std::process::exit(epg_lint::run_lint(&root, &opts));
 }

@@ -1,0 +1,766 @@
+//! The workspace model: crate DAG plus a lightweight per-file item model.
+//!
+//! This is the substrate the architectural rule families run on. It is
+//! deliberately token-level — no `syn`, no full parse — built on the same
+//! comment/string-aware scanner as the line rules:
+//!
+//! * **Crate DAG** — every workspace member's `Cargo.toml` parsed into its
+//!   package name and `[dependencies]`/`[dev-dependencies]` lists, with the
+//!   manifest line of each declaration (findings point at the declaration).
+//! * **Per-file item model** — for every `src/**/*.rs` (and `tests/`,
+//!   `benches/`, `examples/`, which are marked as test-role): `fn` spans
+//!   (signature through closing brace, or through `;` for trait method
+//!   declarations), `#[cfg(test)]`/`#[test]` spans, iteration-loop body
+//!   spans (`loop`/`while`/`for … in`), spans of arguments passed to the
+//!   `epg-parallel` entry points (worker closures), and every
+//!   `epg_*::`-rooted path occurrence.
+//!
+//! Spans are 1-based inclusive line ranges. Because the scanner blanks
+//! string and char-literal contents, brace/paren matching over the code
+//! text cannot be derailed by delimiters inside literals.
+
+use crate::scan::{find_word_from, scan, Line};
+use std::path::Path;
+
+/// The whole workspace: one entry per discovered member crate.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Member crates, in discovery order (manifest `members` order).
+    pub crates: Vec<CrateModel>,
+}
+
+/// One crate: manifest facts plus a model of every `.rs` file under it.
+#[derive(Debug)]
+pub struct CrateModel {
+    /// Package name from `[package]` (e.g. `epg-engine-gap`).
+    pub name: String,
+    /// Workspace-relative crate directory, `/`-separated, no trailing `/`.
+    pub dir: String,
+    /// Workspace-relative path of the crate's `Cargo.toml`.
+    pub manifest_path: String,
+    /// Raw manifest lines (for allowlist `contains` matching).
+    pub manifest_lines: Vec<String>,
+    /// `[dependencies]` entries.
+    pub deps: Vec<Dep>,
+    /// `[dev-dependencies]` entries.
+    pub dev_deps: Vec<Dep>,
+    /// Every `.rs` file under the crate directory.
+    pub files: Vec<FileModel>,
+}
+
+/// One declared dependency and the manifest line declaring it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dep {
+    /// Package name as declared (dashed).
+    pub name: String,
+    /// 1-based line in the crate's `Cargo.toml`.
+    pub line: usize,
+}
+
+/// A named span of source lines (1-based, inclusive).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// First line (the one holding `fn`).
+    pub start: usize,
+    /// Last line (closing brace, or the `;` of a bodiless declaration).
+    pub end: usize,
+}
+
+/// One `epg_*::` path-root occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathRef {
+    /// Referenced crate, dashed (e.g. `epg-graph` for `epg_graph::…`).
+    pub krate: String,
+    /// 1-based line of the occurrence.
+    pub line: usize,
+}
+
+/// The item model of one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Scanner output, one entry per source line.
+    pub lines: Vec<Line>,
+    /// Whether the file lives under `tests/`, `benches/`, or `examples/`
+    /// of its crate — test-role code exempt from the runtime-discipline
+    /// rules.
+    pub test_role: bool,
+    /// Every `fn` item span (including nested fns and trait-method
+    /// declarations).
+    pub fns: Vec<FnSpan>,
+    /// Spans covered by `#[cfg(test)]` items or `#[test]` functions.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Iteration-loop body spans (`loop`, `while`, `for … in`).
+    pub loops: Vec<(usize, usize)>,
+    /// Spans of complete argument lists passed to `epg-parallel` entry
+    /// points (`.parallel_for(…)` etc.) — the worker-closure context.
+    pub par_calls: Vec<(usize, usize)>,
+    /// Every `epg_*::` path-root occurrence outside comments/strings.
+    pub epg_refs: Vec<PathRef>,
+    code: Code,
+}
+
+impl FileModel {
+    /// Builds the model for one scanned file.
+    pub fn build(path: String, lines: Vec<Line>, test_role: bool) -> FileModel {
+        let code = Code::new(&lines);
+        let fns = parse_fns(&code);
+        let test_spans = parse_test_spans(&code, &fns);
+        let loops = parse_loops(&code);
+        let par_calls = parse_par_calls(&code);
+        let epg_refs = parse_epg_refs(&code);
+        FileModel { path, lines, test_role, fns, test_spans, loops, par_calls, epg_refs, code }
+    }
+
+    /// 1-based lines whose code text contains `token` (substring match
+    /// with identifier boundaries at whichever ends of the token are
+    /// identifier characters). Each line appears once.
+    pub fn token_lines(&self, token: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        for off in self.code.token_offsets(token) {
+            let line = self.code.line_of(off);
+            if out.last() != Some(&line) {
+                out.push(line);
+            }
+        }
+        out
+    }
+
+    /// Whether `line` falls inside test-only code (`#[cfg(test)]` item or
+    /// `#[test]` fn) or the whole file is test-role.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_role || self.test_spans.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+
+    /// Whether `line` falls inside a `fn` with the given name (signature
+    /// included, so trait-method declarations count).
+    pub fn in_fn_named(&self, line: usize, name: &str) -> bool {
+        self.fns.iter().any(|f| f.name == name && f.start <= line && line <= f.end)
+    }
+
+    /// Whether `line` falls inside an iteration-loop body or a
+    /// worker-closure argument list.
+    pub fn in_loop_or_worker(&self, line: usize) -> bool {
+        let hit = |spans: &[(usize, usize)]| spans.iter().any(|&(s, e)| s <= line && line <= e);
+        hit(&self.loops) || hit(&self.par_calls)
+    }
+}
+
+/// Joined code text with per-line byte offsets, for cross-line matching.
+#[derive(Debug)]
+struct Code {
+    text: String,
+    /// Byte offset in `text` where each line starts.
+    starts: Vec<usize>,
+}
+
+impl Code {
+    fn new(lines: &[Line]) -> Code {
+        let mut text = String::new();
+        let mut starts = Vec::with_capacity(lines.len());
+        for line in lines {
+            starts.push(text.len());
+            text.push_str(&line.code);
+            text.push('\n');
+        }
+        Code { text, starts }
+    }
+
+    /// 1-based line holding byte offset `off`.
+    fn line_of(&self, off: usize) -> usize {
+        match self.starts.binary_search(&off) {
+            Ok(i) => i + 1,
+            Err(i) => i, // insertion point; the line starting before `off`
+        }
+    }
+
+    /// Byte offsets of every boundary-respecting occurrence of `token`.
+    fn token_offsets(&self, token: &str) -> Vec<usize> {
+        let bytes = self.text.as_bytes();
+        let first_ident = token.bytes().next().is_some_and(is_ident_byte);
+        let last_ident = token.bytes().last().is_some_and(is_ident_byte);
+        let mut out = Vec::new();
+        let mut from = 0;
+        while let Some(pos) = self.text[from..].find(token) {
+            let start = from + pos;
+            let end = start + token.len();
+            // Plain identifier boundary only: a preceding `:` must stay
+            // legal so `std::time::Instant::now` matches `Instant::now`
+            // and absolute `::std::fs` paths match `std::fs`.
+            let before_ok = !first_ident || start == 0 || !is_ident_byte(bytes[start - 1]);
+            let after_ok = !last_ident || end == bytes.len() || !is_ident_byte(bytes[end]);
+            if before_ok && after_ok {
+                out.push(start);
+            }
+            from = start + 1;
+        }
+        out
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Path tokens like `std::fs` must not match inside `my::std::fs` — treat
+/// a preceding `:` as an identifier continuation too.
+fn is_ident_byte_or_colon(b: u8) -> bool {
+    is_ident_byte(b) || b == b':'
+}
+
+/// Offset of the `}` closing the `{` at `open` (balanced count; literals
+/// are already blanked). Falls back to the end of text.
+fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    bytes.len().saturating_sub(1)
+}
+
+/// Offset of the `)` closing the `(` at `open`.
+fn match_paren(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    bytes.len().saturating_sub(1)
+}
+
+fn parse_fns(code: &Code) -> Vec<FnSpan> {
+    let text = &code.text;
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_word_from(text, from, "fn") {
+        from = pos + 2;
+        let mut i = pos + 2;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let ident_start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i == ident_start {
+            continue; // `fn(...)` pointer type — not an item
+        }
+        let name = text[ident_start..i].to_string();
+        // Scan past generics/params/return type for the body `{` or the
+        // `;` of a bodiless declaration, at bracket depth 0.
+        let mut paren = 0i64;
+        let mut brack = 0i64;
+        let mut j = i;
+        let mut end = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' => paren += 1,
+                b')' => paren -= 1,
+                b'[' => brack += 1,
+                b']' => brack -= 1,
+                b'{' if paren == 0 && brack == 0 => {
+                    end = Some(match_brace(bytes, j));
+                    break;
+                }
+                b';' if paren == 0 && brack == 0 => {
+                    end = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = end.unwrap_or(bytes.len().saturating_sub(1));
+        out.push(FnSpan { name, start: code.line_of(pos), end: code.line_of(end) });
+    }
+    out
+}
+
+fn parse_test_spans(code: &Code, fns: &[FnSpan]) -> Vec<(usize, usize)> {
+    let text = &code.text;
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for attr in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(attr) {
+            let start = from + pos;
+            from = start + attr.len();
+            let attr_line = code.line_of(start);
+            // Skip whitespace, further attributes, and visibility to find
+            // the annotated item.
+            let mut i = start + attr.len();
+            loop {
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if i + 1 < bytes.len() && bytes[i] == b'#' && bytes[i + 1] == b'[' {
+                    // Another attribute: skip to its closing bracket.
+                    let mut depth = 0i64;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'[' => depth += 1,
+                            b']' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                break;
+            }
+            // Optional `pub` / `pub(crate)`.
+            if text[i..].starts_with("pub") {
+                i += 3;
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'(' {
+                    i = match_paren(bytes, i) + 1;
+                    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                }
+            }
+            let word_end =
+                (i..bytes.len()).find(|&k| !is_ident_byte(bytes[k])).unwrap_or(bytes.len());
+            match &text[i..word_end] {
+                "mod" => {
+                    if let Some(open) = text[word_end..].find('{') {
+                        let close = match_brace(bytes, word_end + open);
+                        out.push((attr_line, code.line_of(close)));
+                    }
+                }
+                "fn" => {
+                    if let Some(f) = fns.iter().find(|f| f.start >= attr_line) {
+                        out.push((attr_line, f.end));
+                    }
+                }
+                _ => {
+                    // `#[cfg(test)] use …;` and the like: the item's line.
+                    out.push((attr_line, code.line_of(i.min(bytes.len() - 1))));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn parse_loops(code: &Code) -> Vec<(usize, usize)> {
+    let text = &code.text;
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for kw in ["loop", "while", "for"] {
+        let mut from = 0;
+        while let Some(pos) = find_word_from(text, from, kw) {
+            from = pos + kw.len();
+            let mut i = pos + kw.len();
+            // `for<'a>` (higher-ranked bounds) is not a loop.
+            if kw == "for" {
+                let mut k = i;
+                while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                if k < bytes.len() && bytes[k] == b'<' {
+                    continue;
+                }
+            }
+            // Find the body `{` at paren/bracket depth 0; a `for` must
+            // pass a top-level `in` first (rules out `impl Trait for T`).
+            let mut paren = 0i64;
+            let mut brack = 0i64;
+            let mut saw_in = kw != "for";
+            let mut open = None;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'(' => paren += 1,
+                    b')' => paren -= 1,
+                    b'[' => brack += 1,
+                    b']' => brack -= 1,
+                    b'{' if paren == 0 && brack == 0 => {
+                        open = Some(i);
+                        break;
+                    }
+                    b';' | b'}' if paren == 0 && brack == 0 => break,
+                    b'i' if paren == 0
+                        && brack == 0
+                        && text[i..].starts_with("in")
+                        && !is_ident_byte(*bytes.get(i + 2).unwrap_or(&b' '))
+                        && (i == 0 || !is_ident_byte(bytes[i - 1])) =>
+                    {
+                        saw_in = true;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            if let (Some(open), true) = (open, saw_in) {
+                let close = match_brace(bytes, open);
+                out.push((code.line_of(pos), code.line_of(close)));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The `epg-parallel` entry points whose closure arguments are worker
+/// code. Token-level: a call to any method with one of these names counts.
+const PAR_ENTRY_POINTS: &[&str] = &[
+    ".region(",
+    ".parallel_for(",
+    ".parallel_for_ranges(",
+    ".parallel_reduce(",
+    ".parallel_sum_f64(",
+    ".parallel_any(",
+    ".parallel_max_f64(",
+];
+
+fn parse_par_calls(code: &Code) -> Vec<(usize, usize)> {
+    let text = &code.text;
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for tok in PAR_ENTRY_POINTS {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(tok) {
+            let start = from + pos;
+            from = start + tok.len();
+            let open = start + tok.len() - 1;
+            let close = match_paren(bytes, open);
+            out.push((code.line_of(start), code.line_of(close)));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn parse_epg_refs(code: &Code) -> Vec<PathRef> {
+    let text = &code.text;
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find("epg_") {
+        let start = from + pos;
+        from = start + 4;
+        if start > 0 && is_ident_byte_or_colon(bytes[start - 1]) {
+            continue;
+        }
+        let mut end = start + 4;
+        while end < bytes.len() && is_ident_byte(bytes[end]) {
+            end += 1;
+        }
+        if !text[end..].starts_with("::") {
+            continue; // a local identifier that merely starts with epg_
+        }
+        out.push(PathRef { krate: text[start..end].replace('_', "-"), line: code.line_of(start) });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Manifest parsing and crate discovery
+// ---------------------------------------------------------------------------
+
+impl Workspace {
+    /// Discovers and models every member crate under `root`.
+    ///
+    /// Reads `root/Cargo.toml`: a `[workspace]` `members` list (literal
+    /// paths and trailing-`/*` globs) yields one crate per member with a
+    /// `Cargo.toml`; a bare `[package]` manifest yields the root itself
+    /// as the only crate. A missing or memberless manifest yields an
+    /// empty model (the line rules still run — see `lint_workspace`).
+    pub fn load(root: &Path) -> Workspace {
+        let mut ws = Workspace::default();
+        let Ok(top) = std::fs::read_to_string(root.join("Cargo.toml")) else {
+            return ws;
+        };
+        let mut dirs = member_dirs(&top, root);
+        if dirs.is_empty() && top.contains("[package]") {
+            dirs.push(String::new()); // the root itself is the crate
+        }
+        for dir in dirs {
+            if let Some(c) = load_crate(root, &dir) {
+                ws.crates.push(c);
+            }
+        }
+        ws
+    }
+}
+
+/// Expands the `[workspace] members = […]` list into crate directories
+/// (workspace-relative, `/`-separated). Only trailing `/*` globs are
+/// supported — the only form the workspace uses.
+fn member_dirs(top: &str, root: &Path) -> Vec<String> {
+    let mut members: Vec<String> = Vec::new();
+    let mut in_members = false;
+    for raw in top.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if !in_members {
+            if line.starts_with("members") && line.contains('=') {
+                in_members = true;
+            } else {
+                continue;
+            }
+        }
+        for piece in line.split('"').skip(1).step_by(2) {
+            members.push(piece.to_string());
+        }
+        if line.contains(']') {
+            break;
+        }
+    }
+    let mut dirs = Vec::new();
+    for m in members {
+        if let Some(prefix) = m.strip_suffix("/*") {
+            let Ok(entries) = std::fs::read_dir(root.join(prefix)) else { continue };
+            let mut found: Vec<String> = entries
+                .flatten()
+                .filter(|e| e.path().join("Cargo.toml").is_file())
+                .map(|e| format!("{}/{}", prefix, e.file_name().to_string_lossy()))
+                .collect();
+            found.sort();
+            dirs.extend(found);
+        } else if root.join(&m).join("Cargo.toml").is_file() {
+            dirs.push(m);
+        }
+    }
+    dirs
+}
+
+/// Manifest sections whose keys are dependency declarations.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ManifestSection {
+    Deps,
+    DevDeps,
+    Other,
+}
+
+fn load_crate(root: &Path, dir: &str) -> Option<CrateModel> {
+    let crate_root = if dir.is_empty() { root.to_path_buf() } else { root.join(dir) };
+    let manifest_path_abs = crate_root.join("Cargo.toml");
+    let text = std::fs::read_to_string(&manifest_path_abs).ok()?;
+    let manifest_path =
+        if dir.is_empty() { "Cargo.toml".to_string() } else { format!("{dir}/Cargo.toml") };
+
+    let mut name = String::new();
+    let mut deps = Vec::new();
+    let mut dev_deps = Vec::new();
+    let mut section = ManifestSection::Other;
+    let mut in_package = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            section = match line {
+                "[dependencies]" => ManifestSection::Deps,
+                "[dev-dependencies]" => ManifestSection::DevDeps,
+                _ => ManifestSection::Other,
+            };
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package && name.is_empty() {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(v) = rest.strip_prefix('=') {
+                    name = v.trim().trim_matches('"').to_string();
+                }
+            }
+        }
+        if section == ManifestSection::Other || line.is_empty() {
+            continue;
+        }
+        // `foo = …`, `foo.workspace = true`: the dep name is the key up
+        // to the first `.`, `=`, or whitespace.
+        let key: String =
+            line.chars().take_while(|&c| c != '.' && c != '=' && !c.is_whitespace()).collect();
+        if key.is_empty() {
+            continue;
+        }
+        let dep = Dep { name: key, line: idx + 1 };
+        match section {
+            ManifestSection::Deps => deps.push(dep),
+            ManifestSection::DevDeps => dev_deps.push(dep),
+            ManifestSection::Other => {}
+        }
+    }
+    if name.is_empty() {
+        return None;
+    }
+
+    let mut files = Vec::new();
+    for path in crate::rust_files(&crate_root) {
+        let Ok(src) = std::fs::read_to_string(&path) else { continue };
+        let rel_crate = path.strip_prefix(&crate_root).unwrap_or(&path).to_string_lossy();
+        let rel_crate = rel_crate.replace('\\', "/");
+        let test_role = ["tests/", "benches/", "examples/"]
+            .iter()
+            .any(|p| rel_crate.starts_with(p) || rel_crate.contains(&format!("/{p}")));
+        let rel_ws = if dir.is_empty() { rel_crate.clone() } else { format!("{dir}/{rel_crate}") };
+        files.push(FileModel::build(rel_ws, scan(&src), test_role));
+    }
+
+    Some(CrateModel {
+        name,
+        dir: dir.to_string(),
+        manifest_path,
+        manifest_lines: text.lines().map(str::to_string).collect(),
+        deps,
+        dev_deps,
+        files,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> FileModel {
+        FileModel::build("crates/epg-x/src/lib.rs".into(), scan(src), false)
+    }
+
+    #[test]
+    fn fn_spans_cover_signature_and_body() {
+        let f = file("fn alpha(x: u32) -> u32 {\n    x + 1\n}\n\nfn beta() {}\n");
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!((f.fns[0].name.as_str(), f.fns[0].start, f.fns[0].end), ("alpha", 1, 3));
+        assert_eq!((f.fns[1].name.as_str(), f.fns[1].start, f.fns[1].end), ("beta", 5, 5));
+    }
+
+    #[test]
+    fn bodiless_trait_method_spans_its_signature() {
+        let src =
+            "trait T {\n    fn load_file(\n        &mut self,\n    ) -> std::io::Result<()>;\n}\n";
+        let f = file(src);
+        let lf = f.fns.iter().find(|s| s.name == "load_file").unwrap();
+        assert_eq!((lf.start, lf.end), (2, 4));
+        assert!(f.in_fn_named(4, "load_file"));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let f = file("type F = fn(usize) -> bool;\nstruct S(fn());\n");
+        assert!(f.fns.is_empty(), "{:?}", f.fns);
+    }
+
+    #[test]
+    fn multiline_params_with_closures_resolve_body() {
+        let src = "fn outer<F: Fn(usize) -> bool>(\n    f: F,\n) -> bool {\n    f(1)\n}\n";
+        let f = file(src);
+        assert_eq!((f.fns[0].start, f.fns[0].end), (1, 5));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_span() {
+        let src = "fn real() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        x.unwrap();\n    }\n}\n";
+        let f = file(src);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(7));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_span() {
+        let src = "#[test]\nfn check() {\n    y.unwrap();\n}\nfn real() {}\n";
+        let f = file(src);
+        assert!(f.in_test(3));
+        assert!(!f.in_test(5));
+    }
+
+    #[test]
+    fn loop_while_for_bodies_are_spans() {
+        let src = "fn f(xs: &[u32]) {\n    loop {\n        break;\n    }\n    while xs.len() > 0 {\n        g();\n    }\n    for x in xs {\n        h(x);\n    }\n}\n";
+        let f = file(src);
+        assert_eq!(f.loops, vec![(2, 4), (5, 7), (8, 10)]);
+        assert!(f.in_loop_or_worker(3));
+        assert!(!f.in_loop_or_worker(1));
+    }
+
+    #[test]
+    fn impl_for_and_hrtb_are_not_loops() {
+        let src = "impl Clone for Foo {\n    fn clone(&self) -> Foo {\n        Foo\n    }\n}\nfn g<F>(f: F)\nwhere\n    for<'a> F: Fn(&'a u32),\n{\n}\n";
+        let f = file(src);
+        assert!(f.loops.is_empty(), "{:?}", f.loops);
+    }
+
+    #[test]
+    fn parallel_call_args_are_worker_spans() {
+        let src = "fn f(pool: &ThreadPool) {\n    pool.parallel_for(n, sched, |v| {\n        out[v] = 1;\n    });\n    plain();\n}\n";
+        let f = file(src);
+        assert_eq!(f.par_calls, vec![(2, 4)]);
+        assert!(f.in_loop_or_worker(3));
+        assert!(!f.in_loop_or_worker(5));
+    }
+
+    #[test]
+    fn epg_refs_require_path_sep_and_skip_strings() {
+        let src = "use epg_graph::Csr;\nlet epg_out = 1;\nlet s = \"epg_harness::x\";\nepg_trace::Event::new();\n";
+        let f = file(src);
+        let got: Vec<(String, usize)> =
+            f.epg_refs.iter().map(|r| (r.krate.clone(), r.line)).collect();
+        assert_eq!(got, vec![("epg-graph".into(), 1), ("epg-trace".into(), 4)]);
+    }
+
+    #[test]
+    fn token_lines_dedup_and_respect_boundaries() {
+        let src = "a.unwrap(); b.unwrap();\nmy_unwrap();\nstd::fs::read(x);\nnot_std::fs();\n";
+        let f = file(src);
+        assert_eq!(f.token_lines(".unwrap()"), vec![1]);
+        assert_eq!(f.token_lines("std::fs"), vec![3], "prefix `not_std::fs` must not match");
+    }
+
+    #[test]
+    fn member_globs_and_literals_expand() {
+        let dir = std::env::temp_dir().join("epg-lint-model-members");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/a/src")).unwrap();
+        std::fs::create_dir_all(dir.join("solo/src")).unwrap();
+        std::fs::write(
+            dir.join("Cargo.toml"),
+            "[workspace]\nmembers = [\n    \"crates/*\",\n    \"solo\",\n]\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("crates/a/Cargo.toml"), "[package]\nname = \"a\"\n").unwrap();
+        std::fs::write(dir.join("crates/a/src/lib.rs"), "pub fn a() {}\n").unwrap();
+        std::fs::write(
+            dir.join("solo/Cargo.toml"),
+            "[package]\nname = \"solo\"\n\n[dependencies]\na = { path = \"../crates/a\" }\n\n[dev-dependencies]\nproptest.workspace = true\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("solo/src/lib.rs"), "pub fn s() {}\n").unwrap();
+        let ws = Workspace::load(&dir);
+        let names: Vec<&str> = ws.crates.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["a", "solo"]);
+        let solo = &ws.crates[1];
+        assert_eq!(solo.deps, vec![Dep { name: "a".into(), line: 5 }]);
+        assert_eq!(solo.dev_deps, vec![Dep { name: "proptest".into(), line: 8 }]);
+        assert_eq!(solo.files.len(), 1);
+        assert_eq!(solo.files[0].path, "solo/src/lib.rs");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,125 @@
+//! The `panic-discipline` rule family.
+//!
+//! PR 3's trial supervisor turns failures into `TrialOutcome` rows
+//! (Timeout / Panicked / Quarantined) so a crashing engine becomes a DNF
+//! data point instead of a dead benchmark run. That only works if engine
+//! hot paths fail through the supervised path rather than tearing down a
+//! worker mid-region: a panic inside a worker closure rides the pool's
+//! panic propagation across threads, and a panic inside an iteration loop
+//! aborts the trial at an arbitrary point of the timed phase.
+//!
+//! The rule therefore forbids `unwrap`/`expect`/`panic!`/`todo!`/
+//! `unimplemented!` inside the engine crates' **worker closures**
+//! (arguments to the `epg-parallel` entry points) and **iteration-loop
+//! bodies** (`loop`/`while`/`for`). Dispatch preambles and accessors
+//! outside loops — `params.root.expect("BFS needs a root")` — are API
+//! precondition checks caught by `catch_unwind` before the timed region
+//! and stay out of scope. Test code is exempt.
+
+use crate::arch::is_engine_crate;
+use crate::model::{FileModel, Workspace};
+use crate::rules::Finding;
+
+/// Stable rule id for this family.
+pub const RULE_PANIC: &str = "panic-discipline";
+
+/// Tokens that abort instead of surfacing a supervised failure.
+const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"];
+
+/// Runs the rule over every engine crate in the model.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    for c in &ws.crates {
+        if !is_engine_crate(&c.name) {
+            continue;
+        }
+        for f in &c.files {
+            check_file(f, out);
+        }
+    }
+}
+
+fn check_file(f: &FileModel, out: &mut Vec<Finding>) {
+    if f.test_role {
+        return;
+    }
+    for tok in PANIC_TOKENS {
+        for line in f.token_lines(tok) {
+            if f.in_test(line) || !f.in_loop_or_worker(line) {
+                continue;
+            }
+            out.push(Finding {
+                file: f.path.clone(),
+                line,
+                rule: RULE_PANIC,
+                message: format!(
+                    "`{tok}` inside an engine worker closure or iteration loop; surface the \
+                     failure through the supervised TrialOutcome path instead of aborting the \
+                     timed phase",
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CrateModel;
+    use crate::scan::scan;
+
+    fn engine_file(src: &str) -> Vec<Finding> {
+        let c = CrateModel {
+            name: "epg-engine-gap".into(),
+            dir: "crates/epg-engine-gap".into(),
+            manifest_path: "crates/epg-engine-gap/Cargo.toml".into(),
+            manifest_lines: Vec::new(),
+            deps: Vec::new(),
+            dev_deps: Vec::new(),
+            files: vec![FileModel::build(
+                "crates/epg-engine-gap/src/bfs.rs".into(),
+                scan(src),
+                false,
+            )],
+        };
+        let ws = Workspace { crates: vec![c] };
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_in_iteration_loop_is_flagged() {
+        let src = "fn kernel(levels: &mut Vec<Vec<u32>>) {\n    loop {\n        let f = levels.last().unwrap();\n        if f.is_empty() {\n            break;\n        }\n    }\n}\n";
+        let f = engine_file(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), (RULE_PANIC, 3));
+    }
+
+    #[test]
+    fn expect_in_worker_closure_is_flagged() {
+        let src = "fn kernel(pool: &ThreadPool) {\n    pool.parallel_for(n, sched, |v| {\n        let x = slot(v).expect(\"empty\");\n        drop(x);\n    });\n}\n";
+        let f = engine_file(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), (RULE_PANIC, 3));
+    }
+
+    #[test]
+    fn precondition_expect_outside_loops_is_in_scope_elsewhere() {
+        let src = "fn run(params: &RunParams) {\n    let root = params.root.expect(\"BFS needs a root\");\n    drop(root);\n}\n";
+        assert!(engine_file(src).is_empty());
+    }
+
+    #[test]
+    fn panics_in_test_modules_are_exempt() {
+        let src = "fn kernel() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        for x in [1] {\n            assert_eq!(x, opt().unwrap());\n        }\n    }\n}\n";
+        assert!(engine_file(src).is_empty());
+    }
+
+    #[test]
+    fn panic_macro_in_while_loop_is_flagged() {
+        let src = "fn kernel(mut n: u32) {\n    while n > 0 {\n        if n == 7 {\n            panic!(\"boom\");\n        }\n        n -= 1;\n    }\n}\n";
+        let f = engine_file(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+    }
+}

@@ -1,0 +1,196 @@
+//! The `phase-purity` and `timing-discipline` rule families.
+//!
+//! The paper's methodology stands on two structural invariants
+//! (DESIGN.md §10, after GAP and the graph-benchmark SoK):
+//!
+//! * **Phase purity** — the file-read phase may never leak into the timed
+//!   algorithm phase. Inside the engine crates, file I/O is confined to
+//!   each engine's `load_file` implementation (the read phase the harness
+//!   times separately); any `std::fs`/`std::io`/`BufReader`-shaped token
+//!   reachable from other engine code is a fairness bug, not style.
+//! * **Timing discipline** — the harness owns the clock. Engines (and the
+//!   substrate crates beneath them) may not read wall-clock time, so no
+//!   engine can self-time and report a flattering span. Clock reads are
+//!   permitted only in `epg-harness` and `epg-trace`; designated timer
+//!   modules elsewhere (the thread pool's telemetry spans, the bench
+//!   drivers) are recorded as reasoned `epg-lint.toml` exceptions.
+//!
+//! Both rules skip test-role files (`tests/`, `benches/`, `examples/`)
+//! and `#[cfg(test)]`/`#[test]` spans: test code legitimately builds
+//! fixtures on disk and calibrates against the wall clock.
+
+use crate::arch::{is_engine_crate, layer_of};
+use crate::model::{FileModel, Workspace};
+use crate::rules::Finding;
+
+/// Stable rule id: file I/O outside `load_file` in engine code.
+pub const RULE_PHASE: &str = "phase-purity";
+
+/// Stable rule id: wall-clock reads outside the measurement owners.
+pub const RULE_TIMING: &str = "timing-discipline";
+
+/// Tokens that mark file-I/O reachability in engine code.
+const IO_TOKENS: &[&str] =
+    &["std::fs", "std::io", "File::open", "File::create", "BufReader", "BufWriter", "OpenOptions"];
+
+/// Tokens that read the wall clock.
+const TIME_TOKENS: &[&str] = &["Instant::now", "SystemTime"];
+
+/// Crates that own measurement: the harness times runs, the trace crate
+/// stamps telemetry.
+const TIMING_OWNERS: &[&str] = &["epg-harness", "epg-trace"];
+
+/// Runs both rule families over the workspace model.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    for c in &ws.crates {
+        if is_engine_crate(&c.name) || c.name == "epg-engine-api" {
+            for f in &c.files {
+                check_phase_purity(f, out);
+            }
+        }
+        if layer_of(&c.name).is_some() && !TIMING_OWNERS.contains(&c.name.as_str()) {
+            for f in &c.files {
+                check_timing(f, out);
+            }
+        }
+    }
+}
+
+fn check_phase_purity(f: &FileModel, out: &mut Vec<Finding>) {
+    if f.test_role {
+        return;
+    }
+    for tok in IO_TOKENS {
+        for line in f.token_lines(tok) {
+            if f.in_test(line) || f.in_fn_named(line, "load_file") {
+                continue;
+            }
+            out.push(Finding {
+                file: f.path.clone(),
+                line,
+                rule: RULE_PHASE,
+                message: format!(
+                    "`{tok}` in engine code outside `load_file`: file I/O is the read phase and \
+                     must never be reachable from the timed algorithm phase"
+                ),
+            });
+        }
+    }
+}
+
+fn check_timing(f: &FileModel, out: &mut Vec<Finding>) {
+    if f.test_role {
+        return;
+    }
+    for tok in TIME_TOKENS {
+        for line in f.token_lines(tok) {
+            if f.in_test(line) {
+                continue;
+            }
+            out.push(Finding {
+                file: f.path.clone(),
+                line,
+                rule: RULE_TIMING,
+                message: format!(
+                    "`{tok}` outside epg-harness/epg-trace: the harness owns the clock; engines \
+                     and substrate code must not self-time (designate audited timer modules in \
+                     epg-lint.toml)"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CrateModel;
+    use crate::scan::scan;
+
+    fn krate(name: &str, src: &str, test_role: bool) -> CrateModel {
+        CrateModel {
+            name: name.to_string(),
+            dir: format!("crates/{name}"),
+            manifest_path: format!("crates/{name}/Cargo.toml"),
+            manifest_lines: Vec::new(),
+            deps: Vec::new(),
+            dev_deps: Vec::new(),
+            files: vec![FileModel::build(
+                format!("crates/{name}/src/lib.rs"),
+                scan(src),
+                test_role,
+            )],
+        }
+    }
+
+    fn run(c: CrateModel) -> Vec<Finding> {
+        let ws = Workspace { crates: vec![c] };
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn io_outside_load_file_is_flagged() {
+        let src = "pub fn kernel(p: &str) {\n    let _ = std::fs::read_to_string(p);\n}\n";
+        let f = run(krate("epg-engine-gap", src, false));
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), (RULE_PHASE, 2));
+    }
+
+    #[test]
+    fn io_inside_load_file_is_the_read_phase() {
+        let src = "impl Engine for E {\n    fn load_file(&mut self, p: &Path) -> std::io::Result<()> {\n        let text = std::fs::read_to_string(p)?;\n        Ok(())\n    }\n}\n";
+        assert!(run(krate("epg-engine-gap", src, false)).is_empty());
+    }
+
+    #[test]
+    fn bodiless_load_file_declaration_is_exempt() {
+        let src = "pub trait Engine {\n    fn load_file(&mut self, p: &Path) -> std::io::Result<()>;\n}\n";
+        assert!(run(krate("epg-engine-api", src, false)).is_empty());
+    }
+
+    #[test]
+    fn io_in_test_module_is_exempt() {
+        let src = "pub fn kernel() {}\n\n#[cfg(test)]\nmod tests {\n    fn fixture() {\n        std::fs::create_dir_all(\"x\").unwrap();\n    }\n}\n";
+        assert!(run(krate("epg-engine-gap", src, false)).is_empty());
+    }
+
+    #[test]
+    fn io_in_non_engine_crates_is_out_of_scope() {
+        let src = "pub fn write(p: &str) {\n    let _ = std::fs::write(p, \"x\");\n}\n";
+        assert!(run(krate("epg-graph", src, false)).is_empty());
+    }
+
+    #[test]
+    fn clock_reads_in_engines_and_substrate_are_flagged() {
+        let src = "pub fn f() {\n    let t = std::time::Instant::now();\n    drop(t);\n}\n";
+        for name in ["epg-engine-gap", "epg-parallel", "epg-graph", "epg-machine"] {
+            let f = run(krate(name, src, false));
+            assert_eq!(f.len(), 1, "{name}");
+            assert_eq!((f[0].rule, f[0].line), (RULE_TIMING, 2), "{name}");
+        }
+    }
+
+    #[test]
+    fn harness_and_trace_own_the_clock() {
+        let src = "pub fn f() {\n    let t = std::time::Instant::now();\n    drop(t);\n}\n";
+        assert!(run(krate("epg-harness", src, false)).is_empty());
+        assert!(run(krate("epg-trace", src, false)).is_empty());
+    }
+
+    #[test]
+    fn test_role_files_and_vendored_crates_are_exempt() {
+        let src = "pub fn f() {\n    let t = std::time::Instant::now();\n    drop(t);\n}\n";
+        assert!(run(krate("epg-engine-gap", src, true)).is_empty());
+        assert!(run(krate("criterion", src, false)).is_empty());
+    }
+
+    #[test]
+    fn system_time_is_a_clock_read() {
+        let src = "pub fn f() -> std::time::SystemTime {\n    todo()\n}\n";
+        let f = run(krate("epg-graph", src, false));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RULE_TIMING);
+    }
+}

@@ -210,8 +210,12 @@ pub fn has_word(text: &str, word: &str) -> bool {
 
 /// Byte offset of the first identifier-boundary occurrence of `word`.
 pub fn find_word(text: &str, word: &str) -> Option<usize> {
+    find_word_from(text, 0, word)
+}
+
+/// Like [`find_word`], starting the search at byte offset `from`.
+pub fn find_word_from(text: &str, mut from: usize, word: &str) -> Option<usize> {
     let bytes = text.as_bytes();
-    let mut from = 0;
     while let Some(pos) = text[from..].find(word) {
         let start = from + pos;
         let end = start + word.len();

@@ -36,6 +36,6 @@ fn lint_tree_rejects_broken_allowlists() {
     std::fs::create_dir_all(&dir).unwrap();
     std::fs::write(dir.join("epg-lint.toml"), "[[allow]]\nfile = \"x.rs\"\n").unwrap();
     let err = epg_lint::lint_tree(&dir).unwrap_err();
-    assert!(err.contains("file and rule") || err.contains("reason"), "{err}");
+    assert!(err.contains("needs a rule") || err.contains("reason"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,28 @@
+//! A deliberately broken engine crate: one seeded violation per
+//! architectural rule family, pinned to stable line numbers by the
+//! golden test (`tests/model_fixture.rs`). Never compiled.
+
+/// The read phase: file I/O inside `load_file` is exempt by design.
+pub fn load_file(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_default()
+}
+
+/// Seeded `phase-purity` violation: I/O reachable from algorithm code.
+pub fn relabel(path: &str) -> usize {
+    std::fs::read_to_string(path).map(|s| s.len()).unwrap_or(0)
+}
+
+/// Seeded `timing-discipline` violation: an engine timing itself.
+pub fn self_timed() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+/// Seeded `panic-discipline` violation: aborting inside the iteration loop.
+pub fn kernel(levels: &[Vec<u32>]) -> u32 {
+    let mut sum = 0;
+    for level in levels {
+        sum += level.first().copied().unwrap();
+    }
+    sum
+}

@@ -1,0 +1,9 @@
+//! The measurement owner: clock reads here are the negative case for
+//! `timing-discipline` — the harness owns the clock, so this file must
+//! produce no finding.
+
+/// Times one trial; legal only because this crate is a timing owner.
+pub fn time_trial() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,6 @@
+//! Clean substrate crate: nothing here may trip a rule.
+
+/// A telemetry event stub.
+pub fn event(name: &str) -> usize {
+    name.len()
+}

@@ -1,0 +1,56 @@
+//! The mini fixture workspace (`tests/fixtures/mini/`) must produce
+//! exactly one finding per architectural rule family — layering,
+//! phase-purity, timing-discipline, panic-discipline — at pinned
+//! `file:line` positions, and the `--json` rendering must match the
+//! committed golden report byte for byte.
+//!
+//! The fixture also carries the negative cases: I/O inside
+//! `load_file` and a clock read inside the (fixture) `epg-harness`
+//! crate, both of which must stay silent.
+
+use std::path::{Path, PathBuf};
+
+fn mini_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini")
+}
+
+#[test]
+fn mini_workspace_trips_each_family_once() {
+    let report = epg_lint::lint_workspace(&mini_root()).expect("mini fixture has no allowlist");
+    let got: Vec<(String, usize, &str)> =
+        report.findings.iter().map(|f| (f.file.clone(), f.line, f.rule)).collect();
+    let want = [
+        ("crates/epg-engine-alpha/Cargo.toml".to_string(), 8, "layering"),
+        ("crates/epg-engine-alpha/src/lib.rs".to_string(), 12, "phase-purity"),
+        ("crates/epg-engine-alpha/src/lib.rs".to_string(), 17, "timing-discipline"),
+        ("crates/epg-engine-alpha/src/lib.rs".to_string(), 25, "panic-discipline"),
+    ];
+    assert_eq!(got, want, "seeded violations diverge:\n{:#?}", report.findings);
+    assert!(report.stale_allows.is_empty());
+}
+
+#[test]
+fn mini_json_matches_golden() {
+    let report = epg_lint::lint_workspace(&mini_root()).expect("mini fixture has no allowlist");
+    let json = epg_lint::output::to_json(&report.findings, &report.stale_allows, &[]);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini_golden.json");
+    let golden = std::fs::read_to_string(&golden_path).expect("golden file committed");
+    assert_eq!(
+        json, golden,
+        "JSON report drifted from the golden file; regenerate with \
+         `cargo run -p epg-lint -- crates/epg-lint/tests/fixtures/mini --json`"
+    );
+}
+
+#[test]
+fn mini_findings_round_trip_as_a_baseline() {
+    // The human output of one run is a valid baseline for the next: with
+    // every finding grandfathered, the fixture lints clean and nothing is
+    // stale.
+    let report = epg_lint::lint_workspace(&mini_root()).expect("mini fixture has no allowlist");
+    let text: String = report.findings.iter().map(|f| format!("{f}\n")).collect();
+    let baseline = epg_lint::output::parse_baseline(&text).expect("own output must parse");
+    let (kept, stale) = epg_lint::output::apply_baseline(report.findings, &baseline);
+    assert!(kept.is_empty(), "baselined findings resurfaced: {kept:#?}");
+    assert!(stale.is_empty(), "fresh baseline cannot be stale: {stale:#?}");
+}

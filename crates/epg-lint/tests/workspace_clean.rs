@@ -1,16 +1,24 @@
-//! Tier-1 gate: the workspace must be lint-clean. A new `unsafe` without a
-//! SAFETY comment, an escaped `unsafe impl Sync`, or a bad CAS ordering
-//! anywhere in the tree fails `cargo test` here, not just the standalone
-//! `cargo run -p epg-lint` pass.
+//! Tier-1 gate: the workspace must be clean under the FULL analysis — the
+//! line rules plus all four architectural families (layering, phase-purity,
+//! timing-discipline, panic-discipline) — and the allowlist must carry no
+//! stale entries. A new `unsafe` without a SAFETY comment, an engine
+//! reaching into the harness, an engine timing itself, or a paid-off
+//! exception left in `epg-lint.toml` fails `cargo test` here, not just the
+//! standalone `cargo run -p epg-lint` pass.
 
 #[test]
 fn workspace_is_lint_clean() {
     let root = epg_lint::workspace_root();
-    let findings = epg_lint::lint_tree(&root).expect("allowlist must parse");
+    let report = epg_lint::lint_workspace(&root).expect("allowlist must parse");
     assert!(
-        findings.is_empty(),
+        report.findings.is_empty(),
         "epg-lint found {} violation(s):\n{}",
-        findings.len(),
-        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+        report.findings.len(),
+        report.findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale epg-lint.toml entries (silence nothing; delete them):\n{:#?}",
+        report.stale_allows
     );
 }
