@@ -144,7 +144,7 @@ fn top_down_step(
     let max_deg = AtomicU64::new(0);
     let discovered: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
     pool.parallel_for_ranges(window.len(), Schedule::Guided { min_chunk: 16 }, |_tid, lo, hi| {
-        let mut local: Vec<VertexId> = Vec::new();
+        let mut local: Vec<VertexId> = Vec::with_capacity(hi - lo);
         let mut local_checked = 0u64;
         let mut local_scout = 0u64;
         let mut local_max = 0u64;

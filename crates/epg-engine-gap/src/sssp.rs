@@ -111,7 +111,7 @@ fn relax_edges(
     let max_deg = AtomicU64::new(0);
     let inserts: Mutex<Vec<(VertexId, usize)>> = Mutex::new(Vec::new());
     pool.parallel_for_ranges(frontier.len(), Schedule::Dynamic { chunk: 32 }, |_tid, lo, hi| {
-        let mut local: Vec<(VertexId, usize)> = Vec::new();
+        let mut local: Vec<(VertexId, usize)> = Vec::with_capacity(hi - lo);
         let mut local_relaxed = 0u64;
         let mut local_max = 0u64;
         for &u in &frontier[lo..hi] {

@@ -36,12 +36,12 @@ pub fn top_down_bfs(g: &Csr, root: VertexId, pool: &ThreadPool, rec: RecorderCtx
         depth += 1;
         let checked = AtomicU64::new(0);
         let max_deg = AtomicU64::new(0);
-        let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+        let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::with_capacity(frontier.len()));
         pool.parallel_for_ranges(
             frontier.len(),
             Schedule::Static { chunk: None },
             |_tid, lo, hi| {
-                let mut local: Vec<VertexId> = Vec::new();
+                let mut local: Vec<VertexId> = Vec::with_capacity(hi - lo);
                 let mut local_checked = 0u64;
                 let mut local_max = 0u64;
                 for &u in &frontier[lo..hi] {

@@ -58,12 +58,12 @@ pub fn betweenness(
                 break;
             }
             let scanned = AtomicU64::new(0);
-            let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+            let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::with_capacity(frontier.len()));
             pool.parallel_for_ranges(
                 frontier.len(),
                 Schedule::graphbig_default(),
                 |_tid, lo, hi| {
-                    let mut local = Vec::new();
+                    let mut local = Vec::with_capacity(hi - lo);
                     let mut sc = 0u64;
                     for &u in &frontier[lo..hi] {
                         let su = sigma[u as usize].load(Ordering::Relaxed);

@@ -38,9 +38,9 @@ pub fn bfs(
         depth += 1;
         let checked = AtomicU64::new(0);
         let max_deg = AtomicU64::new(0);
-        let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+        let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::with_capacity(frontier.len()));
         pool.parallel_for_ranges(frontier.len(), Schedule::graphbig_default(), |_tid, lo, hi| {
-            let mut local = Vec::new();
+            let mut local = Vec::with_capacity(hi - lo);
             let mut c = 0u64;
             let mut md = 0u64;
             for &u in &frontier[lo..hi] {
@@ -122,9 +122,9 @@ pub fn sssp(
         round += 1;
         let relaxed = AtomicU64::new(0);
         let max_deg = AtomicU64::new(0);
-        let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+        let next: Mutex<Vec<VertexId>> = Mutex::new(Vec::with_capacity(active.len()));
         pool.parallel_for_ranges(active.len(), Schedule::graphbig_default(), |_tid, lo, hi| {
-            let mut local = Vec::new();
+            let mut local = Vec::with_capacity(hi - lo);
             let mut r = 0u64;
             let mut md = 0u64;
             for &u in &active[lo..hi] {

@@ -97,7 +97,7 @@ pub fn run_iteration<P: GraphProgram>(
             entries.len(),
             Schedule::Static { chunk: None },
             |_tid, lo, hi| {
-                let mut local = Vec::new();
+                let mut local = Vec::with_capacity(hi - lo);
                 for (v, acc) in &entries[lo..hi] {
                     // SAFETY: keys are unique after the merge, so each index is
                     // mutated by exactly one thread.

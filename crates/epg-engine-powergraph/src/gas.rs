@@ -157,7 +157,7 @@ pub fn superstep<P: VertexProgram>(
         let cell = DisjointWriter::new(data);
         let merged_ref = &merged;
         pool.parallel_for_ranges(active.len(), Schedule::Static { chunk: None }, |_tid, lo, hi| {
-            let mut local = Vec::new();
+            let mut local = Vec::with_capacity(hi - lo);
             for &v in &active[lo..hi] {
                 // SAFETY: `active` is deduplicated, one thread per index.
                 let d = unsafe { cell.get_raw(v as usize) };
@@ -188,7 +188,7 @@ pub fn superstep<P: VertexProgram>(
         pool.parallel_for_ranges(nparts, Schedule::Dynamic { chunk: 1 }, |_tid, lo, hi| {
             for pi in lo..hi {
                 let part = &g.partitions[pi];
-                let mut local: Vec<VertexId> = Vec::new();
+                let mut local: Vec<VertexId> = Vec::with_capacity(changed_ref.len());
                 let mut work = 0u64;
                 let dir = prog.scatter_dir();
                 for &v in changed_ref {

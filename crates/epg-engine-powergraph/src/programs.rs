@@ -163,6 +163,9 @@ pub fn pagerank(g: &PartitionedGraph, params: &RunParams<'_>) -> RunOutput {
     let base = (1.0 - DAMPING) / n as f64;
     let mut iterations = 0u32;
     let mut cancelled = false;
+    // Prev-rank snapshot for the L1 convergence delta, reused across
+    // iterations so the timed loop never reallocates it.
+    let mut prev = vec![0.0f64; n];
     loop {
         if pool.is_cancelled() {
             cancelled = true;
@@ -171,7 +174,9 @@ pub fn pagerank(g: &PartitionedGraph, params: &RunParams<'_>) -> RunOutput {
         iterations += 1;
         let sink_mass: f64 =
             data.iter().filter(|d| d.out_deg == 0).map(|d| d.rank).sum::<f64>() / n as f64;
-        let prev: Vec<f64> = data.iter().map(|d| d.rank).collect();
+        for (p, d) in prev.iter_mut().zip(data.iter()) {
+            *p = d.rank;
+        }
         let prog = PrProgram { base, sink_mass };
         let (_, stats) = superstep(&prog, g, &all, &mut data, pool, &mut counters, &mut trace);
         let l1: f64 = data.iter().zip(&prev).map(|(d, &p)| (d.rank - p).abs()).sum();

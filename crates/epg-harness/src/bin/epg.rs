@@ -9,7 +9,8 @@
 //! epg graphalytics --scale 12       # the comparator + HTML report
 //! epg bench --json [--quick]        # ingest pipeline medians -> BENCH_ingest.json
 //! epg trace summarize --input F     # summarize a *.trace.jsonl file
-//! epg lint [--json] [--strict]      # workspace static analysis (DESIGN.md §10)
+//! epg lint [--json] [--strict]      # workspace static analysis (DESIGN.md §10-§11)
+//! epg lint --explain <rule-id>      # rationale + example + fix for one rule
 //! ```
 
 use epg_generator::GraphSpec;
@@ -36,6 +37,8 @@ struct Args {
     quick: bool,
     strict: bool,
     baseline: Option<PathBuf>,
+    explain: Option<String>,
+    root: Option<PathBuf>,
 }
 
 fn parse_args(argv: std::env::Args) -> Result<Args, String> {
@@ -63,6 +66,8 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
         quick: false,
         strict: false,
         baseline: None,
+        explain: None,
+        root: None,
     };
     let mut it = argv.peekable();
     while let Some(flag) = it.next() {
@@ -86,6 +91,8 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
             "--quick" => a.quick = true,
             "--strict" => a.strict = true,
             "--baseline" => a.baseline = Some(PathBuf::from(val("--baseline")?)),
+            "--explain" => a.explain = Some(val("--explain")?),
+            "--root" => a.root = Some(PathBuf::from(val("--root")?)),
             "--snap" => a.snap_file = Some(PathBuf::from(val("--snap")?)),
             "--input" => a.input = Some(PathBuf::from(val("--input")?)),
             "--trial-budget-ms" => {
@@ -105,7 +112,7 @@ fn usage() -> String {
     "usage: epg <setup|gen|run|all|graphalytics|granula|bench|trace summarize|lint> \
      [--scale N] [--weighted|--unweighted] [--threads N] [--roots N|--all-roots] \
      [--seed N] [--out DIR] [--snap FILE] [--input FILE] [--trial-budget-ms N] \
-     [--json] [--quick] [--strict] [--baseline FILE]"
+     [--json] [--quick] [--strict] [--baseline FILE] [--explain RULE] [--root DIR]"
         .to_string()
 }
 
@@ -135,13 +142,29 @@ fn real_main() -> Result<(), String> {
     let args = parse_args(std::env::args())?;
     if args.cmd == "lint" {
         // Static analysis needs no pipeline state (and must not create the
-        // out directory); it prints its own report and owns the exit code.
+        // out directory); it prints its own report and owns the exit code:
+        // 0 clean, 1 findings, 2 config error, 3 stale exceptions under
+        // --strict (the facade passes run_lint's code through verbatim).
+        if let Some(id) = &args.explain {
+            match epg_lint::explain::lookup(id) {
+                Some(doc) => {
+                    print!("{}", epg_lint::explain::render(doc));
+                    std::process::exit(0);
+                }
+                None => {
+                    eprintln!("epg: unknown rule `{id}`");
+                    eprintln!("rules: {}", epg_lint::explain::rule_ids().join(", "));
+                    std::process::exit(2);
+                }
+            }
+        }
         let opts = epg_lint::LintOptions {
             json: args.json,
             strict: args.strict,
             baseline: args.baseline.clone(),
         };
-        std::process::exit(epg_lint::run_lint(&epg_lint::workspace_root(), &opts));
+        let root = args.root.clone().unwrap_or_else(epg_lint::workspace_root);
+        std::process::exit(epg_lint::run_lint(&root, &opts));
     }
     let pipeline = Pipeline::new(args.out.clone()).map_err(|e| e.to_string())?;
     match args.cmd.as_str() {

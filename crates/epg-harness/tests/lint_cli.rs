@@ -1,0 +1,92 @@
+//! `epg lint` facade: the exit-code contract, end to end.
+//!
+//! The facade must pass `run_lint`'s code through verbatim — `0` clean,
+//! `1` findings, `2` configuration errors (unknown rule ids included),
+//! `3` stale allowlist entries under `--strict` — so CI and scripts can
+//! branch on *why* the lint failed without parsing output. Spawns the
+//! real `epg` binary via `CARGO_BIN_EXE_epg`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn epg(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_epg")).args(args).output().expect("spawn epg")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("exit code, not a signal")
+}
+
+/// The epg-lint mini fixture workspace, which seeds one violation per
+/// architectural rule.
+fn mini_fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../epg-lint/tests/fixtures/mini")
+}
+
+fn temp_root(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp lint root");
+    dir
+}
+
+#[test]
+fn findings_exit_1_with_report_on_stdout() {
+    let root = mini_fixture();
+    let out = epg(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["layering", "shared-mutable-capture", "cancellation-coverage"] {
+        assert!(stdout.contains(rule), "missing [{rule}] in:\n{stdout}");
+    }
+}
+
+#[test]
+fn clean_tree_exits_0() {
+    let root = temp_root("lint-clean");
+    let out = epg(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+}
+
+#[test]
+fn stale_allowlist_is_exit_3_only_under_strict() {
+    let root = temp_root("lint-stale");
+    std::fs::write(
+        root.join("epg-lint.toml"),
+        "[[allow]]\nfile = \"src/nothing.rs\"\nrule = \"static-mut\"\nreason = \"test: never matches\"\n",
+    )
+    .expect("write allowlist");
+    let strict = epg(&["lint", "--strict", "--root", root.to_str().unwrap()]);
+    assert_eq!(exit_code(&strict), 3, "stale-only strict runs get the distinct code");
+    assert!(String::from_utf8_lossy(&strict.stdout).contains("stale"));
+    let lax = epg(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(exit_code(&lax), 0, "without --strict, stale entries only warn");
+}
+
+#[test]
+fn malformed_allowlist_is_exit_2() {
+    let root = temp_root("lint-broken");
+    std::fs::write(root.join("epg-lint.toml"), "[[allow]]\nrule = \"static-mut\"\n")
+        .expect("write allowlist");
+    let out = epg(&["lint", "--root", root.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 2, "a broken allowlist must fail, not silently pass");
+}
+
+#[test]
+fn explain_prints_the_catalog_entry() {
+    let out = epg(&["lint", "--explain", "shared-mutable-capture"]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for section in ["WHY", "EXAMPLE VIOLATION", "FIX", "DisjointWriter"] {
+        assert!(stdout.contains(section), "missing {section} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn explain_rejects_unknown_rules_with_the_id_list() {
+    let out = epg(&["lint", "--explain", "no-such-rule"]);
+    assert_eq!(exit_code(&out), 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("hot-loop-alloc"), "id list helps discovery:\n{stderr}");
+}

@@ -1,0 +1,838 @@
+//! The `concurrency` rule family: an intraprocedural dataflow pass over
+//! the token model ([`crate::model`]).
+//!
+//! PR 1's `check-disjoint` shadow table and PR 3's `CancelToken` enforce
+//! the parallel invariants *dynamically and by convention*; this module is
+//! their static twin. It walks identifier def/use inside the two span
+//! kinds the model extracts — engine **iteration loops** (the per-round
+//! loop every engine reports through `rec.iteration(…)`) and **worker
+//! closures** (arguments to the `epg-parallel` entry points) — and proves
+//! four invariants at lint time:
+//!
+//! * `shared-mutable-capture` — a worker closure may mutate shared state
+//!   only through an API (`DisjointWriter`, atomics, locks). A *direct*
+//!   assignment (`=`, `+=`, …) whose left-hand place is rooted at a
+//!   captured identifier is a data race the borrow checker cannot see
+//!   through the pool's `unsafe` job pointer.
+//! * `cancellation-coverage` — every iteration loop must contain a
+//!   reachable `is_cancelled()` poll site, so a trial past its budget can
+//!   unwind cooperatively (the paper's DNF rows depend on it).
+//! * `atomic-ordering` — extends the `cas-ordering` line rule with the
+//!   sites it cannot see: `SeqCst` in hot loop bodies (and anywhere in the
+//!   `epg-parallel` substrate, which must audit every use), and `Relaxed`
+//!   loads of cross-thread *flags* outside the audited `CancelToken` fast
+//!   path.
+//! * `hot-loop-alloc` — no `Vec::new`/`vec!`/`collect`/`format!`/`to_vec`
+//!   and no push-growth of captured vectors inside timed loop bodies or
+//!   worker closures: allocation inside the measured region skews the
+//!   engine comparison (the SoK's "hidden work" fault class).
+//!
+//! The def/use analysis is deliberately token-level and line-local, like
+//! the rest of the linter: **defs** are closure parameters, `let` pattern
+//! bindings, and `for` bindings inside the span; **uses** are assignment
+//! left-hand sides and grow-method receivers. Place expressions that pass
+//! through a call (`*writer.get_raw(v) = x`, `frontier.lock().append(…)`)
+//! are API-mediated by definition and out of scope here — the SAFETY and
+//! `unsafe`-containment line rules own those. Known blind spots: `<<=` and
+//! `>>=` compound assignments (lexically identical to `<=`/`>=` prefixes)
+//! and multi-line place chains; both are absent from the workspace idiom.
+
+use crate::arch::{is_engine_crate, layer_of};
+use crate::model::{FileModel, Workspace};
+use crate::rules::Finding;
+use crate::scan::{find_word_from, has_word};
+
+/// Stable rule id: direct mutation of captured state in a worker closure.
+pub const RULE_CAPTURE: &str = "shared-mutable-capture";
+
+/// Stable rule id: iteration loop without an `is_cancelled()` poll site.
+pub const RULE_CANCEL: &str = "cancellation-coverage";
+
+/// Stable rule id: over- or under-strong atomic orderings on hot paths.
+pub const RULE_ORDERING: &str = "atomic-ordering";
+
+/// Stable rule id: allocation inside timed loops or worker closures.
+pub const RULE_ALLOC: &str = "hot-loop-alloc";
+
+/// The audited lock-free fast path the `Relaxed`-flag check must not
+/// flag: `CancelToken::is_cancelled` deliberately reads its deadline word
+/// `Relaxed` (the Acquire load of the latched flag is the ordering
+/// anchor; see the module docs of `epg-parallel/src/cancel.rs`).
+const AUDITED_RELAXED_FILES: &[&str] = &["crates/epg-parallel/src/cancel.rs"];
+
+/// Allocation tokens forbidden in timed spans (DESIGN.md §11).
+const ALLOC_TOKENS: &[&str] = &["Vec::new()", "vec![", ".collect", "format!(", ".to_vec()"];
+
+/// Methods that grow their receiver — flagged when the receiver is a
+/// captured (non-span-local) place.
+const GROWTH_TOKENS: &[&str] = &[".push(", ".extend(", ".append("];
+
+/// Identifier fragments that mark an atomic as a cross-thread *flag*
+/// (as opposed to a chunk counter, which legitimately loads `Relaxed`).
+const FLAG_FRAGMENTS: &[&str] =
+    &["cancel", "stop", "shutdown", "abort", "flag", "done", "active", "poison"];
+
+/// Runs the concurrency family over every policy crate in the model.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    for c in &ws.crates {
+        if layer_of(&c.name).is_none() {
+            continue;
+        }
+        let engine = is_engine_crate(&c.name);
+        for f in &c.files {
+            if f.test_role {
+                continue;
+            }
+            check_capture(f, out);
+            check_ordering(f, &c.name, out);
+            if engine {
+                check_cancellation(f, out);
+                check_alloc(f, out);
+            }
+        }
+    }
+}
+
+/// The file's engine iteration loops: loop spans containing a
+/// `rec.iteration(…)` telemetry call. PR 2 wired that call into every
+/// engine's per-round loop, so the token doubles as the marker for "the
+/// loop the cancellation contract covers".
+pub fn iteration_loops(f: &FileModel) -> Vec<(usize, usize)> {
+    let marks = f.token_lines(".iteration(");
+    f.loops.iter().copied().filter(|&(s, e)| marks.iter().any(|&l| s <= l && l <= e)).collect()
+}
+
+/// Timed spans of an engine file: iteration loops, loops that directly
+/// invoke an `epg-parallel` entry point, and every worker-closure
+/// argument span. (A loop that delegates its parallel work to a helper is
+/// still covered through its `rec.iteration` marker; the helper's own
+/// worker spans are covered directly.)
+fn hot_spans(f: &FileModel) -> Vec<(usize, usize)> {
+    let marks = f.token_lines(".iteration(");
+    let par_lines = f.par_entry_lines();
+    let within = |s: usize, e: usize, lines: &[usize]| lines.iter().any(|&l| s <= l && l <= e);
+    let mut spans: Vec<(usize, usize)> = f
+        .loops
+        .iter()
+        .copied()
+        .filter(|&(s, e)| within(s, e, &marks) || within(s, e, &par_lines))
+        .collect();
+    spans.extend(f.par_calls.iter().copied());
+    spans.sort_unstable();
+    spans.dedup();
+    spans
+}
+
+fn check_cancellation(f: &FileModel, out: &mut Vec<Finding>) {
+    let polls = f.token_lines("is_cancelled");
+    for (s, e) in iteration_loops(f) {
+        if f.in_test(s) {
+            continue;
+        }
+        if !polls.iter().any(|&l| s <= l && l <= e) {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: s,
+                rule: RULE_CANCEL,
+                message: "engine iteration loop reports `rec.iteration(…)` but contains no \
+                          `is_cancelled()` poll site; a trial past its budget cannot unwind \
+                          cooperatively — poll the token at the top of every per-round loop"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn check_ordering(f: &FileModel, crate_name: &str, out: &mut Vec<Finding>) {
+    let substrate = crate_name == "epg-parallel";
+    for line in f.token_lines("SeqCst") {
+        if f.in_test(line) {
+            continue;
+        }
+        if substrate {
+            out.push(Finding {
+                file: f.path.clone(),
+                line,
+                rule: RULE_ORDERING,
+                message: "`SeqCst` in the epg-parallel substrate: every sequentially consistent \
+                          ordering here runs under the engines' hot paths — downgrade to \
+                          acquire/release if the invariant allows it, otherwise record a \
+                          reasoned epg-lint.toml entry"
+                    .to_string(),
+            });
+        } else if f.in_loop_or_worker(line) {
+            out.push(Finding {
+                file: f.path.clone(),
+                line,
+                rule: RULE_ORDERING,
+                message: "`SeqCst` inside a hot loop body or worker closure; acquire/release \
+                          suffices for every handoff the engines perform (publish with Release, \
+                          observe with Acquire)"
+                    .to_string(),
+            });
+        }
+    }
+    if AUDITED_RELAXED_FILES.contains(&f.path.as_str()) {
+        return;
+    }
+    for tok in [".load(Ordering::Relaxed)", ".load(Relaxed)"] {
+        for line in f.token_lines(tok) {
+            if f.in_test(line) {
+                continue;
+            }
+            let code = &f.lines[line - 1].code;
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(tok) {
+                let dot = from + pos;
+                from = dot + tok.len();
+                let Some((chain, _)) = place_chain(code, dot) else { continue };
+                let Some(name) = last_ident(chain) else { continue };
+                if is_flag_name(name) {
+                    out.push(Finding {
+                        file: f.path.clone(),
+                        line,
+                        rule: RULE_ORDERING,
+                        message: format!(
+                            "`Relaxed` load of cross-thread flag `{name}`: a worker observing \
+                             the flag must also observe the writes published before it was \
+                             raised — load with Acquire (the audited CancelToken fast path is \
+                             the one exception)"
+                        ),
+                    });
+                    break; // one finding per line
+                }
+            }
+        }
+    }
+}
+
+fn check_capture(f: &FileModel, out: &mut Vec<Finding>) {
+    for &(s, e) in &f.par_calls {
+        if f.in_test(s) {
+            continue;
+        }
+        let defs = defs_in_span(f, s, e);
+        for line in s..=e.min(f.lines.len()) {
+            let code = &f.lines[line - 1].code;
+            for op in assignments(code) {
+                let Some(base) = assigned_base(code, op) else { continue };
+                if defs.iter().any(|d| d == base) {
+                    continue;
+                }
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line,
+                    rule: RULE_CAPTURE,
+                    message: format!(
+                        "worker closure assigns directly to captured `{base}`; concurrent \
+                         workers race on it — route shared writes through DisjointWriter, \
+                         atomics, or a per-worker buffer merged after the region"
+                    ),
+                });
+                break; // one finding per line
+            }
+        }
+    }
+}
+
+fn check_alloc(f: &FileModel, out: &mut Vec<Finding>) {
+    let spans = hot_spans(f);
+    if spans.is_empty() {
+        return;
+    }
+    let hot = |line: usize| spans.iter().any(|&(s, e)| s <= line && line <= e);
+    let mut flagged: Vec<usize> = Vec::new();
+    for tok in ALLOC_TOKENS {
+        for line in f.token_lines(tok) {
+            if f.in_test(line) || f.in_fn_named(line, "load_file") || !hot(line) {
+                continue;
+            }
+            if flagged.contains(&line) {
+                continue;
+            }
+            flagged.push(line);
+            out.push(Finding {
+                file: f.path.clone(),
+                line,
+                rule: RULE_ALLOC,
+                message: format!(
+                    "`{tok}` allocates inside a timed engine loop or worker closure; hoist the \
+                     buffer out of the measured region (reuse scratch across iterations) or \
+                     record a reasoned epg-lint.toml entry"
+                ),
+            });
+        }
+    }
+    // Push-growth: a grow-method call whose receiver is a plain place
+    // rooted at a captured identifier — the vector outlives the span, so
+    // every iteration pays its reallocation inside the measured region.
+    for &(s, e) in &spans {
+        if f.in_test(s) {
+            continue;
+        }
+        let defs = defs_in_span(f, s, e);
+        for line in s..=e.min(f.lines.len()) {
+            if f.in_test(line) || f.in_fn_named(line, "load_file") || flagged.contains(&line) {
+                continue;
+            }
+            let code = &f.lines[line - 1].code;
+            for tok in GROWTH_TOKENS {
+                let mut from = 0;
+                let mut hit = false;
+                while let Some(pos) = code[from..].find(tok) {
+                    let dot = from + pos;
+                    from = dot + tok.len();
+                    let Some((chain, has_call)) = place_chain(code, dot) else { continue };
+                    if has_call {
+                        continue; // `.lock().append(…)` etc.: API-mediated
+                    }
+                    let Some(base) = first_ident(chain) else { continue };
+                    if defs.iter().any(|d| d == base) {
+                        continue;
+                    }
+                    flagged.push(line);
+                    out.push(Finding {
+                        file: f.path.clone(),
+                        line,
+                        rule: RULE_ALLOC,
+                        message: format!(
+                            "push-growth of captured `{chain}` inside a timed loop or worker \
+                             closure; the buffer outlives the span, so its reallocation is \
+                             measured — pre-size it outside the region or collect per-worker \
+                             and merge"
+                        ),
+                    });
+                    hit = true;
+                    break;
+                }
+                if hit {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The line-local dataflow substrate
+// ---------------------------------------------------------------------------
+
+/// Identifiers bound inside the span: closure parameters, `let` pattern
+/// bindings, and `for` bindings. Upper-cased idents (types, variants) and
+/// the `mut`/`ref` keywords are never bindings.
+fn defs_in_span(f: &FileModel, s: usize, e: usize) -> Vec<String> {
+    let mut defs = Vec::new();
+    for line in s..=e.min(f.lines.len()) {
+        let code = &f.lines[line - 1].code;
+        closure_params(code, &mut defs);
+        let_bindings(code, &mut defs);
+        for_bindings(code, &mut defs);
+    }
+    defs
+}
+
+/// Byte positions where an assignment operator starts (`=` of a plain
+/// assignment, or the first char of `+=`/`-=`/…). Comparison (`==`,
+/// `<=`, `>=`, `!=`), match arrows, and `..=` ranges are skipped; so are
+/// `<<=`/`>>=` (lexically `<=`-prefixed — a documented blind spot).
+fn assignments(code: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] != b'=' {
+            i += 1;
+            continue;
+        }
+        let next = b.get(i + 1).copied();
+        if next == Some(b'=') || next == Some(b'>') {
+            i += 2; // `==` or `=>`
+            continue;
+        }
+        let prev = if i > 0 { b[i - 1] } else { b' ' };
+        match prev {
+            b'=' | b'!' | b'<' | b'>' | b'.' => {} // comparisons, `..=`
+            b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^' => out.push(i - 1),
+            _ => out.push(i),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The root identifier of the place assigned at operator position `op`,
+/// or `None` when the statement is a `let` binding, the place passes
+/// through a call (API-mediated), or no plain place precedes the `=`.
+fn assigned_base(code: &str, op: usize) -> Option<&str> {
+    let lhs = &code[..op];
+    // Statement start: after the last `;`/`{`/`}`/match-arrow.
+    let mut start = lhs.rfind([';', '{', '}']).map_or(0, |p| p + 1);
+    if let Some(p) = lhs.rfind("=>") {
+        start = start.max(p + 2);
+    }
+    let stmt = lhs[start..].trim();
+    if has_word(stmt, "let") {
+        return None; // a binding, already in the def set
+    }
+    if stmt.contains('(') {
+        return None; // `*writer.get_raw(v) = …`: API-mediated
+    }
+    let place = stmt.trim_start_matches(['*', '&', ' ']);
+    let base = first_ident(place)?;
+    if base.as_bytes().first().is_some_and(u8::is_ascii_uppercase) {
+        return None; // `Self::CONST`-shaped, not a runtime place
+    }
+    Some(base)
+}
+
+/// Extracts closure parameter bindings from one line. A `|` opens a
+/// closure header iff nothing, an opener (`(`, `,`, `=`, `{`, `;`, `>`),
+/// or the word `move` precedes it — which is what distinguishes it from
+/// bitwise-or.
+fn closure_params(code: &str, out: &mut Vec<String>) {
+    let b = code.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] != b'|' {
+            i += 1;
+            continue;
+        }
+        let before = code[..i].trim_end();
+        let opens = before.is_empty()
+            || before.ends_with(['(', ',', '=', '{', ';', '>'])
+            || before.ends_with("move");
+        if !opens {
+            i += 1;
+            continue;
+        }
+        if b.get(i + 1) == Some(&b'|') {
+            i += 2; // `||` — parameterless closure
+            continue;
+        }
+        let Some(close) = code[i + 1..].find('|').map(|p| i + 1 + p) else {
+            return; // header split across lines: out of the line-local model
+        };
+        for piece in split_top_level(&code[i + 1..close], ',') {
+            let pat = piece.split(':').next().unwrap_or(piece);
+            binding_idents(pat, out);
+        }
+        i = close + 1;
+    }
+}
+
+/// Extracts `let` pattern bindings from one line (covers `if let` /
+/// `while let` / `let … else` heads too).
+fn let_bindings(code: &str, out: &mut Vec<String>) {
+    let mut from = 0;
+    while let Some(pos) = find_word_from(code, from, "let") {
+        from = pos + 3;
+        let rest = &code[pos + 3..];
+        let cut = rest.find(['=', ';']).unwrap_or(rest.len());
+        let pat = &rest[..cut];
+        // Strip a top-level type annotation (`: Vec<u32>`); `::` paths and
+        // struct-pattern fields sit at bracket depth > 0 or are `::`.
+        let pat = cut_type_annotation(pat);
+        binding_idents(pat, out);
+    }
+}
+
+/// Extracts `for <pat> in …` bindings from one line.
+fn for_bindings(code: &str, out: &mut Vec<String>) {
+    let mut from = 0;
+    while let Some(pos) = find_word_from(code, from, "for") {
+        from = pos + 3;
+        let Some(inpos) = find_word_from(code, from, "in") else { continue };
+        binding_idents(&code[pos + 3..inpos], out);
+    }
+}
+
+/// Truncates `pat` at the first top-level `:` that is not part of `::`.
+fn cut_type_annotation(pat: &str) -> &str {
+    let b = pat.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' | b'{' | b'<' => depth += 1,
+            b')' | b']' | b'}' | b'>' => depth -= 1,
+            b':' if depth == 0 => {
+                if b.get(i + 1) == Some(&b':') {
+                    i += 2;
+                    continue;
+                }
+                return &pat[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    pat
+}
+
+/// Splits at top-level occurrences of `sep` (depth over `()[]{}<>`).
+fn split_top_level(s: &str, sep: char) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' | '{' | '<' => depth += 1,
+            ')' | ']' | '}' | '>' => depth -= 1,
+            c if c == sep && depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+/// Collects binding identifiers from a pattern fragment: lowercase- or
+/// `_`-started idents except the `mut`/`ref` keywords and `_` itself.
+fn binding_idents(pat: &str, out: &mut Vec<String>) {
+    let b = pat.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i].is_ascii_digit() {
+            while i < b.len() && is_ident_byte(b[i]) {
+                i += 1; // numeric literal (`0u64`): skip its suffix too
+            }
+            continue;
+        }
+        if !is_ident_byte(b[i]) {
+            i += 1;
+            continue;
+        }
+        let st = i;
+        while i < b.len() && is_ident_byte(b[i]) {
+            i += 1;
+        }
+        let w = &pat[st..i];
+        let lower_start = w.as_bytes()[0].is_ascii_lowercase() || w.starts_with('_');
+        if lower_start && w != "mut" && w != "ref" && w != "_" {
+            out.push(w.to_string());
+        }
+    }
+}
+
+/// The place chain ending at byte `end` (exclusive): identifiers, `.`
+/// separators, and balanced `[…]`/`(…)` groups, walked backwards. The
+/// bool reports whether the chain passes through a call (any paren
+/// group), which marks it API-mediated.
+fn place_chain(code: &str, end: usize) -> Option<(&str, bool)> {
+    let b = code.as_bytes();
+    let mut i = end;
+    let mut has_call = false;
+    while i > 0 {
+        let c = b[i - 1];
+        if is_ident_byte(c) || c == b'.' {
+            i -= 1;
+        } else if c == b']' || c == b')' {
+            let (open, close) = if c == b']' { (b'[', b']') } else { (b'(', b')') };
+            if c == b')' {
+                has_call = true;
+            }
+            let mut depth = 0i32;
+            let mut j = i;
+            loop {
+                if j == 0 {
+                    return None; // unbalanced on this line
+                }
+                let d = b[j - 1];
+                if d == close {
+                    depth += 1;
+                } else if d == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        j -= 1;
+                        break;
+                    }
+                }
+                j -= 1;
+            }
+            i = j;
+        } else {
+            break;
+        }
+    }
+    if i == end {
+        None
+    } else {
+        Some((&code[i..end], has_call))
+    }
+}
+
+fn first_ident(s: &str) -> Option<&str> {
+    let b = s.as_bytes();
+    let st = b.iter().position(|&c| is_ident_byte(c))?;
+    if b[st].is_ascii_digit() {
+        return None;
+    }
+    let en = (st..b.len()).find(|&i| !is_ident_byte(b[i])).unwrap_or(b.len());
+    Some(&s[st..en])
+}
+
+fn last_ident(s: &str) -> Option<&str> {
+    let b = s.as_bytes();
+    let en = b.iter().rposition(|&c| is_ident_byte(c))? + 1;
+    let st = (0..en).rev().find(|&i| !is_ident_byte(b[i])).map_or(0, |i| i + 1);
+    if b[st].is_ascii_digit() {
+        return None;
+    }
+    Some(&s[st..en])
+}
+
+fn is_flag_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    FLAG_FRAGMENTS.iter().any(|frag| lower.contains(frag))
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CrateModel;
+    use crate::scan::scan;
+
+    fn krate(name: &str, file: &str, src: &str) -> CrateModel {
+        CrateModel {
+            name: name.to_string(),
+            dir: format!("crates/{name}"),
+            manifest_path: format!("crates/{name}/Cargo.toml"),
+            manifest_lines: Vec::new(),
+            deps: Vec::new(),
+            dev_deps: Vec::new(),
+            files: vec![FileModel::build(format!("crates/{name}/src/{file}"), scan(src), false)],
+        }
+    }
+
+    fn run(c: CrateModel) -> Vec<Finding> {
+        let ws = Workspace { crates: vec![c] };
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // --- cancellation-coverage -------------------------------------------
+
+    #[test]
+    fn iteration_loop_without_poll_is_flagged() {
+        let src = "fn run(rec: &mut R) {\n    let mut n = 3;\n    while n > 0 {\n        n -= 1;\n        rec.iteration(n as u64);\n    }\n}\n";
+        let f = run(krate("epg-engine-gap", "pr.rs", src));
+        assert_eq!(rules_of(&f), [RULE_CANCEL]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn iteration_loop_with_poll_passes() {
+        let src = "fn run(pool: &P, rec: &mut R) {\n    let mut n = 3;\n    while n > 0 {\n        if pool.is_cancelled() {\n            break;\n        }\n        n -= 1;\n        rec.iteration(n as u64);\n    }\n}\n";
+        assert!(run(krate("epg-engine-gap", "pr.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn loops_without_iteration_marker_are_not_checked() {
+        let src = "fn setup(xs: &[u32]) -> u32 {\n    let mut s = 0;\n    for x in xs {\n        s += x;\n    }\n    s\n}\n";
+        assert!(run(krate("epg-engine-gap", "pr.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn non_engine_crates_are_out_of_cancellation_scope() {
+        let src = "fn drain(rec: &mut R) {\n    loop {\n        rec.iteration(0);\n        break;\n    }\n}\n";
+        assert!(run(krate("epg-harness", "runner.rs", src)).is_empty());
+    }
+
+    // --- shared-mutable-capture ------------------------------------------
+
+    #[test]
+    fn assignment_to_captured_place_is_flagged() {
+        let src = "fn kernel(pool: &P, out: &mut [u32]) {\n    pool.parallel_for(out.len(), s, |v| {\n        out[v] = 1;\n    });\n}\n";
+        let f = run(krate("epg-engine-gap", "bfs.rs", src));
+        assert_eq!(rules_of(&f), [RULE_CAPTURE]);
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("`out`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn compound_assignment_to_captured_is_flagged() {
+        let src = "fn kernel(pool: &P) {\n    let mut total = 0u64;\n    pool.parallel_for(8, s, |v| {\n        total += v as u64;\n    });\n}\n";
+        let f = run(krate("epg-engine-gap", "bfs.rs", src));
+        assert_eq!(rules_of(&f), [RULE_CAPTURE]);
+        assert!(f[0].message.contains("`total`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn assignment_to_closure_local_passes() {
+        let src = "fn kernel(pool: &P) {\n    pool.parallel_for(8, s, |v| {\n        let mut acc = 0;\n        acc = v + acc;\n        drop(acc);\n    });\n}\n";
+        assert!(run(krate("epg-engine-gap", "bfs.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn writer_mediated_assignment_passes() {
+        let src = "fn kernel(pool: &P, w: &W) {\n    pool.parallel_for(8, s, |v| {\n        // SAFETY: disjoint by construction.\n        unsafe { *w.get_raw(v) = 1 };\n    });\n}\n";
+        assert!(run(krate("epg-engine-gap", "bfs.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn closure_param_and_for_bindings_are_defs() {
+        let src = "fn kernel(pool: &P) {\n    pool.parallel_for_ranges(8, s, |w, lo, hi| {\n        for i in lo..hi {\n            let mut x = i;\n            x += w;\n            drop(x);\n        }\n    });\n}\n";
+        assert!(run(krate("epg-engine-gap", "bfs.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn comparisons_and_match_arrows_are_not_assignments() {
+        let src = "fn kernel(pool: &P, d: &[u32]) {\n    pool.parallel_for(8, s, |v| {\n        if d[v] == 0 || d[v] <= 1 {\n            match v {\n                0 => {}\n                _ => {}\n            }\n        }\n    });\n}\n";
+        assert!(run(krate("epg-engine-gap", "bfs.rs", src)).is_empty());
+    }
+
+    // --- atomic-ordering --------------------------------------------------
+
+    #[test]
+    fn seqcst_in_engine_hot_loop_is_flagged() {
+        let src = "fn kernel(a: &A) {\n    loop {\n        a.store(1, Ordering::SeqCst);\n        break;\n    }\n}\n";
+        let f = run(krate("epg-engine-gap", "bfs.rs", src));
+        assert_eq!(rules_of(&f), [RULE_ORDERING]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn seqcst_outside_hot_paths_passes_in_engines() {
+        let src = "fn init(a: &A) {\n    a.store(0, Ordering::SeqCst);\n}\n";
+        assert!(run(krate("epg-engine-gap", "bfs.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn seqcst_anywhere_in_parallel_substrate_is_flagged() {
+        let src = "fn order(o: Ordering) -> Ordering {\n    match o {\n        Ordering::SeqCst => Ordering::SeqCst,\n        other => other,\n    }\n}\n";
+        let f = run(krate("epg-parallel", "atomics.rs", src));
+        assert_eq!(rules_of(&f), [RULE_ORDERING]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn relaxed_flag_load_is_flagged() {
+        let src =
+            "fn poll(stop_flag: &AtomicBool) -> bool {\n    stop_flag.load(Ordering::Relaxed)\n}\n";
+        let f = run(krate("epg-parallel", "pool.rs", src));
+        assert_eq!(rules_of(&f), [RULE_ORDERING]);
+        assert!(f[0].message.contains("`stop_flag`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn relaxed_counter_load_passes() {
+        let src = "fn claim(next: &AtomicUsize) -> usize {\n    next.load(Ordering::Relaxed)\n}\n";
+        assert!(run(krate("epg-parallel", "pool.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn audited_cancel_fast_path_is_exempt() {
+        let src =
+            "fn is_cancelled(c: &Inner) -> bool {\n    c.cancelled.load(Ordering::Relaxed)\n}\n";
+        assert!(run(krate("epg-parallel", "cancel.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn relaxed_flag_loads_in_tests_are_exempt() {
+        let src = "fn real() {}\n\n#[cfg(test)]\nmod tests {\n    fn t(done: &AtomicBool) -> bool {\n        done.load(Ordering::Relaxed)\n    }\n}\n";
+        assert!(run(krate("epg-graph", "lib.rs", src)).is_empty());
+    }
+
+    // --- hot-loop-alloc ---------------------------------------------------
+
+    #[test]
+    fn alloc_in_worker_closure_is_flagged() {
+        let src = "fn kernel(pool: &P) {\n    pool.parallel_for(8, s, |v| {\n        let mut local: Vec<u32> = Vec::new();\n        local.push(v);\n    });\n}\n";
+        let f = run(krate("epg-engine-gap", "bfs.rs", src));
+        assert_eq!(rules_of(&f), [RULE_ALLOC]);
+        assert_eq!(f[0].line, 3, "{f:?}");
+    }
+
+    #[test]
+    fn collect_in_iteration_loop_is_flagged() {
+        let src = "fn run(pool: &P, rec: &mut R, n: usize) {\n    while n > 0 {\n        if pool.is_cancelled() {\n            break;\n        }\n        let prev: Vec<u32> = (0..n).collect();\n        drop(prev);\n        rec.iteration(0);\n    }\n}\n";
+        let f = run(krate("epg-engine-gap", "pr.rs", src));
+        assert_eq!(rules_of(&f), [RULE_ALLOC]);
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn alloc_in_untimed_loops_passes() {
+        let src = "fn build(xs: &[u32]) -> Vec<Vec<u32>> {\n    let mut out = Vec::new();\n    for &x in xs {\n        out.push(vec![x]);\n    }\n    out\n}\n";
+        assert!(run(krate("epg-engine-gap", "builder.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn push_to_captured_vector_is_flagged() {
+        let src = "fn run(pool: &P, rec: &mut R, levels: &mut Vec<u32>) {\n    loop {\n        if pool.is_cancelled() {\n            break;\n        }\n        levels.push(1);\n        rec.iteration(0);\n    }\n}\n";
+        let f = run(krate("epg-engine-gap", "bc.rs", src));
+        assert_eq!(rules_of(&f), [RULE_ALLOC]);
+        assert_eq!(f[0].line, 6);
+        assert!(f[0].message.contains("push-growth"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn push_to_span_local_vector_passes_growth_but_not_alloc() {
+        // The `Vec::new()` allocation is flagged; the push to the local it
+        // creates is not a *second* finding.
+        let src = "fn run(pool: &P, rec: &mut R) {\n    loop {\n        if pool.is_cancelled() {\n            break;\n        }\n        let mut next = Vec::new();\n        next.push(1);\n        drop(next);\n        rec.iteration(0);\n    }\n}\n";
+        let f = run(krate("epg-engine-gap", "bfs.rs", src));
+        assert_eq!(rules_of(&f), [RULE_ALLOC]);
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn lock_mediated_append_passes() {
+        let src = "fn kernel(pool: &P, found: &Mutex<Vec<u32>>) {\n    pool.parallel_for(8, s, |v| {\n        found.lock().append(&mut Vec::from([v]));\n    });\n}\n";
+        assert!(run(krate("epg-engine-gap", "bfs.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn load_file_helpers_are_exempt_from_alloc() {
+        let src = "impl E {\n    fn load_file(&mut self, pool: &P) {\n        pool.parallel_for(8, s, |v| {\n            let chunk: Vec<u32> = Vec::new();\n            drop((chunk, v));\n        });\n    }\n}\n";
+        assert!(run(krate("epg-engine-gap", "lib.rs", src)).is_empty());
+    }
+
+    // --- the dataflow substrate ------------------------------------------
+
+    #[test]
+    fn assignment_scanner_classifies_operators() {
+        assert_eq!(assignments("x = 1"), vec![2]);
+        assert_eq!(assignments("x += 1"), vec![2]);
+        assert_eq!(assignments("x |= m"), vec![2]);
+        assert!(assignments("a == b").is_empty());
+        assert!(assignments("a <= b && a >= c || a != d").is_empty());
+        assert!(assignments("0 => {}").is_empty());
+        assert!(assignments("for i in 0..=n {}").is_empty());
+        assert_eq!(assignments("a == b; c = d").len(), 1);
+    }
+
+    #[test]
+    fn place_chains_resolve_bases_and_calls() {
+        let code = "dist[v] = 1";
+        let (chain, call) = place_chain(code, 7).unwrap();
+        assert_eq!((chain, call), ("dist[v]", false));
+        let code = "q.lock().append(x)";
+        let (chain, call) = place_chain(code, 8).unwrap();
+        assert_eq!((chain, call), ("q.lock()", true));
+        assert_eq!(first_ident("self.levels"), Some("self"));
+        assert_eq!(last_ident("self.inner.cancelled"), Some("cancelled"));
+    }
+
+    #[test]
+    fn binding_extraction_covers_patterns() {
+        let mut defs = Vec::new();
+        let_bindings("let (mut lo, hi): (usize, usize) = r;", &mut defs);
+        let_bindings("if let Some(v) = slot {", &mut defs);
+        closure_params("pool.parallel_for(n, s, |w, chunk| {", &mut defs);
+        for_bindings("for (u, d) in pairs {", &mut defs);
+        assert_eq!(defs, ["lo", "hi", "v", "w", "chunk", "u", "d"]);
+    }
+}

@@ -9,11 +9,14 @@
 //!   stronger than their success orderings, and no `static mut`.
 //! * **Architectural rules** over a workspace model ([`model`]): crate-DAG
 //!   `layering` ([`arch`]), `phase-purity` and `timing-discipline`
-//!   ([`phases`]), and `panic-discipline` ([`panics`]). These enforce the
-//!   measurement-fairness invariants of DESIGN.md §10: engines are
-//!   interchangeable behind `epg-engine-api`, file I/O stays in the read
-//!   phase, the harness owns the clock, and engine hot paths fail through
-//!   the supervised `TrialOutcome` path.
+//!   ([`phases`]), `panic-discipline` ([`panics`]), and the `concurrency`
+//!   dataflow family ([`flow`]) — `shared-mutable-capture`,
+//!   `cancellation-coverage`, `atomic-ordering`, `hot-loop-alloc`. These
+//!   enforce the measurement-fairness invariants of DESIGN.md §10–§11:
+//!   engines are interchangeable behind `epg-engine-api`, file I/O stays
+//!   in the read phase, the harness owns the clock, engine hot paths fail
+//!   through the supervised `TrialOutcome` path, and timed parallel
+//!   regions neither race on captured state nor allocate.
 //!
 //! Runs as a binary (`cargo run -p epg-lint`, nonzero exit on findings),
 //! as `epg lint` from the harness, and as a tier-1 test
@@ -28,6 +31,8 @@
 
 pub mod allowlist;
 pub mod arch;
+pub mod explain;
+pub mod flow;
 pub mod model;
 pub mod output;
 pub mod panics;
@@ -140,6 +145,7 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
     arch::check(&ws, &mut arch_findings);
     phases::check(&ws, &mut arch_findings);
     panics::check(&ws, &mut arch_findings);
+    flow::check(&ws, &mut arch_findings);
     for finding in arch_findings {
         let text = model_line_text(&ws, &finding);
         raw.push((finding, text));
@@ -205,9 +211,12 @@ pub struct LintOptions {
 
 /// Runs the full lint over `root` and prints the report to stdout.
 ///
-/// Returns the process exit code: `0` clean, `1` findings survive (or, under
-/// [`LintOptions::strict`], stale allowlist/baseline entries exist), `2`
-/// configuration errors (bad root, malformed allowlist or baseline).
+/// Returns the process exit code: `0` clean, `1` findings survive, `2`
+/// configuration errors (bad root, malformed allowlist or baseline), `3`
+/// no findings but stale allowlist/baseline entries exist under
+/// [`LintOptions::strict`]. The distinct stale code lets CI and scripts
+/// tell "the code regressed" from "an exception rotted" without parsing
+/// output.
 pub fn run_lint(root: &Path, opts: &LintOptions) -> i32 {
     if !root.is_dir() {
         eprintln!("epg-lint: {}: not a directory", root.display());
@@ -268,8 +277,10 @@ pub fn run_lint(root: &Path, opts: &LintOptions) -> i32 {
     }
 
     let strict_stale = opts.strict && (!stale_allows.is_empty() || !stale_baseline.is_empty());
-    if !findings.is_empty() || strict_stale {
+    if !findings.is_empty() {
         1
+    } else if strict_stale {
+        3
     } else {
         0
     }

@@ -129,6 +129,18 @@ impl FileModel {
         out
     }
 
+    /// 1-based lines invoking any `epg-parallel` entry point
+    /// ([`PAR_ENTRY_POINTS`]), sorted and deduplicated. The flow pass uses
+    /// these to classify loops that directly dispatch parallel work as
+    /// timed spans even when the call's own arg span is short.
+    pub fn par_entry_lines(&self) -> Vec<usize> {
+        let mut out: Vec<usize> =
+            PAR_ENTRY_POINTS.iter().flat_map(|tok| self.token_lines(tok)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Whether `line` falls inside test-only code (`#[cfg(test)]` item or
     /// `#[test]` fn) or the whole file is test-role.
     pub fn in_test(&self, line: usize) -> bool {

@@ -1,8 +1,9 @@
 //! The mini fixture workspace (`tests/fixtures/mini/`) must produce
-//! exactly one finding per architectural rule family — layering,
-//! phase-purity, timing-discipline, panic-discipline — at pinned
-//! `file:line` positions, and the `--json` rendering must match the
-//! committed golden report byte for byte.
+//! exactly one finding per architectural rule — layering, phase-purity,
+//! timing-discipline, panic-discipline, and the four concurrency rules
+//! seeded in `kernel.rs` — at pinned `file:line` positions, and the
+//! `--json` rendering must match the committed golden report byte for
+//! byte.
 //!
 //! The fixture also carries the negative cases: I/O inside
 //! `load_file` and a clock read inside the (fixture) `epg-harness`
@@ -21,6 +22,10 @@ fn mini_workspace_trips_each_family_once() {
         report.findings.iter().map(|f| (f.file.clone(), f.line, f.rule)).collect();
     let want = [
         ("crates/epg-engine-alpha/Cargo.toml".to_string(), 8, "layering"),
+        ("crates/epg-engine-alpha/src/kernel.rs".to_string(), 9, "cancellation-coverage"),
+        ("crates/epg-engine-alpha/src/kernel.rs".to_string(), 10, "atomic-ordering"),
+        ("crates/epg-engine-alpha/src/kernel.rs".to_string(), 11, "hot-loop-alloc"),
+        ("crates/epg-engine-alpha/src/kernel.rs".to_string(), 13, "shared-mutable-capture"),
         ("crates/epg-engine-alpha/src/lib.rs".to_string(), 12, "phase-purity"),
         ("crates/epg-engine-alpha/src/lib.rs".to_string(), 17, "timing-discipline"),
         ("crates/epg-engine-alpha/src/lib.rs".to_string(), 25, "panic-discipline"),

@@ -1,10 +1,16 @@
 //! Tier-1 gate: the workspace must be clean under the FULL analysis — the
-//! line rules plus all four architectural families (layering, phase-purity,
-//! timing-discipline, panic-discipline) — and the allowlist must carry no
-//! stale entries. A new `unsafe` without a SAFETY comment, an engine
-//! reaching into the harness, an engine timing itself, or a paid-off
-//! exception left in `epg-lint.toml` fails `cargo test` here, not just the
-//! standalone `cargo run -p epg-lint` pass.
+//! line rules plus all architectural families (layering, phase-purity,
+//! timing-discipline, panic-discipline, concurrency) — and the allowlist
+//! must carry no stale entries. A new `unsafe` without a SAFETY comment,
+//! an engine reaching into the harness, an engine timing itself, a racy
+//! worker-closure capture, or a paid-off exception left in
+//! `epg-lint.toml` fails `cargo test` here, not just the standalone
+//! `cargo run -p epg-lint` pass.
+//!
+//! The second test closes the vacuity hole in `cancellation-coverage`:
+//! "no findings" also holds when the pass finds no iteration loops at
+//! all, so it positively asserts that every one of the five engines has
+//! at least one recognized iteration loop, and that each one polls.
 
 #[test]
 fn workspace_is_lint_clean() {
@@ -21,4 +27,37 @@ fn workspace_is_lint_clean() {
         "stale epg-lint.toml entries (silence nothing; delete them):\n{:#?}",
         report.stale_allows
     );
+}
+
+#[test]
+fn every_engine_has_polled_iteration_loops() {
+    let ws = epg_lint::model::Workspace::load(&epg_lint::workspace_root());
+    let engines = ["gap", "graph500", "graphbig", "graphmat", "powergraph"];
+    for engine in engines {
+        let name = format!("epg-engine-{engine}");
+        let c =
+            ws.crates.iter().find(|c| c.name == name).unwrap_or_else(|| {
+                panic!("engine crate `{name}` missing from the workspace model")
+            });
+        let mut loops = 0;
+        for f in c.files.iter().filter(|f| !f.test_role) {
+            let polls = f.token_lines("is_cancelled");
+            for (s, e) in epg_lint::flow::iteration_loops(f) {
+                if f.in_test(s) {
+                    continue;
+                }
+                loops += 1;
+                assert!(
+                    polls.iter().any(|&l| s <= l && l <= e),
+                    "{}:{s}: iteration loop without an is_cancelled() poll site",
+                    f.path
+                );
+            }
+        }
+        assert!(
+            loops > 0,
+            "`{name}` has no recognized iteration loops — cancellation-coverage \
+             would pass vacuously; did the rec.iteration convention change?"
+        );
+    }
 }
