@@ -237,55 +237,151 @@ mod tests {
     }
 }
 
-impl Csr {
-    /// Parallel CSR construction: histogram → parallel exclusive scan →
-    /// scatter with atomic cursors. This is the Graph500 construction
-    /// kernel's parallel structure; adjacency order within a vertex is
-    /// unspecified (call [`Csr::sort_adjacency`] for a canonical form).
-    pub fn from_edge_list_parallel(el: &EdgeList, pool: &epg_parallel::ThreadPool) -> Csr {
-        use epg_parallel::{DisjointWriter, Schedule};
-        use std::sync::atomic::{AtomicU64, Ordering};
+/// Fixed per-worker partition used by the two-pass kernels: worker `w` of
+/// `nworkers` owns `[w·B, (w+1)·B) ∩ [0, len)` with `B = ceil(len/nworkers)`.
+/// The split depends only on `len` and `nworkers` — never on scheduler
+/// state — which is what makes the parallel builds deterministic.
+fn worker_range(len: usize, w: usize, nworkers: usize) -> (usize, usize) {
+    let block = len.div_ceil(nworkers).max(1);
+    let lo = (w * block).min(len);
+    let hi = (lo + block).min(len);
+    (lo, hi)
+}
 
-        if pool.num_threads() == 1 {
-            // Serial fast path: the atomic histogram/cursor protocol only
-            // pays off once threads can share it.
+impl Csr {
+    /// Turns a worker-major count matrix (`counts[w*n + v]` = occurrences of
+    /// vertex `v` counted by worker `w`) into the CSR `offsets` array, and
+    /// rewrites `counts` in place into per-(worker, vertex) write cursors:
+    /// after this call, `counts[w*n + v]` is the first slot worker `w` may
+    /// fill for vertex `v`, and the cursor ranges of successive workers for
+    /// the same vertex are adjacent and in worker order. Shared core of the
+    /// two-pass [`Csr::from_edge_list_parallel`] / [`Csr::transpose_parallel`].
+    fn scan_count_matrix(
+        counts: &mut [u64],
+        n: usize,
+        m: usize,
+        pool: &epg_parallel::ThreadPool,
+    ) -> Vec<usize> {
+        use epg_parallel::DisjointWriter;
+
+        let nworkers = pool.num_threads();
+        // Reduce worker rows into per-vertex degrees, each worker owning a
+        // disjoint vertex range.
+        let mut deg = vec![0u64; n];
+        {
+            let counts_ref: &[u64] = counts;
+            let dw = DisjointWriter::new(&mut deg);
+            pool.region(|t| {
+                let (vlo, vhi) = worker_range(n, t, nworkers);
+                // SAFETY: vertex ranges are pairwise disjoint across workers.
+                let out = unsafe { dw.range_mut(vlo, vhi) };
+                for (k, v) in (vlo..vhi).enumerate() {
+                    let mut s = 0u64;
+                    for w in 0..nworkers {
+                        s += counts_ref[w * n + v];
+                    }
+                    out[k] = s;
+                }
+            });
+        }
+        let total = pool.exclusive_scan(&mut deg);
+        debug_assert_eq!(total as usize, m);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.extend(deg.iter().map(|&x| x as usize));
+        offsets.push(m);
+        // Scan each vertex's column down the worker rows so every
+        // (worker, vertex) pair gets its own disjoint slot range, laid out
+        // in worker order — the parallel scatter then reproduces the global
+        // edge order exactly.
+        {
+            let deg_ref: &[u64] = &deg;
+            let cw = DisjointWriter::new(counts);
+            pool.region(|t| {
+                let (vlo, vhi) = worker_range(n, t, nworkers);
+                for v in vlo..vhi {
+                    let mut run = deg_ref[v];
+                    for w in 0..nworkers {
+                        // SAFETY: column `v` lies in this worker's disjoint
+                        // vertex range, so each index is touched once.
+                        let slot = unsafe { cw.get_raw(w * n + v) };
+                        let c = *slot;
+                        *slot = run;
+                        run += c;
+                    }
+                }
+            });
+        }
+        offsets
+    }
+
+    /// Parallel CSR construction via a contention-free two-pass counting
+    /// build (the GBBS scheme): each worker histograms a fixed contiguous
+    /// edge range into its private count-matrix row, a parallel exclusive
+    /// scan turns the matrix into disjoint per-(worker, vertex) cursors, and
+    /// a second pass over the same ranges scatters through those cursors —
+    /// no shared atomics anywhere.
+    ///
+    /// Because the worker ranges are fixed (see [`worker_range`]) and cursor
+    /// ranges are laid out in worker order, the output preserves the global
+    /// edge order within each adjacency list and is **byte-identical to the
+    /// serial [`Csr::from_edge_list`] at every thread count** — no
+    /// [`Csr::sort_adjacency`] pass is needed to canonicalize.
+    pub fn from_edge_list_parallel(el: &EdgeList, pool: &epg_parallel::ThreadPool) -> Csr {
+        use epg_parallel::DisjointWriter;
+
+        let nworkers = pool.num_threads();
+        if nworkers == 1 {
+            // Serial fast path: one worker needs neither the count matrix
+            // nor the second read of the edge array.
             return Csr::from_edge_list(el);
         }
         let n = el.num_vertices;
         let m = el.edges.len();
-        // Histogram of out-degrees.
-        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        if m == 0 {
+            return Csr {
+                offsets: vec![0; n + 1],
+                targets: Vec::new(),
+                weights: el.weights.as_ref().map(|_| Vec::new()),
+            };
+        }
+        // Pass 1: private degree histograms, one count-matrix row per worker.
+        let mut counts = vec![0u64; nworkers * n];
         {
             let edges = &el.edges;
-            pool.parallel_for_ranges(m, Schedule::Static { chunk: None }, |_t, lo, hi| {
+            let cw = DisjointWriter::new(&mut counts);
+            pool.region(|w| {
+                let (lo, hi) = worker_range(m, w, nworkers);
+                // SAFETY: row `w` of the count matrix belongs to worker `w`
+                // alone; rows are pairwise disjoint.
+                let row = unsafe { cw.range_mut(w * n, (w + 1) * n) };
                 for &(u, _) in &edges[lo..hi] {
-                    counts[u as usize].fetch_add(1, Ordering::Relaxed);
+                    row[u as usize] += 1;
                 }
             });
         }
-        // Exclusive scan over the histogram.
-        let mut scanned: Vec<u64> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-        let total = pool.exclusive_scan(&mut scanned);
-        debug_assert_eq!(total as usize, m);
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.extend(scanned.iter().map(|&x| x as usize));
-        offsets.push(m);
-        // Scatter: atomic cursor per vertex hands out slots.
-        let cursor: Vec<AtomicU64> = scanned.iter().map(|&x| AtomicU64::new(x)).collect();
+        let offsets = Csr::scan_count_matrix(&mut counts, n, m, pool);
+        // Pass 2: re-read the same fixed ranges; each (worker, vertex) pair
+        // writes into its own precomputed slot range.
         let mut targets = vec![0 as VertexId; m];
         let mut weights = el.weights.as_ref().map(|_| vec![0.0 as Weight; m]);
         {
+            let cw = DisjointWriter::new(&mut counts);
             let tw = DisjointWriter::new(&mut targets);
             let ww = weights.as_mut().map(|w| DisjointWriter::new(w.as_mut_slice()));
-            pool.parallel_for_ranges(m, Schedule::Static { chunk: None }, |_t, lo, hi| {
+            pool.region(|w| {
+                let (lo, hi) = worker_range(m, w, nworkers);
+                // SAFETY: cursor row `w` is private to worker `w`.
+                let row = unsafe { cw.range_mut(w * n, (w + 1) * n) };
                 for i in lo..hi {
                     let (u, v) = el.edges[i];
-                    let slot = cursor[u as usize].fetch_add(1, Ordering::Relaxed) as usize;
-                    // SAFETY: cursors hand out each slot exactly once.
+                    let slot = row[u as usize] as usize;
+                    row[u as usize] += 1;
+                    // SAFETY: cursor ranges partition `0..m`, so each slot
+                    // is handed out exactly once across all workers.
                     unsafe {
-                        tw.write(slot, v);
+                        tw.write_unchecked(slot, v);
                         if let Some(ww) = &ww {
-                            ww.write(slot, el.weight(i));
+                            ww.write_unchecked(slot, el.weight(i));
                         }
                     }
                 }
@@ -294,50 +390,76 @@ impl Csr {
         Csr { offsets, targets, weights }
     }
 
-    /// Parallel transpose: same histogram → scan → atomic-cursor scatter
-    /// structure as [`Csr::from_edge_list_parallel`], iterating sources by
-    /// vertex range. Adjacency order within a transposed vertex is
-    /// unspecified (call [`Csr::sort_adjacency`] for a canonical form).
+    /// Parallel transpose with the same two-pass counting structure as
+    /// [`Csr::from_edge_list_parallel`], histogramming in-degrees over fixed
+    /// edge-index ranges. Deterministic and **byte-identical to the serial
+    /// [`Csr::transpose`] at every thread count**: both scatter edges in
+    /// global edge-index order, so each transposed adjacency list holds its
+    /// sources in first-occurrence order.
     pub fn transpose_parallel(&self, pool: &epg_parallel::ThreadPool) -> Csr {
-        use epg_parallel::{DisjointWriter, Schedule};
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use epg_parallel::DisjointWriter;
 
-        if pool.num_threads() == 1 {
+        let nworkers = pool.num_threads();
+        if nworkers == 1 {
             return self.transpose();
         }
         let n = self.num_vertices();
         let m = self.num_edges();
-        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        if m == 0 {
+            return Csr {
+                offsets: vec![0; n + 1],
+                targets: Vec::new(),
+                weights: self.weights.as_ref().map(|_| Vec::new()),
+            };
+        }
+        // Pass 1: private in-degree histograms over fixed edge ranges.
+        let mut counts = vec![0u64; nworkers * n];
         {
             let targets = &self.targets;
-            pool.parallel_for_ranges(m, Schedule::Static { chunk: None }, |_t, lo, hi| {
+            let cw = DisjointWriter::new(&mut counts);
+            pool.region(|w| {
+                let (lo, hi) = worker_range(m, w, nworkers);
+                // SAFETY: row `w` of the count matrix belongs to worker `w`
+                // alone; rows are pairwise disjoint.
+                let row = unsafe { cw.range_mut(w * n, (w + 1) * n) };
                 for &t in &targets[lo..hi] {
-                    counts[t as usize].fetch_add(1, Ordering::Relaxed);
+                    row[t as usize] += 1;
                 }
             });
         }
-        let mut scanned: Vec<u64> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-        let total = pool.exclusive_scan(&mut scanned);
-        debug_assert_eq!(total as usize, m);
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.extend(scanned.iter().map(|&x| x as usize));
-        offsets.push(m);
-        let cursor: Vec<AtomicU64> = scanned.iter().map(|&x| AtomicU64::new(x)).collect();
+        let offsets = Csr::scan_count_matrix(&mut counts, n, m, pool);
+        // Pass 2: walk the same edge ranges, deriving each edge's source
+        // vertex from the CSR offsets as the range is traversed.
         let mut targets = vec![0 as VertexId; m];
         let mut weights = self.weights.as_ref().map(|_| vec![0.0 as Weight; m]);
         {
+            let cw = DisjointWriter::new(&mut counts);
             let tw = DisjointWriter::new(&mut targets);
             let ww = weights.as_mut().map(|w| DisjointWriter::new(w.as_mut_slice()));
-            pool.parallel_for_ranges(n, Schedule::Guided { min_chunk: 64 }, |_t, lo, hi| {
-                for u in lo..hi {
-                    for i in self.offsets[u]..self.offsets[u + 1] {
-                        let t = self.targets[i] as usize;
-                        let slot = cursor[t].fetch_add(1, Ordering::Relaxed) as usize;
-                        // SAFETY: cursors hand out each slot exactly once.
-                        unsafe {
-                            tw.write(slot, u as VertexId);
-                            if let (Some(ww), Some(src)) = (&ww, self.weights.as_ref()) {
-                                ww.write(slot, src[i]);
+            pool.region(|w| {
+                let (lo, hi) = worker_range(m, w, nworkers);
+                if lo >= hi {
+                    return;
+                }
+                // SAFETY: cursor row `w` is private to worker `w`.
+                let row = unsafe { cw.range_mut(w * n, (w + 1) * n) };
+                // Source of edge `lo`: the last `u` with `offsets[u] <= lo`
+                // (well-defined since `offsets[0] = 0 <= lo`).
+                let mut u = self.offsets.partition_point(|&o| o <= lo) - 1;
+                for i in lo..hi {
+                    while self.offsets[u + 1] <= i {
+                        u += 1;
+                    }
+                    let t = self.targets[i] as usize;
+                    let slot = row[t] as usize;
+                    row[t] += 1;
+                    // SAFETY: cursor ranges partition `0..m`, so each slot
+                    // is handed out exactly once across all workers.
+                    unsafe {
+                        tw.write_unchecked(slot, u as VertexId);
+                        if let Some(src) = self.weights.as_ref() {
+                            if let Some(ww) = &ww {
+                                ww.write_unchecked(slot, src[i]);
                             }
                         }
                     }
@@ -347,21 +469,42 @@ impl Csr {
         Csr { offsets, targets, weights }
     }
 
-    /// Parallel adjacency sort: vertices are dealt out in ranges and each
-    /// worker sorts its vertices' (disjoint) `targets`/`weights` spans in
-    /// place. Same canonical order as the serial [`Csr::sort_adjacency`].
+    /// Parallel adjacency sort: vertices are split at edge-balanced cuts
+    /// (the same fixed [`worker_range`] rule over edge indices, rounded to
+    /// vertex boundaries) and each worker sorts its vertices' disjoint
+    /// `targets`/`weights` spans in place. Same canonical order as the
+    /// serial [`Csr::sort_adjacency`], and — like the construction kernels —
+    /// free of scheduler state and shared-counter chunk claims.
     pub fn sort_adjacency_parallel(&mut self, pool: &epg_parallel::ThreadPool) {
-        use epg_parallel::{DisjointWriter, Schedule};
+        use epg_parallel::DisjointWriter;
 
+        let nworkers = pool.num_threads();
+        if nworkers == 1 {
+            self.sort_adjacency();
+            return;
+        }
         let n = self.num_vertices();
+        let m = self.num_edges();
+        // cuts[w]..cuts[w+1] is worker w's vertex range; cut points land on
+        // the vertex whose adjacency straddles each m/nworkers boundary, so
+        // skewed degree distributions still balance by edges, not vertices.
+        let block = m.div_ceil(nworkers).max(1);
+        let mut cuts = Vec::with_capacity(nworkers + 1);
+        for w in 0..=nworkers {
+            let target = (w * block).min(m);
+            cuts.push(self.offsets.partition_point(|&o| o < target));
+        }
+        cuts[0] = 0;
+        cuts[nworkers] = n; // sweep zero-degree tail vertices into the last range
         let Csr { offsets, targets, weights } = self;
         let tw = DisjointWriter::new(targets.as_mut_slice());
         let ww = weights.as_mut().map(|w| DisjointWriter::new(w.as_mut_slice()));
-        pool.parallel_for_ranges(n, Schedule::Guided { min_chunk: 64 }, |_t, vlo, vhi| {
-            for v in vlo..vhi {
+        let cuts_ref = &cuts;
+        pool.region(|t| {
+            for v in cuts_ref[t]..cuts_ref[t + 1] {
                 let (lo, hi) = (offsets[v], offsets[v + 1]);
                 // SAFETY: per-vertex spans [lo, hi) are disjoint because the
-                // vertex ranges handed to workers are disjoint.
+                // vertex cut ranges handed to workers are disjoint.
                 unsafe {
                     let ts = tw.range_mut(lo, hi);
                     if let Some(ww) = &ww {
@@ -388,25 +531,27 @@ mod parallel_build_tests {
     use epg_parallel::ThreadPool;
 
     #[test]
-    fn parallel_build_equals_serial_after_sorting() {
-        for nthreads in [1, 2, 4] {
+    fn parallel_build_is_byte_identical_to_serial() {
+        // No sort pass: the two-pass build preserves global edge order, so
+        // every field must match the serial counting sort exactly.
+        for nthreads in [1, 2, 3, 4, 8] {
             let pool = ThreadPool::new(nthreads);
             let el = crate::EdgeList::weighted(
                 200,
                 (0..3000u32).map(|i| (i % 200, (i * 7 + 3) % 200)).collect(),
                 (0..3000).map(|i| i as f32 * 0.5).collect(),
             );
-            let mut par = Csr::from_edge_list_parallel(&el, &pool);
-            let mut ser = Csr::from_edge_list(&el);
-            par.sort_adjacency();
-            ser.sort_adjacency();
-            assert_eq!(par, ser, "nthreads={nthreads}");
+            let par = Csr::from_edge_list_parallel(&el, &pool);
+            let ser = Csr::from_edge_list(&el);
+            assert_eq!(par.offsets, ser.offsets, "nthreads={nthreads}");
+            assert_eq!(par.targets, ser.targets, "nthreads={nthreads}");
+            assert_eq!(par.weights, ser.weights, "nthreads={nthreads}");
         }
     }
 
     #[test]
-    fn parallel_transpose_equals_serial_after_sorting() {
-        for nthreads in [1, 2, 4] {
+    fn parallel_transpose_is_byte_identical_to_serial() {
+        for nthreads in [1, 2, 3, 4, 8] {
             let pool = ThreadPool::new(nthreads);
             let el = crate::EdgeList::weighted(
                 150,
@@ -414,12 +559,50 @@ mod parallel_build_tests {
                 (0..2500).map(|i| i as f32 * 0.25).collect(),
             );
             let g = Csr::from_edge_list(&el);
-            let mut par = g.transpose_parallel(&pool);
-            let mut ser = g.transpose();
-            par.sort_adjacency();
-            ser.sort_adjacency();
-            assert_eq!(par, ser, "nthreads={nthreads}");
-            assert_eq!(par.offsets, ser.offsets);
+            let par = g.transpose_parallel(&pool);
+            let ser = g.transpose();
+            assert_eq!(par.offsets, ser.offsets, "nthreads={nthreads}");
+            assert_eq!(par.targets, ser.targets, "nthreads={nthreads}");
+            assert_eq!(par.weights, ser.weights, "nthreads={nthreads}");
+        }
+    }
+
+    #[test]
+    fn two_pass_kernels_report_zero_data_rmw() {
+        // Runtime pin of the "no shared atomics" claim: the build and
+        // transpose kernels must not report a single data RMW to the pool.
+        let pool = ThreadPool::new(4);
+        let el = crate::EdgeList::weighted(
+            128,
+            (0..4000u32).map(|i| (i % 128, (i * 13 + 1) % 128)).collect(),
+            (0..4000).map(|i| i as f32).collect(),
+        );
+        let before = pool.stats();
+        let g = Csr::from_edge_list_parallel(&el, &pool);
+        let mut t = g.transpose_parallel(&pool);
+        t.sort_adjacency_parallel(&pool);
+        let after = pool.stats();
+        assert!(after.regions > before.regions, "kernels must actually run in parallel regions");
+        assert_eq!(
+            after.data_rmw - before.data_rmw,
+            0,
+            "two-pass construction performed atomic RMW ops on shared data"
+        );
+    }
+
+    #[test]
+    fn two_pass_kernels_are_atomic_free_in_source() {
+        // Static pin: this file must not regain atomic RMW machinery. The
+        // needles are assembled at runtime so the test's own literals do not
+        // match themselves in the include_str! snapshot.
+        let src = include_str!("csr.rs");
+        for needle in ["fetch§add", "fetch§sub", "compare§exchange", "Atomic§U64", "sync::§atomic"]
+        {
+            let needle = needle.replace('§', "");
+            assert!(
+                !src.contains(&needle),
+                "csr.rs contains `{needle}` — the two-pass kernels must stay atomic-free"
+            );
         }
     }
 

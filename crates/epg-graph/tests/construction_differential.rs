@@ -1,0 +1,219 @@
+//! Differential construction suite: the parallel two-pass CSR kernels must
+//! be **byte-identical** to their serial counterparts — offsets, targets,
+//! and weights, with no canonicalizing sort pass — across thread counts and
+//! adversarial degree distributions.
+//!
+//! On schedules: the two-pass kernels intentionally take no `Schedule` — the
+//! per-worker split is a fixed function of `(len, nthreads)` (see
+//! `worker_range` in `csr.rs`), so there is no scheduler dimension left to
+//! vary. Thread count is the only knob that could perturb the partition,
+//! and this suite sweeps it {1, 2, 4, 8} on every shape. Run with
+//! `--features epg-parallel/check-disjoint` to additionally verify that
+//! every scatter slot is written exactly once per region (CI does).
+
+use epg_graph::{csr::Csr, EdgeList, VertexId};
+use epg_parallel::ThreadPool;
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Asserts field-by-field equality so a failure names the component.
+fn assert_identical(par: &Csr, ser: &Csr, ctx: &str) {
+    assert_eq!(par.offsets, ser.offsets, "offsets differ: {ctx}");
+    assert_eq!(par.targets, ser.targets, "targets differ: {ctx}");
+    assert_eq!(par.weights, ser.weights, "weights differ: {ctx}");
+}
+
+/// Runs the full build + transpose differential on one edge list.
+fn check_all(el: &EdgeList, shape: &str) {
+    let ser = Csr::from_edge_list(el);
+    let ser_t = ser.transpose();
+    for nthreads in THREADS {
+        let pool = ThreadPool::new(nthreads);
+        let ctx = format!("shape={shape} nthreads={nthreads}");
+        let par = Csr::from_edge_list_parallel(el, &pool);
+        assert_identical(&par, &ser, &ctx);
+        let par_t = par.transpose_parallel(&pool);
+        assert_identical(&par_t, &ser_t, &ctx);
+        // Parallel adjacency sort reaches the same canonical form.
+        let mut sorted_par = par;
+        let mut sorted_ser = ser.clone();
+        sorted_par.sort_adjacency_parallel(&pool);
+        sorted_ser.sort_adjacency();
+        assert_identical(&sorted_par, &sorted_ser, &ctx);
+    }
+}
+
+fn weighted_from(edges: Vec<(VertexId, VertexId)>, n: usize) -> EdgeList {
+    let weights = (0..edges.len()).map(|i| (i % 31) as f32 * 0.5 + 0.25).collect();
+    EdgeList::weighted(n, edges, weights)
+}
+
+// ---- skew-killer shapes -------------------------------------------------
+
+#[test]
+fn star_in_and_out() {
+    // Hub 0 receives and emits everything: the worst case for per-vertex
+    // cursor contention, and the case the old atomic scatter serialized on.
+    let n = 512;
+    let mut edges = Vec::new();
+    for v in 1..n as VertexId {
+        edges.push((0, v));
+        edges.push((v, 0));
+    }
+    check_all(&EdgeList::new(n, edges.clone()), "star");
+    check_all(&weighted_from(edges, n), "star-weighted");
+}
+
+#[test]
+fn power_law_degrees() {
+    // Zipf-ish skew from a deterministic LCG: a few heavy vertices, a long
+    // light tail, duplicates included.
+    let n = 300usize;
+    let mut state = 0x9e37_79b9u64;
+    let mut lcg = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut edges = Vec::with_capacity(6000);
+    for _ in 0..6000 {
+        // Squaring a uniform sample skews mass toward low vertex ids.
+        let u = ((lcg() as u64).pow(2) >> 44) as u32 % n as u32;
+        let v = lcg() % n as u32;
+        edges.push((u, v));
+    }
+    check_all(&EdgeList::new(n, edges.clone()), "power-law");
+    check_all(&weighted_from(edges, n), "power-law-weighted");
+}
+
+#[test]
+fn all_self_loops() {
+    let n = 97;
+    let edges: Vec<_> = (0..3000u32).map(|i| (i % n, i % n)).collect();
+    check_all(&EdgeList::new(n as usize, edges.clone()), "self-loops");
+    check_all(&weighted_from(edges, n as usize), "self-loops-weighted");
+}
+
+#[test]
+fn zero_vertex_and_zero_edge() {
+    check_all(&EdgeList::new(0, vec![]), "zero-vertex");
+    check_all(&EdgeList::new(64, vec![]), "zero-edge");
+    check_all(&EdgeList::weighted(64, vec![], vec![]), "zero-edge-weighted");
+}
+
+#[test]
+fn isolated_vertex_tail() {
+    // Edges touch only the first 8 of 4096 vertices: the count matrix is
+    // almost entirely zeros and most per-worker vertex ranges reduce and
+    // cursor-init nothing but padding.
+    let n = 4096;
+    let edges: Vec<_> = (0..500u32).map(|i| (i % 8, (i * 3 + 1) % 8)).collect();
+    check_all(&EdgeList::new(n, edges.clone()), "isolated-tail");
+    check_all(&weighted_from(edges, n), "isolated-tail-weighted");
+}
+
+#[test]
+fn fewer_edges_than_workers() {
+    // With 8 threads and 3 edges most workers get empty ranges.
+    check_all(&EdgeList::new(10, vec![(4, 2), (9, 0), (4, 2)]), "tiny");
+    check_all(&weighted_from(vec![(1, 1), (0, 9)], 10), "tiny-weighted");
+}
+
+// ---- property-based matrix ---------------------------------------------
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (1usize..=40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..200)
+            .prop_map(move |edges| EdgeList::new(n, edges))
+    })
+}
+
+fn arb_weighted_graph() -> impl Strategy<Value = EdgeList> {
+    (1usize..=30).prop_flat_map(|n| {
+        proptest::collection::vec(((0..n as VertexId, 0..n as VertexId), 0.01f32..10.0), 0..150)
+            .prop_map(move |ews| {
+                let (edges, weights): (Vec<_>, Vec<_>) = ews.into_iter().unzip();
+                EdgeList::weighted(n, edges, weights)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_build_byte_equal(el in arb_graph()) {
+        let ser = Csr::from_edge_list(&el);
+        for nthreads in THREADS {
+            let pool = ThreadPool::new(nthreads);
+            let par = Csr::from_edge_list_parallel(&el, &pool);
+            prop_assert_eq!(&par, &ser, "nthreads={}", nthreads);
+        }
+    }
+
+    #[test]
+    fn parallel_build_byte_equal_weighted(el in arb_weighted_graph()) {
+        let ser = Csr::from_edge_list(&el);
+        for nthreads in THREADS {
+            let pool = ThreadPool::new(nthreads);
+            let par = Csr::from_edge_list_parallel(&el, &pool);
+            prop_assert_eq!(&par, &ser, "nthreads={}", nthreads);
+        }
+    }
+
+    #[test]
+    fn parallel_transpose_byte_equal(el in arb_weighted_graph()) {
+        let g = Csr::from_edge_list(&el);
+        let ser = g.transpose();
+        for nthreads in THREADS {
+            let pool = ThreadPool::new(nthreads);
+            let par = g.transpose_parallel(&pool);
+            prop_assert_eq!(&par, &ser, "nthreads={}", nthreads);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip_is_sorted_original(el in arb_graph()) {
+        // Unweighted: transposing twice sorts each adjacency list (the
+        // transpose scatters sources in ascending order), so the parallel
+        // round trip must land exactly on the serial canonical form.
+        let g = Csr::from_edge_list(&el);
+        let mut sorted = g.clone();
+        sorted.sort_adjacency();
+        for nthreads in THREADS {
+            let pool = ThreadPool::new(nthreads);
+            let tt = g.transpose_parallel(&pool).transpose_parallel(&pool);
+            prop_assert_eq!(&tt, &sorted, "nthreads={}", nthreads);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip_weighted_canonicalizes(el in arb_weighted_graph()) {
+        // Weighted: duplicate (u, v) edges with different weights keep edge
+        // order through the round trip while sort_adjacency breaks weight
+        // ties by bit pattern — so canonicalize both sides before comparing.
+        let g = Csr::from_edge_list(&el);
+        let mut sorted = g.clone();
+        sorted.sort_adjacency();
+        for nthreads in THREADS {
+            let pool = ThreadPool::new(nthreads);
+            let mut tt = g.transpose_parallel(&pool).transpose_parallel(&pool);
+            prop_assert_eq!(tt.offsets.clone(), sorted.offsets.clone(), "nthreads={}", nthreads);
+            tt.sort_adjacency_parallel(&pool);
+            prop_assert_eq!(&tt, &sorted, "nthreads={}", nthreads);
+        }
+    }
+
+    #[test]
+    fn parallel_sort_matches_serial(el in arb_weighted_graph()) {
+        let g = Csr::from_edge_list(&el);
+        let mut ser = g.clone();
+        ser.sort_adjacency();
+        for nthreads in THREADS {
+            let pool = ThreadPool::new(nthreads);
+            let mut par = g.clone();
+            par.sort_adjacency_parallel(&pool);
+            prop_assert_eq!(&par, &ser, "nthreads={}", nthreads);
+        }
+    }
+}

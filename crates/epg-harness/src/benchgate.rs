@@ -1,0 +1,378 @@
+//! Bench regression gate: holds a candidate `epg-ingest-bench/v1` report to
+//! the speedups committed in a baseline snapshot (`epg bench --json
+//! --baseline BENCH_ingest.json --gate`).
+//!
+//! The gate compares `speedup_vs_serial` per (phase, thread count) and fails
+//! when the candidate drops more than [`DEFAULT_TOLERANCE`] below the
+//! baseline. Two escape hatches keep it honest rather than noisy:
+//!
+//! - **Single-core skip.** Speedup-vs-serial on a host with
+//!   `hardware_threads < 2` measures oversubscription, not scaling, so the
+//!   gate skips entirely (with a notice) instead of pretending to verify.
+//! - **Oversubscription warnings.** Individual thread counts beyond either
+//!   host's hardware threads (stamped `"oversubscribed"` by the bench, or
+//!   inferred from the host record for older baselines) are reported as
+//!   warnings and excluded from the pass/fail decision.
+
+use crate::ingestbench::{parse_json, Json, PHASES, SCHEMA};
+use std::fmt::Write as _;
+
+/// How far a candidate speedup may fall below the baseline before the gate
+/// fails. Absolute slack on the speedup ratio: medians of a few trials on
+/// shared CI hardware jitter, and a 4× kernel that measures 3.9× is not a
+/// regression. A real fallback to a contended kernel (4× → 0.3×) clears
+/// this bar by an order of magnitude.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One measured thread count within a phase.
+#[derive(Clone, Debug)]
+pub struct PerThread {
+    /// Thread count of the measurement.
+    pub threads: usize,
+    /// Median seconds.
+    pub median_s: f64,
+    /// Speedup vs the serial oracle.
+    pub speedup: f64,
+    /// Stamped by the bench when `threads` exceeds the measuring host's
+    /// hardware threads.
+    pub oversubscribed: bool,
+}
+
+/// One phase of a parsed report.
+#[derive(Clone, Debug)]
+pub struct ParsedPhase {
+    /// Phase name (one of [`PHASES`]).
+    pub phase: String,
+    /// Median seconds of the serial oracle.
+    pub serial_median_s: f64,
+    /// Parallel medians per thread count.
+    pub per_thread: Vec<PerThread>,
+}
+
+/// The subset of an `epg-ingest-bench/v1` report the gate consumes.
+#[derive(Clone, Debug)]
+pub struct ParsedReport {
+    /// Hardware threads of the host that produced the report.
+    pub host_threads: usize,
+    /// Phases in file order.
+    pub phases: Vec<ParsedPhase>,
+}
+
+impl ParsedReport {
+    /// Parses a report, checking only what the gate needs (the full schema
+    /// check lives in [`crate::ingestbench::validate_report_json`]).
+    pub fn from_json(text: &str) -> Result<ParsedReport, String> {
+        let doc = parse_json(text)?;
+        if doc.get("schema").and_then(Json::str) != Some(SCHEMA) {
+            return Err(format!("\"schema\" must be \"{SCHEMA}\""));
+        }
+        let host_threads = doc
+            .get("host")
+            .and_then(|h| h.get("hardware_threads"))
+            .and_then(Json::num)
+            .ok_or("missing \"host.hardware_threads\"")? as usize;
+        let mut phases = Vec::new();
+        for p in doc.get("phases").and_then(Json::arr).ok_or("\"phases\" must be an array")? {
+            let phase = p
+                .get("phase")
+                .and_then(Json::str)
+                .ok_or("phase entry missing \"phase\"")?
+                .to_string();
+            let serial_median_s = p
+                .get("serial_median_s")
+                .and_then(Json::num)
+                .ok_or_else(|| format!("phase \"{phase}\": missing \"serial_median_s\""))?;
+            let mut per_thread = Vec::new();
+            for e in p
+                .get("per_thread")
+                .and_then(Json::arr)
+                .ok_or_else(|| format!("phase \"{phase}\": \"per_thread\" must be an array"))?
+            {
+                let threads = e
+                    .get("threads")
+                    .and_then(Json::num)
+                    .ok_or_else(|| format!("phase \"{phase}\": entry missing \"threads\""))?
+                    as usize;
+                let median_s = e
+                    .get("median_s")
+                    .and_then(Json::num)
+                    .ok_or_else(|| format!("phase \"{phase}\": entry missing \"median_s\""))?;
+                let speedup = e.get("speedup_vs_serial").and_then(Json::num).ok_or_else(|| {
+                    format!("phase \"{phase}\": entry missing \"speedup_vs_serial\"")
+                })?;
+                // Older reports predate the stamp; infer from the host
+                // record so their multi-thread noise still warns.
+                let oversubscribed =
+                    e.get("oversubscribed").and_then(Json::bool).unwrap_or(threads > host_threads);
+                per_thread.push(PerThread { threads, median_s, speedup, oversubscribed });
+            }
+            phases.push(ParsedPhase { phase, serial_median_s, per_thread });
+        }
+        for want in PHASES {
+            if !phases.iter().any(|p| p.phase == want) {
+                return Err(format!("missing phase \"{want}\""));
+            }
+        }
+        Ok(ParsedReport { host_threads, phases })
+    }
+}
+
+/// Result of gating a candidate against a baseline.
+#[derive(Clone, Debug)]
+pub enum GateOutcome {
+    /// Every comparable (phase, thread count) held up.
+    Passed {
+        /// Number of speedup comparisons actually performed.
+        checks: usize,
+        /// Oversubscribed entries that were excluded, one line each.
+        warnings: Vec<String>,
+    },
+    /// The candidate host cannot measure scaling; nothing was compared.
+    Skipped {
+        /// Human-readable reason.
+        notice: String,
+    },
+    /// At least one speedup regressed beyond the tolerance.
+    Failed {
+        /// One line per regressed (phase, thread count).
+        failures: Vec<String>,
+        /// Oversubscribed entries that were excluded, one line each.
+        warnings: Vec<String>,
+    },
+}
+
+impl GateOutcome {
+    /// True when the gate should fail the build.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, GateOutcome::Failed { .. })
+    }
+
+    /// Renders the outcome for terminal output.
+    pub fn render(&self) -> String {
+        let mut o = String::new();
+        match self {
+            GateOutcome::Passed { checks, warnings } => {
+                for w in warnings {
+                    let _ = writeln!(o, "bench-gate: warning: {w}");
+                }
+                let _ = writeln!(
+                    o,
+                    "bench-gate: PASS — {checks} speedup comparison(s) within tolerance \
+                     {DEFAULT_TOLERANCE}"
+                );
+            }
+            GateOutcome::Skipped { notice } => {
+                let _ = writeln!(o, "bench-gate: SKIPPED — {notice}");
+            }
+            GateOutcome::Failed { failures, warnings } => {
+                for w in warnings {
+                    let _ = writeln!(o, "bench-gate: warning: {w}");
+                }
+                for f in failures {
+                    let _ = writeln!(o, "bench-gate: FAIL — {f}");
+                }
+            }
+        }
+        o
+    }
+}
+
+/// Compares a candidate report against a baseline snapshot.
+///
+/// Only thread counts present in *both* reports are compared: the gate
+/// verifies that known points on the scaling curve did not regress, not
+/// that the sweeps match. Oversubscribed entries on either side are
+/// excluded from the decision and surfaced as warnings.
+pub fn gate(candidate: &ParsedReport, baseline: &ParsedReport, tolerance: f64) -> GateOutcome {
+    if candidate.host_threads < 2 {
+        return GateOutcome::Skipped {
+            notice: format!(
+                "candidate host has {} hardware thread(s); speedup-vs-serial cannot be \
+                 measured without real parallelism (re-run on a multicore host to gate)",
+                candidate.host_threads
+            ),
+        };
+    }
+    let mut checks = 0usize;
+    let mut failures = Vec::new();
+    let mut warnings = Vec::new();
+    for cand in &candidate.phases {
+        let Some(base) = baseline.phases.iter().find(|p| p.phase == cand.phase) else {
+            continue;
+        };
+        for c in &cand.per_thread {
+            let Some(b) = base.per_thread.iter().find(|b| b.threads == c.threads) else {
+                continue;
+            };
+            if c.oversubscribed || b.oversubscribed {
+                let side = if c.oversubscribed { "candidate" } else { "baseline" };
+                warnings.push(format!(
+                    "{} @ {} threads: oversubscribed on the {side} host — \
+                     median kept for the record, speedup not compared",
+                    cand.phase, c.threads
+                ));
+                continue;
+            }
+            checks += 1;
+            if c.speedup < b.speedup - tolerance {
+                failures.push(format!(
+                    "{} @ {} threads: speedup {:.3}x fell below baseline {:.3}x \
+                     (tolerance {tolerance})",
+                    cand.phase, c.threads, c.speedup, b.speedup
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        GateOutcome::Passed { checks, warnings }
+    } else {
+        GateOutcome::Failed { failures, warnings }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a minimal valid report JSON with the given host threads and
+    /// one (threads, speedup) list applied to every required phase.
+    fn report_json(host_threads: usize, entries: &[(usize, f64, bool)]) -> String {
+        let mut phases = String::new();
+        for (i, phase) in PHASES.iter().enumerate() {
+            let per: Vec<String> = entries
+                .iter()
+                .map(|&(t, s, over)| {
+                    let median = 1.0 / s;
+                    format!(
+                        "{{\"threads\": {t}, \"median_s\": {median}, \
+                         \"speedup_vs_serial\": {s}, \"oversubscribed\": {over}}}"
+                    )
+                })
+                .collect();
+            phases.push_str(&format!(
+                "{{\"phase\": \"{phase}\", \"serial_median_s\": 1.0, \
+                 \"per_thread\": [{}]}}{}",
+                per.join(", "),
+                if i + 1 < PHASES.len() { ", " } else { "" }
+            ));
+        }
+        format!(
+            "{{\"schema\": \"{SCHEMA}\", \
+             \"host\": {{\"hardware_threads\": {host_threads}}}, \
+             \"phases\": [{phases}]}}"
+        )
+    }
+
+    #[test]
+    fn parses_its_own_fixture() {
+        let r =
+            ParsedReport::from_json(&report_json(4, &[(1, 1.0, false), (2, 1.8, false)])).unwrap();
+        assert_eq!(r.host_threads, 4);
+        assert_eq!(r.phases.len(), PHASES.len());
+        assert_eq!(r.phases[0].per_thread[1].threads, 2);
+    }
+
+    #[test]
+    fn passes_when_speedups_hold() {
+        let base = ParsedReport::from_json(&report_json(4, &[(2, 1.8, false)])).unwrap();
+        let cand = ParsedReport::from_json(&report_json(4, &[(2, 1.7, false)])).unwrap();
+        let out = gate(&cand, &base, DEFAULT_TOLERANCE);
+        let GateOutcome::Passed { checks, warnings } = out else {
+            panic!("expected pass, got {out:?}");
+        };
+        assert_eq!(checks, PHASES.len());
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn fails_on_regression_beyond_tolerance() {
+        let base = ParsedReport::from_json(&report_json(4, &[(2, 1.8, false)])).unwrap();
+        let cand = ParsedReport::from_json(&report_json(4, &[(2, 1.2, false)])).unwrap();
+        let out = gate(&cand, &base, DEFAULT_TOLERANCE);
+        assert!(out.is_failure());
+        let GateOutcome::Failed { failures, .. } = out else { unreachable!() };
+        assert_eq!(failures.len(), PHASES.len());
+        assert!(failures[0].contains("1.200"));
+    }
+
+    #[test]
+    fn tolerance_is_absolute_slack_on_the_ratio() {
+        let base = ParsedReport::from_json(&report_json(4, &[(2, 1.8, false)])).unwrap();
+        // Exactly at the edge: 1.8 - 0.25 = 1.55 is not *below* the bar.
+        let cand = ParsedReport::from_json(&report_json(4, &[(2, 1.55, false)])).unwrap();
+        assert!(!gate(&cand, &base, DEFAULT_TOLERANCE).is_failure());
+        let cand = ParsedReport::from_json(&report_json(4, &[(2, 1.54, false)])).unwrap();
+        assert!(gate(&cand, &base, DEFAULT_TOLERANCE).is_failure());
+    }
+
+    #[test]
+    fn skips_on_single_core_candidate_host() {
+        let base = ParsedReport::from_json(&report_json(4, &[(2, 1.8, false)])).unwrap();
+        let cand = ParsedReport::from_json(&report_json(1, &[(2, 0.3, true)])).unwrap();
+        let out = gate(&cand, &base, DEFAULT_TOLERANCE);
+        let GateOutcome::Skipped { notice } = out else { panic!("expected skip, got {out:?}") };
+        assert!(notice.contains("1 hardware thread"));
+    }
+
+    #[test]
+    fn oversubscribed_entries_warn_instead_of_failing() {
+        // Baseline captured on a single-core host: its 2-thread medians are
+        // oversubscription noise and must not be treated as a bar to clear.
+        let base =
+            ParsedReport::from_json(&report_json(1, &[(1, 1.0, false), (2, 0.3, true)])).unwrap();
+        let cand =
+            ParsedReport::from_json(&report_json(4, &[(1, 1.0, false), (2, 0.1, false)])).unwrap();
+        let out = gate(&cand, &base, DEFAULT_TOLERANCE);
+        let GateOutcome::Passed { checks, warnings } = out else {
+            panic!("expected pass, got {out:?}");
+        };
+        // Only the 1-thread column was comparable.
+        assert_eq!(checks, PHASES.len());
+        assert_eq!(warnings.len(), PHASES.len());
+        assert!(warnings[0].contains("oversubscribed"));
+    }
+
+    #[test]
+    fn legacy_reports_without_stamp_infer_from_host_record() {
+        let json = report_json(1, &[(2, 0.3, false)]).replace(", \"oversubscribed\": false", "");
+        let r = ParsedReport::from_json(&json).unwrap();
+        assert!(r.phases[0].per_thread[0].oversubscribed);
+    }
+
+    #[test]
+    fn uncommon_thread_counts_are_ignored() {
+        let base = ParsedReport::from_json(&report_json(8, &[(4, 3.0, false)])).unwrap();
+        let cand = ParsedReport::from_json(&report_json(8, &[(2, 1.5, false)])).unwrap();
+        let GateOutcome::Passed { checks, .. } = gate(&cand, &base, DEFAULT_TOLERANCE) else {
+            panic!("expected pass");
+        };
+        assert_eq!(checks, 0);
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        assert!(ParsedReport::from_json("{}").is_err());
+        let no_host = report_json(4, &[(2, 1.8, false)]).replace("hardware_threads", "hw");
+        assert!(ParsedReport::from_json(&no_host).unwrap_err().contains("hardware_threads"));
+        let missing_phase = report_json(4, &[(2, 1.8, false)]).replace("\"build\"", "\"built\"");
+        assert!(ParsedReport::from_json(&missing_phase).unwrap_err().contains("build"));
+    }
+
+    #[test]
+    fn render_mentions_every_failure_and_warning() {
+        let base =
+            ParsedReport::from_json(&report_json(4, &[(2, 1.8, false), (4, 0.5, true)])).unwrap();
+        let cand =
+            ParsedReport::from_json(&report_json(4, &[(2, 1.0, false), (4, 0.5, true)])).unwrap();
+        let out = gate(&cand, &base, DEFAULT_TOLERANCE);
+        let text = out.render();
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("warning"));
+        let skip = gate(
+            &ParsedReport::from_json(&report_json(1, &[(2, 0.3, true)])).unwrap(),
+            &base,
+            DEFAULT_TOLERANCE,
+        );
+        assert!(skip.render().contains("SKIPPED"));
+    }
+}

@@ -8,6 +8,8 @@
 //! epg all   --scale 14              # phases 2-5
 //! epg graphalytics --scale 12       # the comparator + HTML report
 //! epg bench --json [--quick]        # ingest pipeline medians -> BENCH_ingest.json
+//! epg bench --json --baseline BENCH_ingest.json [--gate]
+//!                                   # compare speedups vs a snapshot; --gate fails on regression
 //! epg trace summarize --input F     # summarize a *.trace.jsonl file
 //! epg lint [--json] [--strict]      # workspace static analysis (DESIGN.md §10-§11)
 //! epg lint --explain <rule-id>      # rationale + example + fix for one rule
@@ -36,6 +38,7 @@ struct Args {
     json: bool,
     quick: bool,
     strict: bool,
+    gate: bool,
     baseline: Option<PathBuf>,
     explain: Option<String>,
     root: Option<PathBuf>,
@@ -65,6 +68,7 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
         json: false,
         quick: false,
         strict: false,
+        gate: false,
         baseline: None,
         explain: None,
         root: None,
@@ -90,6 +94,7 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
             "--json" => a.json = true,
             "--quick" => a.quick = true,
             "--strict" => a.strict = true,
+            "--gate" => a.gate = true,
             "--baseline" => a.baseline = Some(PathBuf::from(val("--baseline")?)),
             "--explain" => a.explain = Some(val("--explain")?),
             "--root" => a.root = Some(PathBuf::from(val("--root")?)),
@@ -112,7 +117,7 @@ fn usage() -> String {
     "usage: epg <setup|gen|run|all|graphalytics|granula|bench|trace summarize|lint> \
      [--scale N] [--weighted|--unweighted] [--threads N] [--roots N|--all-roots] \
      [--seed N] [--out DIR] [--snap FILE] [--input FILE] [--trial-budget-ms N] \
-     [--json] [--quick] [--strict] [--baseline FILE] [--explain RULE] [--root DIR]"
+     [--json] [--quick] [--strict] [--gate] [--baseline FILE] [--explain RULE] [--root DIR]"
         .to_string()
 }
 
@@ -253,6 +258,9 @@ fn real_main() -> Result<(), String> {
         }
         "bench" => {
             use epg_harness::ingestbench;
+            if args.gate && args.baseline.is_none() {
+                return Err("--gate needs --baseline FILE (the committed snapshot)".to_string());
+            }
             let mut cfg = if args.quick {
                 ingestbench::IngestBenchConfig::quick()
             } else {
@@ -269,13 +277,30 @@ fn real_main() -> Result<(), String> {
                     p.per_thread.iter().map(|&(t, m)| format!("t={t}: {m:.5}s")).collect();
                 println!("{:<12} serial {:.5}s | {}", p.phase, p.serial_median_s, per.join(" | "));
             }
+            let json = report.to_json();
             if args.json {
-                let json = report.to_json();
                 ingestbench::validate_report_json(&json)
                     .map_err(|e| format!("generated JSON failed validation: {e}"))?;
                 let path = args.out.join("BENCH_ingest.json");
                 std::fs::write(&path, &json).map_err(|e| e.to_string())?;
                 println!("wrote {}", path.display());
+            }
+            if let Some(baseline_path) = &args.baseline {
+                use epg_harness::benchgate;
+                let baseline_text = std::fs::read_to_string(baseline_path).map_err(|e| {
+                    format!("cannot read baseline {}: {e}", baseline_path.display())
+                })?;
+                let baseline = benchgate::ParsedReport::from_json(&baseline_text)
+                    .map_err(|e| format!("baseline {}: {e}", baseline_path.display()))?;
+                let candidate = benchgate::ParsedReport::from_json(&json)
+                    .map_err(|e| format!("candidate report: {e}"))?;
+                let outcome = benchgate::gate(&candidate, &baseline, benchgate::DEFAULT_TOLERANCE);
+                print!("{}", outcome.render());
+                // Without --gate this is a report-only comparison; with it,
+                // a regression fails the run (CI exit code).
+                if args.gate && outcome.is_failure() {
+                    return Err(format!("bench gate failed against {}", baseline_path.display()));
+                }
             }
         }
         "trace" => match args.subcmd.as_deref() {

@@ -285,10 +285,15 @@ impl IngestBenchReport {
             let _ = writeln!(o, "      \"per_thread\": [");
             for (j, &(t, m)) in p.per_thread.iter().enumerate() {
                 let speedup = p.serial_median_s / m.max(1e-12);
+                // A thread count beyond the host's hardware threads measures
+                // oversubscription noise, not scaling — stamp it so readers
+                // and the regression gate treat the median as context only.
+                let oversubscribed = t > self.host_threads;
                 let _ = writeln!(
                     o,
                     "        {{\"threads\": {t}, \"median_s\": {m:.9}, \
-                     \"speedup_vs_serial\": {speedup:.4}}}{}",
+                     \"speedup_vs_serial\": {speedup:.4}, \
+                     \"oversubscribed\": {oversubscribed}}}{}",
                     if j + 1 < p.per_thread.len() { "," } else { "" }
                 );
             }
@@ -332,23 +337,34 @@ impl Json {
         }
     }
 
-    fn num(&self) -> Option<f64> {
+    /// Numeric value, if this is a number.
+    pub fn num(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
             _ => None,
         }
     }
 
-    fn str(&self) -> Option<&str> {
+    /// String value, if this is a string.
+    pub fn str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn arr(&self) -> Option<&[Json]> {
+    /// Array elements, if this is an array.
+    pub fn arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a bool.
+    pub fn bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -581,6 +597,13 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
             check_num(e, "threads", 1.0)?;
             check_num(e, "median_s", 0.0)?;
             check_num(e, "speedup_vs_serial", 0.0)?;
+            // Optional for pre-oversubscription-stamp reports; when present
+            // it must be a real bool.
+            if let Some(v) = e.get("oversubscribed") {
+                if v.bool().is_none() {
+                    return Err(format!("phase \"{want}\": \"oversubscribed\" must be a bool"));
+                }
+            }
         }
     }
     Ok(())
@@ -634,6 +657,24 @@ mod tests {
         assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
         assert!(parse_json("[1, 2").is_err());
         assert!(parse_json("{\"k\" 1}").is_err());
+    }
+
+    #[test]
+    fn oversubscribed_thread_counts_are_stamped() {
+        let mut report = run_ingest_bench(&tiny());
+        report.host_threads = 1; // pretend a single-core host
+        let json = report.to_json();
+        validate_report_json(&json).unwrap();
+        let doc = parse_json(&json).unwrap();
+        for p in doc.get("phases").unwrap().arr().unwrap() {
+            for e in p.get("per_thread").unwrap().arr().unwrap() {
+                let t = e.get("threads").unwrap().num().unwrap() as usize;
+                assert_eq!(e.get("oversubscribed").unwrap().bool(), Some(t > 1), "threads={t}");
+            }
+        }
+        // The stamp is type-checked, not just present.
+        let bad = json.replace("\"oversubscribed\": true", "\"oversubscribed\": \"yes\"");
+        assert!(validate_report_json(&bad).unwrap_err().contains("oversubscribed"));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! HTML report (Table I, Table II, Fig. 7).
 
 #![warn(missing_docs)]
+pub mod benchgate;
 pub mod csvio;
 pub mod dataset;
 pub mod granula;

@@ -154,6 +154,20 @@ pub fn render(result: &ExperimentResult, ds: &Dataset, projected_threads: usize)
                 let _ = writeln!(out, "{row}");
             }
         }
+        // Thread counts beyond the host's hardware threads measure
+        // oversubscription, not scaling — say so instead of letting the
+        // speedup column mislead (see BENCH_ingest.json's per-entry stamp).
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let over: Vec<usize> = tcounts.iter().copied().filter(|&t| t > host).collect();
+        if !over.is_empty() {
+            let list = over.iter().map(|t| format!("t={t}")).collect::<Vec<_>>().join(", ");
+            let _ = writeln!(
+                out,
+                "\n*{list} exceed the host's {host} hardware thread(s): those medians \
+                 are oversubscription noise, not scaling, and the speedup column \
+                 should be read accordingly.*"
+            );
+        }
     }
 
     // ---- PageRank iterations ----

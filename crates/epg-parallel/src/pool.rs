@@ -48,6 +48,7 @@ struct Inner {
     done_cv: Condvar,
     regions: AtomicU64,
     chunks: AtomicU64,
+    data_rmw: AtomicU64,
     /// Cooperative-cancellation token for the trial currently using this
     /// pool; worksharing loops poll it at chunk boundaries.
     cancel: Mutex<Option<CancelToken>>,
@@ -72,6 +73,14 @@ pub struct PoolStats {
     pub regions: u64,
     /// Loop chunks handed out across all worksharing loops.
     pub chunks: u64,
+    /// Per-element atomic read-modify-write operations on *shared data*
+    /// reported by kernels via [`ThreadPool::record_data_rmw`]. The
+    /// substrate cannot observe user atomics, so reporting is part of a
+    /// kernel's contract: contended-scatter kernels report one count per
+    /// RMW, and contention-free kernels (the two-pass CSR builds) report
+    /// none — tests pin that claim by snapshotting [`ThreadPool::stats`]
+    /// around a call and asserting a zero delta.
+    pub data_rmw: u64,
 }
 
 /// An OpenMP-like thread pool. See the crate docs for an example.
@@ -100,6 +109,7 @@ impl ThreadPool {
             done_cv: Condvar::new(),
             regions: AtomicU64::new(0),
             chunks: AtomicU64::new(0),
+            data_rmw: AtomicU64::new(0),
             cancel: Mutex::new(None),
             cancel_active: AtomicBool::new(false),
             #[cfg(feature = "trace")]
@@ -350,7 +360,17 @@ impl ThreadPool {
         PoolStats {
             regions: self.inner.regions.load(Ordering::Relaxed),
             chunks: self.inner.chunks.load(Ordering::Relaxed),
+            data_rmw: self.inner.data_rmw.load(Ordering::Relaxed),
         }
+    }
+
+    /// Reports `n` atomic read-modify-write operations a kernel performed on
+    /// shared data inside its regions (e.g. one per `fetch_add` of a
+    /// contended scatter cursor). The pool cannot observe user atomics, so
+    /// honesty here is part of the kernel contract; it buys the kernel a
+    /// pinned, testable claim — see [`PoolStats::data_rmw`].
+    pub fn record_data_rmw(&self, n: u64) {
+        self.inner.data_rmw.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -510,6 +530,16 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.regions, 1);
         assert_eq!(s.chunks, 10);
+        assert_eq!(s.data_rmw, 0);
+    }
+
+    #[test]
+    fn data_rmw_reports_accumulate() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.stats().data_rmw, 0);
+        pool.record_data_rmw(7);
+        pool.record_data_rmw(3);
+        assert_eq!(pool.stats().data_rmw, 10);
     }
 
     #[test]

@@ -103,4 +103,53 @@ mod tests {
         assert_eq!(total, 64 * (u32::MAX as u64));
         assert_eq!(data[63], 63 * (u32::MAX as u64));
     }
+
+    // Edge cases the two-pass CSR count-matrix scan leans on directly.
+
+    #[test]
+    fn empty_slice_returns_zero_total() {
+        for nthreads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(nthreads);
+            let mut data: Vec<u64> = vec![];
+            assert_eq!(pool.exclusive_scan(&mut data), 0, "nthreads={nthreads}");
+            assert!(data.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_element_becomes_zero_and_returns_it() {
+        for nthreads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(nthreads);
+            let mut data = vec![42u64];
+            assert_eq!(pool.exclusive_scan(&mut data), 42, "nthreads={nthreads}");
+            assert_eq!(data, vec![0]);
+        }
+    }
+
+    #[test]
+    fn all_zero_counts_scan_to_all_zeros() {
+        // A graph whose counted vertices all have degree 0 (e.g. an edge
+        // list hitting only a prefix of the vertex space) must produce a
+        // valid all-zero offsets body with total 0.
+        for nthreads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(nthreads);
+            let mut data = vec![0u64; 1023];
+            assert_eq!(pool.exclusive_scan(&mut data), 0, "nthreads={nthreads}");
+            assert!(data.iter().all(|&x| x == 0), "nthreads={nthreads}");
+        }
+    }
+
+    #[test]
+    fn u64_totals_near_edge_count_scale() {
+        // Degree histograms sum to m; make sure block handoffs stay exact
+        // when per-element values (and the running total) need full u64.
+        let pool = ThreadPool::new(4);
+        let big = 1u64 << 40;
+        let mut data = vec![big; 129];
+        let total = pool.exclusive_scan(&mut data);
+        assert_eq!(total, 129 * big);
+        assert_eq!(data[0], 0);
+        assert_eq!(data[128], 128 * big);
+        assert_eq!(data[64], 64 * big);
+    }
 }
