@@ -130,6 +130,47 @@ impl Algorithm {
     }
 }
 
+/// Selectable SSSP kernel for engines that ship more than one (currently
+/// GAP). The paper's engines each run a single Δ-stepping variant; the
+/// raw-speed tier adds two sequential priority-queue kernels so the
+/// differential suites can cross-check all of them against the oracle on
+/// adversarial graph shapes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SsspKernel {
+    /// Bucketed Δ-stepping (the paper's GAP kernel; parallel).
+    #[default]
+    DeltaStepping,
+    /// Sequential Dijkstra over a monotone u64-key radix heap, using an
+    /// order-preserving f32→u64 distance key mapping.
+    RadixHeap,
+    /// Bounded multi-source shortest paths (arXiv:2504.17033): recursive
+    /// pivot/partial-order-queue Dijkstra variant with adaptive
+    /// constant-degree preprocessing.
+    Bmssp,
+}
+
+impl SsspKernel {
+    /// Every kernel, in probe order. The differential and proptest suites
+    /// iterate this array; `tests` below pin it against the enum via an
+    /// exhaustive match so a new variant cannot ship without coverage.
+    pub const ALL: [SsspKernel; 3] =
+        [SsspKernel::DeltaStepping, SsspKernel::RadixHeap, SsspKernel::Bmssp];
+
+    /// Stable CLI / CSV / JSON label.
+    pub fn name(self) -> &'static str {
+        match self {
+            SsspKernel::DeltaStepping => "delta",
+            SsspKernel::RadixHeap => "radix",
+            SsspKernel::Bmssp => "bmssp",
+        }
+    }
+
+    /// Parses a CLI label (case-insensitive).
+    pub fn from_name(s: &str) -> Option<SsspKernel> {
+        SsspKernel::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+}
+
 /// Execution phases, in pipeline order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Phase {
@@ -273,6 +314,35 @@ mod tests {
         assert!(!Algorithm::PageRank.is_rooted());
         assert!(Algorithm::Sssp.needs_weights());
         assert!(!Algorithm::Bfs.needs_weights());
+    }
+
+    #[test]
+    fn kernel_names_roundtrip() {
+        for k in SsspKernel::ALL {
+            assert_eq!(SsspKernel::from_name(k.name()), Some(k));
+            assert_eq!(SsspKernel::from_name(&k.name().to_uppercase()), Some(k));
+        }
+        assert_eq!(SsspKernel::from_name("spfa"), None);
+        assert_eq!(SsspKernel::default(), SsspKernel::DeltaStepping);
+    }
+
+    // Census: the match is exhaustive, so adding a kernel variant without
+    // giving it an ordinal is a compile error, and forgetting to add it to
+    // `ALL` fails the seen-all assertion.
+    #[test]
+    fn kernel_all_is_exhaustive() {
+        fn ordinal(k: SsspKernel) -> usize {
+            match k {
+                SsspKernel::DeltaStepping => 0,
+                SsspKernel::RadixHeap => 1,
+                SsspKernel::Bmssp => 2,
+            }
+        }
+        let mut seen = [false; SsspKernel::ALL.len()];
+        for k in SsspKernel::ALL {
+            seen[ordinal(k)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "SsspKernel::ALL misses a variant");
     }
 
     #[test]

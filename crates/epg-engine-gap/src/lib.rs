@@ -19,13 +19,16 @@
 #![warn(missing_docs)]
 mod bc;
 mod bfs;
+pub mod bmssp;
 mod pr;
-mod sssp;
+pub mod radix;
+pub mod sssp;
 mod structures;
 pub mod tune;
 
 mod tc;
 
+pub use epg_engine_api::SsspKernel;
 pub use structures::{Bitmap, SlidingQueue};
 
 use epg_engine_api::{logfmt::LogStyle, Algorithm, Engine, EngineInfo, RunOutput, RunParams};
@@ -58,6 +61,9 @@ pub struct GapConfig {
     pub delta: f32,
     /// Weight storage.
     pub weight_repr: WeightRepr,
+    /// Which SSSP kernel `run` dispatches to (raw-speed tier). The
+    /// default is the paper's Δ-stepping; `auto_tune` probes all three.
+    pub sssp_kernel: SsspKernel,
 }
 
 impl Default for GapConfig {
@@ -71,6 +77,7 @@ impl Default for GapConfig {
             // (0,1] (mean 0.5), so the faithful scaling is ~0.01-0.05.
             delta: 0.05,
             weight_repr: WeightRepr::Float,
+            sssp_kernel: SsspKernel::default(),
         }
     }
 }
@@ -192,7 +199,7 @@ impl Engine for GapEngine {
                 // would only fragment the (integer) distance range into
                 // empty buckets, so hop-sized buckets are used instead.
                 let delta = if self.csr().is_weighted() { self.config.delta } else { 1.0 };
-                sssp::delta_stepping(self.csr(), root, params.pool, delta)
+                sssp::run_kernel(self.config.sssp_kernel, self.csr(), root, params.pool, delta)
             }
             Algorithm::PageRank => pr::pagerank(self.csr(), self.csr_t(), params),
             Algorithm::Bc => bc::betweenness(self.csr(), params.pool, params.bc_sources, 0x6a0),

@@ -6,11 +6,28 @@
 //! atomic fetch-min on the distance array, exactly as GAP's OpenMP code
 //! does. Δ is a tunable (§V); the `ablation_delta` bench sweeps it.
 
-use epg_engine_api::{AlgorithmResult, Counters, RunOutput, Trace};
+use epg_engine_api::{AlgorithmResult, Counters, RunOutput, SsspKernel, Trace};
 use epg_graph::{Csr, VertexId, Weight, INF_DIST};
 use epg_parallel::{AtomicF32, Schedule, ThreadPool};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Dispatches one SSSP run to the selected kernel of the raw-speed tier.
+/// `delta` only applies to Δ-stepping; the priority-queue kernels ignore
+/// it (they have no bucket width).
+pub fn run_kernel(
+    kernel: SsspKernel,
+    g: &Csr,
+    root: VertexId,
+    pool: &ThreadPool,
+    delta: f32,
+) -> RunOutput {
+    match kernel {
+        SsspKernel::DeltaStepping => delta_stepping(g, root, pool, delta),
+        SsspKernel::RadixHeap => crate::radix::dijkstra_radix_heap(g, root, pool),
+        SsspKernel::Bmssp => crate::bmssp::bmssp_sssp(g, root, pool),
+    }
+}
 
 /// Runs Δ-stepping from `root`. Unweighted graphs behave as unit weights.
 pub fn delta_stepping(g: &Csr, root: VertexId, pool: &ThreadPool, delta: f32) -> RunOutput {

@@ -5,6 +5,7 @@
 //! epg setup                         # phase 1: list the homogenized engines
 //! epg gen   --scale 14 [--weighted] # phase 2: generate + homogenize
 //! epg run   --scale 14 --threads 2  # phase 3 (also runs 2 if needed)
+//! epg run   --sssp-kernel radix     # pick the GAP SSSP kernel (delta|radix|bmssp)
 //! epg all   --scale 14              # phases 2-5
 //! epg graphalytics --scale 12       # the comparator + HTML report
 //! epg bench --json [--quick]        # ingest pipeline medians -> BENCH_ingest.json
@@ -42,6 +43,7 @@ struct Args {
     baseline: Option<PathBuf>,
     explain: Option<String>,
     root: Option<PathBuf>,
+    sssp_kernel: Option<epg_engine_api::SsspKernel>,
 }
 
 fn parse_args(argv: std::env::Args) -> Result<Args, String> {
@@ -72,6 +74,7 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
         baseline: None,
         explain: None,
         root: None,
+        sssp_kernel: None,
     };
     let mut it = argv.peekable();
     while let Some(flag) = it.next() {
@@ -98,6 +101,18 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
             "--baseline" => a.baseline = Some(PathBuf::from(val("--baseline")?)),
             "--explain" => a.explain = Some(val("--explain")?),
             "--root" => a.root = Some(PathBuf::from(val("--root")?)),
+            "--sssp-kernel" => {
+                let name = val("--sssp-kernel")?;
+                a.sssp_kernel =
+                    Some(epg_engine_api::SsspKernel::from_name(&name).ok_or_else(|| {
+                        let names: Vec<&str> =
+                            epg_engine_api::SsspKernel::ALL.iter().map(|k| k.name()).collect();
+                        format!(
+                            "--sssp-kernel: unknown kernel `{name}` (one of: {})",
+                            names.join(", ")
+                        )
+                    })?);
+            }
             "--snap" => a.snap_file = Some(PathBuf::from(val("--snap")?)),
             "--input" => a.input = Some(PathBuf::from(val("--input")?)),
             "--trial-budget-ms" => {
@@ -117,7 +132,8 @@ fn usage() -> String {
     "usage: epg <setup|gen|run|all|graphalytics|granula|bench|trace summarize|lint> \
      [--scale N] [--weighted|--unweighted] [--threads N] [--roots N|--all-roots] \
      [--seed N] [--out DIR] [--snap FILE] [--input FILE] [--trial-budget-ms N] \
-     [--json] [--quick] [--strict] [--gate] [--baseline FILE] [--explain RULE] [--root DIR]"
+     [--json] [--quick] [--strict] [--gate] [--baseline FILE] [--explain RULE] [--root DIR] \
+     [--sssp-kernel delta|radix|bmssp]"
         .to_string()
 }
 
@@ -193,6 +209,7 @@ fn real_main() -> Result<(), String> {
             let mut cfg = ExperimentConfig {
                 threads: args.threads,
                 max_roots: args.roots,
+                sssp_kernel: args.sssp_kernel,
                 ..ExperimentConfig::new()
             };
             // Per-trial wall-clock budget: over-budget trials are reaped

@@ -17,6 +17,7 @@
 //! shows the scaling curve (see EXPERIMENTS.md).
 
 use crate::stats::Summary;
+use epg_engine_api::SsspKernel;
 use epg_generator::GraphSpec;
 use epg_graph::{ingest, snap, Csr};
 use epg_parallel::ThreadPool;
@@ -65,6 +66,20 @@ impl IngestBenchConfig {
     }
 }
 
+/// One SSSP kernel measurement on one adversarial family.
+#[derive(Clone, Debug)]
+pub struct KernelTiming {
+    /// Adversarial family name (one of `GraphSpec::ADVERSARIAL_FAMILIES`).
+    pub family: String,
+    /// Kernel name (one of `SsspKernel::ALL` names).
+    pub kernel: &'static str,
+    /// Median kernel seconds from root 0.
+    pub median_s: f64,
+    /// Edges traversed (deterministic work counter; the gate's
+    /// noise-free signal).
+    pub edges_relaxed: u64,
+}
+
 /// One phase's medians: the serial oracle and one median per thread count.
 #[derive(Clone, Debug)]
 pub struct PhaseTiming {
@@ -93,6 +108,8 @@ pub struct IngestBenchReport {
     pub host_threads: usize,
     /// One entry per phase, in [`PHASES`] order.
     pub phases: Vec<PhaseTiming>,
+    /// Raw-speed SSSP tier: one entry per adversarial family × kernel.
+    pub kernels: Vec<KernelTiming>,
 }
 
 fn median_secs(trials: usize, mut f: impl FnMut()) -> f64 {
@@ -225,6 +242,34 @@ pub fn run_ingest_bench(cfg: &IngestBenchConfig) -> IngestBenchReport {
         phases.push(PhaseTiming { phase: "sort", serial_median_s: serial, per_thread });
     }
 
+    // ---- raw-speed SSSP kernel tier on the adversarial corpus ----
+    // Sized by the test corpus (seconds total); the deterministic
+    // edges_relaxed counter is the regression signal, the median wall
+    // time is context.
+    let kernel_pool = pools.last().expect("at least one thread count");
+    let delta = epg_engine_gap::GapConfig::default().delta;
+    let mut kernels = Vec::new();
+    for spec in GraphSpec::test_corpus() {
+        if !GraphSpec::ADVERSARIAL_FAMILIES.contains(&spec.family()) {
+            continue;
+        }
+        let g = Csr::from_edge_list(&spec.generate(cfg.seed));
+        for kernel in SsspKernel::ALL {
+            let mut edges_relaxed = 0;
+            let median_s = median_secs(trials, || {
+                let out = epg_engine_gap::sssp::run_kernel(kernel, &g, 0, kernel_pool, delta);
+                edges_relaxed = out.counters.edges_traversed;
+                black_box(out);
+            });
+            kernels.push(KernelTiming {
+                family: spec.family().to_string(),
+                kernel: kernel.name(),
+                median_s,
+                edges_relaxed,
+            });
+        }
+    }
+
     IngestBenchReport {
         config: cfg.clone(),
         nvertices: el.num_vertices,
@@ -233,6 +278,7 @@ pub fn run_ingest_bench(cfg: &IngestBenchConfig) -> IngestBenchReport {
         bin_bytes: bin_bytes.len(),
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         phases,
+        kernels,
     }
 }
 
@@ -299,6 +345,20 @@ impl IngestBenchReport {
             }
             let _ = writeln!(o, "      ]");
             let _ = writeln!(o, "    }}{}", if i + 1 < self.phases.len() { "," } else { "" });
+        }
+        let _ = writeln!(o, "  ],");
+        let _ = writeln!(o, "  \"sssp_kernels\": [");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let _ = writeln!(
+                o,
+                "    {{\"family\": \"{}\", \"kernel\": \"{}\", \"median_s\": {:.9}, \
+                 \"edges_relaxed\": {}}}{}",
+                json_escape(&k.family),
+                json_escape(k.kernel),
+                k.median_s,
+                k.edges_relaxed,
+                if i + 1 < self.kernels.len() { "," } else { "" }
+            );
         }
         let _ = writeln!(o, "  ]");
         let _ = writeln!(o, "}}");
@@ -606,6 +666,26 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
             }
         }
     }
+
+    // Raw-speed SSSP tier: every adversarial family must carry every
+    // kernel (a kernel or family added without bench coverage fails here).
+    let kernels =
+        doc.get("sssp_kernels").and_then(Json::arr).ok_or("\"sssp_kernels\" must be an array")?;
+    for family in epg_generator::GraphSpec::ADVERSARIAL_FAMILIES {
+        for kernel in SsspKernel::ALL {
+            let e = kernels
+                .iter()
+                .find(|e| {
+                    e.get("family").and_then(Json::str) == Some(family)
+                        && e.get("kernel").and_then(Json::str) == Some(kernel.name())
+                })
+                .ok_or_else(|| {
+                    format!("missing sssp_kernels entry for {family} × {}", kernel.name())
+                })?;
+            check_num(e, "median_s", 0.0)?;
+            check_num(e, "edges_relaxed", 1.0)?;
+        }
+    }
     Ok(())
 }
 
@@ -647,6 +727,21 @@ mod tests {
         assert!(validate_report_json("{\"schema\": ").is_err());
         // Trailing garbage.
         assert!(validate_report_json(&format!("{good} x")).is_err());
+    }
+
+    #[test]
+    fn validator_enforces_kernel_family_coverage() {
+        let good = run_ingest_bench(&tiny()).to_json();
+        // Dropping one kernel's rows breaks the family × kernel matrix.
+        let bad = good.replace("\"kernel\": \"bmssp\"", "\"kernel\": \"bmssp2\"");
+        let err = validate_report_json(&bad).unwrap_err();
+        assert!(err.contains("bmssp"), "{err}");
+        // Renaming a family does too.
+        let bad = good.replace("\"family\": \"grid_swirl\"", "\"family\": \"grid_swirl2\"");
+        assert!(validate_report_json(&bad).unwrap_err().contains("grid_swirl"));
+        // The section itself is required.
+        let bad = good.replace("\"sssp_kernels\"", "\"sssp_kernelz\"");
+        assert!(validate_report_json(&bad).unwrap_err().contains("sssp_kernels"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! same: every engine is constructed with the exact configuration used
 //! throughout the paper.
 
-use epg_engine_api::{Algorithm, Engine};
+use epg_engine_api::{Algorithm, Engine, SsspKernel};
 
 /// The five systems of §III-C.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -57,6 +57,21 @@ impl EngineKind {
             EngineKind::GraphBig => Box::new(epg_engine_graphbig::GraphBigEngine::new()),
             EngineKind::GraphMat => Box::new(epg_engine_graphmat::GraphMatEngine::new()),
             EngineKind::PowerGraph => Box::new(epg_engine_powergraph::PowerGraphEngine::new()),
+        }
+    }
+
+    /// Like [`EngineKind::create`], but with an explicit SSSP kernel for
+    /// engines that expose the raw-speed tier. Only GAP threads the knob
+    /// through; other engines ignore it (their SSSP implementation is what
+    /// the paper measured). `None` keeps the paper default (Δ-stepping).
+    pub fn create_with_sssp_kernel(self, kernel: Option<SsspKernel>) -> Box<dyn Engine> {
+        match (self, kernel) {
+            (EngineKind::Gap, Some(k)) => {
+                let mut e = epg_engine_gap::GapEngine::new();
+                e.config.sssp_kernel = k;
+                Box::new(e)
+            }
+            _ => self.create(),
         }
     }
 

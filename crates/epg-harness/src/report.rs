@@ -71,6 +71,24 @@ pub fn render(result: &ExperimentResult, ds: &Dataset, projected_threads: usize)
         }
     }
 
+    // GAP's SSSP column depends on which raw-speed kernel ran — label it
+    // so two reports with different kernel knobs are distinguishable.
+    let mut sssp_kernels: Vec<&'static str> = result
+        .records
+        .iter()
+        .filter(|r| r.phase == Phase::Run && r.algorithm == Some(Algorithm::Sssp))
+        .filter_map(|r| r.kernel.map(|k| k.name()))
+        .collect();
+    sssp_kernels.sort_unstable();
+    sssp_kernels.dedup();
+    if !sssp_kernels.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n*GAP SSSP kernel: {} (select with `--sssp-kernel`).*",
+            sssp_kernels.join(", ")
+        );
+    }
+
     // ---- trial outcomes (only when supervision recorded any DNFs) ----
     if result.records.iter().any(|r| r.outcome.is_dnf()) {
         let _ = writeln!(out, "\n## Trial outcomes\n");
@@ -252,6 +270,8 @@ mod tests {
         }
         // Fused engines flagged; GraphMat's criterion called out.
         assert!(md.contains("fused with file read"));
+        // The GAP SSSP kernel label appears (default knob → Δ-stepping).
+        assert!(md.contains("GAP SSSP kernel: delta"), "missing kernel footnote");
         assert!(md.contains("∞-norm"));
         // All five engines appear.
         for k in EngineKind::ALL {

@@ -12,7 +12,7 @@ use crate::dataset::Dataset;
 use crate::registry::EngineKind;
 use crate::supervise::{supervise_trial, QuarantineBook, SupervisorConfig, TrialOutcome};
 use crate::{csvio, logs};
-use epg_engine_api::{Algorithm, Phase, RunOutput, RunParams};
+use epg_engine_api::{Algorithm, Phase, RunOutput, RunParams, SsspKernel};
 use epg_graph::VertexId;
 use epg_parallel::ThreadPool;
 use std::io::Write;
@@ -45,6 +45,9 @@ pub struct ExperimentConfig {
     pub work_dir: Option<PathBuf>,
     /// Trial supervision policy: per-trial budget, retries, quarantine.
     pub supervisor: SupervisorConfig,
+    /// SSSP kernel override for engines exposing the raw-speed tier
+    /// (currently GAP). `None` keeps each engine's paper default.
+    pub sssp_kernel: Option<SsspKernel>,
     /// Deterministic fault plans, keyed by engine: the engine is wrapped
     /// in a [`epg_engine_api::FaultyEngine`] decorator before running.
     #[cfg(feature = "fault-inject")]
@@ -63,6 +66,7 @@ impl ExperimentConfig {
             use_files: false,
             work_dir: None,
             supervisor: SupervisorConfig::default(),
+            sssp_kernel: None,
             #[cfg(feature = "fault-inject")]
             fault_plans: Vec::new(),
         }
@@ -98,6 +102,9 @@ pub struct RunRecord {
     pub iterations: Option<u32>,
     /// How the trial ended; only `Ok` rows carry a performance sample.
     pub outcome: TrialOutcome,
+    /// SSSP kernel the row ran under (SSSP run rows on kernel-aware
+    /// engines only).
+    pub kernel: Option<SsspKernel>,
 }
 
 /// A kernel invocation's full output, kept for the machine model.
@@ -241,6 +248,7 @@ impl ExperimentResult {
                 "seconds",
                 "iterations",
                 "outcome",
+                "kernel",
             ],
         )
         .unwrap();
@@ -258,6 +266,7 @@ impl ExperimentResult {
                     &format!("{:.9}", r.seconds),
                     &r.iterations.map_or(String::new(), |x| x.to_string()),
                     r.outcome.label(),
+                    r.kernel.map_or("", |k| k.name()),
                 ],
             )
             .unwrap();
@@ -284,7 +293,10 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
 
     for &kind in &cfg.engines {
         #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
-        let mut engine = kind.create();
+        let mut engine = kind.create_with_sssp_kernel(cfg.sssp_kernel);
+        // The kernel label is only meaningful where the knob is threaded
+        // through (GAP's raw-speed tier).
+        let kernel_label = (kind == EngineKind::Gap).then(|| cfg.sssp_kernel.unwrap_or_default());
         #[cfg(feature = "fault-inject")]
         if let Some((_, plan)) = cfg.fault_plans.iter().find(|(k, _)| *k == kind) {
             engine = Box::new(epg_engine_api::FaultyEngine::new(engine, plan.clone()));
@@ -310,6 +322,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
             seconds: read_s,
             iterations: None,
             outcome: TrialOutcome::Ok,
+            kernel: None,
         });
 
         // ---- Phase 2: construct (recorded only when separable) ----
@@ -328,6 +341,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
                 seconds: construct_s,
                 iterations: None,
                 outcome: TrialOutcome::Ok,
+                kernel: None,
             });
         } else {
             // Fused engines build during the read. In file-based runs that
@@ -382,6 +396,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
                             seconds: 0.0,
                             iterations: None,
                             outcome: TrialOutcome::Quarantined,
+                            kernel: (algo == Algorithm::Sssp).then_some(kernel_label).flatten(),
                         });
                         continue;
                     }
@@ -471,6 +486,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, ds: &Dataset) -> ExperimentResult 
                         seconds: secs,
                         iterations,
                         outcome: report.outcome,
+                        kernel: (algo == Algorithm::Sssp).then_some(kernel_label).flatten(),
                     });
                     if ri == 0 && trial == 0 {
                         // Emit this engine's log dialect for the parse phase.

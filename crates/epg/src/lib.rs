@@ -38,7 +38,7 @@ pub use epg_trace as trace;
 pub mod prelude {
     pub use epg_engine_api::{
         Algorithm, AlgorithmResult, Counters, Dir, Engine, Phase, RecorderCtx, RunOutput,
-        RunParams, RunRecorder, StoppingCriterion, Trace, TraceEvent,
+        RunParams, RunRecorder, SsspKernel, StoppingCriterion, Trace, TraceEvent,
     };
     pub use epg_generator::GraphSpec;
     pub use epg_graph::{Csr, EdgeList, VertexId, Weight};
@@ -58,6 +58,7 @@ mod tests {
         let _pool = ThreadPool::new(1);
         let _ = Algorithm::Bfs.abbrev();
         let _ = EngineKind::Gap.name();
+        let _ = SsspKernel::ALL;
         let _ = MachineModel::paper_machine();
     }
 }

@@ -13,6 +13,11 @@
 //! must match to 1e-9. The `#[should_panic]` case feeds a deliberately
 //! corrupted BFS tree through the same checker to prove the suite can
 //! actually fail.
+//!
+//! The suite also hosts the raw-speed SSSP kernel wall: every
+//! [`SsspKernel`] on every [`GraphSpec`] family (including the adversarial
+//! families built to break naive shortest-path solvers) at thread counts
+//! {1, 2, 4, 8}, checked against the Dijkstra oracle.
 
 use epg::graph::{oracle, validate, Csr, VertexId, NO_VERTEX};
 use epg::harness::registry::engines_supporting;
@@ -161,6 +166,65 @@ fn lcc_matches_oracle_on_every_registry_engine() {
                     c[v],
                     want[v]
                 );
+            }
+        }
+    }
+}
+
+/// The raw-speed SSSP kernel wall: every kernel in [`SsspKernel::ALL`] runs
+/// on every [`GraphSpec`] family (one corpus member per family, adversarial
+/// families included) at thread counts {1, 2, 4, 8}, and each result is
+/// checked against the sequential Dijkstra oracle on the same homogenized
+/// graph. The label-setting kernels (radix, bmssp) compute the same
+/// fold-left path sums Dijkstra does, so they must match the oracle
+/// *bit-exactly*; Δ-stepping may re-relax in a different order and gets a
+/// small absolute tolerance. Coverage is registry-driven on both axes:
+/// adding a kernel variant or a `GraphSpec` family without wiring it into
+/// `SsspKernel::ALL` / `GraphSpec::test_corpus` fails here.
+#[test]
+fn every_sssp_kernel_matches_dijkstra_on_every_family() {
+    let corpus = GraphSpec::test_corpus();
+    {
+        let mut got: Vec<&str> = corpus.iter().map(|s| s.family()).collect();
+        got.sort_unstable();
+        let mut want = GraphSpec::FAMILIES.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want, "test corpus must cover every family exactly once");
+    }
+    for (i, spec) in corpus.iter().enumerate() {
+        let ds = Dataset::from_spec(spec, 90 + i as u64);
+        let csr = Csr::from_edge_list(&ds.symmetric);
+        let root = ds.roots[0];
+        let want = oracle::dijkstra(&csr, root);
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            for kernel in SsspKernel::ALL {
+                let mut e = EngineKind::Gap.create_with_sssp_kernel(Some(kernel));
+                e.load_edge_list(ds.edges_for(EngineKind::Gap));
+                e.construct(&pool);
+                let out = e.run(Algorithm::Sssp, &RunParams::new(&pool, Some(root)));
+                let AlgorithmResult::Distances(d) = out.result else {
+                    panic!("{}/{}: wrong result kind", spec.name(), kernel.name())
+                };
+                assert_eq!(d.len(), want.len(), "{}/{}", spec.name(), kernel.name());
+                for v in 0..want.len() {
+                    let ok = if kernel == SsspKernel::DeltaStepping {
+                        (d[v].is_infinite() && want[v].is_infinite())
+                            || (d[v] - want[v]).abs() < 1e-3
+                    } else {
+                        d[v].to_bits() == want[v].to_bits()
+                    };
+                    assert!(
+                        ok,
+                        "{} kernel={} t={threads} vertex {v}: {} vs oracle {}",
+                        spec.name(),
+                        kernel.name(),
+                        d[v],
+                        want[v]
+                    );
+                }
+                validate::validate_sssp_distances(&csr, root, &d)
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", spec.name(), kernel.name()));
             }
         }
     }

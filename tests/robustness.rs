@@ -20,6 +20,18 @@ fn degenerate_graphs() -> Vec<(&'static str, EdgeList)> {
             "duplicate_heavy",
             EdgeList::new(3, vec![(0, 1); 20].into_iter().chain([(1, 2)]).collect::<Vec<_>>()),
         ),
+        // Tiny instances of the adversarial SSSP families: the generators
+        // must stay valid at the degenerate end of their parameter space,
+        // and every engine must survive the shapes they produce (zero
+        // weights, one-gadget spines, 2×2 spirals).
+        ("tiny_spfa_killer", epg::generator::adversarial::spfa_killer(1, 1)),
+        ("tiny_wrong_dijkstra", epg::generator::adversarial::wrong_dijkstra_killer(1, 1)),
+        ("tiny_grid_swirl", epg::generator::adversarial::grid_swirl(2, 1)),
+        ("tiny_almost_line", epg::generator::adversarial::almost_line(2, 1, 1)),
+        ("tiny_max_dense_zero", epg::generator::adversarial::max_dense_zero(2)),
+        ("empty_spfa_killer", epg::generator::adversarial::spfa_killer(0, 1)),
+        ("empty_grid_swirl", epg::generator::adversarial::grid_swirl(0, 1)),
+        ("empty_max_dense_zero", epg::generator::adversarial::max_dense_zero(0)),
     ]
 }
 
