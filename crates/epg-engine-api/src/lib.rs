@@ -22,6 +22,7 @@ pub mod counters;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod logfmt;
+pub mod query;
 pub mod record;
 pub mod result;
 pub mod stopping;
@@ -29,6 +30,7 @@ pub mod stopping;
 pub use counters::{Counters, RegionRecord, Trace};
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultKind, FaultPlan, FaultyEngine};
+pub use query::QueryEngine;
 pub use record::{sum_counter_deltas, DeltaTracker, RecorderCtx, Tracer};
 pub use result::{AlgorithmResult, RunOutput};
 pub use stopping::StoppingCriterion;
@@ -37,7 +39,7 @@ pub use stopping::StoppingCriterion;
 pub use epg_trace::{Dir, NullRecorder, Recorder, RunRecorder, TraceEvent};
 
 use epg_graph::{EdgeList, VertexId};
-use epg_parallel::ThreadPool;
+use epg_parallel::{CancelToken, ThreadPool};
 use std::path::Path;
 
 /// The algorithms the paper measures. BFS/SSSP/PR are the framework's core
@@ -219,6 +221,13 @@ pub struct RunParams<'a> {
     /// the `trace` cargo feature is enabled *and* a recorder is attached
     /// (see the `record` module).
     pub recorder: RecorderCtx<'a>,
+    /// Per-request cancellation budget for reentrant query adapters
+    /// ([`QueryEngine`]): when set, the adapter attaches it to the pool
+    /// for the duration of this run (and restores the previous token
+    /// afterwards), so a query past its SLO unwinds cooperatively.
+    /// Batch trials leave it `None` — the supervisor in `epg-harness`
+    /// manages the pool token itself for those.
+    pub cancel: Option<CancelToken>,
 }
 
 impl<'a> RunParams<'a> {
@@ -231,6 +240,7 @@ impl<'a> RunParams<'a> {
             max_iterations: 300,
             bc_sources: None,
             recorder: RecorderCtx::none(),
+            cancel: None,
         }
     }
 }

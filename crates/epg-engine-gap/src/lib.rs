@@ -21,6 +21,7 @@ mod bc;
 mod bfs;
 pub mod bmssp;
 mod pr;
+pub mod query;
 pub mod radix;
 pub mod sssp;
 mod structures;
@@ -29,6 +30,7 @@ pub mod tune;
 mod tc;
 
 pub use epg_engine_api::SsspKernel;
+pub use query::GapQuery;
 pub use structures::{Bitmap, SlidingQueue};
 
 use epg_engine_api::{logfmt::LogStyle, Algorithm, Engine, EngineInfo, RunOutput, RunParams};

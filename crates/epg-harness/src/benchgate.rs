@@ -13,8 +13,16 @@
 //!   host's hardware threads (stamped `"oversubscribed"` by the bench, or
 //!   inferred from the host record for older baselines) are reported as
 //!   warnings and excluded from the pass/fail decision.
+//!
+//! Reports carry optional sections beyond the phase sweep — the
+//! `"sssp_kernels"` work table (PR 8) and the `"serve"` summary written
+//! by `epg serve-bench` (`epg-serve-bench/v1` reports gate through the
+//! same door). A section present in the candidate but absent from an
+//! older baseline snapshot is **skipped with a notice**, never failed:
+//! a pre-kernel-tier `BENCH_ingest.json` stays a valid baseline.
 
 use crate::ingestbench::{parse_json, Json, PHASES, SCHEMA};
+use crate::servebench::SCHEMA as SERVE_SCHEMA;
 use std::fmt::Write as _;
 
 /// How far a candidate speedup may fall below the baseline before the gate
@@ -49,22 +57,62 @@ pub struct ParsedPhase {
     pub per_thread: Vec<PerThread>,
 }
 
-/// The subset of an `epg-ingest-bench/v1` report the gate consumes.
+/// One SSSP kernel row from the report's `"sssp_kernels"` section. The
+/// gate compares `edges_relaxed`, not seconds: relaxation counts are
+/// deterministic for a fixed graph and seed, so a work regression (a
+/// kernel falling back to a blunter strategy) is separable from host
+/// noise.
+#[derive(Clone, Debug)]
+pub struct ParsedKernel {
+    /// Adversarial graph family the kernel ran on.
+    pub family: String,
+    /// Kernel name (`delta`, `radix`, `bmssp`).
+    pub kernel: String,
+    /// Median seconds (kept for the record; never gated).
+    pub median_s: f64,
+    /// Edge relaxations performed — the deterministic work signal.
+    pub edges_relaxed: u64,
+}
+
+/// The `"serve"` summary of an `epg serve-bench` report: how much faster
+/// the full serving pipeline (batching + cache + landmarks) answered the
+/// same request stream than the naive recompute-everything mode.
+#[derive(Clone, Debug)]
+pub struct ParsedServe {
+    /// served QPS / naive QPS on the identical request stream.
+    pub qps_speedup: f64,
+    /// Kronecker scale of the measured graph, when the report records
+    /// one. Amortization ratios grow with traversal cost, so speedups
+    /// from different scales are not comparable.
+    pub scale: Option<u32>,
+}
+
+/// The subset of an `epg-ingest-bench/v1` (or `epg-serve-bench/v1`)
+/// report the gate consumes.
 #[derive(Clone, Debug)]
 pub struct ParsedReport {
     /// Hardware threads of the host that produced the report.
     pub host_threads: usize,
     /// Phases in file order.
     pub phases: Vec<ParsedPhase>,
+    /// The `"sssp_kernels"` work table; `None` when the report predates
+    /// the kernel tier (pre-PR-8 snapshots).
+    pub kernels: Option<Vec<ParsedKernel>>,
+    /// The `"serve"` summary; `None` for reports that never ran the
+    /// serving bench.
+    pub serve: Option<ParsedServe>,
 }
 
 impl ParsedReport {
     /// Parses a report, checking only what the gate needs (the full schema
     /// check lives in [`crate::ingestbench::validate_report_json`]).
+    /// Accepts both report schemas: ingest reports must carry every
+    /// [`PHASES`] entry, serve reports have no phase sweep at all.
     pub fn from_json(text: &str) -> Result<ParsedReport, String> {
         let doc = parse_json(text)?;
-        if doc.get("schema").and_then(Json::str) != Some(SCHEMA) {
-            return Err(format!("\"schema\" must be \"{SCHEMA}\""));
+        let schema = doc.get("schema").and_then(Json::str);
+        if schema != Some(SCHEMA) && schema != Some(SERVE_SCHEMA) {
+            return Err(format!("\"schema\" must be \"{SCHEMA}\" or \"{SERVE_SCHEMA}\""));
         }
         let host_threads = doc
             .get("host")
@@ -72,7 +120,11 @@ impl ParsedReport {
             .and_then(Json::num)
             .ok_or("missing \"host.hardware_threads\"")? as usize;
         let mut phases = Vec::new();
-        for p in doc.get("phases").and_then(Json::arr).ok_or("\"phases\" must be an array")? {
+        let phase_entries = match doc.get("phases") {
+            None if schema == Some(SERVE_SCHEMA) => &[][..],
+            other => other.and_then(Json::arr).ok_or("\"phases\" must be an array")?,
+        };
+        for p in phase_entries {
             let phase = p
                 .get("phase")
                 .and_then(Json::str)
@@ -108,12 +160,56 @@ impl ParsedReport {
             }
             phases.push(ParsedPhase { phase, serial_median_s, per_thread });
         }
-        for want in PHASES {
-            if !phases.iter().any(|p| p.phase == want) {
-                return Err(format!("missing phase \"{want}\""));
+        if schema == Some(SCHEMA) {
+            for want in PHASES {
+                if !phases.iter().any(|p| p.phase == want) {
+                    return Err(format!("missing phase \"{want}\""));
+                }
             }
         }
-        Ok(ParsedReport { host_threads, phases })
+        let kernels = match doc.get("sssp_kernels") {
+            None => None,
+            Some(sec) => {
+                let mut rows = Vec::new();
+                for e in sec.arr().ok_or("\"sssp_kernels\" must be an array")? {
+                    let family = e
+                        .get("family")
+                        .and_then(Json::str)
+                        .ok_or("kernel entry missing \"family\"")?
+                        .to_string();
+                    let kernel = e
+                        .get("kernel")
+                        .and_then(Json::str)
+                        .ok_or("kernel entry missing \"kernel\"")?
+                        .to_string();
+                    let median_s = e
+                        .get("median_s")
+                        .and_then(Json::num)
+                        .ok_or_else(|| format!("kernel {family}/{kernel}: missing \"median_s\""))?;
+                    let edges_relaxed =
+                        e.get("edges_relaxed").and_then(Json::num).ok_or_else(|| {
+                            format!("kernel {family}/{kernel}: missing \"edges_relaxed\"")
+                        })? as u64;
+                    rows.push(ParsedKernel { family, kernel, median_s, edges_relaxed });
+                }
+                Some(rows)
+            }
+        };
+        let serve = match doc.get("serve") {
+            None => None,
+            Some(sec) => Some(ParsedServe {
+                qps_speedup: sec
+                    .get("qps_speedup")
+                    .and_then(Json::num)
+                    .ok_or("\"serve\" missing \"qps_speedup\"")?,
+                scale: doc
+                    .get("config")
+                    .and_then(|c| c.get("scale"))
+                    .and_then(Json::num)
+                    .map(|s| s as u32),
+            }),
+        };
+        Ok(ParsedReport { host_threads, phases, kernels, serve })
     }
 }
 
@@ -126,6 +222,9 @@ pub enum GateOutcome {
         checks: usize,
         /// Oversubscribed entries that were excluded, one line each.
         warnings: Vec<String>,
+        /// Sections the baseline predates (skipped, not failed), one
+        /// line each.
+        notices: Vec<String>,
     },
     /// The candidate host cannot measure scaling; nothing was compared.
     Skipped {
@@ -138,6 +237,9 @@ pub enum GateOutcome {
         failures: Vec<String>,
         /// Oversubscribed entries that were excluded, one line each.
         warnings: Vec<String>,
+        /// Sections the baseline predates (skipped, not failed), one
+        /// line each.
+        notices: Vec<String>,
     },
 }
 
@@ -151,20 +253,26 @@ impl GateOutcome {
     pub fn render(&self) -> String {
         let mut o = String::new();
         match self {
-            GateOutcome::Passed { checks, warnings } => {
+            GateOutcome::Passed { checks, warnings, notices } => {
+                for n in notices {
+                    let _ = writeln!(o, "bench-gate: notice: {n}");
+                }
                 for w in warnings {
                     let _ = writeln!(o, "bench-gate: warning: {w}");
                 }
                 let _ = writeln!(
                     o,
-                    "bench-gate: PASS — {checks} speedup comparison(s) within tolerance \
+                    "bench-gate: PASS — {checks} comparison(s) within tolerance \
                      {DEFAULT_TOLERANCE}"
                 );
             }
             GateOutcome::Skipped { notice } => {
                 let _ = writeln!(o, "bench-gate: SKIPPED — {notice}");
             }
-            GateOutcome::Failed { failures, warnings } => {
+            GateOutcome::Failed { failures, warnings, notices } => {
+                for n in notices {
+                    let _ = writeln!(o, "bench-gate: notice: {n}");
+                }
                 for w in warnings {
                     let _ = writeln!(o, "bench-gate: warning: {w}");
                 }
@@ -183,50 +291,121 @@ impl GateOutcome {
 /// verifies that known points on the scaling curve did not regress, not
 /// that the sweeps match. Oversubscribed entries on either side are
 /// excluded from the decision and surfaced as warnings.
+///
+/// The optional sections gate independently of the phase sweep: kernel
+/// work (`edges_relaxed`, deterministic) and serving speedup
+/// (amortization, not parallelism) are both meaningful even on a
+/// single-core host, so the single-core skip only silences the phase
+/// speedups — it falls back to a full [`GateOutcome::Skipped`] only
+/// when no section produced a comparison either.
 pub fn gate(candidate: &ParsedReport, baseline: &ParsedReport, tolerance: f64) -> GateOutcome {
-    if candidate.host_threads < 2 {
-        return GateOutcome::Skipped {
-            notice: format!(
-                "candidate host has {} hardware thread(s); speedup-vs-serial cannot be \
-                 measured without real parallelism (re-run on a multicore host to gate)",
-                candidate.host_threads
-            ),
-        };
-    }
+    let single_core = candidate.host_threads < 2;
+    let single_core_notice = format!(
+        "candidate host has {} hardware thread(s); speedup-vs-serial cannot be \
+         measured without real parallelism (re-run on a multicore host to gate)",
+        candidate.host_threads
+    );
     let mut checks = 0usize;
     let mut failures = Vec::new();
     let mut warnings = Vec::new();
-    for cand in &candidate.phases {
-        let Some(base) = baseline.phases.iter().find(|p| p.phase == cand.phase) else {
-            continue;
-        };
-        for c in &cand.per_thread {
-            let Some(b) = base.per_thread.iter().find(|b| b.threads == c.threads) else {
+    let mut notices = Vec::new();
+    if !single_core {
+        for cand in &candidate.phases {
+            let Some(base) = baseline.phases.iter().find(|p| p.phase == cand.phase) else {
                 continue;
             };
-            if c.oversubscribed || b.oversubscribed {
-                let side = if c.oversubscribed { "candidate" } else { "baseline" };
-                warnings.push(format!(
-                    "{} @ {} threads: oversubscribed on the {side} host — \
-                     median kept for the record, speedup not compared",
-                    cand.phase, c.threads
-                ));
-                continue;
-            }
-            checks += 1;
-            if c.speedup < b.speedup - tolerance {
-                failures.push(format!(
-                    "{} @ {} threads: speedup {:.3}x fell below baseline {:.3}x \
-                     (tolerance {tolerance})",
-                    cand.phase, c.threads, c.speedup, b.speedup
-                ));
+            for c in &cand.per_thread {
+                let Some(b) = base.per_thread.iter().find(|b| b.threads == c.threads) else {
+                    continue;
+                };
+                if c.oversubscribed || b.oversubscribed {
+                    let side = if c.oversubscribed { "candidate" } else { "baseline" };
+                    warnings.push(format!(
+                        "{} @ {} threads: oversubscribed on the {side} host — \
+                         median kept for the record, speedup not compared",
+                        cand.phase, c.threads
+                    ));
+                    continue;
+                }
+                checks += 1;
+                if c.speedup < b.speedup - tolerance {
+                    failures.push(format!(
+                        "{} @ {} threads: speedup {:.3}x fell below baseline {:.3}x \
+                         (tolerance {tolerance})",
+                        cand.phase, c.threads, c.speedup, b.speedup
+                    ));
+                }
             }
         }
     }
+    match (&candidate.kernels, &baseline.kernels) {
+        (Some(cand), Some(base)) => {
+            for c in cand {
+                let Some(b) = base.iter().find(|b| b.family == c.family && b.kernel == c.kernel)
+                else {
+                    continue;
+                };
+                checks += 1;
+                // Work, not wall time: more relaxations than the
+                // baseline (beyond relative slack) means the kernel got
+                // blunter, no matter how fast the host is.
+                if c.edges_relaxed as f64 > b.edges_relaxed as f64 * (1.0 + tolerance) {
+                    failures.push(format!(
+                        "sssp kernel {}/{}: {} edges relaxed exceeds baseline {} \
+                         (tolerance {tolerance})",
+                        c.family, c.kernel, c.edges_relaxed, b.edges_relaxed
+                    ));
+                }
+            }
+        }
+        (Some(_), None) => notices.push(
+            "baseline has no \"sssp_kernels\" section (pre-kernel-tier snapshot) — \
+             kernel work not compared"
+                .to_string(),
+        ),
+        (None, _) => {}
+    }
+    match (&candidate.serve, &baseline.serve) {
+        (Some(c), Some(b)) => {
+            if let (Some(cs), Some(bs)) = (c.scale, b.scale) {
+                if cs != bs {
+                    notices.push(format!(
+                        "serve sections measured at different scales (candidate {cs}, \
+                         baseline {bs}) — amortization ratios not comparable, not gated"
+                    ));
+                }
+            }
+            if c.scale.zip(b.scale).is_none_or(|(cs, bs)| cs == bs) {
+                checks += 1;
+                // Relative slack: serving speedups sit an order of
+                // magnitude above phase speedups, so absolute slack on
+                // the ratio would be vanishingly tight here.
+                if c.qps_speedup < b.qps_speedup * (1.0 - tolerance) {
+                    failures.push(format!(
+                        "serve: qps speedup {:.3}x fell below baseline {:.3}x \
+                         (relative tolerance {tolerance})",
+                        c.qps_speedup, b.qps_speedup
+                    ));
+                }
+            }
+        }
+        (Some(_), None) => notices.push(
+            "baseline has no \"serve\" section (pre-serving snapshot) — \
+             serving speedup not compared"
+                .to_string(),
+        ),
+        (None, _) => {}
+    }
+    if single_core {
+        if checks == 0 && failures.is_empty() && notices.is_empty() {
+            return GateOutcome::Skipped { notice: single_core_notice };
+        }
+        notices.push(single_core_notice);
+    }
     if failures.is_empty() {
-        GateOutcome::Passed { checks, warnings }
+        GateOutcome::Passed { checks, warnings, notices }
     } else {
-        GateOutcome::Failed { failures, warnings }
+        GateOutcome::Failed { failures, warnings, notices }
     }
 }
 
@@ -277,11 +456,12 @@ mod tests {
         let base = ParsedReport::from_json(&report_json(4, &[(2, 1.8, false)])).unwrap();
         let cand = ParsedReport::from_json(&report_json(4, &[(2, 1.7, false)])).unwrap();
         let out = gate(&cand, &base, DEFAULT_TOLERANCE);
-        let GateOutcome::Passed { checks, warnings } = out else {
+        let GateOutcome::Passed { checks, warnings, notices } = out else {
             panic!("expected pass, got {out:?}");
         };
         assert_eq!(checks, PHASES.len());
         assert!(warnings.is_empty());
+        assert!(notices.is_empty());
     }
 
     #[test]
@@ -323,7 +503,7 @@ mod tests {
         let cand =
             ParsedReport::from_json(&report_json(4, &[(1, 1.0, false), (2, 0.1, false)])).unwrap();
         let out = gate(&cand, &base, DEFAULT_TOLERANCE);
-        let GateOutcome::Passed { checks, warnings } = out else {
+        let GateOutcome::Passed { checks, warnings, .. } = out else {
             panic!("expected pass, got {out:?}");
         };
         // Only the 1-thread column was comparable.
@@ -356,6 +536,152 @@ mod tests {
         assert!(ParsedReport::from_json(&no_host).unwrap_err().contains("hardware_threads"));
         let missing_phase = report_json(4, &[(2, 1.8, false)]).replace("\"build\"", "\"built\"");
         assert!(ParsedReport::from_json(&missing_phase).unwrap_err().contains("build"));
+    }
+
+    /// Splices extra top-level sections into a fixture report.
+    fn with_sections(base: &str, sections: &[String]) -> String {
+        let trimmed = base.trim_end().trim_end_matches('}');
+        format!("{trimmed}, {}}}", sections.join(", "))
+    }
+
+    fn kernels_section(edges_relaxed: u64) -> String {
+        format!(
+            "\"sssp_kernels\": [{{\"family\": \"kron\", \"kernel\": \"delta\", \
+             \"median_s\": 0.5, \"edges_relaxed\": {edges_relaxed}}}]"
+        )
+    }
+
+    fn serve_section(qps_speedup: f64) -> String {
+        format!("\"serve\": {{\"qps_speedup\": {qps_speedup}}}")
+    }
+
+    #[test]
+    fn stripped_baseline_skips_each_missing_section_with_a_notice() {
+        // A pre-kernel-tier, pre-serving baseline: both sections absent.
+        // The candidate carries both; neither may fail the gate.
+        let base = ParsedReport::from_json(&report_json(4, &[(2, 1.8, false)])).unwrap();
+        let cand = ParsedReport::from_json(&with_sections(
+            &report_json(4, &[(2, 1.8, false)]),
+            &[kernels_section(1_000_000), serve_section(6.0)],
+        ))
+        .unwrap();
+        let out = gate(&cand, &base, DEFAULT_TOLERANCE);
+        let GateOutcome::Passed { checks, notices, .. } = out else {
+            panic!("expected pass, got {out:?}");
+        };
+        assert_eq!(checks, PHASES.len(), "only the phase sweep was comparable");
+        assert_eq!(notices.len(), 2, "one notice per missing baseline section");
+        assert!(notices[0].contains("sssp_kernels"));
+        assert!(notices[1].contains("serve"));
+        let text = gate(&cand, &base, DEFAULT_TOLERANCE).render();
+        assert!(text.contains("notice") && text.contains("PASS"));
+    }
+
+    #[test]
+    fn kernel_work_regression_fails_and_parity_passes() {
+        let base = ParsedReport::from_json(&with_sections(
+            &report_json(4, &[(2, 1.8, false)]),
+            &[kernels_section(1_000_000)],
+        ))
+        .unwrap();
+        let ok = ParsedReport::from_json(&with_sections(
+            &report_json(4, &[(2, 1.8, false)]),
+            &[kernels_section(1_200_000)], // within the 25% slack
+        ))
+        .unwrap();
+        assert!(!gate(&ok, &base, DEFAULT_TOLERANCE).is_failure());
+        let blunter = ParsedReport::from_json(&with_sections(
+            &report_json(4, &[(2, 1.8, false)]),
+            &[kernels_section(2_000_000)],
+        ))
+        .unwrap();
+        let out = gate(&blunter, &base, DEFAULT_TOLERANCE);
+        let GateOutcome::Failed { failures, .. } = out else { panic!("expected fail") };
+        assert!(failures[0].contains("edges relaxed"));
+    }
+
+    #[test]
+    fn serve_speedup_regression_fails() {
+        let base = ParsedReport::from_json(&with_sections(
+            &report_json(4, &[(2, 1.8, false)]),
+            &[serve_section(6.0)],
+        ))
+        .unwrap();
+        let cand = ParsedReport::from_json(&with_sections(
+            &report_json(4, &[(2, 1.8, false)]),
+            &[serve_section(1.1)],
+        ))
+        .unwrap();
+        let out = gate(&cand, &base, DEFAULT_TOLERANCE);
+        let GateOutcome::Failed { failures, .. } = out else { panic!("expected fail") };
+        assert!(failures[0].contains("qps speedup"));
+    }
+
+    #[test]
+    fn serving_speedup_gates_even_on_a_single_core_host() {
+        // Amortization is not parallelism: a 1-thread host still proves
+        // (or regresses) the serving win, so the single-core escape
+        // hatch only silences the phase sweep.
+        let base = ParsedReport::from_json(&with_sections(
+            &report_json(1, &[(1, 1.0, false)]),
+            &[serve_section(6.0)],
+        ))
+        .unwrap();
+        let cand = ParsedReport::from_json(&with_sections(
+            &report_json(1, &[(1, 1.0, false)]),
+            &[serve_section(5.9)],
+        ))
+        .unwrap();
+        let out = gate(&cand, &base, DEFAULT_TOLERANCE);
+        let GateOutcome::Passed { checks, notices, .. } = out else {
+            panic!("expected pass, got {out:?}");
+        };
+        assert_eq!(checks, 1, "only the serve section was comparable");
+        assert!(notices.iter().any(|n| n.contains("hardware thread")));
+        let regressed = ParsedReport::from_json(&with_sections(
+            &report_json(1, &[(1, 1.0, false)]),
+            &[serve_section(1.0)],
+        ))
+        .unwrap();
+        assert!(gate(&regressed, &base, DEFAULT_TOLERANCE).is_failure());
+    }
+
+    #[test]
+    fn serve_speedups_from_different_scales_are_not_compared() {
+        let mk = |scale: u32, speedup: f64| {
+            ParsedReport::from_json(&format!(
+                "{{\"schema\": \"{SERVE_SCHEMA}\", \"host\": {{\"hardware_threads\": 1}}, \
+                 \"config\": {{\"scale\": {scale}}}, \
+                 \"serve\": {{\"qps_speedup\": {speedup}}}}}"
+            ))
+            .unwrap()
+        };
+        // A quick (scale-8) run against the committed scale-18 snapshot:
+        // smaller graphs amortize less, so the ratio must not be gated.
+        let base = mk(18, 31.0);
+        let out = gate(&mk(8, 7.0), &base, DEFAULT_TOLERANCE);
+        let GateOutcome::Passed { checks, notices, .. } = out else {
+            panic!("expected pass, got {out:?}");
+        };
+        assert_eq!(checks, 0);
+        assert!(notices.iter().any(|n| n.contains("different scales")));
+        // Same scale still gates, with relative slack on the ratio.
+        assert!(gate(&mk(18, 20.0), &base, DEFAULT_TOLERANCE).is_failure());
+        assert!(!gate(&mk(18, 28.0), &base, DEFAULT_TOLERANCE).is_failure());
+    }
+
+    #[test]
+    fn parses_serve_schema_reports_without_a_phase_sweep() {
+        let json = format!(
+            "{{\"schema\": \"{SERVE_SCHEMA}\", \
+             \"host\": {{\"hardware_threads\": 1}}, \
+             \"serve\": {{\"qps_speedup\": 4.5}}}}"
+        );
+        let r = ParsedReport::from_json(&json).unwrap();
+        assert!(r.phases.is_empty());
+        assert!((r.serve.unwrap().qps_speedup - 4.5).abs() < 1e-12);
+        let bad = json.replace("qps_speedup", "qps");
+        assert!(ParsedReport::from_json(&bad).unwrap_err().contains("qps_speedup"));
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! epg bench --json [--quick]        # ingest pipeline medians -> BENCH_ingest.json
 //! epg bench --json --baseline BENCH_ingest.json [--gate]
 //!                                   # compare speedups vs a snapshot; --gate fails on regression
+//! epg serve --scale 14 [--listen ADDR] [--landmarks N]
+//!                                   # resident-graph query service (stdio or TCP line protocol)
+//! epg serve-bench --json [--quick] [--check]
+//!                                   # naive-vs-served QPS + latency percentiles -> BENCH_serve.json
 //! epg trace summarize --input F     # summarize a *.trace.jsonl file
 //! epg lint [--json] [--strict]      # workspace static analysis (DESIGN.md §10-§11)
 //! epg lint --explain <rule-id>      # rationale + example + fix for one rule
@@ -44,6 +48,9 @@ struct Args {
     explain: Option<String>,
     root: Option<PathBuf>,
     sssp_kernel: Option<epg_engine_api::SsspKernel>,
+    check: bool,
+    landmarks: Option<usize>,
+    listen: Option<String>,
 }
 
 fn parse_args(argv: std::env::Args) -> Result<Args, String> {
@@ -75,6 +82,9 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
         explain: None,
         root: None,
         sssp_kernel: None,
+        check: false,
+        landmarks: None,
+        listen: None,
     };
     let mut it = argv.peekable();
     while let Some(flag) = it.next() {
@@ -113,6 +123,12 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
                         )
                     })?);
             }
+            "--check" => a.check = true,
+            "--landmarks" => {
+                a.landmarks =
+                    Some(val("--landmarks")?.parse().map_err(|e| format!("--landmarks: {e}"))?)
+            }
+            "--listen" => a.listen = Some(val("--listen")?),
             "--snap" => a.snap_file = Some(PathBuf::from(val("--snap")?)),
             "--input" => a.input = Some(PathBuf::from(val("--input")?)),
             "--trial-budget-ms" => {
@@ -129,12 +145,46 @@ fn parse_args(argv: std::env::Args) -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: epg <setup|gen|run|all|graphalytics|granula|bench|trace summarize|lint> \
+    "usage: epg <setup|gen|run|all|graphalytics|granula|bench|serve|serve-bench|\
+     trace summarize|lint> \
      [--scale N] [--weighted|--unweighted] [--threads N] [--roots N|--all-roots] \
      [--seed N] [--out DIR] [--snap FILE] [--input FILE] [--trial-budget-ms N] \
      [--json] [--quick] [--strict] [--gate] [--baseline FILE] [--explain RULE] [--root DIR] \
-     [--sssp-kernel delta|radix|bmssp]"
+     [--sssp-kernel delta|radix|bmssp] [--check] [--landmarks N] [--listen ADDR]"
         .to_string()
+}
+
+/// Parses the baseline snapshot, gates the candidate report against it,
+/// prints the outcome, and (with `--gate`) fails the run on regression.
+/// Shared by `epg bench` and `epg serve-bench` — both report schemas go
+/// through the same [`epg_harness::benchgate`] door.
+fn gate_against_baseline(
+    candidate_json: &str,
+    baseline_path: &std::path::Path,
+    hard_gate: bool,
+) -> Result<(), String> {
+    use epg_harness::benchgate;
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let baseline = benchgate::ParsedReport::from_json(&baseline_text)
+        .map_err(|e| format!("baseline {}: {e}", baseline_path.display()))?;
+    let candidate = benchgate::ParsedReport::from_json(candidate_json)
+        .map_err(|e| format!("candidate report: {e}"))?;
+    let outcome = benchgate::gate(&candidate, &baseline, benchgate::DEFAULT_TOLERANCE);
+    print!("{}", outcome.render());
+    // Without --gate this is a report-only comparison; with it, a
+    // regression fails the run (CI exit code).
+    if hard_gate && outcome.is_failure() {
+        return Err(format!("bench gate failed against {}", baseline_path.display()));
+    }
+    Ok(())
+}
+
+fn fmt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}ms"),
+        None => "censored".to_string(),
+    }
 }
 
 fn dataset_for(args: &Args, pipeline: &Pipeline) -> Result<Dataset, String> {
@@ -303,20 +353,128 @@ fn real_main() -> Result<(), String> {
                 println!("wrote {}", path.display());
             }
             if let Some(baseline_path) = &args.baseline {
-                use epg_harness::benchgate;
-                let baseline_text = std::fs::read_to_string(baseline_path).map_err(|e| {
-                    format!("cannot read baseline {}: {e}", baseline_path.display())
-                })?;
-                let baseline = benchgate::ParsedReport::from_json(&baseline_text)
-                    .map_err(|e| format!("baseline {}: {e}", baseline_path.display()))?;
-                let candidate = benchgate::ParsedReport::from_json(&json)
-                    .map_err(|e| format!("candidate report: {e}"))?;
-                let outcome = benchgate::gate(&candidate, &baseline, benchgate::DEFAULT_TOLERANCE);
-                print!("{}", outcome.render());
-                // Without --gate this is a report-only comparison; with it,
-                // a regression fails the run (CI exit code).
-                if args.gate && outcome.is_failure() {
-                    return Err(format!("bench gate failed against {}", baseline_path.display()));
+                gate_against_baseline(&json, baseline_path, args.gate)?;
+            }
+        }
+        "serve" => {
+            use epg_engine_api::Engine as _;
+            use std::sync::Arc;
+            let ds = dataset_for(&args, &pipeline)?;
+            let pool = Arc::new(epg_parallel::ThreadPool::new(args.threads));
+            let mut engine = epg_engine_gap::GapEngine::new();
+            engine.load_edge_list(&ds.raw);
+            engine.construct(&pool);
+            let config = epg_serve::ServeConfig {
+                landmarks: args.landmarks.unwrap_or(0),
+                ..epg_serve::ServeConfig::default()
+            };
+            let svc =
+                Arc::new(epg_serve::ServeService::new(Arc::new(engine.into_query()), pool, config));
+            eprintln!(
+                "serving '{}' resident ({} vertices, {} threads); \
+                 protocol: bfs S T | sssp S T | pr V | stats | quit",
+                ds.name, ds.raw.num_vertices, args.threads
+            );
+            if let Some(addr) = &args.listen {
+                let listener = std::net::TcpListener::bind(addr)
+                    .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+                eprintln!("listening on {addr} (one session per connection)");
+                for conn in listener.incoming() {
+                    let stream = conn.map_err(|e| e.to_string())?;
+                    let svc = Arc::clone(&svc);
+                    std::thread::spawn(move || {
+                        let peer = stream
+                            .peer_addr()
+                            .map(|p| p.to_string())
+                            .unwrap_or_else(|_| "?".to_string());
+                        let reader = match stream.try_clone() {
+                            Ok(s) => std::io::BufReader::new(s),
+                            Err(e) => {
+                                eprintln!("session {peer}: {e}");
+                                return;
+                            }
+                        };
+                        match epg_serve::session::serve_session(&svc, reader, stream) {
+                            Ok(s) => eprintln!(
+                                "session {peer}: {} request(s), {} answered",
+                                s.requests, s.answered
+                            ),
+                            Err(e) => eprintln!("session {peer}: {e}"),
+                        }
+                    });
+                }
+            } else {
+                let s = epg_serve::session::serve_session(
+                    &svc,
+                    std::io::stdin().lock(),
+                    std::io::stdout().lock(),
+                )
+                .map_err(|e| e.to_string())?;
+                eprintln!("session over: {} request(s), {} answered", s.requests, s.answered);
+            }
+        }
+        "serve-bench" => {
+            use epg_harness::servebench;
+            if args.gate && args.baseline.is_none() {
+                return Err("--gate needs --baseline FILE (the committed snapshot)".to_string());
+            }
+            let mut cfg = if args.quick {
+                servebench::ServeBenchConfig::quick()
+            } else {
+                servebench::ServeBenchConfig::full()
+            };
+            cfg.seed = args.seed;
+            cfg.check = args.check;
+            if let Some(l) = args.landmarks {
+                cfg.landmarks = l;
+            }
+            eprintln!(
+                "serve bench: kronecker scale {} x{} edges, {} requests, {} clients, \
+                 {} hot sources{}...",
+                cfg.scale,
+                cfg.edge_factor,
+                cfg.requests,
+                cfg.clients,
+                cfg.source_pool,
+                if cfg.check { ", oracle check on" } else { "" }
+            );
+            let report = servebench::run_serve_bench(&cfg);
+            for m in [&report.naive, &report.served] {
+                println!(
+                    "{:<7} {:>8.1} qps | p50 {} p99 {} p999 {} | \
+                     exact {} batched {} cached {} landmark {}{}",
+                    m.mode,
+                    m.qps,
+                    fmt_ms(m.p50_ms),
+                    fmt_ms(m.p99_ms),
+                    fmt_ms(m.p999_ms),
+                    m.exact,
+                    m.batched,
+                    m.cached,
+                    m.landmark,
+                    match m.wrong_answers {
+                        Some(w) => format!(" | wrong {w}"),
+                        None => String::new(),
+                    }
+                );
+            }
+            println!("qps speedup (served / naive): {:.2}x", report.qps_speedup);
+            let json = report.to_json();
+            if args.json {
+                servebench::validate_report_json(&json)
+                    .map_err(|e| format!("generated JSON failed validation: {e}"))?;
+                let path = args.out.join("BENCH_serve.json");
+                std::fs::write(&path, &json).map_err(|e| e.to_string())?;
+                println!("wrote {}", path.display());
+            }
+            if let Some(baseline_path) = &args.baseline {
+                gate_against_baseline(&json, baseline_path, args.gate)?;
+            }
+            if args.check {
+                let wrong = report.naive.wrong_answers.unwrap_or(0)
+                    + report.served.wrong_answers.unwrap_or(0);
+                if wrong > 0 {
+                    return Err(format!("{wrong} answer(s) disagreed with the sequential oracles"));
                 }
             }
         }

@@ -32,6 +32,7 @@ pub mod plot;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod servebench;
 pub mod stats;
 pub mod supervise;
 pub mod tracefile;

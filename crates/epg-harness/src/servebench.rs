@@ -1,0 +1,641 @@
+//! The serving benchmark behind `epg serve-bench`: a closed-loop load
+//! generator that drives one resident-graph [`epg_serve::ServeService`]
+//! with a skewed point-query stream, twice — once in **naive** mode
+//! (every request recomputes its traversal) and once with the full
+//! pipeline (batching + source cache + landmarks) — and reports the
+//! throughput ratio as `qps_speedup`.
+//!
+//! Both modes see the *identical* request stream (same seed, same
+//! client partitioning), so the ratio isolates amortization: on a
+//! single-core host it is still meaningful, because the win comes from
+//! traversals *not run*, not from threads. Sources are drawn
+//! Zipf-style from the graph's highest-degree vertices — the serving
+//! workload the ROADMAP describes, where a few hub sources dominate.
+//!
+//! Latencies are summarized DNF-aware via [`crate::stats::Percentiles`]:
+//! rejected/deadline-tripped requests censor the tail instead of
+//! silently vanishing from p999. With `check` enabled every answer is
+//! compared bit-for-bit against the sequential oracles in
+//! [`epg_graph::oracle`]; `wrong_answers` must be zero.
+
+use crate::ingestbench::{parse_json, Json};
+use crate::stats::Percentiles;
+use epg_engine_api::{Engine as _, QueryEngine};
+use epg_engine_gap::GapEngine;
+use epg_generator::kronecker::{self, KroneckerConfig};
+use epg_graph::{oracle, Csr};
+use epg_parallel::ThreadPool;
+use epg_serve::{PointQuery, ServeConfig, ServeService};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Schema tag stamped into (and required from) every report.
+pub const SCHEMA: &str = "epg-serve-bench/v1";
+
+/// Knobs for one serving-bench run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeBenchConfig {
+    /// Kronecker scale (2^scale vertices).
+    pub scale: u32,
+    /// Edges per vertex of the generator.
+    pub edge_factor: u32,
+    /// Generate edge weights (enables the SSSP half of the stream).
+    pub weighted: bool,
+    /// Total point queries per mode.
+    pub requests: usize,
+    /// Closed-loop client threads issuing them.
+    pub clients: usize,
+    /// Size of the hot source pool (top-degree vertices).
+    pub source_pool: usize,
+    /// Landmark rows precomputed by the served mode (0 disables).
+    pub landmarks: usize,
+    /// Worker threads in the service's pool.
+    pub threads: usize,
+    /// Stream seed: same seed → same queries, same partitioning.
+    pub seed: u64,
+    /// Verify every answer against the sequential oracles.
+    pub check: bool,
+}
+
+impl ServeBenchConfig {
+    /// CI-sized run: a small graph, enough requests to exercise every
+    /// answer path, seconds of wall clock.
+    pub fn quick() -> ServeBenchConfig {
+        ServeBenchConfig {
+            scale: 8,
+            edge_factor: 8,
+            weighted: true,
+            requests: 120,
+            clients: 4,
+            source_pool: 6,
+            landmarks: 2,
+            threads: 1,
+            seed: 42,
+            check: false,
+        }
+    }
+
+    /// The committed-snapshot run: scale-18 graph, the workload the
+    /// acceptance bar (≥2× QPS from amortization) is measured on.
+    pub fn full() -> ServeBenchConfig {
+        ServeBenchConfig {
+            scale: 18,
+            edge_factor: 16,
+            weighted: true,
+            requests: 240,
+            clients: 6,
+            source_pool: 8,
+            landmarks: 4,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            seed: 42,
+            check: false,
+        }
+    }
+}
+
+/// What one mode (naive or served) did with the stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModeReport {
+    /// `"naive"` or `"served"`.
+    pub mode: String,
+    /// Requests submitted to the service.
+    pub requests: u64,
+    /// Requests answered.
+    pub answered: u64,
+    /// Requests rejected by admission.
+    pub rejected: u64,
+    /// Requests whose budget tripped mid-traversal.
+    pub dnf: u64,
+    /// Requests that failed internally.
+    pub failed: u64,
+    /// Wall-clock seconds for the whole stream.
+    pub wall_s: f64,
+    /// Answered requests per second.
+    pub qps: f64,
+    /// Median latency in milliseconds (DNF-censored).
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile latency in milliseconds (DNF-censored).
+    pub p99_ms: Option<f64>,
+    /// 99.9th-percentile latency in milliseconds (DNF-censored).
+    pub p999_ms: Option<f64>,
+    /// Answers that ran a fresh traversal.
+    pub exact: u64,
+    /// Answers resolved by attaching to an in-flight traversal.
+    pub batched: u64,
+    /// Answers served from the source cache.
+    pub cached: u64,
+    /// Answers pinned exactly by the landmark index.
+    pub landmark: u64,
+    /// Oracle mismatches (`Some` only when `check` ran; must be 0).
+    pub wrong_answers: Option<u64>,
+}
+
+/// The full two-mode report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeBenchReport {
+    /// Hardware threads of the measuring host.
+    pub host_threads: usize,
+    /// The configuration that produced the report.
+    pub config: ServeBenchConfig,
+    /// The recompute-everything reference mode.
+    pub naive: ModeReport,
+    /// The full pipeline (batching + cache + landmarks).
+    pub served: ModeReport,
+    /// `served.qps / naive.qps` on the identical stream.
+    pub qps_speedup: f64,
+}
+
+// ---- deterministic stream generation --------------------------------
+
+/// xorshift64*: tiny, deterministic, good enough to shuffle a workload.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Skewed index into the hot pool: squaring the uniform draw piles the
+/// mass onto the lowest (highest-degree) ranks, Zipf-fashion.
+fn skewed_index(state: &mut u64, pool: usize) -> usize {
+    let u = (next_rand(state) >> 11) as f64 / (1u64 << 53) as f64;
+    ((u * u * pool as f64) as usize).min(pool - 1)
+}
+
+/// The top-degree vertices, the serving workload's hub sources.
+fn hot_sources(g: &Csr, pool: usize) -> Vec<u32> {
+    let mut by_degree: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));
+    by_degree.truncate(pool.max(1));
+    by_degree
+}
+
+fn build_stream(cfg: &ServeBenchConfig, g: &Csr) -> Vec<PointQuery> {
+    let sources = hot_sources(g, cfg.source_pool);
+    let n = g.num_vertices() as u64;
+    let mut state = cfg.seed | 1;
+    (0..cfg.requests)
+        .map(|i| {
+            let source = sources[skewed_index(&mut state, sources.len())];
+            let target = (next_rand(&mut state) % n) as u32;
+            if cfg.weighted && i % 2 == 1 {
+                PointQuery::SsspDist { source, target }
+            } else {
+                PointQuery::BfsDist { source, target }
+            }
+        })
+        .collect()
+}
+
+// ---- oracle table for --check ---------------------------------------
+
+/// Precomputed sequential answers for every source the stream can draw.
+struct OracleTable {
+    bfs: HashMap<u32, Vec<f64>>,
+    sssp: HashMap<u32, Vec<f64>>,
+}
+
+impl OracleTable {
+    fn build(g: &Csr, stream: &[PointQuery]) -> OracleTable {
+        let mut t = OracleTable { bfs: HashMap::new(), sssp: HashMap::new() };
+        for q in stream {
+            match *q {
+                PointQuery::BfsDist { source, .. } => {
+                    t.bfs.entry(source).or_insert_with(|| {
+                        oracle::bfs(g, source)
+                            .level
+                            .iter()
+                            .map(|&l| if l == u32::MAX { f64::INFINITY } else { f64::from(l) })
+                            .collect()
+                    });
+                }
+                PointQuery::SsspDist { source, .. } => {
+                    t.sssp.entry(source).or_insert_with(|| {
+                        oracle::dijkstra(g, source).iter().map(|&d| f64::from(d)).collect()
+                    });
+                }
+                PointQuery::PrRank { .. } => {}
+            }
+        }
+        t
+    }
+
+    fn expected(&self, q: &PointQuery) -> f64 {
+        match *q {
+            PointQuery::BfsDist { source, target } => self.bfs[&source][target as usize],
+            PointQuery::SsspDist { source, target } => self.sssp[&source][target as usize],
+            PointQuery::PrRank { .. } => f64::NAN,
+        }
+    }
+}
+
+// ---- the bench itself -----------------------------------------------
+
+fn run_mode(
+    mode: &str,
+    engine: &Arc<dyn QueryEngine>,
+    pool: &Arc<ThreadPool>,
+    serve_cfg: ServeConfig,
+    stream: &[PointQuery],
+    clients: usize,
+    table: Option<&OracleTable>,
+) -> ModeReport {
+    let svc = ServeService::new(Arc::clone(engine), Arc::clone(pool), serve_cfg);
+    let wrong = AtomicU64::new(0);
+    let start = Instant::now();
+    // Closed-loop clients: client k owns the strided slice k, k+C,
+    // k+2C, ... and issues its next request the moment the previous one
+    // resolves. The partitioning is deterministic, so both modes replay
+    // the same per-client sequences.
+    let per_client: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients.max(1))
+            .map(|k| {
+                let svc = &svc;
+                let wrong = &wrong;
+                s.spawn(move || {
+                    let mut latencies_ms = Vec::new();
+                    let mut i = k;
+                    while i < stream.len() {
+                        let q = &stream[i];
+                        let t0 = Instant::now();
+                        if let Ok(a) = svc.answer(q) {
+                            latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            if let Some(t) = table {
+                                if a.value.to_bits() != t.expected(q).to_bits() {
+                                    wrong.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        i += clients.max(1);
+                    }
+                    latencies_ms
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = svc.stats();
+    let latencies: Vec<f64> = per_client.concat();
+    let censored = (stats.rejected + stats.dnf + stats.failed) as usize;
+    let pct = Percentiles::of(&latencies, censored);
+    ModeReport {
+        mode: mode.to_string(),
+        requests: stats.submitted,
+        answered: stats.answered,
+        rejected: stats.rejected,
+        dnf: stats.dnf,
+        failed: stats.failed,
+        wall_s,
+        qps: if wall_s > 0.0 { stats.answered as f64 / wall_s } else { 0.0 },
+        p50_ms: pct.p50,
+        p99_ms: pct.p99,
+        p999_ms: pct.p999,
+        exact: stats.exact,
+        batched: stats.batched,
+        cached: stats.cached,
+        landmark: stats.landmark,
+        wrong_answers: table.map(|_| wrong.load(Ordering::Relaxed)),
+    }
+}
+
+/// Runs the whole bench: build the graph once, replay the stream in
+/// naive mode and in served mode, report both plus the ratio.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
+    let el = kronecker::generate(
+        &KroneckerConfig {
+            scale: cfg.scale,
+            edge_factor: cfg.edge_factor,
+            weighted: cfg.weighted,
+            ..Default::default()
+        },
+        cfg.seed,
+    )
+    .symmetrized();
+    let g = Csr::from_edge_list(&el);
+    let stream = build_stream(cfg, &g);
+    let table = cfg.check.then(|| OracleTable::build(&g, &stream));
+    let pool = Arc::new(ThreadPool::new(cfg.threads.max(1)));
+    let mut eng = GapEngine::new();
+    eng.load_edge_list(&el);
+    eng.construct(&pool);
+    let engine: Arc<dyn QueryEngine> = Arc::new(eng.into_query());
+    let served_cfg = ServeConfig { landmarks: cfg.landmarks, ..ServeConfig::default() };
+    let naive = run_mode(
+        "naive",
+        &engine,
+        &pool,
+        ServeConfig::naive(),
+        &stream,
+        cfg.clients,
+        table.as_ref(),
+    );
+    let served =
+        run_mode("served", &engine, &pool, served_cfg, &stream, cfg.clients, table.as_ref());
+    let qps_speedup = if naive.qps > 0.0 { served.qps / naive.qps } else { 0.0 };
+    ServeBenchReport {
+        host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        config: cfg.clone(),
+        naive,
+        served,
+        qps_speedup,
+    }
+}
+
+// ---- JSON out + validation ------------------------------------------
+
+fn opt_num(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x}"),
+        None => "null".to_string(),
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(x) => format!("{x}"),
+        None => "null".to_string(),
+    }
+}
+
+impl ModeReport {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\": \"{}\", \"requests\": {}, \"answered\": {}, \"rejected\": {}, \
+             \"dnf\": {}, \"failed\": {}, \"wall_s\": {}, \"qps\": {}, \
+             \"p50_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
+             \"exact\": {}, \"batched\": {}, \"cached\": {}, \"landmark\": {}, \
+             \"wrong_answers\": {}}}",
+            self.mode,
+            self.requests,
+            self.answered,
+            self.rejected,
+            self.dnf,
+            self.failed,
+            self.wall_s,
+            self.qps,
+            opt_num(self.p50_ms),
+            opt_num(self.p99_ms),
+            opt_num(self.p999_ms),
+            self.exact,
+            self.batched,
+            self.cached,
+            self.landmark,
+            opt_u64(self.wrong_answers),
+        )
+    }
+}
+
+impl ServeBenchReport {
+    /// Renders the report. The top-level `"serve"` object is the part
+    /// [`crate::benchgate`] gates on; a committed `BENCH_serve.json` is
+    /// a valid `--baseline` for later runs.
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \
+             \"host\": {{\"hardware_threads\": {}}},\n  \
+             \"config\": {{\"scale\": {}, \"edge_factor\": {}, \"weighted\": {}, \
+             \"requests\": {}, \"clients\": {}, \"source_pool\": {}, \"landmarks\": {}, \
+             \"threads\": {}, \"seed\": {}}},\n  \
+             \"modes\": [\n    {},\n    {}\n  ],\n  \
+             \"serve\": {{\"naive_qps\": {}, \"served_qps\": {}, \"qps_speedup\": {}}}\n}}\n",
+            self.host_threads,
+            c.scale,
+            c.edge_factor,
+            c.weighted,
+            c.requests,
+            c.clients,
+            c.source_pool,
+            c.landmarks,
+            c.threads,
+            c.seed,
+            self.naive.to_json(),
+            self.served.to_json(),
+            self.naive.qps,
+            self.served.qps,
+            self.qps_speedup,
+        )
+    }
+}
+
+/// Structural validation of a rendered report: schema tag, host record,
+/// both modes with their counters, and a `"serve"` summary whose ratio
+/// is consistent with the per-mode QPS numbers.
+pub fn validate_report_json(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    if doc.get("schema").and_then(Json::str) != Some(SCHEMA) {
+        return Err(format!("\"schema\" must be \"{SCHEMA}\""));
+    }
+    doc.get("host")
+        .and_then(|h| h.get("hardware_threads"))
+        .and_then(Json::num)
+        .ok_or("missing \"host.hardware_threads\"")?;
+    let modes = doc.get("modes").and_then(Json::arr).ok_or("\"modes\" must be an array")?;
+    if modes.len() != 2 {
+        return Err(format!("expected 2 modes, found {}", modes.len()));
+    }
+    let mut qps_by_mode = HashMap::new();
+    for (want, m) in ["naive", "served"].iter().zip(modes) {
+        let mode = m.get("mode").and_then(Json::str).ok_or("mode entry missing \"mode\"")?;
+        if mode != *want {
+            return Err(format!("modes must be [naive, served]; found \"{mode}\""));
+        }
+        for key in [
+            "requests", "answered", "rejected", "dnf", "failed", "wall_s", "qps", "exact",
+            "batched", "cached", "landmark",
+        ] {
+            m.get(key)
+                .and_then(Json::num)
+                .ok_or_else(|| format!("mode \"{mode}\": missing \"{key}\""))?;
+        }
+        let buckets: f64 = ["answered", "rejected", "dnf", "failed"]
+            .iter()
+            .map(|k| m.get(k).and_then(Json::num).unwrap_or(0.0))
+            .sum();
+        let submitted = m.get("requests").and_then(Json::num).unwrap_or(0.0);
+        if (buckets - submitted).abs() > 0.5 {
+            return Err(format!(
+                "mode \"{mode}\": outcome buckets sum to {buckets}, not \"requests\" {submitted}"
+            ));
+        }
+        if let Some(w) = m.get("wrong_answers").and_then(Json::num) {
+            if w != 0.0 {
+                return Err(format!("mode \"{mode}\": {w} wrong answers vs the oracle"));
+            }
+        }
+        qps_by_mode.insert(mode.to_string(), m.get("qps").and_then(Json::num).unwrap_or(0.0));
+    }
+    let serve = doc.get("serve").ok_or("missing \"serve\" summary")?;
+    let speedup =
+        serve.get("qps_speedup").and_then(Json::num).ok_or("\"serve\" missing \"qps_speedup\"")?;
+    let naive_qps = qps_by_mode["naive"];
+    if naive_qps > 0.0 {
+        let expect = qps_by_mode["served"] / naive_qps;
+        if (speedup - expect).abs() > 1e-6 * expect.max(1.0) {
+            return Err(format!(
+                "\"qps_speedup\" {speedup} inconsistent with per-mode qps (expected {expect})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_report() -> ServeBenchReport {
+        let mode = |name: &str, qps: f64, exact: u64, cached: u64| ModeReport {
+            mode: name.to_string(),
+            requests: 8,
+            answered: 8,
+            rejected: 0,
+            dnf: 0,
+            failed: 0,
+            wall_s: 2.0,
+            qps,
+            p50_ms: Some(1.5),
+            p99_ms: Some(3.0),
+            p999_ms: None,
+            exact,
+            batched: 0,
+            cached,
+            landmark: 0,
+            wrong_answers: Some(0),
+        };
+        ServeBenchReport {
+            host_threads: 1,
+            config: ServeBenchConfig {
+                scale: 8,
+                edge_factor: 8,
+                weighted: true,
+                requests: 8,
+                clients: 2,
+                source_pool: 2,
+                landmarks: 0,
+                threads: 1,
+                seed: 42,
+                check: true,
+            },
+            naive: mode("naive", 4.0, 8, 0),
+            served: mode("served", 16.0, 2, 6),
+            qps_speedup: 4.0,
+        }
+    }
+
+    /// The golden schema: a byte-for-byte rendering of a fixed report.
+    /// Any field rename or reorder fails here before it breaks a
+    /// committed `BENCH_serve.json` baseline.
+    #[test]
+    fn golden_report_rendering_is_stable() {
+        let golden = r#"{
+  "schema": "epg-serve-bench/v1",
+  "host": {"hardware_threads": 1},
+  "config": {"scale": 8, "edge_factor": 8, "weighted": true, "requests": 8, "clients": 2, "source_pool": 2, "landmarks": 0, "threads": 1, "seed": 42},
+  "modes": [
+    {"mode": "naive", "requests": 8, "answered": 8, "rejected": 0, "dnf": 0, "failed": 0, "wall_s": 2, "qps": 4, "p50_ms": 1.5, "p99_ms": 3, "p999_ms": null, "exact": 8, "batched": 0, "cached": 0, "landmark": 0, "wrong_answers": 0},
+    {"mode": "served", "requests": 8, "answered": 8, "rejected": 0, "dnf": 0, "failed": 0, "wall_s": 2, "qps": 16, "p50_ms": 1.5, "p99_ms": 3, "p999_ms": null, "exact": 2, "batched": 0, "cached": 6, "landmark": 0, "wrong_answers": 0}
+  ],
+  "serve": {"naive_qps": 4, "served_qps": 16, "qps_speedup": 4}
+}
+"#;
+        let json = fixed_report().to_json();
+        assert_eq!(json, golden, "schema drifted — bump SCHEMA if intentional");
+        validate_report_json(&json).expect("fixed report validates");
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        let good = fixed_report().to_json();
+        assert!(validate_report_json(&good).is_ok());
+        let bad_schema = good.replace(SCHEMA, "epg-serve-bench/v0");
+        assert!(validate_report_json(&bad_schema).unwrap_err().contains("schema"));
+        let wrong = good.replace("\"wrong_answers\": 0}", "\"wrong_answers\": 3}");
+        assert!(validate_report_json(&wrong).unwrap_err().contains("wrong answers"));
+        let skewed = good.replace("\"qps_speedup\": 4", "\"qps_speedup\": 9");
+        assert!(validate_report_json(&skewed).unwrap_err().contains("inconsistent"));
+        let dropped =
+            good.replace("\"answered\": 8, \"rejected\": 0", "\"answered\": 5, \"rejected\": 0");
+        assert!(validate_report_json(&dropped).unwrap_err().contains("buckets"));
+    }
+
+    #[test]
+    fn gate_accepts_a_serve_report_as_candidate_and_baseline() {
+        use crate::benchgate::{gate, GateOutcome, ParsedReport, DEFAULT_TOLERANCE};
+        let json = fixed_report().to_json();
+        let r = ParsedReport::from_json(&json).expect("serve schema parses");
+        assert!((r.serve.as_ref().unwrap().qps_speedup - 4.0).abs() < 1e-12);
+        let out = gate(&r, &r, DEFAULT_TOLERANCE);
+        let GateOutcome::Passed { checks, .. } = out else { panic!("self-gate passes: {out:?}") };
+        assert_eq!(checks, 1);
+    }
+
+    #[test]
+    fn the_stream_is_deterministic_and_skewed() {
+        let cfg = ServeBenchConfig { requests: 200, ..ServeBenchConfig::quick() };
+        let el = kronecker::generate(
+            &KroneckerConfig {
+                scale: cfg.scale,
+                edge_factor: cfg.edge_factor,
+                weighted: true,
+                ..Default::default()
+            },
+            cfg.seed,
+        )
+        .symmetrized();
+        let g = Csr::from_edge_list(&el);
+        let a = build_stream(&cfg, &g);
+        let b = build_stream(&cfg, &g);
+        assert_eq!(a, b, "same seed, same stream");
+        // Skew: the hottest source must dominate a uniform share.
+        let sources = hot_sources(&g, cfg.source_pool);
+        let hottest = a
+            .iter()
+            .filter(|q| match **q {
+                PointQuery::BfsDist { source, .. } | PointQuery::SsspDist { source, .. } => {
+                    source == sources[0]
+                }
+                PointQuery::PrRank { .. } => false,
+            })
+            .count();
+        assert!(
+            hottest * cfg.source_pool > a.len(),
+            "hottest source got {hottest}/{} requests across a pool of {}",
+            a.len(),
+            cfg.source_pool
+        );
+    }
+
+    /// A real end-to-end run at toy scale: zero wrong answers in both
+    /// modes and a self-consistent report.
+    #[test]
+    fn tiny_bench_run_is_oracle_clean() {
+        let cfg = ServeBenchConfig {
+            scale: 6,
+            edge_factor: 4,
+            requests: 32,
+            clients: 2,
+            source_pool: 3,
+            landmarks: 1,
+            check: true,
+            ..ServeBenchConfig::quick()
+        };
+        let report = run_serve_bench(&cfg);
+        assert_eq!(report.naive.wrong_answers, Some(0));
+        assert_eq!(report.served.wrong_answers, Some(0));
+        assert_eq!(report.naive.answered, 32);
+        assert_eq!(report.served.answered, 32);
+        assert_eq!(report.naive.exact, 32, "naive mode never amortizes");
+        assert!(
+            report.served.cached + report.served.batched + report.served.landmark > 0,
+            "the served mode amortized something: {:?}",
+            report.served
+        );
+        validate_report_json(&report.to_json()).expect("generated report validates");
+    }
+}

@@ -12,9 +12,10 @@
 //! 2  epg-graph
 //! 3  epg-generator, epg-engine-api
 //! 4  epg-machine, epg-engine-* (the five engines)
-//! 5  epg-harness
-//! 6  epg (facade)
-//! 7  epg-bench
+//! 5  epg-serve
+//! 6  epg-harness
+//! 7  epg (facade)
+//! 8  epg-bench
 //! ```
 //!
 //! Checked twice: against the **declared DAG** (`[dependencies]` and
@@ -52,9 +53,10 @@ pub fn layer_of(name: &str) -> Option<u8> {
         "epg-graph" => 2,
         "epg-generator" | "epg-engine-api" => 3,
         "epg-machine" => 4,
-        "epg-harness" => 5,
-        "epg" => 6,
-        "epg-bench" => 7,
+        "epg-serve" => 5,
+        "epg-harness" => 6,
+        "epg" => 7,
+        "epg-bench" => 8,
         _ => return None,
     })
 }

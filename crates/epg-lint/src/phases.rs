@@ -37,8 +37,9 @@ const IO_TOKENS: &[&str] =
 const TIME_TOKENS: &[&str] = &["Instant::now", "SystemTime"];
 
 /// Crates that own measurement: the harness times runs, the trace crate
-/// stamps telemetry.
-const TIMING_OWNERS: &[&str] = &["epg-harness", "epg-trace"];
+/// stamps telemetry, and the serve layer stamps per-query latency (it is
+/// a timed I/O layer like the harness, not a measured engine).
+const TIMING_OWNERS: &[&str] = &["epg-harness", "epg-trace", "epg-serve"];
 
 /// Runs both rule families over the workspace model.
 pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
@@ -92,7 +93,7 @@ fn check_timing(f: &FileModel, out: &mut Vec<Finding>) {
                 line,
                 rule: RULE_TIMING,
                 message: format!(
-                    "`{tok}` outside epg-harness/epg-trace: the harness owns the clock; engines \
+                    "`{tok}` outside epg-harness/epg-trace/epg-serve: the harness owns the clock; engines \
                      and substrate code must not self-time (designate audited timer modules in \
                      epg-lint.toml)"
                 ),

@@ -92,7 +92,8 @@ pub fn group_iterations(events: &[TraceEvent]) -> Replay {
             | TraceEvent::PhaseEnd { .. }
             | TraceEvent::WorkerSpan { .. }
             | TraceEvent::AllocHwm { .. }
-            | TraceEvent::TrialOutcome { .. } => {}
+            | TraceEvent::TrialOutcome { .. }
+            | TraceEvent::Query { .. } => {}
         }
     }
     replay.finalize = delta;

@@ -49,6 +49,8 @@ struct Inner {
     regions: AtomicU64,
     chunks: AtomicU64,
     data_rmw: AtomicU64,
+    /// Dispatch gate for concurrent clients: see [`ThreadPool::exclusive`].
+    dispatch_gate: Mutex<()>,
     /// Cooperative-cancellation token for the trial currently using this
     /// pool; worksharing loops poll it at chunk boundaries.
     cancel: Mutex<Option<CancelToken>>,
@@ -110,6 +112,7 @@ impl ThreadPool {
             regions: AtomicU64::new(0),
             chunks: AtomicU64::new(0),
             data_rmw: AtomicU64::new(0),
+            dispatch_gate: Mutex::new(()),
             cancel: Mutex::new(None),
             cancel_active: AtomicBool::new(false),
             #[cfg(feature = "trace")]
@@ -170,6 +173,28 @@ impl ThreadPool {
     #[inline]
     pub fn is_cancelled(&self) -> bool {
         self.cancel_token().is_some_and(|t| t.is_cancelled())
+    }
+
+    /// Serialized dispatch entry for concurrent clients.
+    ///
+    /// [`ThreadPool::region`] (and the worksharing loops built on it) is a
+    /// single-dispatcher protocol: exactly one thread may publish a
+    /// generation at a time (the `remaining == 0` debug assertion in
+    /// `region` enforces it). Batch trials satisfy that by construction —
+    /// the harness owns the pool for the duration of a trial. A resident
+    /// query service does not: many serving threads share one
+    /// `&ThreadPool`, and each request wants to dispatch a traversal.
+    /// `exclusive` is their entry point: it grants one caller dispatch
+    /// rights at a time, running `f` with the gate held and releasing it
+    /// on return or unwind.
+    ///
+    /// The gate is **not reentrant** — calling `exclusive` from inside
+    /// `f` deadlocks. Keep exactly one `exclusive` frame per request (the
+    /// reentrant query adapters over the engines take it; layers above
+    /// them must not).
+    pub fn exclusive<R>(&self, f: impl FnOnce(&ThreadPool) -> R) -> R {
+        let _gate = self.inner.dispatch_gate.lock();
+        f(self)
     }
 
     /// Runs `f(tid)` once on every thread (tids `0..nthreads`), returning
@@ -728,6 +753,40 @@ mod tests {
         assert!(ran.load(Ordering::Relaxed) < 1_000_000, "deadline abandoned nothing");
         pool.set_cancel_token(None);
         assert!(!pool.is_cancelled(), "detaching the token clears the pool's view");
+    }
+
+    #[test]
+    fn exclusive_serializes_concurrent_dispatchers() {
+        // Four client threads hammer the same pool through `exclusive`;
+        // the gate admits one dispatcher at a time, so every loop runs to
+        // completion and the total is exact.
+        let pool = ThreadPool::new(2);
+        let sum = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        pool.exclusive(|p| {
+                            p.parallel_for(100, Schedule::Static { chunk: None }, |_| {
+                                sum.fetch_add(1, Ordering::Relaxed);
+                            });
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4 * 50 * 100);
+    }
+
+    #[test]
+    fn exclusive_gate_survives_a_panicking_client() {
+        let pool = ThreadPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.exclusive(|_| panic!("client bail"));
+        }));
+        assert!(r.is_err());
+        // The gate must be free again for the next caller.
+        pool.exclusive(|p| p.parallel_for(10, Schedule::Static { chunk: None }, |_| {}));
     }
 
     #[test]

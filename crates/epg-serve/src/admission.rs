@@ -1,0 +1,113 @@
+//! Bounded admission.
+//!
+//! A resident service under overload must shed load at the door, not
+//! queue it unboundedly: a request that would wait longer than its SLO
+//! is better rejected in microseconds than answered late (the serving
+//! analogue of the harness's DNF discipline — see DESIGN.md §14).
+//! [`Admission`] is a counting gate: at most `max_pending` requests may
+//! hold a [`Permit`] at once; acquisition beyond the bound fails
+//! immediately and the service surfaces it as
+//! [`crate::ServeError::Overloaded`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The admission gate. Permits are RAII: dropping one releases its slot.
+pub struct Admission {
+    max_pending: usize,
+    pending: AtomicUsize,
+}
+
+/// An admitted request's slot, released on drop.
+pub struct Permit<'a> {
+    gate: &'a Admission,
+}
+
+impl Admission {
+    /// Creates a gate admitting at most `max_pending` concurrent
+    /// requests. A bound of zero rejects everything (useful for drain).
+    pub fn new(max_pending: usize) -> Admission {
+        Admission { max_pending, pending: AtomicUsize::new(0) }
+    }
+
+    /// Tries to admit one request; `None` means the bound is full.
+    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+        let mut cur = self.pending.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max_pending {
+                return None;
+            }
+            match self.pending.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit { gate: self }),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Requests currently holding a permit.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// The configured bound.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let prev = self.gate.pending.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev > 0, "permit released twice");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_is_enforced_and_permits_release() {
+        let gate = Admission::new(2);
+        let a = gate.try_acquire().expect("slot 1");
+        let _b = gate.try_acquire().expect("slot 2");
+        assert!(gate.try_acquire().is_none(), "third request must bounce");
+        assert_eq!(gate.pending(), 2);
+        drop(a);
+        assert_eq!(gate.pending(), 1);
+        assert!(gate.try_acquire().is_some(), "released slot is reusable");
+    }
+
+    #[test]
+    fn zero_bound_rejects_everything() {
+        let gate = Admission::new(0);
+        assert!(gate.try_acquire().is_none());
+        assert_eq!(gate.max_pending(), 0);
+    }
+
+    #[test]
+    fn concurrent_acquisition_never_exceeds_the_bound() {
+        let gate = Admission::new(4);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let gate = &gate;
+                let peak = &peak;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(p) = gate.try_acquire() {
+                            peak.fetch_max(gate.pending(), Ordering::Relaxed);
+                            drop(p);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::Relaxed) <= 4, "bound breached");
+        assert_eq!(gate.pending(), 0, "all permits returned");
+    }
+}

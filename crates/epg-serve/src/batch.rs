@@ -1,0 +1,232 @@
+//! Same-source query batching.
+//!
+//! The GAP paper's observation, applied across concurrent clients: one
+//! frontier expansion from source `s` answers *every* query whose
+//! source is `s`. While a traversal for `(algo, s)` is in flight, any
+//! request landing on the same key attaches to that flight instead of
+//! dispatching its own; when the leader publishes the result array, all
+//! attached followers resolve from the one traversal.
+//!
+//! The protocol is leader/follower: [`Batcher::join_or_lead`] returns
+//! [`Role::Leader`] to exactly one caller per key (who must compute and
+//! [`LeadGuard::publish`]) and [`Role::Follower`] to everyone else (who
+//! [`Flight::wait`]s). The leader's guard publishes a failure on drop
+//! if the leader unwinds, so followers can never deadlock on a dead
+//! flight. A published flight is removed from the in-flight map before
+//! followers wake — later requests for the same source start a fresh
+//! flight (or, in the full service pipeline, hit the source cache).
+
+use crate::cache::{SourceArray, SourceKey};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How a flight ended without a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightError {
+    /// The leader's traversal was abandoned by its cancellation budget.
+    Cancelled,
+    /// The leader unwound without publishing (panic in the kernel).
+    Failed,
+}
+
+/// What a flight resolves to.
+pub type FlightResult = Result<Arc<SourceArray>, FlightError>;
+
+/// One in-flight traversal that many requests may wait on.
+pub struct Flight {
+    slot: Mutex<Option<FlightResult>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight { slot: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    /// Blocks until the leader publishes, then returns the result.
+    pub fn wait(&self) -> FlightResult {
+        let mut slot = self.slot.lock();
+        while slot.is_none() {
+            self.cv.wait(&mut slot);
+        }
+        slot.clone().expect("loop exits only when published")
+    }
+
+    fn publish(&self, result: FlightResult) {
+        let mut slot = self.slot.lock();
+        *slot = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// The caller's role for one key, decided atomically per request.
+pub enum Role<'b> {
+    /// This caller starts the traversal and must publish through the
+    /// guard (dropping it unpublished counts as [`FlightError::Failed`]).
+    Leader(LeadGuard<'b>),
+    /// A traversal for this key is already in flight; wait on it.
+    Follower(Arc<Flight>),
+}
+
+/// Publication obligation held by a flight's leader.
+pub struct LeadGuard<'b> {
+    batcher: &'b Batcher,
+    key: SourceKey,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl LeadGuard<'_> {
+    /// Publishes the flight's result, waking every follower, and retires
+    /// the flight so later requests start fresh.
+    pub fn publish(mut self, result: FlightResult) {
+        self.publish_inner(result);
+    }
+
+    fn publish_inner(&mut self, result: FlightResult) {
+        debug_assert!(!self.published, "a flight publishes exactly once");
+        self.published = true;
+        // Retire the flight *before* waking followers: a request that
+        // arrives after the wake must not attach to a finished flight.
+        self.batcher.inner.lock().map.remove(&self.key);
+        self.flight.publish(result);
+    }
+}
+
+impl Drop for LeadGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.publish_inner(Err(FlightError::Failed));
+        }
+    }
+}
+
+/// Consistent snapshot of the batching counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Flights started (requests that became leaders).
+    pub flights: u64,
+    /// Requests that attached to an existing flight. Every
+    /// `join_or_lead` call lands in exactly one of the two buckets.
+    pub joins: u64,
+}
+
+struct Flights {
+    map: HashMap<SourceKey, Arc<Flight>>,
+    flights: u64,
+    joins: u64,
+}
+
+/// The in-flight traversal registry.
+pub struct Batcher {
+    inner: Mutex<Flights>,
+}
+
+impl Default for Batcher {
+    fn default() -> Self {
+        Batcher::new()
+    }
+}
+
+impl Batcher {
+    /// Creates an empty registry.
+    pub fn new() -> Batcher {
+        Batcher { inner: Mutex::new(Flights { map: HashMap::new(), flights: 0, joins: 0 }) }
+    }
+
+    /// Atomically either starts a flight for `key` (returning the
+    /// leader's publication guard) or attaches to the one in flight.
+    pub fn join_or_lead(&self, key: SourceKey) -> Role<'_> {
+        let mut inner = self.inner.lock();
+        if let Some(flight) = inner.map.get(&key) {
+            let flight = Arc::clone(flight);
+            inner.joins += 1;
+            return Role::Follower(flight);
+        }
+        inner.flights += 1;
+        let flight = Arc::new(Flight::new());
+        inner.map.insert(key, Arc::clone(&flight));
+        Role::Leader(LeadGuard { batcher: self, key, flight, published: false })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BatchStats {
+        let inner = self.inner.lock();
+        BatchStats { flights: inner.flights, joins: inner.joins }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epg_engine_api::Algorithm;
+
+    fn key(source: u32) -> SourceKey {
+        SourceKey { algo: Algorithm::Bfs, source }
+    }
+
+    #[test]
+    fn second_caller_attaches_to_the_flight() {
+        let b = Batcher::new();
+        let Role::Leader(lead) = b.join_or_lead(key(3)) else { panic!("first caller leads") };
+        let Role::Follower(f) = b.join_or_lead(key(3)) else { panic!("second caller follows") };
+        lead.publish(Ok(Arc::new(SourceArray::Levels(vec![0, 1]))));
+        let got = f.wait().expect("published ok");
+        assert_eq!(*got, SourceArray::Levels(vec![0, 1]));
+        assert_eq!(b.stats(), BatchStats { flights: 1, joins: 1 });
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let b = Batcher::new();
+        assert!(matches!(b.join_or_lead(key(1)), Role::Leader(_)));
+        assert!(matches!(b.join_or_lead(key(2)), Role::Leader(_)));
+        assert_eq!(b.stats(), BatchStats { flights: 2, joins: 0 });
+    }
+
+    #[test]
+    fn published_flight_retires_before_followers_wake() {
+        let b = Batcher::new();
+        let Role::Leader(lead) = b.join_or_lead(key(7)) else { panic!() };
+        lead.publish(Ok(Arc::new(SourceArray::Levels(vec![0]))));
+        // After publication the key is free again: a new request leads.
+        assert!(matches!(b.join_or_lead(key(7)), Role::Leader(_)));
+    }
+
+    #[test]
+    fn dropped_leader_fails_followers_instead_of_hanging() {
+        let b = Batcher::new();
+        let Role::Leader(lead) = b.join_or_lead(key(4)) else { panic!() };
+        let Role::Follower(f) = b.join_or_lead(key(4)) else { panic!() };
+        drop(lead); // leader unwound without publishing
+        assert_eq!(f.wait(), Err(FlightError::Failed));
+        // And the key is free for a retry.
+        assert!(matches!(b.join_or_lead(key(4)), Role::Leader(_)));
+    }
+
+    #[test]
+    fn many_followers_all_resolve_from_one_flight() {
+        let b = Batcher::new();
+        let Role::Leader(lead) = b.join_or_lead(key(9)) else { panic!() };
+        let followers: Vec<Arc<Flight>> = (0..8)
+            .map(|_| {
+                let Role::Follower(f) = b.join_or_lead(key(9)) else { panic!("must follow") };
+                f
+            })
+            .collect();
+        let payload = Arc::new(SourceArray::Dists(vec![0.0, 2.5]));
+        std::thread::scope(|s| {
+            for f in &followers {
+                let payload = &payload;
+                s.spawn(move || {
+                    let got = f.wait().expect("ok");
+                    assert!(Arc::ptr_eq(&got, payload), "followers share the leader's bytes");
+                });
+            }
+            // Publish from the scope so waiters are plausibly parked.
+            lead.publish(Ok(Arc::clone(&payload)));
+        });
+        assert_eq!(b.stats(), BatchStats { flights: 1, joins: 8 });
+    }
+}

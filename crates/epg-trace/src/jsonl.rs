@@ -115,6 +115,13 @@ pub fn render_event(ev: &TraceEvent) -> String {
             field_str(&mut out, "outcome", outcome);
             field_u64(&mut out, "attempts", *attempts as u64);
         }
+        TraceEvent::Query { algo, path, latency_ns, ok } => {
+            push_json_string(&mut out, "query");
+            field_str(&mut out, "algo", algo);
+            field_str(&mut out, "path", path);
+            field_u64(&mut out, "latency_ns", *latency_ns);
+            field_bool(&mut out, "ok", *ok);
+        }
     }
     out.push('}');
     out
@@ -349,6 +356,12 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
             outcome: get_str(&fields, "outcome")?.to_string(),
             attempts: u32::try_from(get_u64(&fields, "attempts")?).ok()?,
         }),
+        "query" => Some(TraceEvent::Query {
+            algo: get_str(&fields, "algo")?.to_string(),
+            path: get_str(&fields, "path")?.to_string(),
+            latency_ns: get_u64(&fields, "latency_ns")?,
+            ok: get_bool(&fields, "ok")?,
+        }),
         _ => None,
     }
 }
@@ -399,6 +412,12 @@ mod tests {
             TraceEvent::WorkerSpan { region: 42, worker: 0, busy_ns: 12345, idle_ns: 678 },
             TraceEvent::AllocHwm { label: "pr.next \"ranks\"".into(), bytes: u64::MAX },
             TraceEvent::TrialOutcome { outcome: "timeout".into(), attempts: 2 },
+            TraceEvent::Query {
+                algo: "SSSP".into(),
+                path: "batched".into(),
+                latency_ns: 48_000,
+                ok: true,
+            },
         ]
     }
 
@@ -433,7 +452,7 @@ mod tests {
         let text = render_jsonl(&all_kinds());
         let cut = text.len() - 17; // mid final line
         let parsed = parse_jsonl(&text[..cut]);
-        assert_eq!(parsed.events, all_kinds()[..7].to_vec());
+        assert_eq!(parsed.events, all_kinds()[..8].to_vec());
         assert_eq!(parsed.skipped, 1);
     }
 

@@ -151,6 +151,22 @@ pub enum TraceEvent {
         /// after transient panics increment this).
         attempts: u32,
     },
+    /// One point query answered (or rejected) by the serving layer —
+    /// the per-request analogue of `TrialOutcome`, stamped by
+    /// `epg-serve` with the answer path taken through its pipeline.
+    Query {
+        /// Algorithm abbreviation (`"BFS"`, `"SSSP"`, `"PR"`).
+        algo: String,
+        /// The answer path (`"exact"`, `"batched"`, `"cached"`,
+        /// `"landmark"`) or the rejection label (`"overloaded"`,
+        /// `"dnf"`, ...).
+        path: String,
+        /// Wall-clock latency of the request, admission to answer.
+        latency_ns: u64,
+        /// Whether the request produced an answer (false for
+        /// rejections, deadline trips, and failures).
+        ok: bool,
+    },
 }
 
 /// Sink for [`TraceEvent`]s. `&self` receivers plus `Send + Sync` let

@@ -60,6 +60,9 @@ fn event() -> BoxedStrategy<TraceEvent> {
         (label(), 0u64..=u64::MAX).prop_map(|(label, bytes)| TraceEvent::AllocHwm { label, bytes }),
         (label(), 0u32..=u32::MAX)
             .prop_map(|(outcome, attempts)| TraceEvent::TrialOutcome { outcome, attempts }),
+        (label(), label(), 0u64..=u64::MAX, prop_oneof![Just(true), Just(false)]).prop_map(
+            |(algo, path, latency_ns, ok)| TraceEvent::Query { algo, path, latency_ns, ok }
+        ),
     ]
     .boxed()
 }

@@ -2,8 +2,9 @@
 //!
 //! One dependency that re-exports the whole framework: the graph substrate,
 //! the OpenMP-like runtime, the generators, the five engines, the machine
-//! and power models, and the harness. See the repository README for a
-//! guided tour; `examples/quickstart.rs` is the five-minute version.
+//! and power models, the harness, and the resident-graph serving layer.
+//! See the repository README for a guided tour; `examples/quickstart.rs`
+//! is the five-minute version.
 //!
 //! ```
 //! use epg::prelude::*;
@@ -32,6 +33,7 @@ pub use epg_graph as graph;
 pub use epg_harness as harness;
 pub use epg_machine as machine;
 pub use epg_parallel as parallel;
+pub use epg_serve as serve;
 pub use epg_trace as trace;
 
 /// The names most programs need.
@@ -48,6 +50,7 @@ pub mod prelude {
     pub use epg_harness::stats::Summary;
     pub use epg_machine::{MachineModel, MachineSpec};
     pub use epg_parallel::{Schedule, ThreadPool};
+    pub use epg_serve::{PointQuery, ServeConfig, ServeService};
 }
 
 #[cfg(test)]
@@ -60,5 +63,6 @@ mod tests {
         let _ = EngineKind::Gap.name();
         let _ = SsspKernel::ALL;
         let _ = MachineModel::paper_machine();
+        let _ = ServeConfig::naive();
     }
 }
