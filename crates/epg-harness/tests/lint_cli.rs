@@ -36,7 +36,15 @@ fn findings_exit_1_with_report_on_stdout() {
     let out = epg(&["lint", "--root", root.to_str().unwrap()]);
     assert_eq!(exit_code(&out), 1);
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for rule in ["layering", "shared-mutable-capture", "cancellation-coverage"] {
+    for rule in [
+        "layering",
+        "shared-mutable-capture",
+        "cancellation-coverage",
+        "lock-order-cycle",
+        "blocking-while-locked",
+        "condvar-wait-loop",
+        "guard-across-span",
+    ] {
         assert!(stdout.contains(rule), "missing [{rule}] in:\n{stdout}");
     }
 }
@@ -79,6 +87,16 @@ fn explain_prints_the_catalog_entry() {
     assert_eq!(exit_code(&out), 0);
     let stdout = String::from_utf8_lossy(&out.stdout);
     for section in ["WHY", "EXAMPLE VIOLATION", "FIX", "DisjointWriter"] {
+        assert!(stdout.contains(section), "missing {section} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn explain_covers_the_locking_family() {
+    let out = epg(&["lint", "--explain", "lock-order-cycle"]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for section in ["WHY", "EXAMPLE VIOLATION", "FIX", "acquisition order"] {
         assert!(stdout.contains(section), "missing {section} in:\n{stdout}");
     }
 }

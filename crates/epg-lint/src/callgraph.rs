@@ -1,0 +1,602 @@
+//! Intra-crate call-graph construction, and the transitive upgrade of the
+//! `phase-purity` / `timing-discipline` / `panic-discipline` /
+//! `hot-loop-alloc` families through it.
+//!
+//! The graph is built on the PR 5 token-level item model — no `syn`, no
+//! type inference — so resolution is deliberately conservative and
+//! documented (DESIGN.md §15):
+//!
+//! * **Qualified calls** (`Type::name(…)`, `Self::name(…)`) resolve to
+//!   `fn name` items inside `impl Type` blocks of the same crate — the
+//!   precise case, used for constructors and associated fns.
+//! * **Free calls** (`name(…)`, `mod::name(…)`) resolve by bare name to
+//!   every same-named `fn` in the crate.
+//! * **Method calls** (`.name(…)`) fan out to every same-named `fn` in the
+//!   crate (all impls — this is how trait calls reach every implementor),
+//!   except names on the [`AMBIENT_METHODS`] denylist: collection/option/
+//!   primitive vocabulary that would conflate `map.insert` with a crate's
+//!   own `insert` and flood the graph with false edges.
+//! * Calls are attributed to the **innermost** enclosing `fn` span, which
+//!   attaches closure bodies to their defining fn. Cross-crate edges are
+//!   not modeled: each crate's discipline is checked against its own
+//!   helpers, and cross-crate blocking concerns are covered by the direct
+//!   token rules.
+//!
+//! Soundness: the graph over-approximates call targets (name fan-out) and
+//! under-approximates reachability only through closure *values* invoked
+//! via parameters (`f()` on a generic parameter resolves to nothing) and
+//! cross-crate calls. Both gaps are deliberate: the first has no
+//! token-level answer, the second keeps ownership of findings in the
+//! crate that must fix them.
+
+use crate::arch::is_engine_crate;
+use crate::flow::{hot_spans, ALLOC_TOKENS, RULE_ALLOC};
+use crate::model::{CallKind, CrateModel, FileModel, Workspace};
+use crate::panics::{PANIC_TOKENS, RULE_PANIC};
+use crate::phases::{IO_TOKENS, RULE_PHASE, RULE_TIMING, TIME_TOKENS};
+use crate::rules::Finding;
+
+/// Method names too ambient to resolve by bare name: std collection,
+/// option/result, iterator, atomics, locks, and formatting vocabulary.
+/// A crate method that shadows one of these is invisible to the graph —
+/// the price of not flooding it with `HashMap::insert`-shaped edges.
+const AMBIENT_METHODS: &[&str] = &[
+    "insert",
+    "get",
+    "get_mut",
+    "remove",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "clone",
+    "cloned",
+    "copied",
+    "contains",
+    "contains_key",
+    "extend",
+    "append",
+    "iter",
+    "into_iter",
+    "iter_mut",
+    "next",
+    "map",
+    "and_then",
+    "then",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "expect",
+    "ok",
+    "err",
+    "is_some",
+    "is_none",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_slice",
+    "as_bytes",
+    "to_vec",
+    "to_string",
+    "into",
+    "from",
+    "collect",
+    "filter",
+    "fold",
+    "flat_map",
+    "sum",
+    "min",
+    "max",
+    "first",
+    "last",
+    "take",
+    "drain",
+    "clear",
+    "sort",
+    "sort_unstable",
+    "split",
+    "join",
+    "find",
+    "position",
+    "retain",
+    "rev",
+    "enumerate",
+    "zip",
+    "chain",
+    "count",
+    "any",
+    "all",
+    "lock",
+    "read",
+    "write",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "compare_exchange",
+    "drop",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "default",
+    "elapsed",
+    "as_nanos",
+    "as_micros",
+    "as_millis",
+    "as_secs",
+    "abs",
+    "sqrt",
+    "notify_all",
+    "notify_one",
+    "starts_with",
+    "ends_with",
+    "trim",
+    "parse",
+    "with_capacity",
+    "resize",
+    "fill",
+    "copy_from_slice",
+    "saturating_sub",
+    "saturating_add",
+    "min_by_key",
+    "max_by_key",
+];
+
+/// One `fn` item as a call-graph node.
+#[derive(Debug)]
+pub struct CgNode {
+    /// Index of the owning file in `CrateModel::files`.
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// First line of the span.
+    pub start: usize,
+    /// Last line of the span.
+    pub end: usize,
+}
+
+/// The intra-crate call graph: one node per `fn` item, edges labeled with
+/// the 1-based line of the call site in the caller's file.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Nodes, in (file, declaration) order.
+    pub nodes: Vec<CgNode>,
+    /// Outgoing edges per node: `(callee node, call line)`.
+    pub edges: Vec<Vec<(usize, usize)>>,
+}
+
+impl CallGraph {
+    /// Builds the graph for one crate.
+    pub fn build(c: &CrateModel) -> CallGraph {
+        let mut nodes = Vec::new();
+        for (fi, f) in c.files.iter().enumerate() {
+            for s in &f.fns {
+                nodes.push(CgNode { file: fi, name: s.name.clone(), start: s.start, end: s.end });
+            }
+        }
+        let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes.len()];
+        let g = CallGraph { nodes, edges: Vec::new() };
+        for (fi, f) in c.files.iter().enumerate() {
+            for call in &f.calls {
+                let Some(caller) = g.node_at(fi, call.line) else { continue };
+                for target in g.resolve(c, fi, call.line, &call.name, &call.kind) {
+                    if target == caller {
+                        continue; // direct recursion adds no reachability
+                    }
+                    if !edges[caller].contains(&(target, call.line)) {
+                        edges[caller].push((target, call.line));
+                    }
+                }
+            }
+        }
+        CallGraph { nodes: g.nodes, edges }
+    }
+
+    /// The innermost `fn` node containing `line` of file `fi`.
+    pub fn node_at(&self, fi: usize, line: usize) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.file == fi && n.start <= line && line <= n.end)
+            .min_by_key(|(_, n)| n.end - n.start)
+            .map(|(i, _)| i)
+    }
+
+    /// Call targets of one call site, per the header's resolution rules.
+    fn resolve(
+        &self,
+        c: &CrateModel,
+        fi: usize,
+        line: usize,
+        name: &str,
+        kind: &CallKind,
+    ) -> Vec<usize> {
+        match kind {
+            CallKind::Qualified(q) => {
+                let ty = if q == "Self" {
+                    match enclosing_impl(&c.files[fi], line) {
+                        Some(t) => t.to_string(),
+                        None => return Vec::new(),
+                    }
+                } else {
+                    q.clone()
+                };
+                self.nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| {
+                        n.name == name
+                            && c.files[n.file]
+                                .impls
+                                .iter()
+                                .any(|i| i.name == ty && i.start <= n.start && n.end <= i.end)
+                    })
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+            CallKind::Free | CallKind::Method => {
+                if name.len() < 3 || AMBIENT_METHODS.contains(&name) {
+                    return Vec::new();
+                }
+                self.nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| n.name == name)
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+        }
+    }
+
+    /// BFS over call edges. Returns, for every reached node, its parent in
+    /// the BFS tree (a start node is its own parent). Unreached nodes are
+    /// `None`.
+    pub fn bfs_parents(&self, starts: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue: std::collections::VecDeque<usize> = Default::default();
+        for &s in starts {
+            if parent[s].is_none() {
+                parent[s] = Some(s);
+                queue.push_back(s);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &self.edges[u] {
+                if parent[v].is_none() {
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain from a BFS start down to `node`, as fn names joined
+    /// with ` → ` (the start node's name first).
+    pub fn chain_names(&self, parents: &[Option<usize>], node: usize) -> String {
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(p) = parents[cur] {
+            if p == cur {
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path.iter().map(|&i| self.nodes[i].name.as_str()).collect::<Vec<_>>().join(" → ")
+    }
+}
+
+/// Name of the innermost `impl` block containing `line`, if any.
+pub(crate) fn enclosing_impl(f: &FileModel, line: usize) -> Option<&str> {
+    f.impls
+        .iter()
+        .filter(|i| i.start <= line && line <= i.end)
+        .min_by_key(|i| i.end - i.start)
+        .map(|i| i.name.as_str())
+}
+
+/// First cycle in a digraph of `n` nodes, as the node sequence of the
+/// cycle (each node once; the edge from the last back to the first closes
+/// it), rotated to start at its smallest node. `None` when acyclic.
+/// Deterministic: DFS in ascending node/edge order.
+pub fn find_cycle(n: usize, edges: &[(usize, usize)]) -> Option<Vec<usize>> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        if u < n && v < n {
+            adj[u].push(v);
+        }
+    }
+    for a in &mut adj {
+        a.sort_unstable();
+        a.dedup();
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; n];
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (node, next edge index)
+    for root in 0..n {
+        if color[root] != 0 {
+            continue;
+        }
+        color[root] = 1;
+        stack.push((root, 0));
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            if *next >= adj[u].len() {
+                color[u] = 2;
+                stack.pop();
+                continue;
+            }
+            let v = adj[u][*next];
+            *next += 1;
+            match color[v] {
+                0 => {
+                    color[v] = 1;
+                    stack.push((v, 0));
+                }
+                1 => {
+                    // Back edge u -> v: the cycle is v..=u on the stack.
+                    let from = stack.iter().position(|&(w, _)| w == v).unwrap();
+                    let mut cycle: Vec<usize> = stack[from..].iter().map(|&(w, _)| w).collect();
+                    let min_at =
+                        cycle.iter().enumerate().min_by_key(|&(_, &w)| w).map(|(i, _)| i).unwrap();
+                    cycle.rotate_left(min_at);
+                    return Some(cycle);
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// One transitive rule family: the rule id it extends, the tokens that
+/// offend, and a predicate for token lines the *line-local* rule already
+/// reports (suppressed here so one defect yields one finding per site).
+struct Family {
+    rule: &'static str,
+    tokens: &'static [&'static str],
+    /// Why the reachable token is a problem, appended to the finding.
+    note: &'static str,
+    /// Whether a token at `line` of `f` is already covered line-locally.
+    covered: fn(&FileModel, usize) -> bool,
+}
+
+const FAMILIES: &[Family] = &[
+    Family {
+        rule: RULE_PHASE,
+        tokens: IO_TOKENS,
+        note: "the timed algorithm phase re-enters the file-read phase through the call chain; \
+               load inputs before the timed region",
+        // Line-local phase-purity reports I/O outside `load_file`; the
+        // transitive hole is precisely I/O *inside* it, reached from a
+        // timed span.
+        covered: |f, line| !f.in_fn_named(line, "load_file"),
+    },
+    Family {
+        rule: RULE_TIMING,
+        tokens: TIME_TOKENS,
+        // Clock reads in engine code are banned outright, so the token
+        // itself is always reported where it sits; the transitive finding
+        // adds the timed span that makes it a measurement bug.
+        note: "the helper reads the clock under a measured span; the harness owns the clock",
+        covered: |_, _| false,
+    },
+    Family {
+        rule: RULE_PANIC,
+        tokens: PANIC_TOKENS,
+        note: "a panic below a timed span aborts the trial exactly like an inline one — surface \
+               the failure through the supervised TrialOutcome path",
+        covered: |f, line| f.in_loop_or_worker(line),
+    },
+    Family {
+        rule: RULE_ALLOC,
+        tokens: ALLOC_TOKENS,
+        note: "the helper allocates inside the measured region; hoist the buffer out or record a \
+               reasoned epg-lint.toml entry",
+        covered: |f, line| hot_spans(f).iter().any(|&(s, e)| s <= line && line <= e),
+    },
+];
+
+/// Runs the transitive upgrades over every engine crate: a call site
+/// inside a timed span (engine iteration loop or worker closure) whose
+/// callee — at any call depth within the crate — contains a family token
+/// is reported **at the call site**, with the call chain and the token's
+/// location in the message.
+pub fn check_transitive(ws: &Workspace, out: &mut Vec<Finding>) {
+    for c in &ws.crates {
+        if !is_engine_crate(&c.name) {
+            continue;
+        }
+        let g = CallGraph::build(c);
+        for (fi, f) in c.files.iter().enumerate() {
+            if f.test_role {
+                continue;
+            }
+            let hot = hot_spans(f);
+            let mut seen: Vec<(usize, &str)> = Vec::new(); // (line, rule)
+            for call in &f.calls {
+                if f.in_test(call.line) {
+                    continue;
+                }
+                if !hot.iter().any(|&(s, e)| s <= call.line && call.line <= e) {
+                    continue;
+                }
+                let Some(caller) = g.node_at(fi, call.line) else { continue };
+                let starts: Vec<usize> = g.edges[caller]
+                    .iter()
+                    .filter(|&&(_, l)| l == call.line)
+                    .map(|&(v, _)| v)
+                    .collect();
+                if starts.is_empty() {
+                    continue;
+                }
+                let parents = g.bfs_parents(&starts);
+                for fam in FAMILIES {
+                    if seen.contains(&(call.line, fam.rule)) {
+                        continue;
+                    }
+                    if let Some(find) = first_hit(c, &g, &parents, caller, fam, f, call.line) {
+                        seen.push((call.line, fam.rule));
+                        out.push(find);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// First reachable family token under the BFS tree, as a finding anchored
+/// at the call site, or `None`.
+fn first_hit(
+    c: &CrateModel,
+    g: &CallGraph,
+    parents: &[Option<usize>],
+    caller: usize,
+    fam: &Family,
+    f: &FileModel,
+    call_line: usize,
+) -> Option<Finding> {
+    for (ni, node) in g.nodes.iter().enumerate() {
+        if parents[ni].is_none() || ni == caller {
+            continue;
+        }
+        let nf = &c.files[node.file];
+        if nf.test_role {
+            continue;
+        }
+        for tok in fam.tokens {
+            for line in nf.token_lines(tok) {
+                if line < node.start || line > node.end || nf.in_test(line) {
+                    continue;
+                }
+                if (fam.covered)(nf, line) {
+                    continue;
+                }
+                return Some(Finding {
+                    file: f.path.clone(),
+                    line: call_line,
+                    rule: fam.rule,
+                    message: format!(
+                        "`{tok}` is reachable from this timed span via `{}` ({}:{line}): {}",
+                        g.chain_names(parents, ni),
+                        nf.path,
+                        fam.note
+                    ),
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+    use crate::scan::scan;
+
+    fn krate(name: &str, files: &[(&str, &str)]) -> CrateModel {
+        CrateModel {
+            name: name.to_string(),
+            dir: format!("crates/{name}"),
+            manifest_path: format!("crates/{name}/Cargo.toml"),
+            manifest_lines: Vec::new(),
+            deps: Vec::new(),
+            dev_deps: Vec::new(),
+            files: files
+                .iter()
+                .map(|(p, src)| {
+                    FileModel::build(format!("crates/{name}/src/{p}"), scan(src), false)
+                })
+                .collect(),
+        }
+    }
+
+    fn run(c: CrateModel) -> Vec<Finding> {
+        let ws = Workspace { crates: vec![c] };
+        let mut out = Vec::new();
+        check_transitive(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn qualified_calls_resolve_within_the_named_impl_only() {
+        let src = "struct A;\nstruct B;\nimpl A {\n    fn new() -> A {\n        A\n    }\n}\nimpl B {\n    fn new() -> B {\n        B\n    }\n}\nfn use_a() {\n    let _ = A::new();\n}\n";
+        let c = krate("epg-serve", &[("x.rs", src)]);
+        let g = CallGraph::build(&c);
+        let use_a = g.nodes.iter().position(|n| n.name == "use_a").unwrap();
+        let a_new = g.nodes.iter().position(|n| n.name == "new" && n.start == 4).unwrap();
+        assert_eq!(g.edges[use_a], vec![(a_new, 14)]);
+    }
+
+    #[test]
+    fn ambient_method_names_resolve_to_nothing() {
+        let src = "struct C;\nimpl C {\n    fn insert(&self) {}\n}\nfn caller(m: &mut std::collections::HashMap<u32, u32>) {\n    m.insert(1, 2);\n}\n";
+        let c = krate("epg-serve", &[("x.rs", src)]);
+        let g = CallGraph::build(&c);
+        let caller = g.nodes.iter().position(|n| n.name == "caller").unwrap();
+        assert!(g.edges[caller].is_empty(), "{:?}", g.edges[caller]);
+    }
+
+    #[test]
+    fn closure_calls_attach_to_the_defining_fn() {
+        let src = "fn helper() {}\nfn outer() {\n    let f = |x: u32| {\n        helper();\n        x\n    };\n    f(1);\n}\n";
+        let c = krate("epg-serve", &[("x.rs", src)]);
+        let g = CallGraph::build(&c);
+        let outer = g.nodes.iter().position(|n| n.name == "outer").unwrap();
+        let helper = g.nodes.iter().position(|n| n.name == "helper").unwrap();
+        assert_eq!(g.edges[outer], vec![(helper, 4)]);
+    }
+
+    #[test]
+    fn transitive_panic_reaches_through_two_helpers() {
+        let a = "pub fn kernel(pool: &ThreadPool, rec: &mut Recorder) {\n    let mut n = 2;\n    while n > 0 {\n        if pool.is_cancelled() {\n            break;\n        }\n        step_one();\n        n -= 1;\n        rec.iteration(n);\n    }\n}\n";
+        let b =
+            "pub fn step_one() {\n    step_two();\n}\nfn step_two() {\n    opt().unwrap();\n}\n";
+        let f = run(krate("epg-engine-gap", &[("a.rs", a), ("b.rs", b)]));
+        let hit = f.iter().find(|x| x.rule == RULE_PANIC).expect("transitive panic finding");
+        assert_eq!((hit.file.as_str(), hit.line), ("crates/epg-engine-gap/src/a.rs", 7));
+        assert!(hit.message.contains("step_one → step_two"), "{}", hit.message);
+        assert!(hit.message.contains("b.rs:5"), "{}", hit.message);
+    }
+
+    #[test]
+    fn lexically_covered_tokens_are_not_doubled() {
+        // The helper's unwrap sits in its own loop, so the line-local rule
+        // already reports it — the transitive pass must stay silent.
+        let a = "pub fn kernel(rec: &mut Recorder) {\n    loop {\n        helper_lp();\n        rec.iteration(0);\n    }\n}\nfn helper_lp() {\n    for x in [1] {\n        x_opt(x).unwrap();\n    }\n}\n";
+        let f = run(krate("epg-engine-gap", &[("a.rs", a)]));
+        assert!(f.iter().all(|x| x.rule != RULE_PANIC), "{f:?}");
+    }
+
+    #[test]
+    fn io_inside_load_file_reached_from_a_loop_is_a_phase_hole() {
+        let a = "pub fn kernel(rec: &mut Recorder) {\n    loop {\n        let _ = load_file(\"x\");\n        rec.iteration(0);\n    }\n}\npub fn load_file(p: &str) -> String {\n    std::fs::read_to_string(p).unwrap_or_default()\n}\n";
+        let f = run(krate("epg-engine-gap", &[("a.rs", a)]));
+        let hit = f.iter().find(|x| x.rule == RULE_PHASE).expect("transitive phase finding");
+        assert_eq!(hit.line, 3);
+        assert!(hit.message.contains("load_file"), "{}", hit.message);
+    }
+
+    #[test]
+    fn non_engine_crates_are_out_of_scope() {
+        let a = "pub fn kernel(rec: &mut Recorder) {\n    loop {\n        helper_hx();\n        rec.iteration(0);\n    }\n}\nfn helper_hx() {\n    opt().unwrap();\n}\n";
+        assert!(run(krate("epg-serve", &[("a.rs", a)])).is_empty());
+    }
+
+    #[test]
+    fn find_cycle_reports_none_on_a_dag_and_the_loop_on_a_ring() {
+        assert_eq!(find_cycle(3, &[(0, 1), (1, 2)]), None);
+        assert_eq!(find_cycle(3, &[(1, 2), (2, 1)]), Some(vec![1, 2]));
+        assert_eq!(find_cycle(4, &[(2, 3), (3, 1), (1, 2), (0, 1)]), Some(vec![1, 2, 3]));
+        assert_eq!(find_cycle(1, &[(0, 0)]), Some(vec![0]));
+        assert_eq!(find_cycle(0, &[]), None);
+    }
+}

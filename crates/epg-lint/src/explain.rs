@@ -1,9 +1,9 @@
 //! `--explain <rule-id>`: the rule catalog as living documentation.
 //!
-//! Every stable rule id across the three families — PR 1's line rules,
-//! PR 5's architecture rules, PR 6's concurrency dataflow rules — has an
-//! entry here with its rationale, an example violation, and the fix
-//! pattern. A test pins the catalog to the rule ids the checkers emit,
+//! Every stable rule id across the four families — PR 1's line rules,
+//! PR 5's architecture rules, PR 6's concurrency dataflow rules, PR 10's
+//! locking rules — has an entry here with its rationale, an example
+//! violation, and the fix pattern. A test pins the catalog to the rule ids the checkers emit,
 //! so a new rule cannot ship undocumented.
 
 /// One rule's documentation, rendered by [`render`].
@@ -11,7 +11,8 @@
 pub struct RuleDoc {
     /// The stable id printed in findings (`[rule-id]`).
     pub id: &'static str,
-    /// The rule family: `line`, `architecture`, or `concurrency`.
+    /// The rule family: `line`, `architecture`, `concurrency`, or
+    /// `locking`.
     pub family: &'static str,
     /// What the rule proves and why the comparison needs it.
     pub rationale: &'static str,
@@ -177,6 +178,67 @@ pub const CATALOG: &[RuleDoc] = &[
               allocations that are part of the algorithm's output get a reasoned \
               `epg-lint.toml` entry.",
     },
+    // --- locking rules (PR 10) ---------------------------------------------
+    RuleDoc {
+        id: "lock-order-cycle",
+        family: "locking",
+        rationale: "Two threads acquiring the same named locks in opposite orders deadlock \
+                    under the right interleaving. The checker builds a global \
+                    lock-acquisition graph over `Mutex`/`RwLock` struct fields — an edge A→B \
+                    wherever B is acquired while A's guard is live, directly or through \
+                    callees — and any cycle is a finding, whether or not today's schedule \
+                    ever hits it.",
+        example: "fn sweep(&self) {\n    let reg = self.registry.lock();\n    \
+                  self.store.lock();  // Registry.inner → Store.slots\n}\nfn flush(&self) {\n    \
+                  let s = self.store.lock();\n    self.registry.lock();  // Store.slots → \
+                  Registry.inner\n}",
+        fix: "Pick one global acquisition order and restructure the violating path — usually \
+              by copying what's needed out of the first lock before taking the second. \
+              Same-field self-edges are not reported (two instances of one struct are \
+              indistinguishable statically); those need a runtime ordering argument in a \
+              SAFETY comment.",
+    },
+    RuleDoc {
+        id: "blocking-while-locked",
+        family: "locking",
+        rationale: "A traversal, `QueryEngine` call, `Condvar::wait`, or file I/O executed \
+                    while a service lock is held turns that lock into a convoy: every other \
+                    request serializes behind one caller's slow operation. Reachability is \
+                    transitive — a helper that blocks three calls down is found and reported \
+                    as a call chain.",
+        example: "let mut cache = self.cache.lock();\nlet result = \
+                  self.engine.query(req);  // traversal under the cache lock\ncache.insert(key, \
+                  result);",
+        fix: "Shrink the critical section: clone/move what's needed out of the guard scope, \
+              run the blocking operation unlocked, then re-lock to publish. \
+              `Condvar::wait(&mut guard)` on the lock's own (and only) guard is the blessed \
+              wait idiom and is not flagged.",
+    },
+    RuleDoc {
+        id: "condvar-wait-loop",
+        family: "locking",
+        rationale: "`Condvar::wait` returns on spurious wakeups and on notifications meant \
+                    for other predicates; a wait outside a predicate loop proceeds on \
+                    unverified state. Every wait must re-check its condition.",
+        example: "let mut slot = self.slot.lock();\nif slot.is_none() {\n    \
+                  self.cv.wait(&mut slot);  // single-shot wait\n}",
+        fix: "Wrap the wait in the predicate loop: `while slot.is_none() { \
+              self.cv.wait(&mut slot); }` — the loop body is the wakeup filter. There is no \
+              allowlist escape; spurious wakeups are not an audit question.",
+    },
+    RuleDoc {
+        id: "guard-across-span",
+        family: "locking",
+        rationale: "A guard held across a `Tracer` span boundary folds lock-wait time into \
+                    the recorded span; held across a pool dispatch it serializes the region \
+                    it fans out; held across a `notify` it wakes threads into a mutex the \
+                    notifier still owns, burning a scheduler round-trip per wakeup.",
+        example: "let mut st = self.inner.state.lock();\nst.gen += 1;\n\
+                  self.work_cv.notify_all();  // woken workers block on `st`",
+        fix: "End the guard before the boundary: close the scope (or `drop(guard)`), then \
+              notify/dispatch/record. For state that must be read under the lock, copy it \
+              out first — the notify itself never needs the lock.",
+    },
 ];
 
 /// Looks up a rule id in the catalog.
@@ -228,6 +290,10 @@ mod tests {
             crate::flow::RULE_CANCEL,
             crate::flow::RULE_ORDERING,
             crate::flow::RULE_ALLOC,
+            crate::locking::RULE_LOCK_CYCLE,
+            crate::locking::RULE_BLOCKING,
+            crate::locking::RULE_CV_LOOP,
+            crate::locking::RULE_GUARD_SPAN,
         ];
         for id in emitted {
             assert!(lookup(id).is_some(), "rule `{id}` has no --explain entry");

@@ -61,7 +61,8 @@ pub const RULE_ALLOC: &str = "hot-loop-alloc";
 const AUDITED_RELAXED_FILES: &[&str] = &["crates/epg-parallel/src/cancel.rs"];
 
 /// Allocation tokens forbidden in timed spans (DESIGN.md §11).
-const ALLOC_TOKENS: &[&str] = &["Vec::new()", "vec![", ".collect", "format!(", ".to_vec()"];
+pub(crate) const ALLOC_TOKENS: &[&str] =
+    &["Vec::new()", "vec![", ".collect", "format!(", ".to_vec()"];
 
 /// Methods that grow their receiver — flagged when the receiver is a
 /// captured (non-span-local) place.
@@ -107,7 +108,7 @@ pub fn iteration_loops(f: &FileModel) -> Vec<(usize, usize)> {
 /// argument span. (A loop that delegates its parallel work to a helper is
 /// still covered through its `rec.iteration` marker; the helper's own
 /// worker spans are covered directly.)
-fn hot_spans(f: &FileModel) -> Vec<(usize, usize)> {
+pub(crate) fn hot_spans(f: &FileModel) -> Vec<(usize, usize)> {
     let marks = f.token_lines(".iteration(");
     let par_lines = f.par_entry_lines();
     let within = |s: usize, e: usize, lines: &[usize]| lines.iter().any(|&l| s <= l && l <= e);
@@ -422,7 +423,7 @@ fn closure_params(code: &str, out: &mut Vec<String>) {
 
 /// Extracts `let` pattern bindings from one line (covers `if let` /
 /// `while let` / `let … else` heads too).
-fn let_bindings(code: &str, out: &mut Vec<String>) {
+pub(crate) fn let_bindings(code: &str, out: &mut Vec<String>) {
     let mut from = 0;
     while let Some(pos) = find_word_from(code, from, "let") {
         from = pos + 3;
@@ -521,7 +522,7 @@ fn binding_idents(pat: &str, out: &mut Vec<String>) {
 /// separators, and balanced `[…]`/`(…)` groups, walked backwards. The
 /// bool reports whether the chain passes through a call (any paren
 /// group), which marks it API-mediated.
-fn place_chain(code: &str, end: usize) -> Option<(&str, bool)> {
+pub(crate) fn place_chain(code: &str, end: usize) -> Option<(&str, bool)> {
     let b = code.as_bytes();
     let mut i = end;
     let mut has_call = false;
@@ -564,7 +565,7 @@ fn place_chain(code: &str, end: usize) -> Option<(&str, bool)> {
     }
 }
 
-fn first_ident(s: &str) -> Option<&str> {
+pub(crate) fn first_ident(s: &str) -> Option<&str> {
     let b = s.as_bytes();
     let st = b.iter().position(|&c| is_ident_byte(c))?;
     if b[st].is_ascii_digit() {
@@ -574,7 +575,7 @@ fn first_ident(s: &str) -> Option<&str> {
     Some(&s[st..en])
 }
 
-fn last_ident(s: &str) -> Option<&str> {
+pub(crate) fn last_ident(s: &str) -> Option<&str> {
     let b = s.as_bytes();
     let en = b.iter().rposition(|&c| is_ident_byte(c))? + 1;
     let st = (0..en).rev().find(|&i| !is_ident_byte(b[i])).map_or(0, |i| i + 1);

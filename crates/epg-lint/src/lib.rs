@@ -9,14 +9,21 @@
 //!   stronger than their success orderings, and no `static mut`.
 //! * **Architectural rules** over a workspace model ([`model`]): crate-DAG
 //!   `layering` ([`arch`]), `phase-purity` and `timing-discipline`
-//!   ([`phases`]), `panic-discipline` ([`panics`]), and the `concurrency`
+//!   ([`phases`]), `panic-discipline` ([`panics`]), the `concurrency`
 //!   dataflow family ([`flow`]) — `shared-mutable-capture`,
-//!   `cancellation-coverage`, `atomic-ordering`, `hot-loop-alloc`. These
-//!   enforce the measurement-fairness invariants of DESIGN.md §10–§11:
+//!   `cancellation-coverage`, `atomic-ordering`, `hot-loop-alloc` — and
+//!   the `locking` family ([`locking`]) — `lock-order-cycle`,
+//!   `blocking-while-locked`, `condvar-wait-loop`, `guard-across-span` —
+//!   over an intra-crate call graph ([`callgraph`]) that also upgrades
+//!   the phase/timing/panic/alloc families to **transitive** reachability
+//!   from engine loops and worker closures, with findings printed as call
+//!   chains. These enforce the measurement-fairness invariants of
+//!   DESIGN.md §10–§11 and the serving-path lock discipline of §15:
 //!   engines are interchangeable behind `epg-engine-api`, file I/O stays
 //!   in the read phase, the harness owns the clock, engine hot paths fail
-//!   through the supervised `TrialOutcome` path, and timed parallel
-//!   regions neither race on captured state nor allocate.
+//!   through the supervised `TrialOutcome` path, timed parallel regions
+//!   neither race on captured state nor allocate, and no lock guard pins
+//!   a blocking operation or a wake boundary.
 //!
 //! Runs as a binary (`cargo run -p epg-lint`, nonzero exit on findings),
 //! as `epg lint` from the harness, and as a tier-1 test
@@ -31,8 +38,10 @@
 
 pub mod allowlist;
 pub mod arch;
+pub mod callgraph;
 pub mod explain;
 pub mod flow;
+pub mod locking;
 pub mod model;
 pub mod output;
 pub mod panics;
@@ -146,6 +155,8 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
     phases::check(&ws, &mut arch_findings);
     panics::check(&ws, &mut arch_findings);
     flow::check(&ws, &mut arch_findings);
+    locking::check(&ws, &mut arch_findings);
+    callgraph::check_transitive(&ws, &mut arch_findings);
     for finding in arch_findings {
         let text = model_line_text(&ws, &finding);
         raw.push((finding, text));

@@ -77,6 +77,56 @@ pub struct PathRef {
     pub line: usize,
 }
 
+/// How a call site names its callee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// Bare `name(…)` or module-path `mod::name(…)`.
+    Free,
+    /// `.name(…)` on some receiver expression.
+    Method,
+    /// `Type::name(…)` with an explicit capitalized qualifier (`Self`
+    /// included, resolved against the enclosing impl by the call graph).
+    Qualified(String),
+}
+
+/// One call site: `name(`, `.name(`, or `Type::name(` in code text.
+/// Macro invocations (`name!(…)`) and `fn` definitions are excluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name as written.
+    pub name: String,
+    /// Syntactic shape of the call.
+    pub kind: CallKind,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// One named struct field and the head identifier of its type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldModel {
+    /// Field name.
+    pub name: String,
+    /// First type identifier after stripping `Arc`/`Box`/`Rc`/`Cell`/
+    /// `RefCell` wrappers — so `Arc<Mutex<T>>` reads as `Mutex`.
+    pub ty_head: String,
+    /// 1-based line of the field declaration.
+    pub line: usize,
+}
+
+/// One `struct` item with named fields (tuple and unit structs carry no
+/// lock state the locking rules can name, so they are modeled fieldless).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructModel {
+    /// Struct name.
+    pub name: String,
+    /// Named fields, in declaration order.
+    pub fields: Vec<FieldModel>,
+    /// First line (the one holding `struct`).
+    pub start: usize,
+    /// Last line (closing brace or `;`).
+    pub end: usize,
+}
+
 /// The item model of one source file.
 #[derive(Debug)]
 pub struct FileModel {
@@ -100,6 +150,13 @@ pub struct FileModel {
     pub par_calls: Vec<(usize, usize)>,
     /// Every `epg_*::` path-root occurrence outside comments/strings.
     pub epg_refs: Vec<PathRef>,
+    /// Every call site (`name(`, `.name(`, `Type::name(`) in code text.
+    pub calls: Vec<CallSite>,
+    /// Every `struct` item with its named fields.
+    pub structs: Vec<StructModel>,
+    /// `impl` block spans; `name` is the self type (`impl T` and
+    /// `impl Trait for T` both yield `T`).
+    pub impls: Vec<FnSpan>,
     code: Code,
 }
 
@@ -112,7 +169,23 @@ impl FileModel {
         let loops = parse_loops(&code);
         let par_calls = parse_par_calls(&code);
         let epg_refs = parse_epg_refs(&code);
-        FileModel { path, lines, test_role, fns, test_spans, loops, par_calls, epg_refs, code }
+        let calls = parse_calls(&code);
+        let structs = parse_structs(&code);
+        let impls = parse_impls(&code);
+        FileModel {
+            path,
+            lines,
+            test_role,
+            fns,
+            test_spans,
+            loops,
+            par_calls,
+            epg_refs,
+            calls,
+            structs,
+            impls,
+            code,
+        }
     }
 
     /// 1-based lines whose code text contains `token` (substring match
@@ -158,6 +231,30 @@ impl FileModel {
     pub fn in_loop_or_worker(&self, line: usize) -> bool {
         let hit = |spans: &[(usize, usize)]| spans.iter().any(|&(s, e)| s <= line && line <= e);
         hit(&self.loops) || hit(&self.par_calls)
+    }
+
+    /// Last line of the innermost brace block open at the **start** of
+    /// `line` (the line holding its closing `}`), or the file's last line
+    /// when the position sits at top level. The locking rules use this to
+    /// bound a lock guard's lexical scope.
+    pub fn block_end(&self, line: usize) -> usize {
+        let last = self.lines.len().max(1);
+        let Some(&off) = self.code.starts.get(line.saturating_sub(1)) else { return last };
+        let bytes = self.code.text.as_bytes();
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, &b) in bytes.iter().enumerate().take(off) {
+            match b {
+                b'{' => stack.push(i),
+                b'}' => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        match stack.last() {
+            Some(&open) => self.code.line_of(match_brace(bytes, open)),
+            None => last,
+        }
     }
 }
 
@@ -445,7 +542,7 @@ fn parse_loops(code: &Code) -> Vec<(usize, usize)> {
 
 /// The `epg-parallel` entry points whose closure arguments are worker
 /// code. Token-level: a call to any method with one of these names counts.
-const PAR_ENTRY_POINTS: &[&str] = &[
+pub(crate) const PAR_ENTRY_POINTS: &[&str] = &[
     ".region(",
     ".parallel_for(",
     ".parallel_for_ranges(",
@@ -492,6 +589,279 @@ fn parse_epg_refs(code: &Code) -> Vec<PathRef> {
             continue; // a local identifier that merely starts with epg_
         }
         out.push(PathRef { krate: text[start..end].replace('_', "-"), line: code.line_of(start) });
+    }
+    out
+}
+
+/// Words that can directly precede `(` without being a call.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "move", "unsafe", "let", "pub", "fn", "impl", "use", "mod", "where", "struct", "enum", "trait",
+    "type", "dyn", "ref", "mut", "crate", "super", "self", "Self",
+];
+
+fn parse_calls(code: &Code) -> Vec<CallSite> {
+    let text = &code.text;
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for (j, &b) in bytes.iter().enumerate() {
+        if b != b'(' {
+            continue;
+        }
+        let mut s = j;
+        while s > 0 && is_ident_byte(bytes[s - 1]) {
+            s -= 1;
+        }
+        if s == j {
+            continue; // `(` not preceded by an identifier
+        }
+        let name = &text[s..j];
+        if CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        let prev = if s > 0 { bytes[s - 1] } else { b'\n' };
+        if prev == b'!' {
+            continue; // macro invocation
+        }
+        // `fn name(` is a definition, not a call.
+        let mut k = s;
+        while k > 0 && bytes[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        if text[..k].ends_with("fn") && (k < 3 || !is_ident_byte(bytes[k - 3])) {
+            continue;
+        }
+        let kind = if prev == b'.' {
+            CallKind::Method
+        } else if s >= 2 && bytes[s - 1] == b':' && bytes[s - 2] == b':' {
+            let mut q = s - 2;
+            while q > 0 && is_ident_byte(bytes[q - 1]) {
+                q -= 1;
+            }
+            let qual = &text[q..s - 2];
+            // Capitalized qualifier = a type (`Flight::new`); lowercase =
+            // a module path (`check::next_id`), resolved like a free call.
+            if qual.starts_with(|c: char| c.is_ascii_uppercase()) || qual == "Self" {
+                CallKind::Qualified(qual.to_string())
+            } else {
+                CallKind::Free
+            }
+        } else {
+            CallKind::Free
+        };
+        out.push(CallSite { name: name.to_string(), kind, line: code.line_of(s) });
+    }
+    out
+}
+
+/// Smart-pointer wrappers stripped when reading a field's type head.
+const TYPE_WRAPPERS: &[&str] = &["Arc", "Box", "Rc", "Cell", "RefCell"];
+
+/// First meaningful type identifier of a field type: skips `&`/`dyn`/
+/// `mut`, then unwraps `Arc<…>`-style wrappers one level at a time.
+fn type_head(mut ty: &str) -> String {
+    loop {
+        ty = ty.trim_start().trim_start_matches('&').trim_start();
+        for kw in ["dyn ", "mut "] {
+            if let Some(rest) = ty.strip_prefix(kw) {
+                ty = rest;
+            }
+        }
+        ty = ty.trim_start();
+        let end = ty.find(|c: char| !c.is_ascii_alphanumeric() && c != '_').unwrap_or(ty.len());
+        let head = &ty[..end];
+        let rest = ty[end..].trim_start();
+        if TYPE_WRAPPERS.contains(&head) && rest.starts_with('<') {
+            ty = &rest[1..];
+            continue;
+        }
+        return head.to_string();
+    }
+}
+
+fn parse_structs(code: &Code) -> Vec<StructModel> {
+    let text = &code.text;
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_word_from(text, from, "struct") {
+        from = pos + 6;
+        let mut i = pos + 6;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue;
+        }
+        let name = text[name_start..i].to_string();
+        // Walk to the body `{` at angle-bracket depth 0; `(` (tuple) and
+        // `;` (unit) end the item without named fields.
+        let mut angle = 0i64;
+        let mut open = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'<' => angle += 1,
+                b'>' => angle -= 1,
+                b'{' if angle <= 0 => {
+                    open = Some(i);
+                    break;
+                }
+                b'(' | b';' if angle <= 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(open) = open else {
+            out.push(StructModel {
+                name,
+                fields: Vec::new(),
+                start: code.line_of(pos),
+                end: code.line_of(i.min(bytes.len().saturating_sub(1))),
+            });
+            continue;
+        };
+        let close = match_brace(bytes, open);
+        let fields = parse_fields(code, open + 1, close);
+        out.push(StructModel { name, fields, start: code.line_of(pos), end: code.line_of(close) });
+    }
+    out
+}
+
+/// Parses `name: Type` declarations between `lo` and `hi` byte offsets
+/// (a struct body), splitting on top-level commas.
+fn parse_fields(code: &Code, lo: usize, hi: usize) -> Vec<FieldModel> {
+    let text = &code.text;
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut piece_start = lo;
+    let mut i = lo;
+    while i <= hi {
+        let b = if i < hi { bytes[i] } else { b',' };
+        match b {
+            b'(' | b'[' | b'{' | b'<' => depth += 1,
+            b')' | b']' | b'}' | b'>' => depth -= 1,
+            b',' if depth <= 0 => {
+                if let Some(f) = parse_field(code, &text[piece_start..i], piece_start) {
+                    out.push(f);
+                }
+                piece_start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_field(code: &Code, piece: &str, off: usize) -> Option<FieldModel> {
+    let mut rest = piece;
+    // Skip attributes and visibility.
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix("#[") {
+            let close = after.find(']')?;
+            rest = &after[close + 1..];
+            continue;
+        }
+        if let Some(after) = rest.strip_prefix("pub") {
+            if after.starts_with(|c: char| c.is_whitespace() || c == '(') {
+                let after = after.trim_start();
+                rest = match after.strip_prefix('(') {
+                    Some(inner) => &inner[inner.find(')')? + 1..],
+                    None => after,
+                };
+                continue;
+            }
+        }
+        break;
+    }
+    let name_end = rest.find(|c: char| !c.is_ascii_alphanumeric() && c != '_')?;
+    let name = &rest[..name_end];
+    let after = rest[name_end..].trim_start();
+    let ty = after.strip_prefix(':')?;
+    if name.is_empty() || ty.starts_with(':') {
+        return None; // empty piece or a `path::to` fragment, not `name: Ty`
+    }
+    let line_off = off + (piece.len() - piece.trim_start().len());
+    Some(FieldModel {
+        name: name.to_string(),
+        ty_head: type_head(ty),
+        line: code.line_of(line_off),
+    })
+}
+
+fn parse_impls(code: &Code) -> Vec<FnSpan> {
+    let text = &code.text;
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_word_from(text, from, "impl") {
+        from = pos + 4;
+        // `-> impl Trait` / `(impl Trait` are types, not items.
+        let mut p = pos;
+        while p > 0 && bytes[p - 1].is_ascii_whitespace() {
+            p -= 1;
+        }
+        if p > 0 && matches!(bytes[p - 1], b'>' | b'(' | b',' | b'=' | b'+' | b':' | b'&') {
+            continue;
+        }
+        let mut i = pos + 4;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        // Skip the impl's own generics.
+        if i < bytes.len() && bytes[i] == b'<' {
+            let mut angle = 0i64;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'<' => angle += 1,
+                    b'>' => {
+                        angle -= 1;
+                        if angle == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        // Head text runs to the body `{` at angle depth 0.
+        let head_start = i;
+        let mut angle = 0i64;
+        let mut open = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'<' => angle += 1,
+                b'>' => angle -= 1,
+                b'{' if angle <= 0 => {
+                    open = Some(i);
+                    break;
+                }
+                b';' if angle <= 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(open) = open else { continue };
+        let head = &text[head_start..open];
+        let ty_text = match head.split(" for ").nth(1) {
+            Some(after_for) => after_for,
+            None => head,
+        };
+        let ty_text = ty_text.split("where").next().unwrap_or(ty_text);
+        let name = type_head(ty_text.rsplit("::").next().unwrap_or(ty_text));
+        if name.is_empty() {
+            continue;
+        }
+        let close = match_brace(bytes, open);
+        out.push(FnSpan { name, start: code.line_of(pos), end: code.line_of(close) });
     }
     out
 }
@@ -744,6 +1114,73 @@ mod tests {
         let f = file(src);
         assert_eq!(f.token_lines(".unwrap()"), vec![1]);
         assert_eq!(f.token_lines("std::fs"), vec![3], "prefix `not_std::fs` must not match");
+    }
+
+    #[test]
+    fn call_sites_classify_free_method_and_qualified() {
+        let src = "fn f(x: &X) {\n    helper(1);\n    x.compute(2);\n    Flight::new();\n    std::mem::drop(x);\n    check::next_id();\n    println!(\"skip\");\n    Self::reset();\n}\n";
+        let f = file(src);
+        let got: Vec<(&str, CallKind, usize)> =
+            f.calls.iter().map(|c| (c.name.as_str(), c.kind.clone(), c.line)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("helper", CallKind::Free, 2),
+                ("compute", CallKind::Method, 3),
+                ("new", CallKind::Qualified("Flight".into()), 4),
+                ("drop", CallKind::Free, 5),
+                ("next_id", CallKind::Free, 6),
+                ("reset", CallKind::Qualified("Self".into()), 8),
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_definitions_and_keywords_are_not_calls() {
+        let src = "pub fn alpha(x: u32) -> u32 {\n    if (x > 1) && matches!(x, 2) {\n        return beta(x);\n    }\n    x\n}\n";
+        let f = file(src);
+        let names: Vec<&str> = f.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["beta"]);
+    }
+
+    #[test]
+    fn struct_fields_expose_unwrapped_type_heads() {
+        let src = "pub struct Flight {\n    slot: Mutex<Option<u32>>,\n    cv: Condvar,\n    pub shared: Arc<RwLock<Vec<u8>>>,\n    n: usize,\n}\nstruct Unit;\nstruct Pair(u32, u32);\n";
+        let f = file(src);
+        assert_eq!(f.structs.len(), 3);
+        let s = &f.structs[0];
+        assert_eq!((s.name.as_str(), s.start, s.end), ("Flight", 1, 6));
+        let got: Vec<(&str, &str, usize)> =
+            s.fields.iter().map(|fl| (fl.name.as_str(), fl.ty_head.as_str(), fl.line)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("slot", "Mutex", 2),
+                ("cv", "Condvar", 3),
+                ("shared", "RwLock", 4),
+                ("n", "usize", 5),
+            ]
+        );
+        assert!(f.structs[1].fields.is_empty());
+        assert!(f.structs[2].fields.is_empty());
+    }
+
+    #[test]
+    fn impl_spans_name_the_self_type() {
+        let src = "impl Flight {\n    fn new() -> Flight {\n        todo()\n    }\n}\n\nimpl<T> Drop for Guard<'_, T> {\n    fn drop(&mut self) {}\n}\n\nfn ret() -> impl Iterator<Item = u32> {\n    std::iter::empty()\n}\n";
+        let f = file(src);
+        let got: Vec<(&str, usize, usize)> =
+            f.impls.iter().map(|i| (i.name.as_str(), i.start, i.end)).collect();
+        assert_eq!(got, vec![("Flight", 1, 5), ("Guard", 7, 9)]);
+    }
+
+    #[test]
+    fn block_end_bounds_the_innermost_brace_scope() {
+        let src = "fn f() {\n    let a = {\n        let g = m.lock();\n        g.v\n    };\n    after(a);\n}\n";
+        let f = file(src);
+        assert_eq!(f.block_end(3), 5, "inner block closes on line 5");
+        assert_eq!(f.block_end(6), 7, "fn body closes on line 7");
+        assert_eq!(f.block_end(1), f.lines.len(), "top level extends to the last line");
     }
 
     #[test]

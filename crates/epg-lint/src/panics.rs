@@ -24,7 +24,8 @@ use crate::rules::Finding;
 pub const RULE_PANIC: &str = "panic-discipline";
 
 /// Tokens that abort instead of surfacing a supervised failure.
-const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"];
+pub(crate) const PANIC_TOKENS: &[&str] =
+    &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"];
 
 /// Runs the rule over every engine crate in the model.
 pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {

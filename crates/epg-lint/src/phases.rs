@@ -30,11 +30,11 @@ pub const RULE_PHASE: &str = "phase-purity";
 pub const RULE_TIMING: &str = "timing-discipline";
 
 /// Tokens that mark file-I/O reachability in engine code.
-const IO_TOKENS: &[&str] =
+pub(crate) const IO_TOKENS: &[&str] =
     &["std::fs", "std::io", "File::open", "File::create", "BufReader", "BufWriter", "OpenOptions"];
 
 /// Tokens that read the wall clock.
-const TIME_TOKENS: &[&str] = &["Instant::now", "SystemTime"];
+pub(crate) const TIME_TOKENS: &[&str] = &["Instant::now", "SystemTime"];
 
 /// Crates that own measurement: the harness times runs, the trace crate
 /// stamps telemetry, and the serve layer stamps per-query latency (it is

@@ -1,0 +1,67 @@
+//! The serving crate's seeded violations: exactly one finding per
+//! PR 10 locking rule, pinned to stable line numbers by the golden
+//! test. Never compiled.
+
+/// Long-lived serving state guarded by one lock and its condvar.
+pub struct Registry {
+    inner: Mutex<u32>,
+    cv: Condvar,
+}
+
+/// The result store, guarded independently of the registry.
+pub struct Store {
+    slots: Mutex<Vec<u32>>,
+}
+
+impl Registry {
+    /// Seeded `condvar-wait-loop` violation: a single-shot wait.
+    pub fn pause(&self) {
+        let mut inner = self.inner.lock();
+        self.cv.wait(&mut inner);
+    }
+
+    /// Seeded `blocking-while-locked` violation: the traversal runs
+    /// behind `recompute` while the registry lock is held.
+    pub fn refresh(&self, engine: &dyn QueryEngine) {
+        let mut inner = self.inner.lock();
+        *inner = self.recompute(engine);
+    }
+
+    fn recompute(&self, engine: &dyn QueryEngine) -> u32 {
+        engine.query(Algorithm::Bfs)
+    }
+
+    /// One half of the seeded `lock-order-cycle`: registry, then store.
+    pub fn sweep(&self, store: &Store) {
+        let mut inner = self.inner.lock();
+        store.absorb(&mut inner);
+    }
+
+    fn note(&self) {
+        let mut inner = self.inner.lock();
+        *inner += 1;
+    }
+}
+
+impl Store {
+    fn absorb(&self, pending: &mut u32) {
+        let mut slots = self.slots.lock();
+        slots.push(*pending);
+    }
+
+    /// The other half of the seeded cycle: store, then registry.
+    pub fn flush(&self, reg: &Registry) {
+        let mut slots = self.slots.lock();
+        slots.push(0);
+        reg.note();
+    }
+
+    /// Seeded `guard-across-span` violation: the slot guard outlives
+    /// its critical section across the pool dispatch.
+    pub fn drain(&self, pool: &ThreadPool) {
+        let slots = self.slots.lock();
+        pool.parallel_for(slots.len(), Schedule::Static, |v| {
+            let _ = v;
+        });
+    }
+}

@@ -1,9 +1,11 @@
 //! The mini fixture workspace (`tests/fixtures/mini/`) must produce
 //! exactly one finding per architectural rule — layering, phase-purity,
-//! timing-discipline, panic-discipline, and the four concurrency rules
-//! seeded in `kernel.rs` — at pinned `file:line` positions, and the
-//! `--json` rendering must match the committed golden report byte for
-//! byte.
+//! timing-discipline, panic-discipline, the four concurrency rules
+//! seeded in `kernel.rs`, the four locking rules seeded in the
+//! `mini-serve` crate, and one *transitive* finding per upgraded family
+//! seeded in `transitive.rs` (violations a line-local pass cannot see)
+//! — at pinned `file:line` positions, and the `--json` rendering must
+//! match the committed golden report byte for byte.
 //!
 //! The fixture also carries the negative cases: I/O inside
 //! `load_file` and a clock read inside the (fixture) `epg-harness`
@@ -29,6 +31,19 @@ fn mini_workspace_trips_each_family_once() {
         ("crates/epg-engine-alpha/src/lib.rs".to_string(), 12, "phase-purity"),
         ("crates/epg-engine-alpha/src/lib.rs".to_string(), 17, "timing-discipline"),
         ("crates/epg-engine-alpha/src/lib.rs".to_string(), 25, "panic-discipline"),
+        // Transitive upgrades: each helper's token is outside any lexical
+        // scope the line-local rules report, so these four exist only
+        // because reachability from the timed loop is checked.
+        ("crates/epg-engine-alpha/src/transitive.rs".to_string(), 14, "panic-discipline"),
+        ("crates/epg-engine-alpha/src/transitive.rs".to_string(), 15, "hot-loop-alloc"),
+        ("crates/epg-engine-alpha/src/transitive.rs".to_string(), 16, "timing-discipline"),
+        ("crates/epg-engine-alpha/src/transitive.rs".to_string(), 17, "phase-purity"),
+        // The clock read itself is also reported where it sits.
+        ("crates/epg-engine-alpha/src/transitive.rs".to_string(), 37, "timing-discipline"),
+        ("crates/mini-serve/src/lib.rs".to_string(), 20, "condvar-wait-loop"),
+        ("crates/mini-serve/src/lib.rs".to_string(), 27, "blocking-while-locked"),
+        ("crates/mini-serve/src/lib.rs".to_string(), 37, "lock-order-cycle"),
+        ("crates/mini-serve/src/lib.rs".to_string(), 63, "guard-across-span"),
     ];
     assert_eq!(got, want, "seeded violations diverge:\n{:#?}", report.findings);
     assert!(report.stale_allows.is_empty());

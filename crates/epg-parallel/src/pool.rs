@@ -249,9 +249,12 @@ impl ThreadPool {
             // A payload from a generation whose dispatcher unwound before
             // collecting it must not leak into this one.
             st.panic = None;
-            self.inner.work_cv.notify_all();
             st.gen
         };
+        // Notify after unlocking: workers re-check `st.gen` under the
+        // lock, so the wakeup cannot be lost, and woken threads do not
+        // stall on the state mutex this thread would still hold.
+        self.inner.work_cv.notify_all();
         {
             // Waits for the join barrier even if `f(0)` unwinds: dropping
             // `f` while a worker still holds `ptr` would be use-after-free.
@@ -421,8 +424,8 @@ impl Drop for ThreadPool {
         {
             let mut st = self.inner.state.lock();
             st.shutdown = true;
-            self.inner.work_cv.notify_all();
         }
+        self.inner.work_cv.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -461,9 +464,13 @@ fn worker_loop(inner: &Inner, tid: usize) {
             }
         }
         st.remaining -= 1;
-        if st.remaining == 0 {
+        let last_out = st.remaining == 0;
+        if last_out {
             st.done_gen = gen;
             st.job = None;
+        }
+        drop(st);
+        if last_out {
             inner.done_cv.notify_all();
         }
     }

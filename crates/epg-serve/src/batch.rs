@@ -54,8 +54,13 @@ impl Flight {
     }
 
     fn publish(&self, result: FlightResult) {
-        let mut slot = self.slot.lock();
-        *slot = Some(result);
+        // Notify after unlocking: followers re-check the slot under the
+        // lock, so the wakeup cannot be lost, and woken followers do not
+        // stall on the slot mutex the leader would still hold.
+        {
+            let mut slot = self.slot.lock();
+            *slot = Some(result);
+        }
         self.cv.notify_all();
     }
 }
